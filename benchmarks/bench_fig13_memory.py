@@ -1,0 +1,94 @@
+"""Figure 13: peak memory of intermediate state across systems.
+
+The paper's shape, reproduced via logical byte accounting:
+
+* Peregrine's footprint is tiny and *flat in pattern size* (recursion
+  stack only);
+* DFS (Fractal-like) is small but grows with aggregation state;
+* BFS (Arabesque-like) holds whole levels of embeddings;
+* RStream-like materializes join output before filtering — largest.
+"""
+
+import pytest
+
+from common import run_once
+
+from repro.baselines import (
+    bfs_clique_count,
+    bfs_fsm,
+    dfs_clique_count,
+    dfs_fsm,
+    rstream_clique_count,
+)
+from repro.core import generate_plan, run_tasks
+from repro.mining import fsm
+from repro.pattern import generate_clique
+from repro.profiling import embedding_bytes
+
+
+def peregrine_clique_bytes(graph, k: int) -> int:
+    """Peregrine's live state: one partial match on the recursion stack."""
+    plan = generate_plan(generate_clique(k))
+    ordered, _ = graph.degree_ordered()
+    run_tasks(ordered, plan, count_only=True)
+    return embedding_bytes(k)  # the single in-flight mapping
+
+
+CLIQUE_SYSTEMS = {
+    "peregrine": peregrine_clique_bytes,
+    "fractal-like": lambda g, k: dfs_clique_count(g, k)[1].peak_store_bytes,
+    "arabesque-like": lambda g, k: bfs_clique_count(g, k)[1].peak_store_bytes,
+    "rstream-like": lambda g, k: rstream_clique_count(g, k)[1].peak_store_bytes,
+}
+
+
+@pytest.mark.paper_artifact("figure13")
+@pytest.mark.parametrize("k", [3, 4])
+@pytest.mark.parametrize("system", sorted(CLIQUE_SYSTEMS))
+def test_clique_memory(benchmark, patents_small, k, system):
+    nbytes = run_once(benchmark, lambda: CLIQUE_SYSTEMS[system](patents_small, k))
+    benchmark.extra_info["peak_bytes"] = nbytes
+
+
+@pytest.mark.paper_artifact("figure13")
+@pytest.mark.parametrize("system", ["peregrine", "fractal-like", "arabesque-like"])
+def test_fsm_memory(benchmark, mico_small, system):
+    if system == "peregrine":
+        result = run_once(benchmark, lambda: fsm(mico_small, 2, 3))
+        benchmark.extra_info["peak_bytes"] = result.domain_bytes
+    elif system == "fractal-like":
+        _, counters = run_once(benchmark, lambda: dfs_fsm(mico_small, 2, 3))
+        benchmark.extra_info["peak_bytes"] = counters.peak_store_bytes
+    else:
+        _, counters = run_once(benchmark, lambda: bfs_fsm(mico_small, 2, 3))
+        benchmark.extra_info["peak_bytes"] = counters.peak_store_bytes
+
+
+@pytest.mark.paper_artifact("figure13")
+def test_memory_ordering_shape(patents_small, capsys):
+    sizes = {
+        name: fn(patents_small, 4) for name, fn in CLIQUE_SYSTEMS.items()
+    }
+    from repro.reporting import bar_chart, format_bytes
+
+    with capsys.disabled():
+        print("\n=== Figure 13 shape: 4-clique peak intermediate bytes ===")
+        ordered_sizes = sorted(sizes.items(), key=lambda kv: kv[1])
+        print(
+            bar_chart(
+                ordered_sizes,
+                width=40,
+                value_format=lambda v: format_bytes(int(v)),
+            )
+        )
+    assert sizes["peregrine"] < sizes["fractal-like"]
+    assert sizes["fractal-like"] < sizes["arabesque-like"]
+    assert sizes["arabesque-like"] < sizes["rstream-like"]
+
+
+@pytest.mark.paper_artifact("figure13")
+def test_peregrine_memory_flat_in_pattern_size(patents_small):
+    """Changing the clique size barely moves Peregrine's footprint (§6.7)."""
+    b3 = peregrine_clique_bytes(patents_small, 3)
+    b5 = peregrine_clique_bytes(patents_small, 5)
+    assert b5 <= 2 * b3

@@ -1,0 +1,116 @@
+"""Figure 1b/1c: exploration-cost profiling across systems.
+
+Reproduces the paper's profiling tables: total matches explored (with the
+multiple of the result size), canonicality checks, and isomorphism checks,
+for 4-clique counting (Fig 1b) and 3-motif counting (Fig 1c) on the
+patents stand-in.  Peregrine's row must show zero checks and an explored
+count close to the result size; the baselines' rows must show large
+multiples and nonzero checks — that *shape* is the paper's argument.
+"""
+
+import pytest
+
+from common import run_once
+
+from repro.baselines import (
+    bfs_clique_count,
+    bfs_motif_count,
+    dfs_clique_count,
+    dfs_motif_count,
+    rstream_clique_count,
+    rstream_motif_count,
+)
+from repro.core import EngineStats, count, count_many
+from repro.pattern import generate_all_vertex_induced, generate_clique
+from repro.profiling import ExplorationCounters, format_fig1_row
+
+
+def engine_clique_counters(graph, k: int) -> ExplorationCounters:
+    stats = EngineStats()
+    result = count(graph, generate_clique(k), stats=stats)
+    return ExplorationCounters(
+        system="peregrine",
+        matches_explored=stats.partial_matches,
+        canonicality_checks=0,
+        isomorphism_checks=0,
+        result_size=result,
+    )
+
+
+def engine_motif_counters(graph, size: int) -> ExplorationCounters:
+    total_partial = 0
+    total_result = 0
+    for motif in generate_all_vertex_induced(size):
+        stats = EngineStats()
+        total_result += count(graph, motif, edge_induced=False, stats=stats)
+        total_partial += stats.partial_matches
+    return ExplorationCounters(
+        system="peregrine",
+        matches_explored=total_partial,
+        result_size=total_result,
+    )
+
+
+CLIQUE_SYSTEMS = {
+    "peregrine": engine_clique_counters,
+    "arabesque-like": lambda g, k: bfs_clique_count(g, k)[1],
+    "fractal-like": lambda g, k: dfs_clique_count(g, k)[1],
+    "rstream-like": lambda g, k: rstream_clique_count(g, k)[1],
+}
+
+MOTIF_SYSTEMS = {
+    "peregrine": engine_motif_counters,
+    "arabesque-like": lambda g, s: bfs_motif_count(g, s)[1],
+    "fractal-like": lambda g, s: dfs_motif_count(g, s)[1],
+    "rstream-like": lambda g, s: rstream_motif_count(g, s)[1],
+}
+
+
+@pytest.mark.paper_artifact("figure1b")
+@pytest.mark.parametrize("system", sorted(CLIQUE_SYSTEMS))
+def test_fig1b_clique_profiling(benchmark, patents_small, system):
+    counters = run_once(
+        benchmark, lambda: CLIQUE_SYSTEMS[system](patents_small, 4)
+    )
+    benchmark.extra_info["explored"] = counters.matches_explored
+    benchmark.extra_info["canonicality"] = counters.canonicality_checks
+    benchmark.extra_info["isomorphism"] = counters.isomorphism_checks
+    benchmark.extra_info["results"] = counters.result_size
+    if system == "peregrine":
+        assert counters.canonicality_checks == 0
+        assert counters.isomorphism_checks == 0
+    else:
+        assert counters.canonicality_checks > 0
+
+
+@pytest.mark.paper_artifact("figure1c")
+@pytest.mark.parametrize("system", sorted(MOTIF_SYSTEMS))
+def test_fig1c_motif_profiling(benchmark, patents_small, system):
+    counters = run_once(
+        benchmark, lambda: MOTIF_SYSTEMS[system](patents_small, 3)
+    )
+    benchmark.extra_info["explored"] = counters.matches_explored
+    benchmark.extra_info["canonicality"] = counters.canonicality_checks
+    benchmark.extra_info["isomorphism"] = counters.isomorphism_checks
+    benchmark.extra_info["results"] = counters.result_size
+
+
+@pytest.mark.paper_artifact("figure1")
+def test_print_fig1_tables(patents_small, capsys):
+    with capsys.disabled():
+        header = (
+            f"\n{'system':<14} {'explored':>14} {'(xresult)':>10} "
+            f"{'canonicality':>14} {'isomorphism':>14}"
+        )
+        print("\n=== Figure 1b: 4-clique profiling (patents stand-in) ===")
+        print(header)
+        for name, fn in CLIQUE_SYSTEMS.items():
+            counters = fn(patents_small, 4)
+            counters.system = name
+            print(format_fig1_row(counters))
+        print("\n=== Figure 1c: 3-motif profiling (patents stand-in) ===")
+        print(header)
+        for name, fn in MOTIF_SYSTEMS.items():
+            counters = fn(patents_small, 3)
+            counters.system = name
+            print(format_fig1_row(counters))

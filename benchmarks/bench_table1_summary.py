@@ -1,0 +1,85 @@
+"""Table 1: the headline speedup summary.
+
+Computes Peregrine's speedup over every reimplemented system on a common
+workload mix (3-motifs, 3/4-cliques, small FSM) and prints a Table 1-style
+row.  Absolute factors differ from the paper (different hardware, language
+and scale); the *ordering* — Peregrine fastest, join-based and BFS systems
+slowest, PRG-U in between — is the reproduced claim.
+"""
+
+import pytest
+
+from common import run_once, timed
+
+from repro.baselines import (
+    bfs_clique_count,
+    bfs_motif_count,
+    dfs_clique_count,
+    dfs_motif_count,
+    prgu_motif_counts,
+    rstream_clique_count,
+    rstream_motif_count,
+)
+from repro.mining import clique_count, motif_counts
+
+
+def workload_peregrine(graph):
+    motif_counts(graph, 3)
+    clique_count(graph, 3)
+    clique_count(graph, 4)
+
+
+def workload_bfs(graph):
+    bfs_motif_count(graph, 3)
+    bfs_clique_count(graph, 3)
+    bfs_clique_count(graph, 4)
+
+
+def workload_dfs(graph):
+    dfs_motif_count(graph, 3)
+    dfs_clique_count(graph, 3)
+    dfs_clique_count(graph, 4)
+
+
+def workload_rstream(graph):
+    rstream_motif_count(graph, 3)
+    rstream_clique_count(graph, 3)
+    rstream_clique_count(graph, 4)
+
+
+def workload_prgu(graph):
+    prgu_motif_counts(graph, 3)
+    clique_count(graph, 3, symmetry_breaking=False)
+    clique_count(graph, 4, symmetry_breaking=False)
+
+
+SYSTEMS = {
+    "peregrine": workload_peregrine,
+    "arabesque-like": workload_bfs,
+    "fractal-like": workload_dfs,
+    "rstream-like": workload_rstream,
+    "prg-u": workload_prgu,
+}
+
+
+@pytest.mark.paper_artifact("table1")
+@pytest.mark.parametrize("system", sorted(SYSTEMS))
+def test_workload_mix(benchmark, patents_small, system):
+    run_once(benchmark, lambda: SYSTEMS[system](patents_small))
+
+
+@pytest.mark.paper_artifact("table1")
+def test_print_table1(patents_small, capsys):
+    times = {
+        name: timed(lambda fn=fn: fn(patents_small))[0]
+        for name, fn in SYSTEMS.items()
+    }
+    ours = times.pop("peregrine")
+    with capsys.disabled():
+        print("\n=== Table 1: PEREGRINE speedup summary (stand-in scale) ===")
+        for name, t in sorted(times.items(), key=lambda kv: kv[1]):
+            print(f"  vs {name:<16} {t / ours:6.1f}x")
+    # Reproduced ordering: Peregrine beats every baseline; PRG-U is the
+    # closest competitor (it is Peregrine minus one optimization).
+    assert all(t > ours for t in times.values())
+    assert times["prg-u"] == min(times.values())

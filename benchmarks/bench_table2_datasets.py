@@ -1,0 +1,45 @@
+"""Table 2: dataset statistics for the evaluation stand-ins.
+
+Regenerates the dataset table (|V|, |E|, |L|, max/avg degree) for the four
+stand-in graphs.  Benchmarks dataset *generation* cost so the suite also
+documents how long the substrate takes to build.
+"""
+
+import pytest
+
+from repro.graph import (
+    friendster_like,
+    graph_stats,
+    mico_like,
+    orkut_like,
+    patents_like,
+    stats_table,
+)
+
+GENERATORS = {
+    "mico": lambda: mico_like(0.30),
+    "patents": lambda: patents_like(0.30),
+    "patents-labeled": lambda: patents_like(0.30, labeled=True),
+    "orkut": lambda: orkut_like(0.15),
+    "friendster": lambda: friendster_like(0.15),
+}
+
+
+@pytest.mark.paper_artifact("table2")
+@pytest.mark.parametrize("name", sorted(GENERATORS))
+def test_dataset_generation(benchmark, name):
+    graph = benchmark(GENERATORS[name])
+    stats = graph_stats(graph)
+    benchmark.extra_info["vertices"] = stats.num_vertices
+    benchmark.extra_info["edges"] = stats.num_edges
+    benchmark.extra_info["labels"] = stats.num_labels
+    benchmark.extra_info["max_degree"] = stats.max_degree
+    benchmark.extra_info["avg_degree"] = round(stats.avg_degree, 1)
+
+
+@pytest.mark.paper_artifact("table2")
+def test_print_table2(capsys):
+    graphs = [fn() for fn in GENERATORS.values()]
+    with capsys.disabled():
+        print("\n=== Table 2 (stand-in datasets) ===")
+        print(stats_table(graphs))

@@ -1,0 +1,93 @@
+"""Table 3: Peregrine vs breadth-first systems (Arabesque, RStream).
+
+Workloads: 3-motifs, 4-motifs, k-cliques (3..5) and FSM, on the mico and
+patents stand-ins.  The paper's shape: Peregrine wins by an order of
+magnitude or more on everything except high-threshold FSM, and the BFS
+systems hit memory walls first (their budgeted runs report 'oom').
+"""
+
+import pytest
+
+from common import guarded, run_once, timed
+
+from repro.baselines import (
+    bfs_clique_count,
+    bfs_fsm,
+    bfs_motif_count,
+    rstream_clique_count,
+    rstream_fsm,
+    rstream_motif_count,
+)
+from repro.mining import clique_count, fsm, motif_counts
+
+
+@pytest.mark.paper_artifact("table3")
+@pytest.mark.parametrize("dataset", ["mico_small", "patents_small"])
+@pytest.mark.parametrize("system", ["peregrine", "arabesque", "rstream"])
+def test_3motifs(benchmark, request, dataset, system):
+    graph = request.getfixturevalue(dataset)
+    if system == "peregrine":
+        result = run_once(benchmark, lambda: motif_counts(graph, 3))
+        total = sum(result.values())
+    elif system == "arabesque":
+        counts, _ = run_once(benchmark, lambda: bfs_motif_count(graph, 3))
+        total = sum(counts.values())
+    else:
+        counts, _ = run_once(benchmark, lambda: rstream_motif_count(graph, 3))
+        total = sum(counts.values())
+    benchmark.extra_info["total_motifs"] = total
+
+
+@pytest.mark.paper_artifact("table3")
+@pytest.mark.parametrize("k", [3, 4, 5])
+@pytest.mark.parametrize("system", ["peregrine", "arabesque", "rstream"])
+def test_kcliques_patents(benchmark, patents_small, k, system):
+    graph = patents_small
+    if system == "peregrine":
+        result = run_once(benchmark, lambda: clique_count(graph, k))
+        benchmark.extra_info["cliques"] = result
+        return
+    fn = bfs_clique_count if system == "arabesque" else rstream_clique_count
+    status, outcome = run_once(
+        benchmark, lambda: guarded(lambda: fn(graph, k, step_budget=3_000_000))
+    )
+    benchmark.extra_info["status"] = status
+    if outcome is not None:
+        benchmark.extra_info["cliques"] = outcome[0]
+
+
+@pytest.mark.paper_artifact("table3")
+@pytest.mark.parametrize("threshold", [3, 5, 8])
+@pytest.mark.parametrize("system", ["peregrine", "arabesque", "rstream"])
+def test_fsm_mico(benchmark, mico_small, threshold, system):
+    graph = mico_small
+    if system == "peregrine":
+        result = run_once(benchmark, lambda: fsm(graph, 2, threshold))
+        benchmark.extra_info["frequent"] = len(result.frequent)
+        return
+    if system == "arabesque":
+        fn = lambda: bfs_fsm(graph, 2, threshold, step_budget=3_000_000)
+    else:
+        # RStream's FSM dies on aggregation state in the paper; a tight
+        # disk budget reproduces the '—' cells at low thresholds.
+        fn = lambda: rstream_fsm(
+            graph, 2, threshold, step_budget=3_000_000, disk_budget=3_000_000
+        )
+    status, outcome = run_once(benchmark, lambda: guarded(fn))
+    benchmark.extra_info["status"] = status
+    if outcome is not None:
+        benchmark.extra_info["frequent"] = len(outcome[0])
+
+
+@pytest.mark.paper_artifact("table3")
+def test_print_table3_shape(mico_small, capsys):
+    """Print the speedup row: who wins and by what factor."""
+    t_engine, _ = timed(lambda: motif_counts(mico_small, 3))
+    t_bfs, _ = timed(lambda: bfs_motif_count(mico_small, 3))
+    t_rs, _ = timed(lambda: rstream_motif_count(mico_small, 3))
+    with capsys.disabled():
+        print("\n=== Table 3 shape: 3-motifs on mico stand-in ===")
+        print(f"peregrine: {t_engine:.3f}s   arabesque-like: {t_bfs:.3f}s "
+              f"({t_bfs / t_engine:.1f}x)   rstream-like: {t_rs:.3f}s "
+              f"({t_rs / t_engine:.1f}x)")
+    assert t_bfs > t_engine  # the paper's headline ordering

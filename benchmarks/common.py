@@ -1,0 +1,48 @@
+"""Helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable
+
+from repro.errors import BudgetExceeded, MemoryBudgetExceeded
+
+__all__ = ["run_once", "timed", "guarded", "speedup"]
+
+
+def run_once(benchmark, fn: Callable[[], Any]) -> Any:
+    """Benchmark an expensive function with a single round.
+
+    Mining runs are deterministic, so one round gives a faithful number
+    without multiplying the suite's wall time.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def timed(fn: Callable[[], Any]) -> tuple[float, Any]:
+    """Wall-clock one call (for ratio computations outside pytest-benchmark)."""
+    begin = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - begin, result
+
+
+def guarded(fn: Callable[[], Any]) -> tuple[str, Any]:
+    """Run a baseline that may exhaust its budget.
+
+    Returns ``("ok", result)``, ``("timeout", None)`` for step-budget
+    exhaustion (the paper's 'x' cells) or ``("oom", None)`` for store
+    blowups (the paper's '—' and '/' cells).
+    """
+    try:
+        return "ok", fn()
+    except BudgetExceeded:
+        return "timeout", None
+    except MemoryBudgetExceeded:
+        return "oom", None
+
+
+def speedup(baseline_seconds: float, ours_seconds: float) -> float:
+    """Baseline-over-ours ratio, guarding the zero denominator."""
+    if ours_seconds <= 0:
+        return float("inf")
+    return baseline_seconds / ours_seconds

@@ -1,0 +1,64 @@
+"""Shared fixtures for the benchmark suite.
+
+Dataset stand-ins are generated once per session at scales chosen so the
+full ``pytest benchmarks/ --benchmark-only`` run finishes in minutes of
+pure Python while still separating the systems the way the paper's
+evaluation does.  See DESIGN.md for the substitution rationale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import (
+    friendster_like,
+    mico_like,
+    orkut_like,
+    patents_like,
+)
+
+# Scales for engine-only workloads (larger) and baseline comparisons
+# (smaller: the pattern-oblivious systems explore orders of magnitude more).
+ENGINE_SCALE = 0.30
+BASELINE_SCALE = 0.10
+
+
+@pytest.fixture(scope="session")
+def mico():
+    return mico_like(ENGINE_SCALE)
+
+
+@pytest.fixture(scope="session")
+def patents():
+    return patents_like(ENGINE_SCALE)
+
+
+@pytest.fixture(scope="session")
+def patents_labeled():
+    return patents_like(ENGINE_SCALE, labeled=True)
+
+
+@pytest.fixture(scope="session")
+def orkut():
+    return orkut_like(0.15)
+
+
+@pytest.fixture(scope="session")
+def friendster():
+    return friendster_like(0.15)
+
+
+@pytest.fixture(scope="session")
+def mico_small():
+    return mico_like(BASELINE_SCALE)
+
+
+@pytest.fixture(scope="session")
+def patents_small():
+    return patents_like(BASELINE_SCALE)
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "paper_artifact(name): maps a benchmark to a paper table/figure"
+    )

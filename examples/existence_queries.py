@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Existence queries with early termination (Fig 4b, 4f, §5.3).
+
+Two programs from the paper:
+
+* the global-clustering-coefficient bound: count wedges, then count
+  triangles only until the bound is provably exceeded;
+* k-clique existence: stop all exploration at the first match.
+
+Run:  python examples/existence_queries.py
+"""
+
+from repro.core import EngineStats, ExplorationControl, count, match
+from repro.graph import orkut_like
+from repro.mining import (
+    clique_existence,
+    gcc_exceeds_bound,
+    global_clustering_coefficient,
+)
+from repro.pattern import generate_clique
+
+
+def main() -> None:
+    graph = orkut_like(scale=0.15)
+    print(f"data graph: {graph!r}\n")
+
+    # --- clustering coefficient bound ----------------------------------
+    gcc = global_clustering_coefficient(graph)
+    print(f"exact global clustering coefficient: {gcc:.4f}")
+    for bound in (gcc / 2, gcc * 2):
+        result = gcc_exceeds_bound(graph, bound)
+        verdict = "exceeded" if result.exceeded else "not exceeded"
+        print(
+            f"  bound {bound:.4f}: {verdict} after counting "
+            f"{result.triangles_seen:,} triangles "
+            f"(of {count(graph, generate_clique(3)):,} total)"
+        )
+
+    # --- clique existence with work accounting --------------------------
+    print("\nclique existence (early termination):")
+    for k in (5, 8, 12):
+        stats = EngineStats()
+        control = ExplorationControl()
+        found = []
+        match(
+            graph,
+            generate_clique(k),
+            callback=lambda m: (found.append(m), control.stop()),
+            control=control,
+            stats=stats,
+        )
+        verdict = "found" if found else "absent"
+        print(
+            f"  {k:>2}-clique: {verdict:<6} "
+            f"after {stats.partial_matches:,} partial matches"
+        )
+
+    # Convenience wrapper doing the same:
+    print(f"\nclique_existence(graph, 8) = {clique_existence(graph, 8)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Frequent subgraph mining with MNI support and label discovery (Fig 4a).
+
+Mines a labeled co-authorship-like graph for frequent labeled patterns,
+growing them edge by edge.  Starting patterns are unlabeled; labels are
+*discovered* from matches, and anti-monotone pruning keeps only extensions
+of frequent patterns.
+
+Run:  python examples/fsm_labeled.py
+"""
+
+from repro.graph import mico_like
+from repro.mining import fsm
+from repro.pattern import pattern_to_text
+
+
+def main() -> None:
+    graph = mico_like(scale=0.4)
+    print(f"labeled graph: {graph!r}")
+
+    threshold = 5
+    for num_edges in (1, 2, 3):
+        result = fsm(graph, num_edges=num_edges, threshold=threshold)
+        print(
+            f"\n=== FSM: {num_edges}-edge patterns, support >= {threshold} ==="
+        )
+        print(f"frequent patterns: {len(result.frequent)}")
+        print(f"structural patterns explored: {result.patterns_explored}")
+        print(f"domain writes: {result.domain_writes:,}")
+
+        top = sorted(result.frequent.items(), key=lambda kv: -kv[1])[:3]
+        for pattern, support in top:
+            print(f"\nsupport {support}:")
+            for line in pattern_to_text(pattern).splitlines():
+                print(f"  {line}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Motif census with the symmetry-breaking ablation (Fig 4e + Fig 10).
+
+Counts all 3- and 4-vertex motifs on a dataset stand-in, then re-runs
+4-motifs without symmetry breaking (PRG-U) to show the cost of losing
+pattern-awareness — same answers, multiplied work.
+
+Run:  python examples/motif_census.py
+"""
+
+import time
+
+from repro.baselines import prgu_motif_counts
+from repro.graph import patents_like
+from repro.mining import motif_census_table, motif_counts
+
+
+def main() -> None:
+    graph = patents_like(scale=0.15)
+    print(f"data graph: {graph!r}\n")
+
+    print(motif_census_table(graph, 3))
+    print()
+    print(motif_census_table(graph, 4))
+
+    # --- the ablation ----------------------------------------------------
+    begin = time.perf_counter()
+    aware = motif_counts(graph, 4)
+    t_aware = time.perf_counter() - begin
+
+    begin = time.perf_counter()
+    unaware = prgu_motif_counts(graph, 4)
+    t_unaware = time.perf_counter() - begin
+
+    assert aware == unaware
+    print("\nsymmetry-breaking ablation (4-motifs):")
+    print(f"  PRG   (with symmetry breaking):    {t_aware:.3f}s")
+    print(f"  PRG-U (without, + user dedup):     {t_unaware:.3f}s")
+    print(f"  slowdown: {t_unaware / t_aware:.1f}x — the Figure 10 effect")
+
+
+if __name__ == "__main__":
+    main()

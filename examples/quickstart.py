@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Quickstart: the pattern-first programming model in five minutes.
+
+Builds a small social-network-like graph, then shows the core verbs:
+
+* ``count``  — how many matches of a pattern exist;
+* ``match``  — run a callback on every match;
+* ``exists`` — early-terminating existence query;
+* plan inspection — what the engine computed from your pattern.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import count, exists, generate_plan, match
+from repro.graph import barabasi_albert
+from repro.pattern import generate_chain, generate_clique, generate_star
+
+
+def main() -> None:
+    # A scale-free graph standing in for a small social network.
+    graph = barabasi_albert(500, 4, seed=7, name="demo-social")
+    print(f"data graph: {graph!r}\n")
+
+    # --- count: triangles, wedges, 4-cliques --------------------------
+    triangle = generate_clique(3)
+    print(f"triangles:      {count(graph, triangle):>8,}")
+    print(f"wedges:         {count(graph, generate_star(3)):>8,}")
+    print(f"4-cliques:      {count(graph, generate_clique(4)):>8,}")
+    print(f"4-paths:        {count(graph, generate_chain(4)):>8,}")
+
+    # --- match: callbacks see every match -----------------------------
+    hub_triangles = [0]
+
+    def spot_hub(m) -> None:
+        if any(graph.degree(v) > 50 for v in m.vertices()):
+            hub_triangles[0] += 1
+
+    match(graph, triangle, callback=spot_hub)
+    print(f"\ntriangles touching a degree>50 hub: {hub_triangles[0]:,}")
+
+    # --- exists: early termination -------------------------------------
+    for k in (4, 6, 9):
+        verdict = "yes" if exists(graph, generate_clique(k)) else "no"
+        print(f"contains a {k}-clique? {verdict}")
+
+    # --- the exploration plan, the heart of pattern-awareness ----------
+    print("\nexploration plan for the 4-clique:")
+    print(generate_plan(generate_clique(4)).describe())
+
+
+if __name__ == "__main__":
+    main()

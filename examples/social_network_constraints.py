@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Structural constraints: anti-edges and anti-vertices (§3.1 use cases).
+
+The paper motivates its two novel abstractions with social-network
+queries that no pattern-unaware system can express directly:
+
+* **friend recommendation** (anti-edge): find unrelated pairs of people
+  with at least two mutual friends — a 4-cycle whose 'recommendation'
+  diagonal is strictly absent;
+* **exactly-one-mutual-friend** (anti-vertex): pairs of friends whose
+  only mutual friend is the one in the match;
+* **maximal triangles** (fully-connected anti-vertex, pattern p7):
+  triangles not contained in any 4-clique.
+
+Run:  python examples/social_network_constraints.py
+"""
+
+from repro.core import count, match
+from repro.graph import barabasi_albert
+from repro.pattern import Pattern, pattern_p7
+
+
+def recommendation_pattern() -> Pattern:
+    """Figure 3's pa: path a - f1 - b - f2 - a closed, with (a, b) anti."""
+    p = Pattern.from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+    p.add_anti_edge(0, 2)  # the two people must NOT already be friends
+    return p
+
+
+def one_mutual_friend_pattern() -> Pattern:
+    """Figure 3's pe: a triangle where the friend pair (0, 2) has no other
+    common neighbor — an anti-vertex anti-adjacent to 0 and 2."""
+    p = Pattern.from_edges([(0, 1), (1, 2), (0, 2)])
+    p.add_anti_vertex([0, 2])
+    return p
+
+
+def main() -> None:
+    graph = barabasi_albert(400, 5, seed=21, name="friends")
+    print(f"social graph: {graph!r}\n")
+
+    # --- anti-edge: friend recommendations -----------------------------
+    rec = recommendation_pattern()
+    suggestions: dict[tuple[int, int], int] = {}
+
+    def collect(m) -> None:
+        pair = tuple(sorted((m[0], m[2])))
+        suggestions[pair] = suggestions.get(pair, 0) + 1
+
+    total = match(graph, rec, callback=collect)
+    top = sorted(suggestions.items(), key=lambda kv: -kv[1])[:5]
+    print(f"recommendation contexts found: {total:,}")
+    print("top suggested friendships (pair: #shared-friend paths):")
+    for (a, b), n in top:
+        print(f"  {a:>4} - {b:<4} {n} mutual-friend pairs")
+
+    # --- anti-vertex: exactly one mutual friend -------------------------
+    one_mutual = one_mutual_friend_pattern()
+    print(f"\nfriend pairs with exactly one mutual friend: "
+          f"{count(graph, one_mutual):,}")
+
+    # --- p7: maximal triangles ------------------------------------------
+    print(f"maximal triangles (in no 4-clique):            "
+          f"{count(graph, pattern_p7()):,}")
+    print(f"all triangles:                                 "
+          f"{count(graph, Pattern.from_edges([(0, 1), (1, 2), (0, 2)])):,}")
+
+
+if __name__ == "__main__":
+    main()

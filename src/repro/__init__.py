@@ -1,0 +1,65 @@
+"""repro — a Python reproduction of Peregrine (EuroSys 2020).
+
+Peregrine is a pattern-aware graph mining system: graph patterns are
+first-class constructs, pattern analysis yields an exploration plan
+(symmetry breaking + core decomposition + matching orders), and the plan
+guides exploration so that only subgraphs matching the pattern are ever
+generated — no per-match isomorphism or canonicality checks.
+
+Quick start::
+
+    from repro import graph, pattern, core, mining
+
+    g = graph.load_edge_list("my.graph")
+    triangles = core.count(g, pattern.generate_clique(3))
+    motifs = mining.motif_counts(g, size=4)
+
+Packages
+--------
+``repro.graph``     data-graph substrate, I/O, synthetic datasets
+``repro.pattern``   Pattern class, anti-edges/anti-vertices, generators
+``repro.core``      exploration plans + the pattern-aware engine
+``repro.mining``    motif counting, FSM, cliques, existence queries
+``repro.runtime``   concurrent runtime (threads, processes, aggregation)
+``repro.baselines`` pattern-unaware systems used in the evaluation
+``repro.profiling`` counters, memory accounting, stage timers
+``repro.bitmap``    roaring-like compressed bitmaps (FSM domains, §5.5)
+``repro.reporting`` ASCII tables / bar charts used by benches and the CLI
+"""
+
+from . import graph, pattern, core, mining, runtime, baselines, profiling, bitmap, reporting
+from .errors import (
+    ReproError,
+    GraphError,
+    GraphFormatError,
+    PatternError,
+    PatternFormatError,
+    PlanError,
+    MatchingError,
+    BudgetExceeded,
+    MemoryBudgetExceeded,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "graph",
+    "bitmap",
+    "reporting",
+    "pattern",
+    "core",
+    "mining",
+    "runtime",
+    "baselines",
+    "profiling",
+    "ReproError",
+    "GraphError",
+    "GraphFormatError",
+    "PatternError",
+    "PatternFormatError",
+    "PlanError",
+    "MatchingError",
+    "BudgetExceeded",
+    "MemoryBudgetExceeded",
+    "__version__",
+]

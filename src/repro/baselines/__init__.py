@@ -1,0 +1,83 @@
+"""Reimplementations of the pattern-unaware systems the paper compares
+against: Arabesque-like BFS, Fractal-like DFS, RStream-like joins,
+G-Miner-like purpose-built tasks, PRG-U (no symmetry breaking), and an
+AutoMine-like compiled-schedule system."""
+
+from .canonicality import canonical_growth_order, is_canonical_embedding
+from .edge_canonicality import (
+    canonical_edge_growth,
+    is_canonical_edge_embedding,
+)
+from .isomorphism import (
+    induced_pattern,
+    induced_code,
+    induced_labeled_code,
+    edge_set_pattern,
+)
+from .enumerator_bfs import (
+    BFSEnumerator,
+    bfs_motif_count,
+    bfs_clique_count,
+    bfs_fsm,
+)
+from .enumerator_dfs import (
+    DFSEnumerator,
+    dfs_motif_count,
+    dfs_clique_count,
+    dfs_fsm,
+    dfs_pattern_match,
+)
+from .rstream import rstream_motif_count, rstream_clique_count, rstream_fsm
+from .gminer import gminer_triangle_count, gminer_match_p2, TaskStats
+from .automine import (
+    AutoMineSchedule,
+    compile_schedule,
+    automine_count,
+    automine_enumerate,
+    automine_motif_counts,
+    automine_clique_count,
+)
+from .unaware import (
+    prgu_count,
+    prgu_count_raw,
+    prgu_motif_counts,
+    prgu_fsm,
+    dedup_factor,
+)
+
+__all__ = [
+    "canonical_growth_order",
+    "is_canonical_embedding",
+    "canonical_edge_growth",
+    "is_canonical_edge_embedding",
+    "induced_pattern",
+    "induced_code",
+    "induced_labeled_code",
+    "edge_set_pattern",
+    "BFSEnumerator",
+    "bfs_motif_count",
+    "bfs_clique_count",
+    "bfs_fsm",
+    "DFSEnumerator",
+    "dfs_motif_count",
+    "dfs_clique_count",
+    "dfs_fsm",
+    "dfs_pattern_match",
+    "rstream_motif_count",
+    "rstream_clique_count",
+    "rstream_fsm",
+    "gminer_triangle_count",
+    "gminer_match_p2",
+    "TaskStats",
+    "AutoMineSchedule",
+    "compile_schedule",
+    "automine_count",
+    "automine_enumerate",
+    "automine_motif_counts",
+    "automine_clique_count",
+    "prgu_count",
+    "prgu_count_raw",
+    "prgu_motif_counts",
+    "prgu_fsm",
+    "dedup_factor",
+]

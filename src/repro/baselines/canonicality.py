@@ -1,0 +1,52 @@
+"""Embedding canonicality checks — the per-embedding cost Peregrine avoids.
+
+Pattern-oblivious systems (Arabesque, RStream, Fractal) dedupe automorphic
+embeddings by testing, for every embedding they generate, whether the order
+its vertices were added is the *canonical* growth order of that vertex set.
+The check is O(k^2 . deg) per embedding, and Figure 1 shows the systems
+perform it hundreds of millions to billions of times.
+
+Canonical growth order (the standard Arabesque rule): start from the
+smallest vertex of the set; repeatedly append the smallest remaining vertex
+adjacent to the current prefix.  An embedding is canonical iff its recorded
+order equals that sequence.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..graph.graph import DataGraph
+
+__all__ = ["canonical_growth_order", "is_canonical_embedding"]
+
+
+def canonical_growth_order(
+    graph: DataGraph, vertices: Sequence[int]
+) -> tuple[int, ...]:
+    """The unique canonical order in which ``vertices`` can be grown."""
+    remaining = set(vertices)
+    start = min(remaining)
+    order = [start]
+    remaining.discard(start)
+    in_prefix = {start}
+    while remaining:
+        best = None
+        for v in sorted(remaining):
+            if any(graph.has_edge(v, u) for u in in_prefix):
+                best = v
+                break
+        if best is None:
+            # Disconnected embedding: fall back to smallest remaining.
+            best = min(remaining)
+        order.append(best)
+        remaining.discard(best)
+        in_prefix.add(best)
+    return tuple(order)
+
+
+def is_canonical_embedding(
+    graph: DataGraph, embedding: Sequence[int]
+) -> bool:
+    """Whether ``embedding``'s recorded growth order is the canonical one."""
+    return tuple(embedding) == canonical_growth_order(graph, embedding)

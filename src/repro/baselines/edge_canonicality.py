@@ -1,0 +1,41 @@
+"""Canonicality for edge-grown embeddings (FSM-style exploration).
+
+Edge-induced embeddings are grown one edge at a time; the canonical growth
+order of an edge set starts from its smallest edge and repeatedly appends
+the smallest remaining edge sharing a vertex with the prefix.  An embedding
+is canonical iff it was grown in exactly that order.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["canonical_edge_growth", "is_canonical_edge_embedding"]
+
+Edge = tuple[int, int]
+
+
+def canonical_edge_growth(edges: Sequence[Edge]) -> tuple[Edge, ...]:
+    """Unique canonical order in which ``edges`` can be grown connectedly."""
+    remaining = set(edges)
+    first = min(remaining)
+    order = [first]
+    remaining.discard(first)
+    touched = {first[0], first[1]}
+    while remaining:
+        best = None
+        for e in sorted(remaining):
+            if e[0] in touched or e[1] in touched:
+                best = e
+                break
+        if best is None:
+            best = min(remaining)  # disconnected edge set
+        order.append(best)
+        remaining.discard(best)
+        touched.update(best)
+    return tuple(order)
+
+
+def is_canonical_edge_embedding(embedding: Sequence[Edge]) -> bool:
+    """Whether the recorded edge growth order is the canonical one."""
+    return tuple(embedding) == canonical_edge_growth(embedding)

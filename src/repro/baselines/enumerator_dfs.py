@@ -1,0 +1,296 @@
+"""Fractal-like depth-first enumeration (§2.2, §6.3).
+
+Same per-embedding costs as the BFS systems — every extension is
+canonicality-checked, classification needs per-embedding isomorphism — but
+embeddings live only on the recursion stack, so memory stays low (the
+Fractal column of Figure 13).  Exploration is still pattern-*oblivious*:
+extensions consider every neighbor of the embedding, and symmetry breaking
+is absent, so the explored counts remain orders of magnitude above the
+result size (Figure 1's Fractal rows).
+
+``dfs_pattern_match`` models Fractal's pattern-matching fractoid: guided by
+the pattern's edges during extension, but with neither matching orders nor
+symmetry breaking — full matches are deduped by an explicit per-match
+automorphism-minimality check.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import BudgetExceeded
+from ..graph.graph import DataGraph
+from ..mining.support import Domain
+from ..pattern.canonical import automorphisms
+from ..pattern.pattern import Pattern
+from ..profiling.counters import ExplorationCounters
+from ..profiling.memory import StoreMeter
+from .canonicality import is_canonical_embedding
+from .enumerator_bfs import induced_labeled_code_for_edges
+from .edge_canonicality import is_canonical_edge_embedding
+from .isomorphism import induced_code
+
+__all__ = [
+    "DFSEnumerator",
+    "dfs_motif_count",
+    "dfs_clique_count",
+    "dfs_fsm",
+    "dfs_pattern_match",
+]
+
+
+class DFSEnumerator:
+    """Depth-first embedding enumerator with cost accounting."""
+
+    def __init__(
+        self,
+        graph: DataGraph,
+        system: str = "fractal-like",
+        step_budget: int | None = None,
+    ):
+        self.graph = graph
+        self.counters = ExplorationCounters(system=system)
+        self.store = StoreMeter()
+        self.step_budget = step_budget
+
+    def _spend(self) -> None:
+        self.counters.matches_explored += 1
+        if (
+            self.step_budget is not None
+            and self.counters.matches_explored > self.step_budget
+        ):
+            raise BudgetExceeded(self.counters.matches_explored, self.step_budget)
+
+    def visit_vertex_embeddings(
+        self,
+        size: int,
+        visit: Callable[[tuple[int, ...]], None],
+        keep: Callable[[tuple[int, ...], int], bool] | None = None,
+    ) -> None:
+        """Depth-first enumeration of canonical vertex embeddings."""
+        graph = self.graph
+
+        def recurse(emb: tuple[int, ...]) -> None:
+            self.store.add_embedding(len(emb))  # stack frame only
+            if len(emb) == size:
+                visit(emb)
+                self.store.remove_embedding(len(emb))
+                return
+            members = set(emb)
+            candidates = set()
+            for u in emb:
+                candidates.update(graph.neighbors(u))
+            candidates.difference_update(members)
+            for v in sorted(candidates):
+                new_emb = emb + (v,)
+                self._spend()
+                self.counters.canonicality_checks += 1
+                if not is_canonical_embedding(graph, new_emb):
+                    continue
+                if keep is not None and not keep(new_emb, v):
+                    continue
+                recurse(new_emb)
+            self.store.remove_embedding(len(emb))
+
+        for v in graph.vertices():
+            self._spend()
+            recurse((v,))
+
+    def visit_edge_embeddings(
+        self,
+        num_edges: int,
+        visit: Callable[[tuple[tuple[int, int], ...]], None],
+        prune: Callable[[tuple[tuple[int, int], ...]], bool] | None = None,
+    ) -> None:
+        """Depth-first enumeration of canonical edge-grown embeddings."""
+        graph = self.graph
+
+        def recurse(emb: tuple[tuple[int, int], ...]) -> None:
+            if len(emb) == num_edges:
+                visit(emb)
+                return
+            if prune is not None and prune(emb):
+                return
+            edge_set = set(emb)
+            members = {x for e in emb for x in e}
+            for w in sorted(members):
+                for x in graph.neighbors(w):
+                    edge = (w, x) if w < x else (x, w)
+                    if edge in edge_set:
+                        continue
+                    new_emb = emb + (edge,)
+                    self._spend()
+                    self.counters.canonicality_checks += 1
+                    if not is_canonical_edge_embedding(new_emb):
+                        continue
+                    recurse(new_emb)
+
+        for u, v in graph.edges():
+            self._spend()
+            recurse((((u, v)),))
+
+
+def dfs_motif_count(
+    graph: DataGraph, size: int, step_budget: int | None = None
+) -> tuple[dict[tuple, int], ExplorationCounters]:
+    """Motif counting with DFS enumeration + final isomorphism checks."""
+    enum = DFSEnumerator(graph, step_budget=step_budget)
+    counts: dict[tuple, int] = {}
+
+    def visit(emb: tuple[int, ...]) -> None:
+        enum.counters.isomorphism_checks += 1
+        code = induced_code(graph, emb)
+        counts[code] = counts.get(code, 0) + 1
+        enum.counters.result_size += 1
+
+    enum.visit_vertex_embeddings(size, visit)
+    enum.counters.peak_store_bytes = enum.store.peak_bytes
+    return counts, enum.counters
+
+
+def dfs_clique_count(
+    graph: DataGraph, k: int, step_budget: int | None = None
+) -> tuple[int, ExplorationCounters]:
+    """k-clique counting via filtered DFS (Fractal's native clique mode)."""
+    enum = DFSEnumerator(graph, step_budget=step_budget)
+    state = {"count": 0}
+
+    def keep(emb: tuple[int, ...], new_vertex: int) -> bool:
+        return all(graph.has_edge(new_vertex, u) for u in emb if u != new_vertex)
+
+    def visit(emb: tuple[int, ...]) -> None:
+        state["count"] += 1
+
+    enum.visit_vertex_embeddings(k, visit, keep=keep)
+    enum.counters.result_size = state["count"]
+    enum.counters.peak_store_bytes = enum.store.peak_bytes
+    return state["count"], enum.counters
+
+
+def dfs_fsm(
+    graph: DataGraph,
+    num_edges: int,
+    threshold: int,
+    step_budget: int | None = None,
+) -> tuple[dict[tuple, int], ExplorationCounters]:
+    """FSM with depth-first re-enumeration per size (low memory, more CPU).
+
+    Each round enumerates embeddings of the next edge count from scratch,
+    pruning prefixes whose pattern was infrequent in the previous round —
+    Fractal's delayed-filter behavior.
+    """
+    enum = DFSEnumerator(graph, step_budget=step_budget)
+    frequent_by_size: dict[int, set[tuple]] = {}
+    tables: dict[tuple, Domain] = {}
+
+    for size in range(1, num_edges + 1):
+        tables = {}
+
+        def classify(emb: tuple[tuple[int, int], ...]) -> tuple:
+            vertices = tuple(sorted({x for e in emb for x in e}))
+            enum.counters.isomorphism_checks += 1
+            code, ordered, orbits = induced_labeled_code_for_edges(
+                graph, emb, vertices
+            )
+            if code not in tables:
+                tables[code] = Domain(len(vertices), orbits)
+            tables[code].update(ordered)
+            enum.counters.aggregation_writes += len(ordered)
+            return code
+
+        def prune(emb: tuple[tuple[int, int], ...]) -> bool:
+            # Anti-monotone pruning: a prefix with k edges whose pattern was
+            # infrequent at round k cannot grow into a frequent pattern.
+            known = frequent_by_size.get(len(emb))
+            if known is None:
+                return False
+            vertices = tuple(sorted({x for e in emb for x in e}))
+            enum.counters.isomorphism_checks += 1
+            code, _, _ = induced_labeled_code_for_edges(graph, emb, vertices)
+            return code not in known
+
+        enum.visit_edge_embeddings(size, classify, prune=prune)
+        frequent_by_size[size] = {
+            code
+            for code, domain in tables.items()
+            if domain.support() >= threshold
+        }
+        round_bytes = sum(d.memory_bytes() for d in tables.values())
+        enum.store.add(round_bytes)
+        if size < num_edges:
+            enum.store.remove(round_bytes)
+
+    frequent = {
+        code: tables[code].support()
+        for code in frequent_by_size.get(num_edges, set())
+    }
+    enum.counters.result_size = len(frequent)
+    enum.counters.peak_store_bytes = enum.store.peak_bytes
+    return frequent, enum.counters
+
+
+def dfs_pattern_match(
+    graph: DataGraph,
+    pattern: Pattern,
+    step_budget: int | None = None,
+) -> tuple[int, ExplorationCounters]:
+    """Pattern matching without plans: unguided backtracking + dedup.
+
+    Pattern vertices are matched in id order with edge verification but no
+    matching order, no degree ordering and no symmetry breaking; every full
+    match pays an automorphism-minimality check to drop duplicates.
+    """
+    enum = DFSEnumerator(graph, step_budget=step_budget)
+    autos = automorphisms(pattern)
+    n = pattern.num_vertices
+    labels = graph.labels()
+    neighbors_before = [
+        [j for j in range(i) if pattern.are_connected(i, j)] for i in range(n)
+    ]
+    count = 0
+    mapping = [-1] * n
+    used: set[int] = set()
+
+    def is_minimal(assignment: list[int]) -> bool:
+        base = tuple(assignment)
+        for sigma in autos:
+            image = tuple(assignment[sigma[u]] for u in range(n))
+            if image < base:
+                return False
+        return True
+
+    def recurse(i: int) -> None:
+        nonlocal count
+        if i == n:
+            enum.counters.isomorphism_checks += 1
+            if is_minimal(mapping):
+                count += 1
+            return
+        want = pattern.label_of(i)
+        if neighbors_before[i]:
+            candidates = graph.neighbors(mapping[neighbors_before[i][0]])
+        else:
+            candidates = graph.vertices()
+        for v in candidates:
+            if v in used:
+                continue
+            if want is not None and (labels is None or labels[v] != want):
+                continue
+            ok = True
+            for j in neighbors_before[i]:
+                if not graph.has_edge(v, mapping[j]):
+                    ok = False
+                    break
+            if not ok:
+                continue
+            enum._spend()
+            mapping[i] = v
+            used.add(v)
+            recurse(i + 1)
+            used.discard(v)
+            mapping[i] = -1
+
+    recurse(0)
+    enum.counters.result_size = count
+    enum.counters.peak_store_bytes = enum.store.peak_bytes
+    return count, enum.counters

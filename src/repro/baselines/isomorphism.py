@@ -1,0 +1,66 @@
+"""Per-embedding isomorphism computations for the baseline systems.
+
+Pattern-oblivious systems must *discover* each explored embedding's pattern
+(motif counting, FSM) or verify it against a query pattern (pattern
+matching) with an explicit isomorphism computation per embedding — the
+second per-match cost Peregrine's plans eliminate.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..graph.graph import DataGraph
+from ..pattern.canonical import canonical_code, canonical_permutation
+from ..pattern.pattern import Pattern
+
+__all__ = [
+    "induced_pattern",
+    "induced_code",
+    "induced_labeled_code",
+    "edge_set_pattern",
+]
+
+
+def induced_pattern(graph: DataGraph, vertices: Sequence[int]) -> Pattern:
+    """The pattern induced by a vertex embedding (dense renaming)."""
+    index = {v: i for i, v in enumerate(vertices)}
+    p = Pattern(num_vertices=len(vertices))
+    ordered = sorted(vertices)
+    for i, u in enumerate(ordered):
+        for v in ordered[i + 1:]:
+            if graph.has_edge(u, v):
+                p.add_edge(index[u], index[v])
+    return p
+
+
+def induced_code(graph: DataGraph, vertices: Sequence[int]) -> tuple:
+    """Canonical code of the induced pattern (one isomorphism computation)."""
+    return canonical_code(induced_pattern(graph, vertices))
+
+
+def induced_labeled_code(
+    graph: DataGraph, vertices: Sequence[int]
+) -> tuple[tuple, tuple[int, ...]]:
+    """Canonical code + canonical order of the *labeled* induced pattern.
+
+    Returns ``(code, data_vertices_in_canonical_order)`` so FSM baselines
+    can write domains in canonical coordinates.
+    """
+    p = induced_pattern(graph, vertices)
+    for i, v in enumerate(vertices):
+        label = graph.label(v)
+        if label is not None:
+            p.set_label(i, label)
+    code, order = canonical_permutation(p)
+    return code, tuple(vertices[i] for i in order)
+
+
+def edge_set_pattern(edges: Sequence[tuple[int, int]]) -> Pattern:
+    """The pattern formed by an explicit edge set (edge-induced embedding)."""
+    vertices = sorted({v for e in edges for v in e})
+    index = {v: i for i, v in enumerate(vertices)}
+    p = Pattern(num_vertices=len(vertices))
+    for u, v in edges:
+        p.add_edge(index[u], index[v])
+    return p

@@ -1,0 +1,58 @@
+"""PRG-U: Peregrine with symmetry breaking disabled (Figure 10, Table 1).
+
+PRG-U models systems that are guided but not *fully* pattern-aware
+(AutoMine, Fractal's non-matching workloads): exploration still follows
+the pattern's structure, but without partial orders every automorphic copy
+of every match is generated, and deduplication / multiplicity correction
+falls back on the user (§2.2.2, §6.6).
+"""
+
+from __future__ import annotations
+
+from ..core.api import count as _count
+from ..graph.graph import DataGraph
+from ..mining.fsm import FSMResult, fsm as _fsm
+from ..mining.motifs import motif_counts as _motif_counts
+from ..pattern.canonical import automorphism_count
+from ..pattern.pattern import Pattern
+
+__all__ = [
+    "prgu_count",
+    "prgu_count_raw",
+    "prgu_motif_counts",
+    "prgu_fsm",
+    "dedup_factor",
+]
+
+
+def dedup_factor(pattern: Pattern, edge_induced: bool = True) -> int:
+    """|Aut| — how many times PRG-U reports each unique match."""
+    p = pattern if edge_induced else pattern.vertex_induced_closure()
+    return automorphism_count(p)
+
+
+def prgu_count_raw(
+    graph: DataGraph, pattern: Pattern, edge_induced: bool = True
+) -> int:
+    """Raw PRG-U count: every automorphic copy included."""
+    return _count(
+        graph, pattern, edge_induced=edge_induced, symmetry_breaking=False
+    )
+
+
+def prgu_count(
+    graph: DataGraph, pattern: Pattern, edge_induced: bool = True
+) -> int:
+    """PRG-U count with the user-side multiplicity correction applied."""
+    raw = prgu_count_raw(graph, pattern, edge_induced=edge_induced)
+    return raw // dedup_factor(pattern, edge_induced=edge_induced)
+
+
+def prgu_motif_counts(graph: DataGraph, size: int) -> dict[Pattern, int]:
+    """Motif counting without symmetry breaking (corrected counts)."""
+    return _motif_counts(graph, size, symmetry_breaking=False)
+
+
+def prgu_fsm(graph: DataGraph, num_edges: int, threshold: int) -> FSMResult:
+    """FSM without symmetry breaking: redundant domain writes per match."""
+    return _fsm(graph, num_edges, threshold, symmetry_breaking=False)

@@ -1,0 +1,280 @@
+"""Roaring containers: the three per-chunk representations.
+
+A container stores a set of 16-bit values (one roaring *chunk*).  The
+representation adapts to the data:
+
+* :class:`ArrayContainer` — sorted list of values; best below
+  :data:`ARRAY_MAX` members (the reference implementation's 4096 cutoff).
+* :class:`BitmapContainer` — 65536-bit dense bitmap backed by a Python
+  int; best for mid-density chunks.
+* :class:`RunContainer` — sorted ``(start, length)`` runs; best when the
+  chunk is a few long intervals (e.g. FSM domains over degree-ordered
+  contiguous id ranges).
+
+All containers share one small interface (`add`, `__contains__`,
+`__len__`, `values`, `union`, `intersect`, `memory_bytes`) and the module
+function :func:`container_from_values` plus each container's
+``optimized()`` method pick the cheapest representation, mirroring
+roaring's ``runOptimize``.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from typing import Iterable, Iterator
+
+__all__ = [
+    "ARRAY_MAX",
+    "CHUNK_BITS",
+    "CHUNK_SIZE",
+    "ArrayContainer",
+    "BitmapContainer",
+    "RunContainer",
+    "container_from_values",
+]
+
+CHUNK_BITS = 16
+CHUNK_SIZE = 1 << CHUNK_BITS  # values per container: 65536
+
+# Reference roaring converts array -> bitmap above 4096 members: beyond
+# that, 2 bytes/member exceeds the 8 KiB fixed bitmap.
+ARRAY_MAX = 4096
+
+
+class ArrayContainer:
+    """Sorted-array container for sparse chunks (< :data:`ARRAY_MAX`)."""
+
+    __slots__ = ("_values",)
+
+    kind = "array"
+
+    def __init__(self, values: Iterable[int] = ()):
+        self._values = sorted(set(values))
+
+    def add(self, value: int) -> None:
+        """Insert one 16-bit value, keeping the array sorted and unique."""
+        i = bisect_left(self._values, value)
+        if i == len(self._values) or self._values[i] != value:
+            self._values.insert(i, value)
+
+    def __contains__(self, value: int) -> bool:
+        i = bisect_left(self._values, value)
+        return i < len(self._values) and self._values[i] == value
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def values(self) -> Iterator[int]:
+        """Members in increasing order."""
+        return iter(self._values)
+
+    def union(self, other) -> "ArrayContainer | BitmapContainer":
+        """New container holding both containers' members."""
+        merged = set(self._values)
+        merged.update(other.values())
+        return container_from_values(merged)
+
+    def intersect(self, other) -> "ArrayContainer":
+        """New (always array) container of the common members."""
+        if isinstance(other, ArrayContainer) and len(other) < len(self):
+            return other.intersect(self)
+        common = [v for v in self._values if v in other]
+        return ArrayContainer(common)
+
+    def memory_bytes(self) -> int:
+        """2 bytes per member, as in the reference implementation."""
+        return 2 * len(self._values)
+
+    def optimized(self) -> "ArrayContainer | BitmapContainer | RunContainer":
+        """Cheapest equivalent representation of this chunk."""
+        return container_from_values(self._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ArrayContainer({len(self)} values)"
+
+
+class BitmapContainer:
+    """Dense 65536-bit container backed by an arbitrary-precision int."""
+
+    __slots__ = ("_bits", "_count")
+
+    kind = "bitmap"
+
+    def __init__(self, values: Iterable[int] = ()):
+        bits = 0
+        for v in values:
+            bits |= 1 << v
+        self._bits = bits
+        self._count = bits.bit_count()
+
+    @classmethod
+    def _from_bits(cls, bits: int) -> "BitmapContainer":
+        out = cls()
+        out._bits = bits
+        out._count = bits.bit_count()
+        return out
+
+    def add(self, value: int) -> None:
+        mask = 1 << value
+        if not self._bits & mask:
+            self._bits |= mask
+            self._count += 1
+
+    def __contains__(self, value: int) -> bool:
+        return (self._bits >> value) & 1 == 1
+
+    def __len__(self) -> int:
+        return self._count
+
+    def values(self) -> Iterator[int]:
+        bits = self._bits
+        v = 0
+        while bits:
+            tail = bits & 0xFFFFFFFFFFFFFFFF
+            while tail:
+                low = tail & -tail
+                yield v + low.bit_length() - 1
+                tail ^= low
+            bits >>= 64
+            v += 64
+
+    def union(self, other) -> "BitmapContainer":
+        if isinstance(other, BitmapContainer):
+            return BitmapContainer._from_bits(self._bits | other._bits)
+        out = BitmapContainer._from_bits(self._bits)
+        for v in other.values():
+            out.add(v)
+        return out
+
+    def intersect(self, other) -> "ArrayContainer | BitmapContainer":
+        if isinstance(other, BitmapContainer):
+            bits = self._bits & other._bits
+            if bits.bit_count() <= ARRAY_MAX:
+                return ArrayContainer(BitmapContainer._from_bits(bits).values())
+            return BitmapContainer._from_bits(bits)
+        return ArrayContainer(v for v in other.values() if v in self)
+
+    def memory_bytes(self) -> int:
+        """Fixed 8 KiB, independent of cardinality."""
+        return CHUNK_SIZE // 8
+
+    def optimized(self) -> "ArrayContainer | BitmapContainer | RunContainer":
+        return container_from_values(self.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BitmapContainer({len(self)} values)"
+
+
+class RunContainer:
+    """Run-length container: sorted, non-adjacent ``(start, length)`` runs."""
+
+    __slots__ = ("_runs", "_count")
+
+    kind = "run"
+
+    def __init__(self, values: Iterable[int] = ()):
+        self._runs: list[tuple[int, int]] = []
+        self._count = 0
+        ordered = sorted(set(values))
+        for v in ordered:
+            if self._runs and self._runs[-1][0] + self._runs[-1][1] == v:
+                start, length = self._runs[-1]
+                self._runs[-1] = (start, length + 1)
+            else:
+                self._runs.append((v, 1))
+            self._count += 1
+
+    def add(self, value: int) -> None:
+        """Insert a value, merging adjacent runs when they become contiguous.
+
+        Kept simple (rebuild neighborhood) — adds on run containers are
+        rare because :func:`container_from_values` only picks runs for
+        already-built chunks; mutation converts back on ``optimized()``.
+        """
+        if value in self:
+            return
+        starts = [r[0] for r in self._runs]
+        i = bisect_left(starts, value)
+        self._runs.insert(i, (value, 1))
+        self._count += 1
+        self._coalesce()
+
+    def _coalesce(self) -> None:
+        merged: list[tuple[int, int]] = []
+        for start, length in self._runs:
+            if merged and merged[-1][0] + merged[-1][1] >= start:
+                pstart, plength = merged[-1]
+                end = max(pstart + plength, start + length)
+                merged[-1] = (pstart, end - pstart)
+            else:
+                merged.append((start, length))
+        self._runs = merged
+        self._count = sum(length for _, length in merged)
+
+    def __contains__(self, value: int) -> bool:
+        starts = [r[0] for r in self._runs]
+        i = bisect_left(starts, value)
+        if i < len(self._runs) and self._runs[i][0] == value:
+            return True
+        if i == 0:
+            return False
+        start, length = self._runs[i - 1]
+        return start <= value < start + length
+
+    def __len__(self) -> int:
+        return self._count
+
+    def values(self) -> Iterator[int]:
+        for start, length in self._runs:
+            yield from range(start, start + length)
+
+    def runs(self) -> list[tuple[int, int]]:
+        """The raw ``(start, length)`` runs (for tests and inspection)."""
+        return list(self._runs)
+
+    def union(self, other):
+        merged = set(self.values())
+        merged.update(other.values())
+        return container_from_values(merged)
+
+    def intersect(self, other):
+        return container_from_values(v for v in other.values() if v in self)
+
+    def memory_bytes(self) -> int:
+        """4 bytes per run (16-bit start + 16-bit length)."""
+        return 4 * len(self._runs)
+
+    def optimized(self) -> "ArrayContainer | BitmapContainer | RunContainer":
+        return container_from_values(self.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RunContainer({len(self._runs)} runs, {len(self)} values)"
+
+
+def _run_count(ordered: list[int]) -> int:
+    runs = 0
+    prev = None
+    for v in ordered:
+        if prev is None or v != prev + 1:
+            runs += 1
+        prev = v
+    return runs
+
+
+def container_from_values(values: Iterable[int]):
+    """Build the cheapest container for a chunk's value set.
+
+    Chooses by exact serialized cost, like roaring's ``runOptimize``:
+    arrays cost ``2·n``, bitmaps a fixed 8 KiB, runs ``4·r``.
+    """
+    ordered = sorted(set(values))
+    n = len(ordered)
+    array_cost = 2 * n
+    bitmap_cost = CHUNK_SIZE // 8
+    run_cost = 4 * _run_count(ordered)
+    best = min(array_cost, bitmap_cost, run_cost)
+    if best == run_cost:
+        return RunContainer(ordered)
+    if best == array_cost:
+        return ArrayContainer(ordered)
+    return BitmapContainer(ordered)

@@ -1,0 +1,28 @@
+"""``repro-mine`` — the command-line face of the library.
+
+Every mining verb the paper's Figure 4 programs exercise is available as
+a subcommand, so the system can be driven without writing Python:
+
+=============  ==========================================================
+``stats``      Table-2 style statistics of a dataset or graph file
+``generate``   write a synthetic stand-in dataset to an edge-list file
+``plan``       print a pattern's exploration plan (Figure 5 output)
+``count``      count matches of one pattern
+``match``      enumerate matches (optionally to a file)
+``exists``     existence query with early termination
+``motifs``     vertex-induced motif census
+``cliques``    k-clique counting / listing / maximal variants
+``fsm``        frequent subgraph mining with MNI support
+``approx``     ASAP-style approximate counting with error bounds
+=============  ==========================================================
+
+Datasets are selected with ``--dataset {mico,patents,orkut,friendster}``
+(synthetic stand-ins, scaled by ``--scale``) or ``--graph FILE`` for an
+edge-list on disk; patterns with ``--pattern SPEC`` where SPEC is
+``clique:K``, ``star:K``, ``chain:K``, ``cycle:K``, ``p1``..``p8``
+(Figure 9), ``edges:0-1,1-2,...`` or ``file:PATH``.
+"""
+
+from .main import build_parser, main
+
+__all__ = ["build_parser", "main"]

@@ -1,0 +1,8 @@
+"""``python -m repro.cli`` — module-execution entry point."""
+
+import sys
+
+from .main import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,250 @@
+"""Implementations of the ``repro-mine`` subcommands.
+
+Each ``cmd_*`` takes the parsed argparse namespace and an output stream,
+returns a process exit code, and prints human-readable results.  They are
+thin orchestration layers: all real work happens in the library, so
+anything the CLI can do is equally scriptable from Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import TextIO
+
+from ..core.api import count as count_api, exists as exists_api, match as match_api
+from ..core.engine import EngineStats
+from ..core.plan import generate_plan
+from ..graph.binary_io import save_npz
+from ..graph.io import save_edge_list, save_labels
+from ..graph.stats import graph_stats
+from ..mining.approximate import approximate_count, trials_for_error
+from ..mining.cliques import (
+    clique_count,
+    clique_exists,
+    list_cliques,
+    maximal_clique_count,
+)
+from ..mining.fsm import fsm as fsm_api
+from ..mining.motifs import motif_census_table
+from ..pattern.io import pattern_to_text
+from .parsing import load_dataset, parse_pattern_spec
+
+__all__ = [
+    "cmd_stats",
+    "cmd_generate",
+    "cmd_plan",
+    "cmd_count",
+    "cmd_match",
+    "cmd_exists",
+    "cmd_motifs",
+    "cmd_cliques",
+    "cmd_fsm",
+    "cmd_approx",
+]
+
+
+def _timed_header(out: TextIO, title: str) -> float:
+    print(title, file=out)
+    return time.perf_counter()
+
+
+def _timed_footer(out: TextIO, begin: float) -> None:
+    print(f"elapsed: {time.perf_counter() - begin:.3f}s", file=out)
+
+
+def cmd_stats(args: argparse.Namespace, out: TextIO = sys.stdout) -> int:
+    """Table 2-style statistics for the selected graph."""
+    graph = load_dataset(args)
+    s = graph_stats(graph)
+    print(s.row(), file=out)
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace, out: TextIO = sys.stdout) -> int:
+    """Write a synthetic dataset to an edge-list (and optional label) file."""
+    graph = load_dataset(args)
+    if str(args.output).endswith(".npz"):
+        save_npz(graph, args.output)
+    else:
+        save_edge_list(graph, args.output)
+    print(
+        f"wrote {graph.num_vertices} vertices / {graph.num_edges} edges"
+        f" to {args.output}",
+        file=out,
+    )
+    if args.label_output:
+        if not graph.is_labeled:
+            raise SystemExit("error: --label-output needs a labeled graph")
+        save_labels(graph, args.label_output)
+        print(f"wrote labels to {args.label_output}", file=out)
+    return 0
+
+
+def cmd_plan(args: argparse.Namespace, out: TextIO = sys.stdout) -> int:
+    """Print a pattern's exploration plan (the Figure 5 pipeline output)."""
+    pattern = parse_pattern_spec(args.pattern)
+    plan = generate_plan(
+        pattern,
+        edge_induced=not args.vertex_induced,
+        symmetry_breaking=not args.no_symmetry_breaking,
+    )
+    print(pattern_to_text(pattern), file=out)
+    print(plan.describe(), file=out)
+    return 0
+
+
+def cmd_count(args: argparse.Namespace, out: TextIO = sys.stdout) -> int:
+    """Count matches of one pattern."""
+    graph = load_dataset(args)
+    pattern = parse_pattern_spec(args.pattern)
+    stats = EngineStats() if args.profile else None
+    begin = time.perf_counter()
+    n = count_api(
+        graph,
+        pattern,
+        edge_induced=not args.vertex_induced,
+        symmetry_breaking=not args.no_symmetry_breaking,
+        stats=stats,
+    )
+    elapsed = time.perf_counter() - begin
+    print(f"matches: {n}", file=out)
+    print(f"elapsed: {elapsed:.3f}s", file=out)
+    if stats is not None:
+        for key, value in stats.as_dict().items():
+            print(f"  {key}: {value}", file=out)
+    return 0
+
+
+def cmd_match(args: argparse.Namespace, out: TextIO = sys.stdout) -> int:
+    """Enumerate matches, printing each mapping (or writing to a file)."""
+    graph = load_dataset(args)
+    pattern = parse_pattern_spec(args.pattern)
+    sink = open(args.output, "w") if args.output else out
+    emitted = 0
+    limit = args.limit
+
+    try:
+        def on_match(m) -> None:
+            nonlocal emitted
+            if limit is None or emitted < limit:
+                print(" ".join(str(v) for v in m.mapping), file=sink)
+                emitted += 1
+
+        total = match_api(
+            graph,
+            pattern,
+            callback=on_match,
+            edge_induced=not args.vertex_induced,
+        )
+    finally:
+        if args.output:
+            sink.close()
+    print(f"matches: {total}", file=out)
+    if limit is not None and total > limit:
+        print(f"(printed first {limit})", file=out)
+    return 0
+
+
+def cmd_exists(args: argparse.Namespace, out: TextIO = sys.stdout) -> int:
+    """Existence query: exit code 0 when found, 1 when absent."""
+    graph = load_dataset(args)
+    pattern = parse_pattern_spec(args.pattern)
+    begin = time.perf_counter()
+    found = exists_api(graph, pattern, edge_induced=not args.vertex_induced)
+    elapsed = time.perf_counter() - begin
+    print("found" if found else "not found", file=out)
+    print(f"elapsed: {elapsed:.3f}s", file=out)
+    return 0 if found else 1
+
+
+def cmd_motifs(args: argparse.Namespace, out: TextIO = sys.stdout) -> int:
+    """Vertex-induced motif census of the selected size."""
+    graph = load_dataset(args)
+    begin = _timed_header(out, f"{args.size}-motif census")
+    print(motif_census_table(graph, args.size), file=out)
+    _timed_footer(out, begin)
+    return 0
+
+
+def cmd_cliques(args: argparse.Namespace, out: TextIO = sys.stdout) -> int:
+    """k-clique counting / existence / listing / maximal variants."""
+    graph = load_dataset(args)
+    k = args.k
+    begin = time.perf_counter()
+    if args.maximal:
+        n = maximal_clique_count(graph, k)
+        print(f"maximal {k}-cliques: {n}", file=out)
+    elif args.existence:
+        found = clique_exists(graph, k)
+        print("found" if found else "not found", file=out)
+        print(f"elapsed: {time.perf_counter() - begin:.3f}s", file=out)
+        return 0 if found else 1
+    elif args.list:
+        cliques = list_cliques(graph, k, limit=args.limit)
+        for c in cliques:
+            print(" ".join(str(v) for v in c), file=out)
+        print(f"{k}-cliques listed: {len(cliques)}", file=out)
+    else:
+        n = clique_count(graph, k)
+        print(f"{k}-cliques: {n}", file=out)
+    print(f"elapsed: {time.perf_counter() - begin:.3f}s", file=out)
+    return 0
+
+
+def cmd_fsm(args: argparse.Namespace, out: TextIO = sys.stdout) -> int:
+    """Frequent subgraph mining with MNI support."""
+    graph = load_dataset(args)
+    if not graph.is_labeled:
+        raise SystemExit(
+            "error: FSM needs a labeled graph (--dataset patents --labeled, "
+            "--dataset mico, or --graph/--labels)"
+        )
+    begin = time.perf_counter()
+    result = fsm_api(graph, args.edges, args.threshold)
+    elapsed = time.perf_counter() - begin
+    print(
+        f"frequent {args.edges}-edge patterns at support >= {args.threshold}: "
+        f"{result.total_frequent()}",
+        file=out,
+    )
+    if args.verbose:
+        for pattern, support in sorted(
+            result.frequent.items(), key=lambda item: -item[1]
+        ):
+            print(f"  support={support}  {pattern!r}", file=out)
+    print(f"patterns explored: {result.patterns_explored}", file=out)
+    print(f"elapsed: {elapsed:.3f}s", file=out)
+    return 0
+
+
+def cmd_approx(args: argparse.Namespace, out: TextIO = sys.stdout) -> int:
+    """Approximate counting with an optional error-targeted trial count."""
+    graph = load_dataset(args)
+    pattern = parse_pattern_spec(args.pattern)
+    trials = args.trials
+    if args.target_error is not None:
+        trials = trials_for_error(
+            graph,
+            pattern,
+            args.target_error,
+            pilot_trials=min(args.trials, 2000),
+            seed=args.sample_seed,
+        )
+        print(f"error profile chose {trials} trials", file=out)
+    begin = time.perf_counter()
+    r = approximate_count(
+        graph,
+        pattern,
+        trials=trials,
+        seed=args.sample_seed,
+        edge_induced=not args.vertex_induced,
+    )
+    elapsed = time.perf_counter() - begin
+    print(f"estimate: {r.estimate:.1f} +- {r.ci95:.1f} (95% CI)", file=out)
+    print(
+        f"trials: {r.trials}  hit rate: {r.hit_rate:.4f}  elapsed: {elapsed:.3f}s",
+        file=out,
+    )
+    return 0

@@ -1,0 +1,161 @@
+"""Argument parser wiring for ``repro-mine``.
+
+``build_parser`` is separate from ``main`` so tests (and docs tooling)
+can inspect the CLI surface without executing anything.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .. import __version__
+from . import commands
+from .parsing import add_dataset_arguments
+
+__all__ = ["build_parser", "main"]
+
+
+def _add_pattern_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--pattern",
+        required=True,
+        help="pattern spec: clique:K, star:K, chain:K, cycle:K, p1..p8, "
+        "edges:0-1,1-2,..., or file:PATH",
+    )
+
+
+def _add_matching_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--vertex-induced",
+        action="store_true",
+        help="vertex-induced matching (Theorem 3.1) instead of edge-induced",
+    )
+    parser.add_argument(
+        "--no-symmetry-breaking",
+        action="store_true",
+        help="PRG-U mode: report every automorphic copy (Figure 10 ablation)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mine",
+        description="Pattern-aware graph mining (Peregrine, EuroSys 2020)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("stats", help="Table-2 style dataset statistics")
+    add_dataset_arguments(p)
+    p.set_defaults(func=commands.cmd_stats)
+
+    p = sub.add_parser("generate", help="write a synthetic dataset to disk")
+    add_dataset_arguments(p)
+    p.add_argument("--output", required=True, help="edge-list output path")
+    p.add_argument("--label-output", help="vertex-label output path")
+    p.set_defaults(func=commands.cmd_generate)
+
+    p = sub.add_parser("plan", help="show a pattern's exploration plan")
+    _add_pattern_argument(p)
+    _add_matching_flags(p)
+    p.set_defaults(func=commands.cmd_plan)
+
+    p = sub.add_parser("count", help="count matches of a pattern")
+    add_dataset_arguments(p)
+    _add_pattern_argument(p)
+    _add_matching_flags(p)
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help="print engine counters (tasks, partial matches, ...)",
+    )
+    p.set_defaults(func=commands.cmd_count)
+
+    p = sub.add_parser("match", help="enumerate matches of a pattern")
+    add_dataset_arguments(p)
+    _add_pattern_argument(p)
+    p.add_argument(
+        "--vertex-induced", action="store_true", help="vertex-induced matching"
+    )
+    p.add_argument("--output", help="write matches to this file")
+    p.add_argument(
+        "--limit", type=int, default=None, help="print at most N matches"
+    )
+    p.set_defaults(func=commands.cmd_match)
+
+    p = sub.add_parser("exists", help="existence query (early termination)")
+    add_dataset_arguments(p)
+    _add_pattern_argument(p)
+    p.add_argument(
+        "--vertex-induced", action="store_true", help="vertex-induced matching"
+    )
+    p.set_defaults(func=commands.cmd_exists)
+
+    p = sub.add_parser("motifs", help="vertex-induced motif census")
+    add_dataset_arguments(p)
+    p.add_argument("--size", type=int, default=3, help="motif size (vertices)")
+    p.set_defaults(func=commands.cmd_motifs)
+
+    p = sub.add_parser("cliques", help="k-clique counting and variants")
+    add_dataset_arguments(p)
+    p.add_argument("-k", type=int, required=True, help="clique size")
+    mode = p.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--existence", action="store_true", help="stop at the first clique"
+    )
+    mode.add_argument(
+        "--maximal",
+        action="store_true",
+        help="count k-cliques in no (k+1)-clique (anti-vertex query)",
+    )
+    mode.add_argument("--list", action="store_true", help="list cliques")
+    p.add_argument(
+        "--limit", type=int, default=None, help="list at most N cliques"
+    )
+    p.set_defaults(func=commands.cmd_cliques)
+
+    p = sub.add_parser("fsm", help="frequent subgraph mining (MNI support)")
+    add_dataset_arguments(p)
+    p.add_argument(
+        "--edges", type=int, default=2, help="pattern size in edges"
+    )
+    p.add_argument(
+        "--threshold", type=int, required=True, help="MNI support threshold"
+    )
+    p.add_argument(
+        "--verbose", action="store_true", help="print each frequent pattern"
+    )
+    p.set_defaults(func=commands.cmd_fsm)
+
+    p = sub.add_parser("approx", help="approximate counting (ASAP-style)")
+    add_dataset_arguments(p)
+    _add_pattern_argument(p)
+    p.add_argument(
+        "--vertex-induced", action="store_true", help="vertex-induced matching"
+    )
+    p.add_argument(
+        "--trials", type=int, default=10_000, help="number of sample trials"
+    )
+    p.add_argument(
+        "--target-error",
+        type=float,
+        default=None,
+        help="pick the trial count for this 95%% relative error",
+    )
+    p.add_argument(
+        "--sample-seed", type=int, default=None, help="sampling RNG seed"
+    )
+    p.set_defaults(func=commands.cmd_approx)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args, sys.stdout)

@@ -1,0 +1,176 @@
+"""Public matching API: ``match``, ``count``, ``exists`` (Figure 4).
+
+These are the verbs every Peregrine program is written in.  ``match``
+invokes a user callback per canonical match; ``count`` is the paper's
+syntactic sugar for matching with a counter (and takes the engine's
+enumeration-free counting fast path); ``exists`` stops at the first match.
+
+The data graph is degree-ordered internally (§5.2) and matches are
+translated back to the caller's vertex ids before callbacks see them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping, Sequence
+
+from ..graph.graph import DataGraph
+from ..pattern.pattern import Pattern
+from .callbacks import ExplorationControl, Match
+from .engine import EngineStats, run_tasks
+from .plan import ExplorationPlan, generate_plan
+
+__all__ = ["match", "count", "count_many", "exists"]
+
+
+def _translated_callback(
+    callback: Callable[[Match], None], old_of_new: list[int]
+) -> Callable[[Match], None]:
+    def wrapper(m: Match) -> None:
+        translated = tuple(
+            old_of_new[v] if v >= 0 else -1 for v in m.mapping
+        )
+        callback(Match(m.pattern, translated))
+
+    return wrapper
+
+
+def _label_filtered_starts(ordered: DataGraph, plan: ExplorationPlan):
+    """Start vertices restricted by the matching orders' top-position labels.
+
+    The G-Miner observation (§6.4): indexing vertices by label prunes
+    whole tasks when the pattern is labeled.  Every task's start vertex
+    must match some ordered core's *top* position; when all cores pin
+    that position to a label, only the union of those labels' vertices
+    can seed a match.  Returns ``None`` (no restriction) when any core's
+    top position is a wildcard or the graph is unlabeled.
+    """
+    if ordered.labels() is None:
+        return None
+    top_labels = {oc.labels[oc.size - 1] for oc in plan.ordered_cores}
+    if None in top_labels or not top_labels:
+        return None
+    starts: set[int] = set()
+    for label in top_labels:
+        starts.update(ordered.vertices_with_label(label))
+    return sorted(starts, reverse=True)  # preserve hub-first issue order
+
+
+def match(
+    graph: DataGraph,
+    pattern: Pattern,
+    callback: Callable[[Match], None] | None = None,
+    edge_induced: bool = True,
+    symmetry_breaking: bool = True,
+    control: ExplorationControl | None = None,
+    stats: EngineStats | None = None,
+    timer=None,
+    plan: ExplorationPlan | None = None,
+    start_vertices: Iterable[int] | None = None,
+    label_index: bool = True,
+) -> int:
+    """Find every canonical match of ``pattern`` in ``graph``.
+
+    Invokes ``callback`` once per match (if given) and returns the number
+    of matches found.  ``edge_induced=False`` requests vertex-induced
+    matching (Theorem 3.1).  ``symmetry_breaking=False`` is the PRG-U
+    ablation: all automorphic copies are reported.
+
+    ``control`` enables early termination: a callback calling
+    ``control.stop()`` halts remaining exploration (§5.3).  ``stats`` and
+    ``timer`` attach profiling (Fig 1 counters, Fig 11 stage times).
+
+    With ``label_index`` (default), labeled patterns seed tasks only from
+    data vertices whose label can match a core top position — the same
+    pruning G-Miner gets from its label index, without preprocessing the
+    graph per query.  Disable to measure its effect (``bench_ablations``).
+    """
+    if plan is None:
+        plan = generate_plan(
+            pattern, edge_induced=edge_induced, symmetry_breaking=symmetry_breaking
+        )
+    ordered, old_of_new = graph.degree_ordered()
+    wrapped = (
+        _translated_callback(callback, old_of_new) if callback is not None else None
+    )
+    if start_vertices is None and label_index:
+        start_vertices = _label_filtered_starts(ordered, plan)
+    return run_tasks(
+        ordered,
+        plan,
+        start_vertices=start_vertices,
+        on_match=wrapped,
+        control=control,
+        stats=stats,
+        timer=timer,
+        count_only=callback is None,
+    )
+
+
+def count(
+    graph: DataGraph,
+    pattern: Pattern,
+    edge_induced: bool = True,
+    symmetry_breaking: bool = True,
+    stats: EngineStats | None = None,
+    timer=None,
+    plan: ExplorationPlan | None = None,
+) -> int:
+    """Number of canonical matches of ``pattern`` in ``graph``.
+
+    Equivalent to ``match`` with a counting callback, but lets the engine
+    count final-step candidate sets without enumerating them.
+    """
+    return match(
+        graph,
+        pattern,
+        callback=None,
+        edge_induced=edge_induced,
+        symmetry_breaking=symmetry_breaking,
+        stats=stats,
+        timer=timer,
+        plan=plan,
+    )
+
+
+def count_many(
+    graph: DataGraph,
+    patterns: Sequence[Pattern],
+    edge_induced: bool = True,
+    symmetry_breaking: bool = True,
+) -> Mapping[Pattern, int]:
+    """Count each pattern in turn; returns ``{pattern: count}``.
+
+    This is the multi-pattern overload of the paper's ``count`` (used by
+    motif counting, Fig 4e).
+    """
+    return {
+        p: count(
+            graph,
+            p,
+            edge_induced=edge_induced,
+            symmetry_breaking=symmetry_breaking,
+        )
+        for p in patterns
+    }
+
+
+def exists(
+    graph: DataGraph,
+    pattern: Pattern,
+    edge_induced: bool = True,
+) -> bool:
+    """Whether at least one match exists; stops exploring at the first.
+
+    This is the paper's existence-query idiom (Fig 4f): the callback fires
+    ``stopExploration()`` on the first match.
+    """
+    control = ExplorationControl()
+    found = []
+
+    def on_first(m: Match) -> None:
+        found.append(m)
+        control.stop()
+
+    match(graph, pattern, callback=on_first, edge_induced=edge_induced,
+          control=control)
+    return bool(found)

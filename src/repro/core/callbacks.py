@@ -1,0 +1,144 @@
+"""Match objects, exploration control and aggregation plumbing (§5.3, §5.4).
+
+User callbacks receive :class:`Match` instances and may:
+
+* aggregate values keyed by pattern via :class:`Aggregator` (the paper's
+  ``mapPattern``);
+* request early termination via :class:`ExplorationControl.stop` (the
+  paper's ``stopExploration``), which all matching threads observe.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Iterable
+
+from ..pattern.pattern import Pattern
+
+__all__ = ["Match", "ExplorationControl", "Aggregator", "MatchCallback"]
+
+
+class Match:
+    """One complete match: a mapping from pattern vertices to data vertices.
+
+    ``mapping[u]`` is the data vertex matched to regular pattern vertex
+    ``u``; anti-vertices have no image and map to ``-1``.
+    """
+
+    __slots__ = ("pattern", "mapping")
+
+    def __init__(self, pattern: Pattern, mapping: tuple[int, ...]):
+        self.pattern = pattern
+        self.mapping = mapping
+
+    def __getitem__(self, u: int) -> int:
+        return self.mapping[u]
+
+    def vertices(self) -> list[int]:
+        """Matched data vertices (excluding anti-vertex placeholders)."""
+        return [v for v in self.mapping if v >= 0]
+
+    def as_dict(self) -> dict[int, int]:
+        """Pattern-vertex -> data-vertex mapping, without anti-vertices."""
+        return {u: v for u, v in enumerate(self.mapping) if v >= 0}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Match({self.as_dict()})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Match):
+            return NotImplemented
+        return self.mapping == other.mapping and self.pattern == other.pattern
+
+    def __hash__(self) -> int:
+        return hash(self.mapping)
+
+
+MatchCallback = Callable[[Match], None]
+
+
+class ExplorationControl:
+    """Cooperative early-termination token shared by all matching tasks.
+
+    A callback (or any observer) calls :meth:`stop`; tasks poll
+    :attr:`stopped` between units of work and wind down, returning the
+    values aggregated so far (§5.3).
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def stop(self) -> None:
+        """Request that all exploration stop as soon as possible."""
+        self._event.set()
+
+    @property
+    def stopped(self) -> bool:
+        """Whether termination has been requested."""
+        return self._event.is_set()
+
+    def reset(self) -> None:
+        """Re-arm the control for a fresh exploration."""
+        self._event.clear()
+
+
+class Aggregator:
+    """Pattern-keyed aggregation map (the paper's ``mapPattern`` target).
+
+    Values are combined with a user-supplied binary ``combine`` function
+    (default: addition).  Thread-safety comes from a lock; the concurrent
+    runtime instead gives each worker a local ``Aggregator`` and merges
+    them on-the-fly (§5.4), keeping the hot path lock-free.
+    """
+
+    __slots__ = ("_values", "_combine", "_lock")
+
+    def __init__(self, combine: Callable[[Any, Any], Any] | None = None):
+        self._values: dict[Any, Any] = {}
+        self._combine = combine if combine is not None else lambda a, b: a + b
+        self._lock = threading.Lock()
+
+    def map_pattern(self, key: Any, value: Any) -> None:
+        """Fold ``value`` into the aggregate for ``key``."""
+        with self._lock:
+            if key in self._values:
+                self._values[key] = self._combine(self._values[key], value)
+            else:
+                self._values[key] = value
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        """Current aggregate for ``key``."""
+        with self._lock:
+            return self._values.get(key, default)
+
+    def keys(self) -> list[Any]:
+        """Snapshot of aggregation keys."""
+        with self._lock:
+            return list(self._values.keys())
+
+    def result(self) -> dict[Any, Any]:
+        """Snapshot of the full aggregation map."""
+        with self._lock:
+            return dict(self._values)
+
+    def merge_from(self, other: "Aggregator") -> None:
+        """Fold another aggregator's values into this one and clear it.
+
+        This is the value swap the asynchronous aggregator thread performs
+        against each worker's local aggregator.
+        """
+        with other._lock:
+            drained = other._values
+            other._values = {}
+        with self._lock:
+            for key, value in drained.items():
+                if key in self._values:
+                    self._values[key] = self._combine(self._values[key], value)
+                else:
+                    self._values[key] = value
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._values)

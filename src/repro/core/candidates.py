@@ -1,0 +1,103 @@
+"""Sorted-list set operations used by the matching engine.
+
+All adjacency lists in :class:`~repro.graph.graph.DataGraph` are sorted, so
+candidate generation reduces to merge-style intersections, differences and
+binary-search range restriction — the operations §4 builds everything from.
+The functions here are the library's hot loop; they stick to plain lists and
+``bisect`` because those are the fastest exact-set primitives in CPython.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Sequence
+
+__all__ = [
+    "bounded",
+    "contains",
+    "intersect",
+    "intersect_many",
+    "difference",
+    "intersect_count",
+]
+
+
+def bounded(values: Sequence[int], lo: int, hi: int) -> list[int]:
+    """Elements v of a sorted list with ``lo < v < hi`` (exclusive bounds)."""
+    return list(values[bisect_right(values, lo): bisect_left(values, hi)])
+
+
+def contains(values: Sequence[int], x: int) -> bool:
+    """Binary-search membership in a sorted list."""
+    i = bisect_left(values, x)
+    return i < len(values) and values[i] == x
+
+
+def intersect(a: Sequence[int], b: Sequence[int]) -> list[int]:
+    """Intersection of two sorted lists.
+
+    Walks the shorter list and binary-searches the longer one (galloping
+    beats a full merge when the lists are skewed, which adjacency lists
+    of high- vs low-degree vertices usually are).
+    """
+    if len(a) > len(b):
+        a, b = b, a
+    if not a or not b:
+        return []
+    out = []
+    nb = len(b)
+    lo = 0
+    for x in a:
+        lo = bisect_left(b, x, lo)
+        if lo >= nb:
+            break
+        if b[lo] == x:
+            out.append(x)
+            lo += 1
+    return out
+
+
+def intersect_many(lists: Sequence[Sequence[int]]) -> list[int]:
+    """Intersection of any number of sorted lists (smallest-first order)."""
+    if not lists:
+        return []
+    ordered = sorted(lists, key=len)
+    result: list[int] = list(ordered[0])
+    for other in ordered[1:]:
+        if not result:
+            break
+        result = intersect(result, other)
+    return result
+
+
+def difference(a: Sequence[int], b: Sequence[int]) -> list[int]:
+    """Sorted list difference ``a \\ b``."""
+    if not a:
+        return []
+    if not b:
+        return list(a)
+    out = []
+    nb = len(b)
+    lo = 0
+    for x in a:
+        lo = bisect_left(b, x, lo)
+        if lo >= nb or b[lo] != x:
+            out.append(x)
+    return out
+
+
+def intersect_count(a: Sequence[int], b: Sequence[int]) -> int:
+    """|a ∩ b| for sorted lists, without materializing the intersection."""
+    if len(a) > len(b):
+        a, b = b, a
+    count = 0
+    nb = len(b)
+    lo = 0
+    for x in a:
+        lo = bisect_left(b, x, lo)
+        if lo >= nb:
+            break
+        if b[lo] == x:
+            count += 1
+            lo += 1
+    return count

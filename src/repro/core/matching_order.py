@@ -1,0 +1,152 @@
+"""Matching orders: totally ordered views of the pattern core (§4.1).
+
+A matching order is a copy of the core pC whose vertices are renamed to
+their position in a vertex sequence consistent with the symmetry-breaking
+partial order.  Matching a matching order means assigning data vertices to
+positions *in strictly increasing data-id order*; because any set of data
+vertices has exactly one increasing arrangement, every core match is found
+exactly once across all matching orders, with zero canonicality checks:
+
+* each core match, sorted by data id, induces a unique linear extension of
+  the partial order -> exactly one sequence finds it;
+* sequences whose remapped (ordered) cores coincide are grouped: the
+  ordered core is matched once and the data vertices are remapped back
+  through *each* sequence in the group, yielding one core match per
+  sequence ("we discard duplicate matching orders ... a match for pMi is
+  converted to a single match for pC per valid vertex sequence").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..pattern.pattern import Pattern
+
+__all__ = ["OrderedCore", "compute_matching_orders"]
+
+
+@dataclass(frozen=True)
+class OrderedCore:
+    """One deduplicated matching order (an ordered view of the core).
+
+    Positions are ``0 .. k-1``; position ``i`` must be assigned a data
+    vertex with a *smaller* id than position ``i + 1``'s.
+
+    Attributes
+    ----------
+    size: number of core positions.
+    edges: position pairs (i, j), i < j, connected by a regular edge.
+    anti_edges: position pairs constrained to be non-adjacent.
+    labels: per-position label constraint (None = wildcard).
+    sequences: the vertex sequences collapsing to this ordered core;
+        ``sequence[i]`` is the pattern vertex at position ``i``.  Each
+        complete position assignment is remapped through every sequence.
+    """
+
+    size: int
+    edges: tuple[tuple[int, int], ...]
+    anti_edges: tuple[tuple[int, int], ...]
+    labels: tuple[int | None, ...]
+    sequences: tuple[tuple[int, ...], ...] = field(compare=False)
+
+    def earlier_neighbors(self, i: int) -> list[int]:
+        """Positions j < i adjacent to position i."""
+        return [a for a, b in self.edges if b == i]
+
+    def later_neighbors(self, i: int) -> list[int]:
+        """Positions j > i adjacent to position i (high-to-low traversal)."""
+        return [b for a, b in self.edges if a == i]
+
+
+def _linear_extensions(
+    vertices: list[int], constraints: list[tuple[int, int]]
+) -> Iterator[tuple[int, ...]]:
+    """Yield every linear extension of ``constraints`` over ``vertices``.
+
+    Standard topological backtracking: at each step branch on the vertices
+    all of whose predecessors are already placed.  Output cost is
+    proportional to the number of extensions, not to ``|vertices|!``.
+    """
+    preds: dict[int, set[int]] = {u: set() for u in vertices}
+    for u, v in constraints:
+        preds[v].add(u)
+    placed: set[int] = set()
+    seq: list[int] = []
+    remaining = sorted(vertices)
+
+    def backtrack() -> Iterator[tuple[int, ...]]:
+        if not remaining:
+            yield tuple(seq)
+            return
+        for u in list(remaining):
+            if preds[u] <= placed:
+                remaining.remove(u)
+                placed.add(u)
+                seq.append(u)
+                yield from backtrack()
+                seq.pop()
+                placed.discard(u)
+                remaining.append(u)
+                remaining.sort()
+
+    yield from backtrack()
+
+
+def compute_matching_orders(
+    p: Pattern,
+    core: list[int],
+    partial_orders: list[tuple[int, int]],
+) -> list[OrderedCore]:
+    """Enumerate matching orders for the core under the partial order.
+
+    Enumerates exactly the linear extensions of the partial order
+    restricted to the core (by backtracking over currently-minimal
+    vertices — never all permutations: a fully-ordered 13-vertex clique
+    core has one extension, not 13!), remaps the core onto positions, and
+    groups sequences with identical ordered structure.
+    """
+    core_set = set(core)
+    relevant = [
+        (u, v) for u, v in partial_orders if u in core_set and v in core_set
+    ]
+    groups: dict[tuple, list[tuple[int, ...]]] = {}
+    for seq in _linear_extensions(core, relevant):
+        pos = {u: i for i, u in enumerate(seq)}
+        edges = tuple(
+            sorted(
+                tuple(sorted((pos[u], pos[v])))
+                for u, v in p.edges()
+                if u in core_set and v in core_set
+            )
+        )
+        anti = tuple(
+            sorted(
+                tuple(sorted((pos[u], pos[v])))
+                for u, v in p.anti_edges()
+                if u in core_set and v in core_set
+            )
+        )
+        labels = tuple(p.label_of(u) for u in seq)
+        key = (edges, anti, labels)
+        groups.setdefault(key, []).append(tuple(seq))
+    ordered_cores = [
+        OrderedCore(
+            size=len(core),
+            edges=key[0],
+            anti_edges=key[1],
+            labels=key[2],
+            sequences=tuple(seqs),
+        )
+        for key, seqs in groups.items()
+    ]
+    # Deterministic plan output: sort by structural key (label wildcards
+    # sort as -1 so mixed labeled/unlabeled cores compare cleanly).
+    ordered_cores.sort(
+        key=lambda oc: (
+            oc.edges,
+            oc.anti_edges,
+            tuple(-1 if lab is None else lab for lab in oc.labels),
+        )
+    )
+    return ordered_cores

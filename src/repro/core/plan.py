@@ -1,0 +1,200 @@
+"""Exploration-plan generation (Figure 5): ``generatePlan(p)``.
+
+The plan is computed once per pattern, from the pattern alone — no data
+graph involved — and drives the whole exploration:
+
+1. :func:`~repro.core.symmetry.break_symmetries` produces the partial
+   order that removes automorphic duplicates;
+2. :func:`~repro.core.vertex_cover.minimum_connected_vertex_cover` yields
+   the core pC;
+3. :func:`~repro.core.matching_order.compute_matching_orders` linearizes
+   the core into deduplicated matching orders;
+4. non-core regular vertices get a completion order plus precomputed
+   neighbor / anti-neighbor / bound lists;
+5. anti-vertex constraints are collected for post-hoc verification.
+
+Vertex-induced matching applies Theorem 3.1 first: complete the pattern
+with anti-edges between non-adjacent vertex pairs and match edge-induced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import PlanError
+from ..pattern.pattern import Pattern
+from .matching_order import OrderedCore, compute_matching_orders
+from .symmetry import break_symmetries
+from .vertex_cover import minimum_connected_vertex_cover
+
+__all__ = ["NonCoreStep", "AntiVertexCheck", "ExplorationPlan", "generate_plan"]
+
+
+@dataclass(frozen=True)
+class NonCoreStep:
+    """Completion step for one non-core regular vertex (§4.1 completeMatch).
+
+    All regular neighbors of a non-core vertex lie in the core (the cover
+    covers every edge), so ``neighbors`` is always a subset of the core.
+    """
+
+    vertex: int
+    neighbors: tuple[int, ...]  # pattern vertices whose adj lists intersect
+    anti_neighbors: tuple[int, ...]  # matched-before anti-adjacent vertices
+    lower_bounds: tuple[int, ...]  # matched-before w with m(w) < m(vertex)
+    upper_bounds: tuple[int, ...]  # matched-before w with m(vertex) < m(w)
+    label: int | None
+
+
+@dataclass(frozen=True)
+class AntiVertexCheck:
+    """Deferred constraint of one anti-vertex (§4.3).
+
+    A complete match is valid iff the data vertices matched to
+    ``neighbors`` have **no** common neighbor outside the match itself.
+    """
+
+    anti_vertex: int
+    neighbors: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class ExplorationPlan:
+    """Everything the engine needs to find a pattern's matches exactly once."""
+
+    pattern: Pattern  # the pattern as the user supplied it
+    matched_pattern: Pattern  # after vertex-induced closure (Theorem 3.1)
+    edge_induced: bool
+    symmetry_breaking: bool
+    partial_orders: tuple[tuple[int, int], ...]
+    core: tuple[int, ...]
+    ordered_cores: tuple[OrderedCore, ...]
+    noncore_steps: tuple[NonCoreStep, ...]
+    anti_vertex_checks: tuple[AntiVertexCheck, ...]
+    num_regular: int = field(default=0)
+
+    @property
+    def has_anti_edges(self) -> bool:
+        return self.matched_pattern.num_anti_edges > 0
+
+    def describe(self) -> str:
+        """Human-readable plan summary (for docs, examples, debugging)."""
+        lines = [
+            f"pattern: {self.matched_pattern!r}",
+            f"mode: {'edge' if self.edge_induced else 'vertex'}-induced",
+            f"partial orders: {list(self.partial_orders)}",
+            f"core: {list(self.core)}",
+            f"matching orders: {len(self.ordered_cores)}",
+        ]
+        for i, oc in enumerate(self.ordered_cores):
+            lines.append(
+                f"  [{i}] edges={list(oc.edges)} anti={list(oc.anti_edges)}"
+                f" sequences={[list(s) for s in oc.sequences]}"
+            )
+        lines.append(
+            "non-core completion: "
+            + " -> ".join(str(s.vertex) for s in self.noncore_steps)
+        )
+        if self.anti_vertex_checks:
+            lines.append(
+                "anti-vertex checks: "
+                + ", ".join(
+                    f"{c.anti_vertex}~{list(c.neighbors)}"
+                    for c in self.anti_vertex_checks
+                )
+            )
+        return "\n".join(lines)
+
+
+def generate_plan(
+    pattern: Pattern,
+    edge_induced: bool = True,
+    symmetry_breaking: bool = True,
+) -> ExplorationPlan:
+    """Analyze a pattern and emit its exploration plan (Figure 5).
+
+    Parameters
+    ----------
+    pattern: the pattern to match; must be connected.
+    edge_induced: when false, vertex-induced matching is requested and the
+        pattern is closed with anti-edges per Theorem 3.1 before planning.
+    symmetry_breaking: when false, no partial orders are emitted and the
+        engine enumerates *all* automorphic matches — this is PRG-U, the
+        pattern-unaware ablation of Figure 10.
+    """
+    if pattern.num_vertices == 0:
+        raise PlanError("cannot plan an empty pattern")
+    if not pattern.is_connected():
+        raise PlanError("pattern must be connected")
+
+    matched = pattern if edge_induced else pattern.vertex_induced_closure()
+
+    partial_orders = (
+        tuple(break_symmetries(matched)) if symmetry_breaking else ()
+    )
+    core = tuple(minimum_connected_vertex_cover(matched))
+    ordered_cores = tuple(
+        compute_matching_orders(matched, list(core), list(partial_orders))
+    )
+
+    core_set = set(core)
+    regular = matched.regular_vertices()
+    noncore = [u for u in regular if u not in core_set]
+    # Most-constrained-first completion: more core neighbors means smaller
+    # candidate intersections earlier, pruning the rest of the completion.
+    noncore.sort(key=lambda u: (-matched.degree(u), u))
+
+    steps: list[NonCoreStep] = []
+    matched_before: set[int] = set(core)
+    anti_vertex_set = set(matched.anti_vertices())
+    for u in noncore:
+        neighbors = tuple(sorted(matched.neighbors(u)))
+        if any(v not in core_set for v in neighbors):
+            raise PlanError(
+                f"non-core vertex {u} has a neighbor outside the core; "
+                "invalid vertex cover"
+            )
+        anti_nbrs = tuple(
+            sorted(
+                v
+                for v in matched.anti_neighbors(u)
+                if v in matched_before and v not in anti_vertex_set
+            )
+        )
+        lower = tuple(
+            sorted(w for w, x in partial_orders if x == u and w in matched_before)
+        )
+        upper = tuple(
+            sorted(x for w, x in partial_orders if w == u and x in matched_before)
+        )
+        steps.append(
+            NonCoreStep(
+                vertex=u,
+                neighbors=neighbors,
+                anti_neighbors=anti_nbrs,
+                lower_bounds=lower,
+                upper_bounds=upper,
+                label=matched.label_of(u),
+            )
+        )
+        matched_before.add(u)
+
+    checks = tuple(
+        AntiVertexCheck(
+            anti_vertex=a, neighbors=tuple(sorted(matched.anti_neighbors(a)))
+        )
+        for a in sorted(anti_vertex_set)
+    )
+
+    return ExplorationPlan(
+        pattern=pattern,
+        matched_pattern=matched,
+        edge_induced=edge_induced,
+        symmetry_breaking=symmetry_breaking,
+        partial_orders=partial_orders,
+        core=core,
+        ordered_cores=ordered_cores,
+        noncore_steps=tuple(steps),
+        anti_vertex_checks=checks,
+        num_regular=len(regular),
+    )

@@ -1,0 +1,89 @@
+"""Symmetry breaking: partial orders that kill automorphic duplicates (§4.1).
+
+Implements the Grochow–Kellis scheme the paper cites [16]: iteratively pin
+down symmetric vertices with ``m(u) < m(v)`` constraints until the identity
+is the only automorphism satisfying them.  Any match respecting the partial
+order is then the unique canonical representative of its automorphism class
+— which is what lets Peregrine skip per-match canonicality checks entirely.
+
+The constraints are derived along a *stabilizer chain* (fix vertex 0,
+then 1, ...), where each step needs only the orbit of the next vertex
+under the current stabilizer — a handful of single-automorphism searches —
+never the full group.  That matters: a k-clique has k! automorphisms, and
+the paper's 14-clique existence query (Table 6) needs its plan in
+microseconds, not after enumerating 87 billion permutations.
+
+Anti-vertex interaction (§4.3): automorphisms are computed on the full
+colored pattern (anti-edges are a second edge color), so an anti-vertex
+correctly breaks symmetries among the regular vertices it discriminates,
+and anti-vertices themselves can appear in orbits.  Constraints involving
+anti-vertices are dropped from the returned order — anti-vertices are never
+matched, and their asymmetries are already reflected in how they restrict
+the regular vertices' orbits.
+"""
+
+from __future__ import annotations
+
+from ..pattern.canonical import exists_automorphism, stabilizer_orbit
+from ..pattern.pattern import Pattern
+
+__all__ = ["break_symmetries", "conditions_hold", "orbit_partition"]
+
+
+def break_symmetries(p: Pattern) -> list[tuple[int, int]]:
+    """Compute partial-order constraints eliminating all automorphisms.
+
+    Returns pairs ``(u, v)`` meaning every reported match must satisfy
+    ``m(u) < m(v)`` under the data graph's (degree-based) vertex order.
+    The identity is the only automorphism of ``p`` consistent with the
+    returned constraints.
+
+    Walks the stabilizer chain: for each vertex ``u`` in increasing order,
+    constrain ``u`` below its orbit under the subgroup fixing ``0..u-1``,
+    then descend into the stabilizer of ``u``.  A vertex the current
+    stabilizer doesn't move has a singleton orbit and contributes nothing.
+    """
+    conditions: list[tuple[int, int]] = []
+    for u in range(p.num_vertices):
+        for v in stabilizer_orbit(p, u, u):
+            if v != u:
+                conditions.append((u, v))
+    anti = set(p.anti_vertices())
+    return [
+        (u, v) for u, v in conditions if u not in anti and v not in anti
+    ]
+
+
+def conditions_hold(
+    conditions: list[tuple[int, int]], mapping: dict[int, int] | list[int]
+) -> bool:
+    """Whether a complete vertex mapping satisfies all partial orders.
+
+    Used by tests and by the pattern-unaware baselines' canonicality
+    filter; the engine itself enforces conditions incrementally instead.
+    """
+    for u, v in conditions:
+        if mapping[u] >= mapping[v]:
+            return False
+    return True
+
+
+def orbit_partition(p: Pattern) -> list[list[int]]:
+    """Vertex orbits under the full automorphism group.
+
+    FSM's domain folding uses this (§5.5 interaction with symmetry
+    breaking).  Orbit membership is decided by single-automorphism
+    existence tests, never by materializing the group.
+    """
+    seen: set[int] = set()
+    orbits: list[list[int]] = []
+    for u in range(p.num_vertices):
+        if u in seen:
+            continue
+        orbit = [u]
+        for v in range(u + 1, p.num_vertices):
+            if v not in seen and exists_automorphism(p, {u: v}):
+                orbit.append(v)
+        orbits.append(orbit)
+        seen.update(orbit)
+    return orbits

@@ -1,0 +1,62 @@
+"""Exception hierarchy for the repro (Peregrine reproduction) library.
+
+Every error raised by the public API derives from :class:`ReproError` so
+callers can catch library failures with a single except clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed data graphs or invalid graph operations."""
+
+
+class GraphFormatError(GraphError):
+    """Raised when a graph file cannot be parsed."""
+
+
+class PatternError(ReproError):
+    """Raised for malformed patterns or invalid pattern operations."""
+
+
+class PatternFormatError(PatternError):
+    """Raised when a pattern file cannot be parsed."""
+
+
+class PlanError(ReproError):
+    """Raised when an exploration plan cannot be generated for a pattern."""
+
+
+class MatchingError(ReproError):
+    """Raised for invalid arguments to the matching engine."""
+
+
+class BudgetExceeded(ReproError):
+    """Raised by baseline systems when their work budget is exhausted.
+
+    Models the paper's five-hour timeout: baseline runs that blow past a
+    configured number of exploration steps abort with this error, which the
+    benchmark harness reports as ``TIMEOUT`` (the paper's 'x' cells).
+    """
+
+    def __init__(self, steps: int, budget: int):
+        super().__init__(f"work budget exceeded: {steps} steps > budget {budget}")
+        self.steps = steps
+        self.budget = budget
+
+
+class MemoryBudgetExceeded(ReproError):
+    """Raised when a baseline's embedding store outgrows its byte budget.
+
+    Models the paper's out-of-memory / out-of-disk failures (the '—' and '/'
+    cells of Tables 3-5).
+    """
+
+    def __init__(self, used_bytes: int, budget_bytes: int):
+        super().__init__(
+            f"store budget exceeded: {used_bytes} bytes > budget {budget_bytes}"
+        )
+        self.used_bytes = used_bytes
+        self.budget_bytes = budget_bytes

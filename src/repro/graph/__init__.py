@@ -1,0 +1,60 @@
+"""Data-graph substrate: representation, construction, I/O, generators."""
+
+from .graph import DataGraph
+from .builder import from_edges, from_adjacency, induced_subgraph
+from .io import (
+    load_edge_list,
+    save_edge_list,
+    load_labels,
+    save_labels,
+    load_labeled,
+)
+from .binary_io import save_npz, load_npz
+from .generators import (
+    erdos_renyi,
+    barabasi_albert,
+    random_regular,
+    complete_graph,
+    star_graph,
+    chain_graph,
+    cycle_graph,
+    grid_graph,
+    with_random_labels,
+    mico_like,
+    patents_like,
+    orkut_like,
+    friendster_like,
+    DATASET_GENERATORS,
+)
+from .stats import GraphStats, graph_stats, stats_table
+
+__all__ = [
+    "DataGraph",
+    "from_edges",
+    "from_adjacency",
+    "induced_subgraph",
+    "load_edge_list",
+    "save_edge_list",
+    "load_labels",
+    "save_labels",
+    "load_labeled",
+    "save_npz",
+    "load_npz",
+    "erdos_renyi",
+    "barabasi_albert",
+    "random_regular",
+    "complete_graph",
+    "star_graph",
+    "chain_graph",
+    "cycle_graph",
+    "grid_graph",
+    "with_random_labels",
+    "mico_like",
+    "patents_like",
+    "orkut_like",
+    "friendster_like",
+    "DATASET_GENERATORS",
+    "GraphStats",
+    "graph_stats",
+    "stats_table",
+]

@@ -1,0 +1,105 @@
+"""Construction of :class:`~repro.graph.graph.DataGraph` from edge lists."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from ..errors import GraphError
+from .graph import DataGraph
+
+__all__ = ["from_edges", "from_adjacency", "induced_subgraph"]
+
+
+def from_edges(
+    edges: Iterable[tuple[int, int]],
+    labels: Sequence[int] | Mapping[int, int] | None = None,
+    num_vertices: int | None = None,
+    name: str = "graph",
+) -> DataGraph:
+    """Build a graph from an iterable of undirected edges.
+
+    Duplicate edges and self-loops are dropped; vertex ids must be
+    non-negative integers.  Isolated vertices exist only if covered by
+    ``num_vertices`` or by the labels sequence.
+
+    Parameters
+    ----------
+    edges: pairs ``(u, v)``; order within a pair is irrelevant.
+    labels: per-vertex labels, as a dense sequence or a mapping; vertices
+        absent from a mapping get label ``0``.
+    num_vertices: force the vertex count (must cover the largest endpoint).
+    name: dataset name carried on the graph.
+    """
+    neighbor_sets: dict[int, set[int]] = {}
+    max_vertex = -1
+    for u, v in edges:
+        if u < 0 or v < 0:
+            raise GraphError(f"negative vertex id in edge ({u}, {v})")
+        if u == v:
+            continue
+        neighbor_sets.setdefault(u, set()).add(v)
+        neighbor_sets.setdefault(v, set()).add(u)
+        if u > max_vertex:
+            max_vertex = u
+        if v > max_vertex:
+            max_vertex = v
+
+    n = max_vertex + 1
+    if labels is not None and not isinstance(labels, Mapping):
+        n = max(n, len(labels))
+    if num_vertices is not None:
+        if num_vertices < n:
+            raise GraphError(
+                f"num_vertices={num_vertices} smaller than max endpoint+1={n}"
+            )
+        n = num_vertices
+
+    adjacency = [sorted(neighbor_sets.get(u, ())) for u in range(n)]
+
+    label_list: list[int] | None = None
+    if labels is not None:
+        if isinstance(labels, Mapping):
+            label_list = [labels.get(u, 0) for u in range(n)]
+        else:
+            if len(labels) != n:
+                raise GraphError(
+                    f"labels length {len(labels)} != vertex count {n}"
+                )
+            label_list = list(labels)
+
+    return DataGraph(adjacency, label_list, name=name, validate=False)
+
+
+def from_adjacency(
+    adjacency: Mapping[int, Iterable[int]],
+    labels: Mapping[int, int] | None = None,
+    name: str = "graph",
+) -> DataGraph:
+    """Build a graph from an adjacency mapping ``{u: neighbors}``.
+
+    The mapping need not be symmetric; edges are symmetrized.
+    """
+    edges = [(u, v) for u, nbrs in adjacency.items() for v in nbrs]
+    num_vertices = max(adjacency.keys(), default=-1) + 1
+    for u, v in edges:
+        num_vertices = max(num_vertices, u + 1, v + 1)
+    return from_edges(edges, labels=labels, num_vertices=num_vertices, name=name)
+
+
+def induced_subgraph(graph: DataGraph, vertices: Iterable[int]) -> DataGraph:
+    """Vertex-induced subgraph, with vertices renamed densely to 0..k-1.
+
+    Preserves labels; the renaming follows the sorted order of ``vertices``.
+    """
+    keep = sorted(set(vertices))
+    new_id = {old: new for new, old in enumerate(keep)}
+    edges = [
+        (new_id[u], new_id[v])
+        for u, v in graph.subgraph_edges(keep)
+    ]
+    labels = None
+    if graph.is_labeled:
+        labels = [graph.label(old) for old in keep]
+    return from_edges(
+        edges, labels=labels, num_vertices=len(keep), name=f"{graph.name}-sub"
+    )

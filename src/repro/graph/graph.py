@@ -1,0 +1,298 @@
+"""In-memory data graph with sorted adjacency lists.
+
+The :class:`DataGraph` is Peregrine's substrate (§5.5 of the paper): an
+undirected graph stored as per-vertex sorted adjacency lists.  Vertex ids are
+dense integers ``0..n-1``.  Two properties matter for the matching engine:
+
+* adjacency lists are sorted, so candidate generation can use binary search
+  to restrict candidates to a partial-order-compatible range, and set
+  intersections / differences run in merge fashion;
+* vertices are (optionally) *degree-ordered* — renamed so that
+  ``u < v  iff  degree(u) <= degree(v)`` (ties broken by original id), the
+  ordering §5.2 uses for early pruning and load balancing.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from ..errors import GraphError
+
+__all__ = ["DataGraph"]
+
+
+class DataGraph:
+    """Undirected data graph with sorted adjacency lists and optional labels.
+
+    Instances are immutable once constructed; build them with
+    :func:`repro.graph.builder.from_edges` or the loaders in
+    :mod:`repro.graph.io`.
+
+    Parameters
+    ----------
+    adjacency:
+        Sequence of sorted, duplicate-free neighbor lists, one per vertex.
+        Must be symmetric (``v in adjacency[u]`` iff ``u in adjacency[v]``).
+    labels:
+        Optional per-vertex integer labels (``None`` for an unlabeled graph).
+    name:
+        Optional human-readable dataset name (used in reports).
+    validate:
+        When true (default), verify sortedness and symmetry; disable only
+        for trusted, pre-validated input (e.g. the builder's output).
+    """
+
+    __slots__ = (
+        "_adj",
+        "_labels",
+        "_num_edges",
+        "name",
+        "_label_index",
+        "_ordered_cache",
+    )
+
+    def __init__(
+        self,
+        adjacency: Sequence[Sequence[int]],
+        labels: Sequence[int] | None = None,
+        name: str = "graph",
+        validate: bool = True,
+    ):
+        self._adj: list[list[int]] = [list(nbrs) for nbrs in adjacency]
+        self._labels: list[int] | None = list(labels) if labels is not None else None
+        self.name = name
+        self._label_index: dict[int, list[int]] | None = None
+        self._ordered_cache: tuple["DataGraph", list[int]] | None = None
+
+        if self._labels is not None and len(self._labels) != len(self._adj):
+            raise GraphError(
+                f"labels length {len(self._labels)} != vertex count {len(self._adj)}"
+            )
+        if validate:
+            self._validate()
+        self._num_edges = sum(len(nbrs) for nbrs in self._adj) // 2
+
+    def _validate(self) -> None:
+        n = len(self._adj)
+        edge_set = set()
+        for u, nbrs in enumerate(self._adj):
+            prev = -1
+            for v in nbrs:
+                if not 0 <= v < n:
+                    raise GraphError(f"vertex {u} has out-of-range neighbor {v}")
+                if v == u:
+                    raise GraphError(f"self-loop at vertex {u}")
+                if v <= prev:
+                    raise GraphError(f"adjacency of {u} is not sorted/unique")
+                prev = v
+                edge_set.add((u, v))
+        for u, v in edge_set:
+            if (v, u) not in edge_set:
+                raise GraphError(f"edge ({u},{v}) missing reverse direction")
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices |V(G)|."""
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges |E(G)|."""
+        return self._num_edges
+
+    @property
+    def is_labeled(self) -> bool:
+        """Whether the graph carries vertex labels."""
+        return self._labels is not None
+
+    def vertices(self) -> range:
+        """All vertex ids as a range."""
+        return range(len(self._adj))
+
+    def neighbors(self, u: int) -> list[int]:
+        """Sorted neighbor list of ``u`` (do not mutate)."""
+        return self._adj[u]
+
+    def degree(self, u: int) -> int:
+        """Degree of vertex ``u``."""
+        return len(self._adj[u])
+
+    def label(self, u: int) -> int | None:
+        """Label of vertex ``u`` (``None`` when unlabeled)."""
+        return self._labels[u] if self._labels is not None else None
+
+    def labels(self) -> list[int] | None:
+        """The full label list, or ``None`` for unlabeled graphs."""
+        return self._labels
+
+    def num_labels(self) -> int:
+        """Number of distinct labels |L(G)| (0 for unlabeled graphs)."""
+        return len(set(self._labels)) if self._labels is not None else 0
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge (u, v) exists, via binary search."""
+        if u == v:
+            return False
+        nbrs = self._adj[u]
+        i = bisect_left(nbrs, v)
+        return i < len(nbrs) and nbrs[i] == v
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate undirected edges as (u, v) pairs with u < v."""
+        for u, nbrs in enumerate(self._adj):
+            lo = bisect_right(nbrs, u)
+            for v in nbrs[lo:]:
+                yield (u, v)
+
+    def max_degree(self) -> int:
+        """Maximum vertex degree (0 for the empty graph)."""
+        return max((len(nbrs) for nbrs in self._adj), default=0)
+
+    def avg_degree(self) -> float:
+        """Average vertex degree (0.0 for the empty graph)."""
+        if not self._adj:
+            return 0.0
+        return 2.0 * self._num_edges / len(self._adj)
+
+    # ------------------------------------------------------------------
+    # Range-restricted access (partial-order support, §5.1 'PO' stage)
+    # ------------------------------------------------------------------
+
+    def neighbors_above(self, u: int, bound: int) -> list[int]:
+        """Neighbors of ``u`` with id strictly greater than ``bound``."""
+        nbrs = self._adj[u]
+        return nbrs[bisect_right(nbrs, bound):]
+
+    def neighbors_below(self, u: int, bound: int) -> list[int]:
+        """Neighbors of ``u`` with id strictly less than ``bound``."""
+        nbrs = self._adj[u]
+        return nbrs[: bisect_left(nbrs, bound)]
+
+    def neighbors_between(self, u: int, lo: int, hi: int) -> list[int]:
+        """Neighbors v of ``u`` with ``lo < v < hi`` (exclusive bounds).
+
+        ``lo=-1`` / ``hi=num_vertices`` express one-sided or absent bounds.
+        """
+        nbrs = self._adj[u]
+        return nbrs[bisect_right(nbrs, lo): bisect_left(nbrs, hi)]
+
+    # ------------------------------------------------------------------
+    # Label index (used by the G-Miner-like baseline and labeled matching)
+    # ------------------------------------------------------------------
+
+    def vertices_with_label(self, label: int) -> list[int]:
+        """Sorted vertex ids carrying ``label`` (empty for unlabeled graphs).
+
+        The index is built lazily on first use and cached.
+        """
+        if self._labels is None:
+            return []
+        if self._label_index is None:
+            index: dict[int, list[int]] = {}
+            for v, lab in enumerate(self._labels):
+                index.setdefault(lab, []).append(v)
+            self._label_index = index
+        return self._label_index.get(label, [])
+
+    # ------------------------------------------------------------------
+    # Degree ordering (§5.2)
+    # ------------------------------------------------------------------
+
+    def degree_ordered(self) -> tuple["DataGraph", list[int]]:
+        """Return a copy renamed so ids increase with degree, plus the map.
+
+        In the renamed graph ``u < v`` implies ``degree(u) <= degree(v)``.
+        Returns ``(graph, old_of_new)`` where ``old_of_new[new_id]`` is the
+        original id, so callers can translate matches back.  The result is
+        cached: repeated calls return the same objects.
+        """
+        if self._ordered_cache is not None:
+            return self._ordered_cache
+        n = len(self._adj)
+        order = sorted(range(n), key=lambda v: (len(self._adj[v]), v))
+        new_of_old = [0] * n
+        for new_id, old_id in enumerate(order):
+            new_of_old[old_id] = new_id
+        adjacency = [
+            sorted(new_of_old[w] for w in self._adj[old_id]) for old_id in order
+        ]
+        labels = (
+            [self._labels[old_id] for old_id in order]
+            if self._labels is not None
+            else None
+        )
+        renamed = DataGraph(adjacency, labels, name=self.name, validate=False)
+        self._ordered_cache = (renamed, order)
+        return renamed, order
+
+    def is_degree_ordered(self) -> bool:
+        """Whether vertex ids already increase with degree."""
+        degs = [len(nbrs) for nbrs in self._adj]
+        return all(degs[i] <= degs[i + 1] for i in range(len(degs) - 1))
+
+    # ------------------------------------------------------------------
+    # Conversions & misc
+    # ------------------------------------------------------------------
+
+    def subgraph_edges(self, vertices: Iterable[int]) -> list[tuple[int, int]]:
+        """Edges of the subgraph induced by ``vertices`` (u < v pairs)."""
+        vset = sorted(set(vertices))
+        found = []
+        for i, u in enumerate(vset):
+            for v in vset[i + 1:]:
+                if self.has_edge(u, v):
+                    found.append((u, v))
+        return found
+
+    def to_networkx(self):
+        """Convert to a ``networkx.Graph`` (for tests and cross-validation)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(self.vertices())
+        g.add_edges_from(self.edges())
+        if self._labels is not None:
+            nx.set_node_attributes(
+                g, {v: lab for v, lab in enumerate(self._labels)}, "label"
+            )
+        return g
+
+    def memory_bytes(self) -> int:
+        """Rough byte footprint of the adjacency structure (8 B per entry).
+
+        Used by the Fig 13 memory accounting; deliberately counts the
+        *logical* CSR size rather than CPython object overhead so numbers
+        are comparable with the baselines' embedding stores.
+        """
+        entries = sum(len(nbrs) for nbrs in self._adj) + len(self._adj)
+        if self._labels is not None:
+            entries += len(self._labels)
+        return 8 * entries
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        lab = f", labels={self.num_labels()}" if self.is_labeled else ""
+        return (
+            f"DataGraph(name={self.name!r}, |V|={self.num_vertices}, "
+            f"|E|={self.num_edges}{lab})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DataGraph):
+            return NotImplemented
+        return self._adj == other._adj and self._labels == other._labels
+
+    def __hash__(self):  # graphs are mutable-free but big; identity hash
+        return id(self)
+
+    def label_histogram(self) -> Mapping[int, int]:
+        """Histogram of label frequencies (empty for unlabeled graphs)."""
+        hist: dict[int, int] = {}
+        if self._labels is not None:
+            for lab in self._labels:
+                hist[lab] = hist.get(lab, 0) + 1
+        return hist

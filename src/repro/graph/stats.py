@@ -1,0 +1,53 @@
+"""Dataset statistics reporting (Table 2 of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from .graph import DataGraph
+
+__all__ = ["GraphStats", "graph_stats", "stats_table"]
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary statistics for one dataset, matching Table 2's columns."""
+
+    name: str
+    num_vertices: int
+    num_edges: int
+    num_labels: int  # 0 for unlabeled graphs (the paper's '—')
+    max_degree: int
+    avg_degree: float
+
+    def row(self) -> str:
+        """Format as a Table 2-style row."""
+        labels = str(self.num_labels) if self.num_labels else "—"
+        return (
+            f"{self.name:<18} {self.num_vertices:>9} {self.num_edges:>10} "
+            f"{labels:>6} {self.max_degree:>9} {self.avg_degree:>8.1f}"
+        )
+
+
+def graph_stats(graph: DataGraph) -> GraphStats:
+    """Compute Table 2 statistics for one graph."""
+    return GraphStats(
+        name=graph.name,
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        num_labels=graph.num_labels(),
+        max_degree=graph.max_degree(),
+        avg_degree=graph.avg_degree(),
+    )
+
+
+def stats_table(graphs: Iterable[DataGraph]) -> str:
+    """Render a Table 2-style dataset table for the given graphs."""
+    header = (
+        f"{'G':<18} {'|V(G)|':>9} {'|E(G)|':>10} {'|L(G)|':>6} "
+        f"{'MaxDeg':>9} {'AvgDeg':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    lines.extend(graph_stats(g).row() for g in graphs)
+    return "\n".join(lines)

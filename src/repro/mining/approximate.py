@@ -1,0 +1,210 @@
+"""Approximate pattern counting via sampled exploration (ASAP-style).
+
+ASAP [Iyer et al., OSDI '18] trades exactness for speed: instead of
+enumerating every match it samples partial embeddings, scales each sample
+by the inverse of its sampling probability (a Horvitz–Thompson estimator),
+and uses a pilot phase to build an *error–latency profile* that converts a
+target error bound into a number of samples.  The paper lists ASAP as the
+programmable approximate-mining alternative to Peregrine (§7); this module
+implements the same estimator on top of our schedule machinery so the
+exact and approximate systems can be compared on identical workloads.
+
+The estimator samples one loop-nest path per trial through the pattern's
+compiled schedule (:func:`repro.baselines.automine.compile_schedule` —
+guided, but multiplicity-redundant):
+
+1. the first pattern vertex is drawn uniformly from V (probability 1/|V|);
+2. each subsequent vertex is drawn uniformly from the candidate set built
+   by intersecting already-matched neighbors' adjacency lists
+   (probability 1/|candidates|);
+3. a dead end (empty candidates, injectivity or induced-check failure)
+   contributes 0; a completed embedding contributes the product of the
+   inverse probabilities.
+
+Averaging over trials and dividing by the pattern's multiplicity gives an
+unbiased estimate of the unique-match count (tested against exact counts).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from ..baselines.automine import AutoMineSchedule, compile_schedule
+from ..core.candidates import contains, intersect_many
+from ..graph.graph import DataGraph
+from ..pattern.generators import generate_all_vertex_induced, generate_clique
+from ..pattern.pattern import Pattern
+
+__all__ = [
+    "ApproxResult",
+    "approximate_count",
+    "approximate_motif_counts",
+    "approximate_triangle_count",
+    "trials_for_error",
+]
+
+
+@dataclass(frozen=True)
+class ApproxResult:
+    """Outcome of one approximate counting run.
+
+    ``estimate`` is the unbiased count estimate; ``ci95`` the half-width
+    of the normal-approximation 95% confidence interval; ``hit_rate`` the
+    fraction of trials that completed an embedding (low hit rates mean
+    more trials are needed for the same accuracy — the quantity ASAP's
+    error-latency profile models).
+    """
+
+    estimate: float
+    trials: int
+    stddev: float
+    ci95: float
+    hit_rate: float
+
+    @property
+    def relative_ci(self) -> float:
+        """ci95 / estimate (guarding zero); the ASAP-style error metric."""
+        if self.estimate == 0:
+            return float("inf") if self.ci95 else 0.0
+        return self.ci95 / self.estimate
+
+    def within(self, exact: float, slack: float = 1.0) -> bool:
+        """Whether ``exact`` lies inside ``slack`` × the 95% interval."""
+        return abs(self.estimate - exact) <= max(self.ci95 * slack, 1e-9)
+
+
+def _sample_once(
+    graph: DataGraph, schedule: AutoMineSchedule, rng: random.Random
+) -> float:
+    """One Horvitz–Thompson trial: inverse path probability or 0."""
+    labels = graph.labels()
+    assignment: list[int] = []
+    weight = float(graph.num_vertices)
+    first_label = schedule.labels[0]
+    v0 = rng.randrange(graph.num_vertices)
+    if first_label is not None and labels[v0] != first_label:
+        return 0.0
+    assignment.append(v0)
+    for i in range(1, schedule.depth):
+        nbr_depths = schedule.earlier_neighbors[i]
+        lists = [graph.neighbors(assignment[j]) for j in nbr_depths]
+        cands = intersect_many(lists) if len(lists) > 1 else lists[0]
+        if not cands:
+            return 0.0
+        v = cands[rng.randrange(len(cands))]
+        # Rejected candidates keep the estimator unbiased: the trial
+        # sampled them with probability 1/|cands| and they contribute 0.
+        if v in assignment:
+            return 0.0
+        want = schedule.labels[i]
+        if want is not None and labels[v] != want:
+            return 0.0
+        if any(
+            contains(graph.neighbors(assignment[j]), v)
+            for j in schedule.earlier_non_neighbors[i]
+        ):
+            return 0.0
+        weight *= len(cands)
+        assignment.append(v)
+    return weight
+
+
+def approximate_count(
+    graph: DataGraph,
+    pattern: Pattern,
+    trials: int = 10_000,
+    seed: int | None = None,
+    edge_induced: bool = True,
+) -> ApproxResult:
+    """Estimate the number of unique matches of ``pattern`` in ``graph``.
+
+    ``trials`` controls the accuracy/latency trade-off; use
+    :func:`trials_for_error` to pick it from a target error.  The
+    estimate is unbiased for any trial count; the confidence interval
+    assumes trials are i.i.d. (they are) and approximately normal
+    (reasonable once a few hundred trials hit).
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if graph.num_vertices == 0:
+        return ApproxResult(0.0, trials, 0.0, 0.0, 0.0)
+    schedule = compile_schedule(pattern, vertex_induced=not edge_induced)
+    rng = random.Random(seed)
+    total = 0.0
+    total_sq = 0.0
+    hits = 0
+    for _ in range(trials):
+        w = _sample_once(graph, schedule, rng)
+        total += w
+        total_sq += w * w
+        if w:
+            hits += 1
+    mean = total / trials
+    variance = max(total_sq / trials - mean * mean, 0.0)
+    # Ordered embeddings -> unique matches.
+    m = schedule.multiplicity
+    estimate = mean / m
+    stddev = math.sqrt(variance / trials) / m
+    return ApproxResult(
+        estimate=estimate,
+        trials=trials,
+        stddev=stddev,
+        ci95=1.96 * stddev,
+        hit_rate=hits / trials,
+    )
+
+
+def approximate_motif_counts(
+    graph: DataGraph,
+    size: int,
+    trials: int = 10_000,
+    seed: int | None = None,
+) -> dict[Pattern, ApproxResult]:
+    """Approximate vertex-induced motif census (ASAP's headline use case)."""
+    out: dict[Pattern, ApproxResult] = {}
+    for i, motif in enumerate(generate_all_vertex_induced(size)):
+        child_seed = None if seed is None else seed + i
+        out[motif] = approximate_count(
+            graph, motif, trials=trials, seed=child_seed, edge_induced=False
+        )
+    return out
+
+
+def approximate_triangle_count(
+    graph: DataGraph, trials: int = 10_000, seed: int | None = None
+) -> ApproxResult:
+    """Convenience: approximate triangle count."""
+    return approximate_count(graph, generate_clique(3), trials=trials, seed=seed)
+
+
+def trials_for_error(
+    graph: DataGraph,
+    pattern: Pattern,
+    target_relative_error: float,
+    pilot_trials: int = 2_000,
+    seed: int | None = None,
+    edge_induced: bool = True,
+) -> int:
+    """Error–latency profile: trials needed for a target 95% relative error.
+
+    Runs a pilot phase, measures the sample variance, and solves
+    ``1.96 · sigma / (sqrt(T) · mean) <= target`` for ``T`` — the same
+    extrapolation ASAP's profile performs.  Returns at least the pilot
+    size; raises ``ValueError`` when the pilot saw no matches at all (no
+    profile can be built from zero signal).
+    """
+    if not 0 < target_relative_error:
+        raise ValueError("target_relative_error must be positive")
+    pilot = approximate_count(
+        graph, pattern, trials=pilot_trials, seed=seed, edge_induced=edge_induced
+    )
+    if pilot.estimate == 0:
+        raise ValueError(
+            "pilot phase found no matches; cannot build an error profile"
+        )
+    # pilot.stddev already includes the 1/sqrt(pilot_trials) factor.
+    sigma_single = pilot.stddev * math.sqrt(pilot.trials)
+    needed = (1.96 * sigma_single / (target_relative_error * pilot.estimate)) ** 2
+    return max(pilot_trials, math.ceil(needed))

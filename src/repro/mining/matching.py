@@ -1,0 +1,68 @@
+"""Pattern-matching workloads (Fig 4c): count, enumerate, stream matches."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from ..core.api import count, match
+from ..core.callbacks import ExplorationControl, Match
+from ..graph.graph import DataGraph
+from ..pattern.pattern import Pattern
+
+__all__ = [
+    "count_pattern",
+    "enumerate_matches",
+    "match_and_write",
+    "count_unique_subgraphs",
+]
+
+
+def count_pattern(
+    graph: DataGraph, pattern: Pattern, edge_induced: bool = True
+) -> int:
+    """Number of canonical matches of ``pattern``."""
+    return count(graph, pattern, edge_induced=edge_induced)
+
+
+def enumerate_matches(
+    graph: DataGraph,
+    pattern: Pattern,
+    edge_induced: bool = True,
+    limit: int | None = None,
+) -> list[Match]:
+    """Materialize matches as a list (optionally capped at ``limit``)."""
+    out: list[Match] = []
+    control = ExplorationControl()
+
+    def collect(m: Match) -> None:
+        out.append(m)
+        if limit is not None and len(out) >= limit:
+            control.stop()
+
+    match(graph, pattern, callback=collect, edge_induced=edge_induced,
+          control=control)
+    return out
+
+
+def match_and_write(
+    graph: DataGraph,
+    pattern: Pattern,
+    write: Callable[[Match], None],
+    edge_induced: bool = True,
+) -> int:
+    """The paper's Fig 4c program: stream every match to ``write``."""
+    return match(graph, pattern, callback=write, edge_induced=edge_induced)
+
+
+def count_unique_subgraphs(
+    graph: DataGraph, pattern: Pattern, edge_induced: bool = True
+) -> int:
+    """Count distinct data-vertex *sets* matched (collapses automorphism-
+    inequivalent assignments over the same vertices, e.g. for reporting)."""
+    seen: set[tuple[int, ...]] = set()
+
+    def collect(m: Match) -> None:
+        seen.add(tuple(sorted(m.vertices())))
+
+    match(graph, pattern, callback=collect, edge_induced=edge_induced)
+    return len(seen)

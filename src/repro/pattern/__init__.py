@@ -1,0 +1,73 @@
+"""Pattern abstraction: patterns as first-class constructs (§3)."""
+
+from .pattern import Pattern, Edge
+from .canonical import (
+    automorphisms,
+    automorphism_count,
+    find_isomorphism,
+    are_isomorphic,
+    canonical_code,
+    canonical_form,
+)
+from .generators import (
+    generate_clique,
+    generate_star,
+    generate_chain,
+    generate_cycle,
+    generate_triangle,
+    generate_all_vertex_induced,
+    generate_all_edge_induced,
+)
+from .extend import extend_by_edge, extend_by_vertex
+from .io import (
+    load_patterns,
+    load_pattern,
+    save_patterns,
+    pattern_to_text,
+    pattern_from_text,
+)
+from .evaluation import (
+    pattern_p1,
+    pattern_p2,
+    pattern_p3,
+    pattern_p4,
+    pattern_p5,
+    pattern_p6,
+    pattern_p7,
+    pattern_p8,
+    evaluation_patterns,
+)
+
+__all__ = [
+    "Pattern",
+    "Edge",
+    "automorphisms",
+    "automorphism_count",
+    "find_isomorphism",
+    "are_isomorphic",
+    "canonical_code",
+    "canonical_form",
+    "generate_clique",
+    "generate_star",
+    "generate_chain",
+    "generate_cycle",
+    "generate_triangle",
+    "generate_all_vertex_induced",
+    "generate_all_edge_induced",
+    "extend_by_edge",
+    "extend_by_vertex",
+    "load_patterns",
+    "load_pattern",
+    "save_patterns",
+    "pattern_to_text",
+    "pattern_from_text",
+    "pattern_p1",
+    "pattern_p2",
+    "pattern_p3",
+    "pattern_p4",
+    "pattern_p5",
+    "pattern_p6",
+    "pattern_p7",
+    "pattern_p8",
+    "evaluation_patterns",
+]

@@ -1,0 +1,116 @@
+"""The evaluation patterns p1-p8 of Figure 9.
+
+The paper's Figure 9 is pictorial; the text pins down p2 (the labeled
+pattern G-Miner ships a purpose-built matcher for), p7 (a maximal triangle:
+a triangle plus a fully-connected anti-vertex) and p8 (a vertex-induced
+chordal square expressed with an anti-edge).  p1-p6 were chosen "to cover
+all the patterns used in [Fractal] and [G-Miner]"; we reconstruct them as
+the standard 4- and 5-vertex query patterns those papers use, ordered by
+increasing cost, and document the reconstruction here:
+
+* p1 — diamond (4-cycle plus one chord), 4 vertices
+* p2 — tailed triangle with distinct labels 1-4 (the labeled query)
+* p3 — house (5-cycle plus one chord), 5 vertices
+* p4 — 4-clique with a pendant vertex, 5 vertices
+* p5 — bowtie (two triangles sharing a vertex), 5 vertices
+* p6 — near-5-clique (K_5 minus one edge), the most expensive query
+* p7 — triangle with a fully-connected anti-vertex (maximal triangle)
+* p8 — chordal square, vertex-induced: 4-cycle + chord + anti-edge on the
+  other diagonal
+"""
+
+from __future__ import annotations
+
+from .pattern import Pattern
+
+__all__ = [
+    "pattern_p1",
+    "pattern_p2",
+    "pattern_p3",
+    "pattern_p4",
+    "pattern_p5",
+    "pattern_p6",
+    "pattern_p7",
+    "pattern_p8",
+    "evaluation_patterns",
+]
+
+
+def pattern_p1() -> Pattern:
+    """Diamond: 4-cycle 0-1-2-3 plus the chord (0, 2)."""
+    return Pattern.from_edges([(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])
+
+
+def pattern_p2() -> Pattern:
+    """Tailed triangle with labels 1-4 (G-Miner's labeled query pattern)."""
+    p = Pattern.from_edges([(0, 1), (1, 2), (2, 0), (2, 3)])
+    for v, lab in enumerate((1, 2, 3, 4)):
+        p.set_label(v, lab)
+    return p
+
+
+def pattern_p3() -> Pattern:
+    """House: 5-cycle 0-1-2-3-4 plus the chord (0, 2) forming the roof."""
+    return Pattern.from_edges(
+        [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)]
+    )
+
+
+def pattern_p4() -> Pattern:
+    """4-clique on 0-3 with pendant vertex 4 attached to vertex 0."""
+    edges = [(u, v) for u in range(4) for v in range(u + 1, 4)]
+    edges.append((0, 4))
+    return Pattern.from_edges(edges)
+
+
+def pattern_p5() -> Pattern:
+    """Bowtie: triangles 0-1-2 and 0-3-4 sharing vertex 0."""
+    return Pattern.from_edges(
+        [(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (4, 0)]
+    )
+
+
+def pattern_p6() -> Pattern:
+    """Near-5-clique: K_5 minus the edge (3, 4)."""
+    edges = [
+        (u, v)
+        for u in range(5)
+        for v in range(u + 1, 5)
+        if (u, v) != (3, 4)
+    ]
+    return Pattern.from_edges(edges)
+
+
+def pattern_p7() -> Pattern:
+    """Maximal triangle: triangle 0-1-2 plus anti-vertex 3 anti-adjacent to all.
+
+    Matches exactly the triangles not contained in any 4-clique (§6.5).
+    """
+    p = Pattern.from_edges([(0, 1), (1, 2), (2, 0)])
+    p.add_anti_vertex([0, 1, 2])
+    return p
+
+
+def pattern_p8() -> Pattern:
+    """Vertex-induced chordal square via an anti-edge.
+
+    4-cycle 0-1-2-3 with chord (0, 2) and anti-edge (1, 3): matches
+    diamonds whose other diagonal is strictly absent (§6.5).
+    """
+    p = Pattern.from_edges([(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])
+    p.add_anti_edge(1, 3)
+    return p
+
+
+def evaluation_patterns() -> dict[str, Pattern]:
+    """All Figure 9 patterns keyed ``p1`` .. ``p8``."""
+    return {
+        "p1": pattern_p1(),
+        "p2": pattern_p2(),
+        "p3": pattern_p3(),
+        "p4": pattern_p4(),
+        "p5": pattern_p5(),
+        "p6": pattern_p6(),
+        "p7": pattern_p7(),
+        "p8": pattern_p8(),
+    }

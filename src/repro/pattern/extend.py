@@ -1,0 +1,73 @@
+"""Pattern extension operators ``[C1]`` / ``[C2]`` of the Figure 2 API.
+
+Both take a set of patterns and return all *unique* (up to isomorphism)
+patterns obtained by growing each input by one edge or one vertex.  FSM
+uses :func:`extend_by_edge` to grow frequent labeled patterns, attaching
+new vertices as label wildcards so label discovery can run on the next
+round (§3.2.1).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable
+
+from .canonical import canonical_code
+from .pattern import Pattern
+
+__all__ = ["extend_by_edge", "extend_by_vertex"]
+
+
+def extend_by_edge(patterns: Iterable[Pattern]) -> list[Pattern]:
+    """All unique one-edge extensions of the given patterns.
+
+    An extension either connects two existing non-adjacent vertices or
+    attaches a new unlabeled (wildcard) vertex by a pendant edge.  Labels
+    of existing vertices are preserved; results are deduped by canonical
+    code across all inputs.
+    """
+    seen: dict[tuple, Pattern] = {}
+    for p in patterns:
+        for q in _edge_extensions(p):
+            code = canonical_code(q)
+            if code not in seen:
+                seen[code] = q
+    return sorted(seen.values(), key=canonical_code)
+
+
+def extend_by_vertex(patterns: Iterable[Pattern]) -> list[Pattern]:
+    """All unique one-vertex extensions of the given patterns.
+
+    The new (wildcard) vertex is attached to every non-empty subset of the
+    existing regular vertices, covering all ways a vertex-induced match can
+    grow by one vertex.
+    """
+    seen: dict[tuple, Pattern] = {}
+    for p in patterns:
+        regular = p.regular_vertices()
+        for r in range(1, len(regular) + 1):
+            for anchor_set in combinations(regular, r):
+                q = p.copy()
+                w = q.add_vertex()
+                for u in anchor_set:
+                    q.add_edge(u, w)
+                code = canonical_code(q)
+                if code not in seen:
+                    seen[code] = q
+    return sorted(seen.values(), key=canonical_code)
+
+
+def _edge_extensions(p: Pattern) -> list[Pattern]:
+    out = []
+    regular = p.regular_vertices()
+    for u, v in combinations(regular, 2):
+        if not p.are_connected(u, v) and not p.are_anti_adjacent(u, v):
+            q = p.copy()
+            q.add_edge(u, v)
+            out.append(q)
+    for u in regular:
+        q = p.copy()
+        w = q.add_vertex()
+        q.add_edge(u, w)
+        out.append(q)
+    return out

@@ -1,0 +1,150 @@
+"""Pattern constructors: special patterns and exhaustive families.
+
+Implements the generation half of the Figure 2 API:
+
+* ``[S1-S3]`` special patterns: cliques, stars, chains (plus cycles, which
+  the evaluation patterns need);
+* ``[G1]`` ``generate_all_edge_induced(k)`` — all connected unlabeled
+  patterns with exactly ``k`` edges, up to isomorphism (FSM's seed set);
+* ``[G2]`` ``generate_all_vertex_induced(k)`` — all connected unlabeled
+  patterns with exactly ``k`` vertices, up to isomorphism (the motifs of
+  size ``k``).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from ..errors import PatternError
+from .canonical import canonical_code, canonical_form
+from .pattern import Pattern
+
+__all__ = [
+    "generate_clique",
+    "generate_star",
+    "generate_chain",
+    "generate_cycle",
+    "generate_triangle",
+    "generate_all_vertex_induced",
+    "generate_all_edge_induced",
+]
+
+
+def generate_clique(size: int) -> Pattern:
+    """K_size: the fully-connected pattern on ``size`` vertices."""
+    if size < 1:
+        raise PatternError(f"clique size must be >= 1, got {size}")
+    p = Pattern(num_vertices=size)
+    for u, v in combinations(range(size), 2):
+        p.add_edge(u, v)
+    return p
+
+
+def generate_star(size: int) -> Pattern:
+    """Star on ``size`` vertices: hub 0 plus ``size - 1`` leaves.
+
+    ``generate_star(3)`` is the paper's 3-star / wedge used by the global
+    clustering coefficient program (Fig 4b).
+    """
+    if size < 2:
+        raise PatternError(f"star size must be >= 2, got {size}")
+    p = Pattern(num_vertices=size)
+    for leaf in range(1, size):
+        p.add_edge(0, leaf)
+    return p
+
+
+def generate_chain(size: int) -> Pattern:
+    """Path on ``size`` vertices."""
+    if size < 2:
+        raise PatternError(f"chain size must be >= 2, got {size}")
+    p = Pattern(num_vertices=size)
+    for u in range(size - 1):
+        p.add_edge(u, u + 1)
+    return p
+
+
+def generate_cycle(size: int) -> Pattern:
+    """Cycle on ``size`` vertices."""
+    if size < 3:
+        raise PatternError(f"cycle size must be >= 3, got {size}")
+    p = Pattern(num_vertices=size)
+    for u in range(size):
+        p.add_edge(u, (u + 1) % size)
+    return p
+
+
+def generate_triangle() -> Pattern:
+    """K_3 — convenience alias used throughout the examples."""
+    return generate_clique(3)
+
+
+def generate_all_vertex_induced(size: int) -> list[Pattern]:
+    """All connected patterns with ``size`` vertices, up to isomorphism.
+
+    These are the motifs of size ``size`` (3 -> wedge + triangle; 4 -> the
+    six classic 4-motifs).  Enumerates edge subsets of K_size and dedupes
+    by canonical code; feasible for the sizes graph mining uses (<= 6).
+    """
+    if size < 1:
+        raise PatternError(f"motif size must be >= 1, got {size}")
+    if size == 1:
+        return [Pattern(num_vertices=1)]
+    all_pairs = list(combinations(range(size), 2))
+    seen: dict[tuple, Pattern] = {}
+    for mask in range(1 << len(all_pairs)):
+        edges = [all_pairs[i] for i in range(len(all_pairs)) if mask >> i & 1]
+        if len(edges) < size - 1:
+            continue  # too few edges to connect `size` vertices
+        p = Pattern(num_vertices=size, edges=edges)
+        if not p.is_connected():
+            continue
+        code = canonical_code(p)
+        if code not in seen:
+            seen[code] = canonical_form(p)
+    return sorted(seen.values(), key=canonical_code)
+
+
+def generate_all_edge_induced(size: int) -> list[Pattern]:
+    """All connected patterns with ``size`` edges, up to isomorphism.
+
+    FSM seeds itself with ``generate_all_edge_induced(2)`` (the wedge) and
+    grows frequent patterns edge by edge (Fig 4a).  Implemented by
+    iterative edge extension from the single-edge pattern, deduping by
+    canonical code at every step.
+    """
+    if size < 1:
+        raise PatternError(f"edge count must be >= 1, got {size}")
+    frontier: dict[tuple, Pattern] = {}
+    single = Pattern.from_edges([(0, 1)])
+    frontier[canonical_code(single)] = single
+    for _ in range(size - 1):
+        next_frontier: dict[tuple, Pattern] = {}
+        for p in frontier.values():
+            for q in _extend_one_edge(p):
+                code = canonical_code(q)
+                if code not in next_frontier:
+                    next_frontier[code] = canonical_form(q)
+        frontier = next_frontier
+    return sorted(frontier.values(), key=canonical_code)
+
+
+def _extend_one_edge(p: Pattern) -> list[Pattern]:
+    """All patterns obtained by adding one edge to ``p`` (connected results).
+
+    Adds either an edge between two existing non-adjacent vertices, or a
+    pendant edge to a brand-new vertex.
+    """
+    out = []
+    n = p.num_vertices
+    for u, v in combinations(range(n), 2):
+        if not p.are_connected(u, v) and not p.are_anti_adjacent(u, v):
+            q = p.copy()
+            q.add_edge(u, v)
+            out.append(q)
+    for u in range(n):
+        q = p.copy()
+        w = q.add_vertex()
+        q.add_edge(u, w)
+        out.append(q)
+    return out

@@ -1,0 +1,101 @@
+"""Pattern file I/O — the ``[L1] load_patterns`` API of Figure 2.
+
+File format (one pattern per block, blocks separated by blank lines):
+
+.. code-block:: text
+
+    # optional comment
+    e 0 1        # regular edge
+    e 1 2
+    a 0 2        # anti-edge
+    l 0 5        # label: vertex 0 must match data label 5
+
+Vertex ids are dense non-negative integers within a block.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable
+
+from ..errors import PatternFormatError
+from .pattern import Pattern
+
+__all__ = ["load_patterns", "load_pattern", "save_patterns", "pattern_to_text", "pattern_from_text"]
+
+
+def pattern_from_text(text: str, where: str = "<string>") -> Pattern:
+    """Parse one pattern block."""
+    p = Pattern()
+    saw_any = False
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        kind = parts[0].lower()
+        if kind not in ("e", "a", "l") or len(parts) != 3:
+            raise PatternFormatError(
+                f"{where}:{line_no}: expected 'e|a|l u v', got {raw!r}"
+            )
+        try:
+            u, v = int(parts[1]), int(parts[2])
+        except ValueError:
+            raise PatternFormatError(
+                f"{where}:{line_no}: non-integer operand in {raw!r}"
+            ) from None
+        saw_any = True
+        if kind == "e":
+            p.add_edge(u, v)
+        elif kind == "a":
+            p.add_anti_edge(u, v)
+        else:
+            p.set_label(u, v)
+    if not saw_any:
+        raise PatternFormatError(f"{where}: empty pattern block")
+    return p
+
+
+def pattern_to_text(p: Pattern) -> str:
+    """Serialize one pattern to the block format."""
+    lines = [f"e {u} {v}" for u, v in p.edges()]
+    lines.extend(f"a {u} {v}" for u, v in p.anti_edges())
+    lines.extend(f"l {u} {lab}" for u, lab in sorted(p.labels().items()))
+    return "\n".join(lines)
+
+
+def load_patterns(path: str | os.PathLike) -> list[Pattern]:
+    """Load all pattern blocks from a file."""
+    path = os.fspath(path)
+    with open(path, "r", encoding="utf-8") as handle:
+        content = handle.read()
+    blocks = [b for b in content.split("\n\n") if b.strip()]
+    patterns = []
+    for i, block in enumerate(blocks):
+        stripped = "\n".join(
+            line for line in block.splitlines()
+            if line.split("#", 1)[0].strip()
+        )
+        if not stripped:
+            continue
+        patterns.append(pattern_from_text(stripped, where=f"{path}#block{i}"))
+    if not patterns:
+        raise PatternFormatError(f"{path}: no patterns found")
+    return patterns
+
+
+def load_pattern(path: str | os.PathLike) -> Pattern:
+    """Load exactly one pattern from a file (raises if several)."""
+    patterns = load_patterns(path)
+    if len(patterns) != 1:
+        raise PatternFormatError(
+            f"{os.fspath(path)}: expected one pattern, found {len(patterns)}"
+        )
+    return patterns[0]
+
+
+def save_patterns(patterns: Iterable[Pattern], path: str | os.PathLike) -> None:
+    """Write patterns as blank-line-separated blocks."""
+    blocks = [pattern_to_text(p) for p in patterns]
+    with open(os.fspath(path), "w", encoding="utf-8") as handle:
+        handle.write("\n\n".join(blocks) + "\n")

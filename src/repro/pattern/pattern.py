@@ -1,0 +1,344 @@
+"""The :class:`Pattern` class — graph patterns as first-class constructs.
+
+Patterns are small graphs describing the sub-structure a mining task wants
+to find (§3.1 of the paper).  Besides regular vertices and edges a pattern
+may contain:
+
+* **anti-edges** — pairs of vertices that must be *disconnected* in every
+  match (§3.1.1);
+* **anti-vertices** — vertices incident only to anti-edges, expressing the
+  strict absence of a common neighbor among their anti-neighbors (§3.1.2);
+* **labels** — per-vertex label constraints; an unlabeled pattern vertex is
+  a wildcard that matches any data label (used for FSM label discovery).
+
+Vertices are dense integers ``0..n-1``.  Patterns are mutable; all derived
+artifacts (canonical codes, exploration plans) are computed on demand from
+a snapshot.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Iterator
+
+from ..errors import PatternError
+
+__all__ = ["Pattern", "Edge"]
+
+Edge = tuple[int, int]
+
+
+def _norm(u: int, v: int) -> Edge:
+    """Normalize an edge to (min, max) order."""
+    return (u, v) if u < v else (v, u)
+
+
+class Pattern:
+    """A connected graph pattern with optional anti-edges, anti-vertices, labels.
+
+    The class implements the pattern interface of Figure 2: structure
+    accessors (``neighbors``, ``are_connected``, ``label_of``) and mutators
+    (``add_edge``, ``add_anti_edge``, ``remove_edge``, ``set_label``).
+    """
+
+    __slots__ = ("_n", "_edges", "_anti_edges", "_labels")
+
+    def __init__(
+        self,
+        num_vertices: int = 0,
+        edges: Iterable[Edge] = (),
+        anti_edges: Iterable[Edge] = (),
+        labels: dict[int, int] | None = None,
+    ):
+        self._n = num_vertices
+        self._edges: set[Edge] = set()
+        self._anti_edges: set[Edge] = set()
+        self._labels: dict[int, int] = {}
+        for u, v in edges:
+            self.add_edge(u, v)
+        for u, v in anti_edges:
+            self.add_anti_edge(u, v)
+        if labels:
+            for u, lab in labels.items():
+                self.set_label(u, lab)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[Edge], anti_edges: Iterable[Edge] = (),
+                   labels: dict[int, int] | None = None) -> "Pattern":
+        """Build a pattern from edge lists; vertex count is inferred."""
+        p = cls()
+        for u, v in edges:
+            p.add_edge(u, v)
+        for u, v in anti_edges:
+            p.add_anti_edge(u, v)
+        if labels:
+            for u, lab in labels.items():
+                p.set_label(u, lab)
+        return p
+
+    def copy(self) -> "Pattern":
+        """Deep copy of this pattern."""
+        p = Pattern.__new__(Pattern)
+        p._n = self._n
+        p._edges = set(self._edges)
+        p._anti_edges = set(self._anti_edges)
+        p._labels = dict(self._labels)
+        return p
+
+    # ------------------------------------------------------------------
+    # Mutators (Figure 2 API)
+    # ------------------------------------------------------------------
+
+    def add_vertex(self) -> int:
+        """Add an isolated vertex and return its id."""
+        self._n += 1
+        return self._n - 1
+
+    def _grow_to(self, u: int) -> None:
+        if u < 0:
+            raise PatternError(f"negative vertex id {u}")
+        if u >= self._n:
+            self._n = u + 1
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Add a regular edge, growing the vertex set as needed."""
+        if u == v:
+            raise PatternError(f"self-loop at pattern vertex {u}")
+        e = _norm(u, v)
+        if e in self._anti_edges:
+            raise PatternError(f"edge {e} already present as anti-edge")
+        self._grow_to(max(u, v))
+        self._edges.add(e)
+
+    def add_anti_edge(self, u: int, v: int) -> None:
+        """Add an anti-edge: the matched vertices must be non-adjacent."""
+        if u == v:
+            raise PatternError(f"anti-edge self-loop at pattern vertex {u}")
+        e = _norm(u, v)
+        if e in self._edges:
+            raise PatternError(f"anti-edge {e} already present as edge")
+        self._grow_to(max(u, v))
+        self._anti_edges.add(e)
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Remove a regular edge (raises if absent)."""
+        e = _norm(u, v)
+        try:
+            self._edges.remove(e)
+        except KeyError:
+            raise PatternError(f"edge {e} not in pattern") from None
+
+    def remove_anti_edge(self, u: int, v: int) -> None:
+        """Remove an anti-edge (raises if absent)."""
+        e = _norm(u, v)
+        try:
+            self._anti_edges.remove(e)
+        except KeyError:
+            raise PatternError(f"anti-edge {e} not in pattern") from None
+
+    def set_label(self, u: int, label: int) -> None:
+        """Constrain vertex ``u`` to match only data vertices labeled ``label``."""
+        self._grow_to(u)
+        self._labels[u] = label
+
+    def clear_label(self, u: int) -> None:
+        """Make vertex ``u`` a label wildcard again."""
+        self._labels.pop(u, None)
+
+    def add_anti_vertex(self, neighbors: Iterable[int]) -> int:
+        """Add an anti-vertex anti-adjacent to ``neighbors``; return its id.
+
+        The new vertex has only anti-edges, making it an anti-vertex by
+        definition (§3.1.2).
+        """
+        nbrs = list(neighbors)
+        if not nbrs:
+            raise PatternError("anti-vertex needs at least one anti-neighbor")
+        av = self.add_vertex()
+        for u in nbrs:
+            self.add_anti_edge(av, u)
+        return av
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        """Total vertex count, anti-vertices included."""
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        """Regular edge count."""
+        return len(self._edges)
+
+    @property
+    def num_anti_edges(self) -> int:
+        """Anti-edge count."""
+        return len(self._anti_edges)
+
+    def vertices(self) -> range:
+        """All vertex ids."""
+        return range(self._n)
+
+    def edges(self) -> list[Edge]:
+        """Sorted list of regular edges."""
+        return sorted(self._edges)
+
+    def anti_edges(self) -> list[Edge]:
+        """Sorted list of anti-edges."""
+        return sorted(self._anti_edges)
+
+    def neighbors(self, u: int) -> list[int]:
+        """Sorted regular neighbors of ``u``."""
+        out = [v for v in range(self._n) if _norm(u, v) in self._edges and v != u]
+        return out
+
+    def anti_neighbors(self, u: int) -> list[int]:
+        """Sorted anti-neighbors of ``u``."""
+        return [v for v in range(self._n) if v != u and _norm(u, v) in self._anti_edges]
+
+    def degree(self, u: int) -> int:
+        """Regular degree of ``u``."""
+        return sum(1 for v in range(self._n) if v != u and _norm(u, v) in self._edges)
+
+    def are_connected(self, u: int, v: int) -> bool:
+        """Whether ``u`` and ``v`` share a regular edge."""
+        return u != v and _norm(u, v) in self._edges
+
+    def are_anti_adjacent(self, u: int, v: int) -> bool:
+        """Whether ``u`` and ``v`` share an anti-edge."""
+        return u != v and _norm(u, v) in self._anti_edges
+
+    def label_of(self, u: int) -> int | None:
+        """Label constraint on ``u`` (``None`` = wildcard)."""
+        return self._labels.get(u)
+
+    def labels(self) -> dict[int, int]:
+        """Copy of the label-constraint mapping."""
+        return dict(self._labels)
+
+    @property
+    def is_labeled(self) -> bool:
+        """Whether any vertex carries a label constraint."""
+        return bool(self._labels)
+
+    @property
+    def is_fully_labeled(self) -> bool:
+        """Whether every regular vertex carries a label constraint."""
+        return all(u in self._labels for u in self.regular_vertices())
+
+    # ------------------------------------------------------------------
+    # Anti-vertex classification (§3.1.2)
+    # ------------------------------------------------------------------
+
+    def is_anti_vertex(self, u: int) -> bool:
+        """True when ``u`` has at least one anti-edge and no regular edge."""
+        return self.degree(u) == 0 and bool(self.anti_neighbors(u))
+
+    def anti_vertices(self) -> list[int]:
+        """All anti-vertices in id order."""
+        return [u for u in range(self._n) if self.is_anti_vertex(u)]
+
+    def regular_vertices(self) -> list[int]:
+        """All non-anti vertices in id order (includes isolated vertices)."""
+        return [u for u in range(self._n) if not self.is_anti_vertex(u)]
+
+    def without_anti_vertices(self) -> "Pattern":
+        """Copy with anti-vertices (and their anti-edges) removed.
+
+        Remaining vertices are renamed densely, preserving relative order.
+        """
+        keep = self.regular_vertices()
+        remap = {old: new for new, old in enumerate(keep)}
+        p = Pattern(num_vertices=len(keep))
+        for u, v in self._edges:
+            if u in remap and v in remap:
+                p.add_edge(remap[u], remap[v])
+        for u, v in self._anti_edges:
+            if u in remap and v in remap:
+                p.add_anti_edge(remap[u], remap[v])
+        for u, lab in self._labels.items():
+            if u in remap:
+                p.set_label(remap[u], lab)
+        return p
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+
+    def is_connected(self) -> bool:
+        """Connectivity over *regular* edges, ignoring anti-vertices.
+
+        Anti-vertices are attached only via anti-edges, which do not count
+        toward connectivity; a pattern is connected when its regular
+        vertices form one component under regular edges.
+        """
+        regular = self.regular_vertices()
+        if not regular:
+            return False
+        seen = {regular[0]}
+        stack = [regular[0]]
+        while stack:
+            u = stack.pop()
+            for v in self.neighbors(u):
+                if v not in seen:
+                    seen.add(v)
+                    stack.append(v)
+        return all(u in seen for u in regular)
+
+    def vertex_induced_closure(self) -> "Pattern":
+        """Anti-edge completion implementing Theorem 3.1.
+
+        Returns a copy where every pair of regular vertices that is neither
+        adjacent nor anti-adjacent becomes anti-adjacent.  Edge-induced
+        matches of the result are exactly the vertex-induced matches of
+        ``self``.
+        """
+        p = self.copy()
+        for u, v in combinations(self.regular_vertices(), 2):
+            e = _norm(u, v)
+            if e not in p._edges and e not in p._anti_edges:
+                p.add_anti_edge(u, v)
+        return p
+
+    def degree_sequence(self) -> list[int]:
+        """Sorted regular-degree sequence (an isomorphism invariant)."""
+        return sorted(self.degree(u) for u in range(self._n))
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+
+    def signature(self) -> tuple:
+        """Hashable exact-identity snapshot (not isomorphism-invariant)."""
+        return (
+            self._n,
+            tuple(sorted(self._edges)),
+            tuple(sorted(self._anti_edges)),
+            tuple(sorted(self._labels.items())),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Pattern):
+            return NotImplemented
+        return self.signature() == other.signature()
+
+    def __hash__(self) -> int:
+        return hash(self.signature())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [f"n={self._n}", f"edges={sorted(self._edges)}"]
+        if self._anti_edges:
+            parts.append(f"anti={sorted(self._anti_edges)}")
+        if self._labels:
+            parts.append(f"labels={dict(sorted(self._labels.items()))}")
+        return f"Pattern({', '.join(parts)})"
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self._n))

@@ -1,0 +1,14 @@
+"""Instrumentation: counters (Fig 1), memory accounting (Fig 13), stage
+timers (Fig 11)."""
+
+from .breakdown import StageTimer
+from .counters import ExplorationCounters, format_fig1_row
+from .memory import StoreMeter, embedding_bytes
+
+__all__ = [
+    "StageTimer",
+    "ExplorationCounters",
+    "format_fig1_row",
+    "StoreMeter",
+    "embedding_bytes",
+]

@@ -1,0 +1,67 @@
+"""Stage-time accounting for the Figure 11 execution-time breakdown.
+
+The engine, when handed a :class:`StageTimer`, attributes time to the
+paper's four stages:
+
+* ``po`` — restricting sorted candidate sets to the partial-order range;
+* ``core`` — adjacency-list intersections matching the pattern core;
+* ``noncore`` — intersections/differences completing the match;
+* ``other`` — everything else (fetching adjacency lists, remapping, ...),
+  computed as total wall time minus the three measured stages.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["StageTimer"]
+
+_STAGES = ("po", "core", "noncore", "other")
+
+
+class StageTimer:
+    """Accumulates per-stage wall time; safe to reuse across runs.
+
+    ``other`` is special: the engine brackets the whole run with it, and
+    :meth:`breakdown` subtracts the inner stages so the four shares sum to
+    the total.
+    """
+
+    __slots__ = ("_totals", "_starts")
+
+    def __init__(self) -> None:
+        self._totals: dict[str, float] = {name: 0.0 for name in _STAGES}
+        self._starts: dict[str, float] = {}
+
+    def start(self, stage: str) -> None:
+        self._starts[stage] = time.perf_counter()
+
+    def stop(self, stage: str) -> None:
+        begin = self._starts.pop(stage, None)
+        if begin is not None:
+            self._totals[stage] += time.perf_counter() - begin
+
+    @property
+    def total(self) -> float:
+        """Total bracketed wall time in seconds."""
+        return self._totals["other"]
+
+    def breakdown(self) -> dict[str, float]:
+        """Absolute seconds per stage; 'other' excludes the inner stages."""
+        po = self._totals["po"]
+        core = self._totals["core"]
+        noncore = self._totals["noncore"]
+        other = max(0.0, self._totals["other"] - po - core - noncore)
+        return {"po": po, "core": core, "noncore": noncore, "other": other}
+
+    def shares(self) -> dict[str, float]:
+        """Per-stage fractions of total time (the Fig 11 ratio bars)."""
+        parts = self.breakdown()
+        total = sum(parts.values())
+        if total <= 0.0:
+            return {name: 0.0 for name in parts}
+        return {name: value / total for name, value in parts.items()}
+
+    def reset(self) -> None:
+        self._totals = {name: 0.0 for name in _STAGES}
+        self._starts.clear()

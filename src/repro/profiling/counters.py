@@ -1,0 +1,51 @@
+"""Exploration-cost counters shared by the engine and the baselines.
+
+Figure 1 of the paper profiles graph mining systems by three numbers:
+total (partial + complete) matches explored, canonicality checks performed,
+and isomorphism checks performed.  :class:`ExplorationCounters` is the
+common ledger all our systems write to, so the Fig 1 benchmark can print
+one row per system from identical bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ExplorationCounters", "format_fig1_row"]
+
+
+@dataclass
+class ExplorationCounters:
+    """Cost ledger for one mining run of any system (ours or a baseline)."""
+
+    system: str = "unknown"
+    matches_explored: int = 0  # partial + complete embeddings touched
+    canonicality_checks: int = 0
+    isomorphism_checks: int = 0
+    result_size: int = 0  # final number of (canonical) matches
+    peak_store_bytes: int = 0  # max bytes of live intermediate embeddings
+    aggregation_writes: int = 0  # domain/support updates (FSM workloads)
+    extra: dict = field(default_factory=dict)
+
+    def explored_ratio(self) -> float:
+        """Matches explored relative to result size (Fig 1's '(N x)')."""
+        if self.result_size == 0:
+            return float("inf") if self.matches_explored else 0.0
+        return self.matches_explored / self.result_size
+
+    def merge(self, other: "ExplorationCounters") -> None:
+        self.matches_explored += other.matches_explored
+        self.canonicality_checks += other.canonicality_checks
+        self.isomorphism_checks += other.isomorphism_checks
+        self.aggregation_writes += other.aggregation_writes
+        self.peak_store_bytes = max(self.peak_store_bytes, other.peak_store_bytes)
+
+
+def format_fig1_row(counters: ExplorationCounters) -> str:
+    """One row of the Figure 1b/1c-style profiling table."""
+    ratio = counters.explored_ratio()
+    ratio_text = f"({ratio:,.0f}x)" if ratio != float("inf") else "(inf)"
+    return (
+        f"{counters.system:<14} {counters.matches_explored:>14,} {ratio_text:>10} "
+        f"{counters.canonicality_checks:>14,} {counters.isomorphism_checks:>14,}"
+    )

@@ -1,0 +1,52 @@
+"""Byte accounting for intermediate state (the Figure 13 comparison).
+
+Peak memory in the paper separates systems far more than wall time: BFS
+systems must hold every partial embedding of a step, while Peregrine keeps
+only the recursion stack.  We account *logical* bytes (8 per vertex slot)
+so pure-Python object overhead does not drown the comparison.
+"""
+
+from __future__ import annotations
+
+__all__ = ["StoreMeter", "embedding_bytes"]
+
+_BYTES_PER_SLOT = 8
+
+
+def embedding_bytes(size: int) -> int:
+    """Logical footprint of one embedding with ``size`` vertices."""
+    return _BYTES_PER_SLOT * size
+
+
+class StoreMeter:
+    """Tracks live + peak bytes of an embedding/aggregation store.
+
+    Baselines call :meth:`add` / :meth:`remove` as embeddings enter and
+    leave their queues; ``peak_bytes`` is what Fig 13 reports.  An optional
+    ``budget_bytes`` makes the store raise through the caller (the caller
+    checks :meth:`over_budget`) to model the paper's OOM cells.
+    """
+
+    __slots__ = ("live_bytes", "peak_bytes", "budget_bytes")
+
+    def __init__(self, budget_bytes: int | None = None):
+        self.live_bytes = 0
+        self.peak_bytes = 0
+        self.budget_bytes = budget_bytes
+
+    def add(self, nbytes: int) -> None:
+        self.live_bytes += nbytes
+        if self.live_bytes > self.peak_bytes:
+            self.peak_bytes = self.live_bytes
+
+    def add_embedding(self, size: int) -> None:
+        self.add(embedding_bytes(size))
+
+    def remove(self, nbytes: int) -> None:
+        self.live_bytes = max(0, self.live_bytes - nbytes)
+
+    def remove_embedding(self, size: int) -> None:
+        self.remove(embedding_bytes(size))
+
+    def over_budget(self) -> bool:
+        return self.budget_bytes is not None and self.live_bytes > self.budget_bytes

@@ -1,0 +1,28 @@
+"""Plain-text reporting: tables, bar charts, and unit formatting.
+
+Every table and figure the benchmark harness regenerates is ultimately a
+terminal artifact; this package holds the shared renderers so benches,
+examples and the CLI format results the same way:
+
+* :class:`~repro.reporting.tables.Table` — aligned ASCII tables with
+  typed columns (Table 2-5 style output);
+* :func:`~repro.reporting.charts.bar_chart` /
+  :func:`~repro.reporting.charts.stacked_bar` — horizontal bars for the
+  Figure 10/13 comparisons and the Figure 11 ratio breakdown;
+* formatters for seconds, bytes and counts with the conventions the
+  paper's tables use ('—' for n/a, '×' for timeouts).
+"""
+
+from .charts import bar_chart, stacked_bar
+from .format import format_bytes, format_count, format_seconds, speedup_cell
+from .tables import Table
+
+__all__ = [
+    "Table",
+    "bar_chart",
+    "stacked_bar",
+    "format_bytes",
+    "format_count",
+    "format_seconds",
+    "speedup_cell",
+]

@@ -1,0 +1,82 @@
+"""Horizontal ASCII bar charts (the terminal stand-in for Figs 10-13).
+
+``bar_chart`` draws one bar per labeled value, scaled to a width;
+``stacked_bar`` draws a single 100% bar split into named segments (the
+Figure 11 runtime-ratio style).  Both support log-ish readability by
+printing exact values beside the bars — the bars orient, the numbers
+carry the data.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+__all__ = ["bar_chart", "stacked_bar"]
+
+_FULL = "#"
+_SEGMENT_GLYPHS = "#=+:.~o*"
+
+
+def bar_chart(
+    items: Mapping[str, float] | Sequence[tuple[str, float]],
+    width: int = 48,
+    value_format: Callable[[float], str] = lambda v: f"{v:,.2f}",
+) -> str:
+    """One horizontal bar per item, scaled to the largest value.
+
+    >>> print(bar_chart({"a": 4.0, "b": 1.0}, width=8))
+    a  ########  4.00
+    b  ##        1.00
+    """
+    pairs = list(items.items()) if isinstance(items, Mapping) else list(items)
+    if not pairs:
+        return "(no data)"
+    if width < 1:
+        raise ValueError("width must be positive")
+    if any(v < 0 for _, v in pairs):
+        raise ValueError("bar values must be non-negative")
+    peak = max(v for _, v in pairs)
+    label_w = max(len(name) for name, _ in pairs)
+    lines = []
+    for name, value in pairs:
+        filled = 0 if peak == 0 else max(
+            round(width * value / peak), 1 if value > 0 else 0
+        )
+        bar = (_FULL * filled).ljust(width)
+        lines.append(f"{name:<{label_w}}  {bar}  {value_format(value)}")
+    return "\n".join(lines)
+
+
+def stacked_bar(
+    shares: Mapping[str, float] | Sequence[tuple[str, float]],
+    width: int = 60,
+) -> str:
+    """A single 100% bar split into named segments, plus a legend.
+
+    Shares are normalized; zero-share segments appear in the legend but
+    occupy no cells.  Rounding remainders go to the largest segment so
+    the bar is always exactly ``width`` cells.
+    """
+    pairs = list(shares.items()) if isinstance(shares, Mapping) else list(shares)
+    if not pairs:
+        return "(no data)"
+    if width < len(pairs):
+        raise ValueError("width must fit at least one cell per segment")
+    if any(v < 0 for _, v in pairs):
+        raise ValueError("shares must be non-negative")
+    total = sum(v for _, v in pairs)
+    if total == 0:
+        return "(no data)"
+    cells = [round(width * v / total) for _, v in pairs]
+    drift = width - sum(cells)
+    widest = max(range(len(pairs)), key=lambda i: pairs[i][1])
+    cells[widest] += drift
+    glyphs = [
+        _SEGMENT_GLYPHS[i % len(_SEGMENT_GLYPHS)] for i in range(len(pairs))
+    ]
+    bar = "".join(g * c for g, c in zip(glyphs, cells))
+    legend = "  ".join(
+        f"{g}={name} {v / total:.1%}"
+        for g, (name, v), c in zip(glyphs, pairs, cells)
+    )
+    return f"[{bar}]\n{legend}"

@@ -1,0 +1,61 @@
+"""Value formatters shared by tables, charts and the CLI.
+
+The conventions follow the paper's tables: seconds with two decimals,
+'—' for out-of-memory / not-applicable cells, '×' for budget timeouts,
+and thousands separators on counts.
+"""
+
+from __future__ import annotations
+
+__all__ = ["format_seconds", "format_bytes", "format_count", "speedup_cell"]
+
+_BYTE_UNITS = ["B", "KiB", "MiB", "GiB", "TiB"]
+
+
+def format_seconds(seconds: float | None) -> str:
+    """Seconds in the paper's table style; sub-millisecond gets precision."""
+    if seconds is None:
+        return "—"
+    if seconds < 0:
+        raise ValueError("negative duration")
+    if seconds < 0.001:
+        return f"{seconds * 1e6:.0f}us"
+    if seconds < 1:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds:.2f}s"
+
+
+def format_bytes(nbytes: int | None) -> str:
+    """Binary-unit byte sizes (the Figure 13 axis)."""
+    if nbytes is None:
+        return "—"
+    if nbytes < 0:
+        raise ValueError("negative byte count")
+    value = float(nbytes)
+    for unit in _BYTE_UNITS:
+        if value < 1024 or unit == _BYTE_UNITS[-1]:
+            if unit == "B":
+                return f"{int(value)}{unit}"
+            return f"{value:.1f}{unit}"
+        value /= 1024
+    raise AssertionError("unreachable")
+
+
+def format_count(n: int | None) -> str:
+    """Counts with thousands separators; '—' for missing."""
+    return "—" if n is None else f"{n:,}"
+
+
+def speedup_cell(
+    baseline_seconds: float | None, ours_seconds: float, status: str = "ok"
+) -> str:
+    """A 'their-time (Nx)' cell; '×' for timeout, '—' for oom, as in Tables 3-5."""
+    if status == "timeout":
+        return "×"
+    if status == "oom":
+        return "—"
+    if baseline_seconds is None:
+        return "—"
+    ratio = baseline_seconds / ours_seconds if ours_seconds > 0 else float("inf")
+    ratio_text = "inf" if ratio == float("inf") else f"{ratio:.1f}x"
+    return f"{format_seconds(baseline_seconds)} ({ratio_text})"

@@ -1,0 +1,84 @@
+"""Aligned ASCII tables for benchmark and CLI output.
+
+A deliberately small renderer: typed columns, row accumulation, one
+``render()``.  No wrapping, no colors — output is meant to be diffable
+and to paste cleanly into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["Table"]
+
+
+@dataclass(frozen=True)
+class _Column:
+    header: str
+    align: str  # "<" left, ">" right
+
+
+class Table:
+    """Accumulate rows, then render with per-column width fitting.
+
+    >>> t = Table(["system", "time"], aligns="<>")
+    >>> t.add_row("peregrine", "0.12s")
+    >>> t.add_row("arabesque-like", "158.05s")
+    >>> print(t.render())
+    system          time
+    ----------------------
+    peregrine       0.12s
+    arabesque-like  158.05s
+    """
+
+    def __init__(self, headers: Sequence[str], aligns: str | None = None):
+        if aligns is None:
+            aligns = "<" * len(headers)
+        if len(aligns) != len(headers):
+            raise ValueError("aligns must have one character per header")
+        if any(a not in "<>" for a in aligns):
+            raise ValueError("aligns characters must be '<' or '>'")
+        self._columns = [
+            _Column(header=h, align=a) for h, a in zip(headers, aligns)
+        ]
+        self._rows: list[list[str]] = []
+
+    @property
+    def num_rows(self) -> int:
+        return len(self._rows)
+
+    def add_row(self, *cells: object) -> None:
+        """Append one row; cells are str()-ed."""
+        if len(cells) != len(self._columns):
+            raise ValueError(
+                f"expected {len(self._columns)} cells, got {len(cells)}"
+            )
+        self._rows.append([str(c) for c in cells])
+
+    def add_rows(self, rows: Iterable[Sequence[object]]) -> None:
+        for row in rows:
+            self.add_row(*row)
+
+    def render(self, separator: str = "  ") -> str:
+        """The table as a string: header, rule, rows."""
+        widths = [
+            max(len(col.header), *(len(r[i]) for r in self._rows))
+            if self._rows
+            else len(col.header)
+            for i, col in enumerate(self._columns)
+        ]
+        def fmt(cells: Sequence[str]) -> str:
+            return separator.join(
+                f"{cell:{col.align}{width}}"
+                for cell, col, width in zip(cells, self._columns, widths)
+            ).rstrip()
+
+        header = fmt([c.header for c in self._columns])
+        rule = "-" * (sum(widths) + len(separator) * (len(widths) - 1))
+        lines = [header, rule]
+        lines.extend(fmt(row) for row in self._rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

@@ -1,0 +1,21 @@
+"""Concurrent runtime: scheduling, thread/process pools, aggregation."""
+
+from .scheduler import TaskScheduler
+from .aggregation import AggregatorThread
+from .parallel import ParallelResult, parallel_match, process_count
+from .termination import (
+    stop_after_n_matches,
+    stop_when_aggregate,
+    DeadlineControl,
+)
+
+__all__ = [
+    "TaskScheduler",
+    "AggregatorThread",
+    "ParallelResult",
+    "parallel_match",
+    "process_count",
+    "stop_after_n_matches",
+    "stop_when_aggregate",
+    "DeadlineControl",
+]

@@ -1,0 +1,74 @@
+"""On-the-fly aggregation (§5.4).
+
+Matching workers keep thread-local :class:`~repro.core.callbacks.Aggregator`
+instances and never block on shared state.  An asynchronous aggregator
+thread periodically swaps each worker's local value map out (the workers'
+``merge_from`` drain is the swap) and folds it into the global aggregate,
+so global values — FSM supports, early-termination conditions — are
+available while matching is still running.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Sequence
+
+from ..core.callbacks import Aggregator
+
+__all__ = ["AggregatorThread"]
+
+
+class AggregatorThread:
+    """Background thread folding worker-local aggregators into a global one.
+
+    Parameters
+    ----------
+    global_aggregator: the destination of all merges.
+    locals_: one aggregator per worker thread.
+    interval: seconds between merge sweeps.
+    on_update: optional hook run (with the global aggregator) after every
+        sweep — the place where FSM checks support thresholds or existence
+        queries evaluate their conditions while matching continues.
+    """
+
+    def __init__(
+        self,
+        global_aggregator: Aggregator,
+        locals_: Sequence[Aggregator],
+        interval: float = 0.005,
+        on_update: Callable[[Aggregator], None] | None = None,
+    ):
+        self._global = global_aggregator
+        self._locals = list(locals_)
+        self._interval = interval
+        self._on_update = on_update
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._loop, name="aggregator", daemon=True
+        )
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def _sweep(self) -> None:
+        for local in self._locals:
+            self._global.merge_from(local)
+        if self._on_update is not None:
+            self._on_update(self._global)
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self._interval):
+            self._sweep()
+
+    def stop(self) -> None:
+        """Stop the thread and run one final sweep so nothing is lost."""
+        self._stop.set()
+        self._thread.join()
+        self._sweep()
+
+    def __enter__(self) -> "AggregatorThread":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,52 @@
+"""Dynamic task scheduling (§5.2, §5.5).
+
+A task is the data vertex an exploration starts from.  Tasks are handed
+out through a shared atomic counter over the degree-descending vertex
+order — highest-degree (largest-id) vertices first, so the heaviest tasks
+start early and stragglers are short.  Workers pull chunks to amortize
+counter contention.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Sequence
+
+__all__ = ["TaskScheduler"]
+
+
+class TaskScheduler:
+    """Chunked atomic-counter scheduler over a fixed task order."""
+
+    __slots__ = ("_order", "_next", "_lock", "chunk_size")
+
+    def __init__(self, order: Sequence[int], chunk_size: int = 64):
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self._order = order
+        self._next = 0
+        self._lock = threading.Lock()
+        self.chunk_size = chunk_size
+
+    @classmethod
+    def degree_descending(cls, num_vertices: int, chunk_size: int = 64) -> "TaskScheduler":
+        """Scheduler over a degree-ordered graph: ids n-1 .. 0 (§5.2)."""
+        return cls(range(num_vertices - 1, -1, -1), chunk_size=chunk_size)
+
+    def next_chunk(self) -> Sequence[int]:
+        """Claim the next chunk of start vertices; empty when exhausted."""
+        with self._lock:
+            start = self._next
+            if start >= len(self._order):
+                return ()
+            end = min(start + self.chunk_size, len(self._order))
+            self._next = end
+        return self._order[start:end]
+
+    def remaining(self) -> int:
+        with self._lock:
+            return max(0, len(self._order) - self._next)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._next = 0

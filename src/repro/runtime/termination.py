@@ -1,0 +1,67 @@
+"""Early-termination helpers (§5.3) layered on ExplorationControl.
+
+The core :class:`~repro.core.callbacks.ExplorationControl` is a bare stop
+token; this module adds the common monitoring patterns: stop after N
+matches, stop when an aggregate crosses a threshold, stop on a deadline.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable
+
+from ..core.callbacks import Aggregator, ExplorationControl, Match
+
+__all__ = ["stop_after_n_matches", "stop_when_aggregate", "DeadlineControl"]
+
+
+def stop_after_n_matches(
+    control: ExplorationControl, n: int, inner: Callable[[Match], None] | None = None
+) -> Callable[[Match], None]:
+    """Wrap a callback so exploration stops after ``n`` matches."""
+    state = {"count": 0}
+
+    def wrapped(m: Match) -> None:
+        if inner is not None:
+            inner(m)
+        state["count"] += 1
+        if state["count"] >= n:
+            control.stop()
+
+    return wrapped
+
+
+def stop_when_aggregate(
+    control: ExplorationControl,
+    key: Any,
+    predicate: Callable[[Any], bool],
+) -> Callable[[Aggregator], None]:
+    """Build an ``on_update`` hook stopping when an aggregate satisfies a
+    predicate — the monitoring half of Fig 4b's countAndCheck."""
+
+    def on_update(aggregator: Aggregator) -> None:
+        value = aggregator.get(key)
+        if value is not None and predicate(value):
+            control.stop()
+
+    return on_update
+
+
+class DeadlineControl(ExplorationControl):
+    """Control that also reports stopped once a wall-clock deadline passes.
+
+    Models the paper's five-hour execution cap for long-running baseline
+    comparisons without needing signal handling.
+    """
+
+    __slots__ = ("_deadline",)
+
+    def __init__(self, seconds: float):
+        super().__init__()
+        self._deadline = time.perf_counter() + seconds
+
+    @property
+    def stopped(self) -> bool:  # type: ignore[override]
+        if time.perf_counter() >= self._deadline:
+            return True
+        return super().stopped

@@ -1,0 +1,72 @@
+"""Shared fixtures and oracles for the test suite.
+
+The most important tool here is the networkx oracle: for any pattern and
+small graph we can compute the exact number of edge-induced (monomorphism)
+or vertex-induced (induced-isomorphism) canonical matches independently of
+our engine, by dividing raw isomorphism counts by |Aut(pattern)|.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graph import DataGraph, erdos_renyi, from_edges, with_random_labels
+from repro.pattern import Pattern, automorphism_count
+
+
+def pattern_to_nx(p: Pattern) -> "nx.Graph":
+    """Regular-edge view of a pattern as a networkx graph."""
+    g = nx.Graph()
+    g.add_nodes_from(range(p.num_vertices))
+    g.add_edges_from(p.edges())
+    return g
+
+
+def nx_count_edge_induced(graph: DataGraph, p: Pattern) -> int:
+    """Oracle: canonical edge-induced match count via monomorphisms."""
+    gm = nx.algorithms.isomorphism.GraphMatcher(
+        graph.to_networkx(), pattern_to_nx(p)
+    )
+    raw = sum(1 for _ in gm.subgraph_monomorphisms_iter())
+    return raw // automorphism_count(p)
+
+
+def nx_count_vertex_induced(graph: DataGraph, p: Pattern) -> int:
+    """Oracle: canonical vertex-induced match count via induced isos."""
+    gm = nx.algorithms.isomorphism.GraphMatcher(
+        graph.to_networkx(), pattern_to_nx(p)
+    )
+    raw = sum(1 for _ in gm.subgraph_isomorphisms_iter())
+    return raw // automorphism_count(p)
+
+
+@pytest.fixture
+def tiny_graph() -> DataGraph:
+    """The paper's Figure 6 data graph (7 vertices)."""
+    # v1..v7 renamed 0..6: edges from the figure.
+    return from_edges(
+        [(0, 1), (0, 3), (0, 5), (1, 2), (1, 3), (1, 5), (2, 4), (3, 5), (5, 6), (2, 0)],
+        name="figure6",
+    )
+
+
+@pytest.fixture
+def random_graph() -> DataGraph:
+    return erdos_renyi(40, 0.15, seed=3)
+
+
+@pytest.fixture
+def denser_graph() -> DataGraph:
+    return erdos_renyi(30, 0.3, seed=11)
+
+
+@pytest.fixture
+def labeled_graph() -> DataGraph:
+    return with_random_labels(erdos_renyi(40, 0.18, seed=7), 4, seed=1)
+
+
+@pytest.fixture
+def triangle_graph() -> DataGraph:
+    """K_3 plus a pendant vertex."""
+    return from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])

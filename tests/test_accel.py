@@ -1,0 +1,145 @@
+"""Tests for the numpy-accelerated kernels and counting engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import count
+from repro.core.accel import (
+    AcceleratedGraphView,
+    accelerated_count,
+    np_bounded,
+    np_difference,
+    np_intersect,
+    np_intersect_many,
+)
+from repro.errors import MatchingError
+from repro.graph import barabasi_albert, erdos_renyi
+from repro.pattern import Pattern, generate_chain, generate_clique, generate_star
+
+sorted_arrays = st.lists(
+    st.integers(min_value=0, max_value=200), max_size=60
+).map(lambda xs: np.array(sorted(set(xs)), dtype=np.int64))
+
+
+# ----------------------------------------------------------------------
+# Kernels vs set semantics
+# ----------------------------------------------------------------------
+
+
+class TestKernels:
+    @given(sorted_arrays, sorted_arrays)
+    def test_intersect_matches_set(self, a, b):
+        got = np_intersect(a, b)
+        assert got.tolist() == sorted(set(a.tolist()) & set(b.tolist()))
+
+    @given(sorted_arrays, sorted_arrays)
+    def test_difference_matches_set(self, a, b):
+        got = np_difference(a, b)
+        assert got.tolist() == sorted(set(a.tolist()) - set(b.tolist()))
+
+    @given(st.lists(sorted_arrays, max_size=4))
+    @settings(max_examples=40)
+    def test_intersect_many_matches_set(self, lists):
+        got = np_intersect_many(lists)
+        if not lists:
+            assert got.size == 0
+        else:
+            expected = set(lists[0].tolist())
+            for other in lists[1:]:
+                expected &= set(other.tolist())
+            assert got.tolist() == sorted(expected)
+
+    @given(
+        sorted_arrays,
+        st.integers(min_value=-1, max_value=201),
+        st.integers(min_value=-1, max_value=201),
+    )
+    def test_bounded_matches_comprehension(self, a, lo, hi):
+        got = np_bounded(a, lo, hi)
+        assert got.tolist() == [v for v in a.tolist() if lo < v < hi]
+
+    def test_empty_edges(self):
+        empty = np.empty(0, dtype=np.int64)
+        one = np.array([3], dtype=np.int64)
+        assert np_intersect(empty, one).size == 0
+        assert np_difference(empty, one).size == 0
+        assert np_difference(one, empty).tolist() == [3]
+        assert np_intersect_many([]).size == 0
+
+
+# ----------------------------------------------------------------------
+# Graph view
+# ----------------------------------------------------------------------
+
+
+class TestAcceleratedGraphView:
+    def test_neighbors_agree_with_graph(self):
+        g = erdos_renyi(50, 0.2, seed=4)
+        view = AcceleratedGraphView(g)
+        for v in g.vertices():
+            assert view.neighbors(v).tolist() == g.neighbors(v)
+
+    def test_memory_accounting(self):
+        g = erdos_renyi(50, 0.2, seed=4)
+        view = AcceleratedGraphView(g)
+        assert view.memory_bytes() >= 8 * 2 * g.num_edges
+
+
+# ----------------------------------------------------------------------
+# Accelerated counting == reference engine
+# ----------------------------------------------------------------------
+
+
+class TestAcceleratedCount:
+    @pytest.mark.parametrize(
+        "pattern_fn",
+        [
+            lambda: generate_clique(3),
+            lambda: generate_clique(4),
+            lambda: generate_chain(4),
+            lambda: generate_star(4),
+            lambda: Pattern.from_edges([(0, 1), (1, 2), (2, 0), (2, 3)]),
+            lambda: Pattern.from_edges([(0, 1), (1, 2), (2, 3), (3, 0)]),
+        ],
+    )
+    def test_agrees_with_reference(self, pattern_fn):
+        g = barabasi_albert(300, 5, seed=9)
+        p = pattern_fn()
+        assert accelerated_count(g, p) == count(g, p)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_random_graph_triangles(self, seed):
+        g = erdos_renyi(40, 0.25, seed=seed)
+        assert accelerated_count(g, generate_clique(3)) == count(
+            g, generate_clique(3)
+        )
+
+    def test_rejects_anti_edges(self):
+        g = erdos_renyi(20, 0.3, seed=1)
+        p = generate_chain(3)
+        p.add_anti_edge(0, 2)
+        with pytest.raises(MatchingError):
+            accelerated_count(g, p)
+
+    def test_rejects_labels(self):
+        g = erdos_renyi(20, 0.3, seed=1)
+        p = Pattern.from_edges([(0, 1)])
+        p.set_label(0, 1)
+        with pytest.raises(MatchingError):
+            accelerated_count(g, p)
+
+    def test_single_edge_pattern(self):
+        g = erdos_renyi(30, 0.2, seed=2)
+        assert accelerated_count(g, Pattern.from_edges([(0, 1)])) == g.num_edges
+
+    def test_reusable_view(self):
+        g = barabasi_albert(200, 4, seed=3)
+        ordered, _ = g.degree_ordered()
+        view = AcceleratedGraphView(ordered)
+        for p in (generate_clique(3), generate_chain(3)):
+            assert accelerated_count(g, p, view=view) == count(g, p)

@@ -1,0 +1,112 @@
+"""Anti-edge semantics (§4.2): matches must avoid specific edges."""
+
+from itertools import combinations, permutations
+
+from repro.core import count, match
+from repro.graph import DataGraph, erdos_renyi, from_edges
+from repro.pattern import Pattern, pattern_p8
+
+
+def brute_force_count(graph: DataGraph, p: Pattern) -> int:
+    """Oracle: enumerate injective mappings, filter edges and anti-edges,
+    divide by automorphisms (count each subgraph once)."""
+    from repro.pattern import automorphism_count
+
+    n = p.num_vertices
+    raw = 0
+    for vertices in permutations(range(graph.num_vertices), n):
+        ok = True
+        for u, v in p.edges():
+            if not graph.has_edge(vertices[u], vertices[v]):
+                ok = False
+                break
+        if ok:
+            for u, v in p.anti_edges():
+                if graph.has_edge(vertices[u], vertices[v]):
+                    ok = False
+                    break
+        if ok:
+            raw += 1
+    return raw // automorphism_count(p)
+
+
+class TestAntiEdgeSemantics:
+    def test_open_wedge(self):
+        # Wedge whose endpoints must NOT be connected.
+        p = Pattern.from_edges([(0, 1), (1, 2)], anti_edges=[(0, 2)])
+        g = erdos_renyi(12, 0.4, seed=1)
+        assert count(g, p) == brute_force_count(g, p)
+
+    def test_paper_pattern_pa(self):
+        # pa in Figure 3: two unrelated people with two mutual friends =
+        # 4-cycle with one anti-diagonal.
+        pa = Pattern.from_edges(
+            [(0, 1), (1, 2), (2, 3), (3, 0)], anti_edges=[(1, 3)]
+        )
+        g = erdos_renyi(12, 0.4, seed=2)
+        assert count(g, pa) == brute_force_count(g, pa)
+
+    def test_paper_pattern_pb_two_anti_edges(self):
+        # pb: 4-cycle with both diagonals anti (vertex-induced square).
+        pb = Pattern.from_edges(
+            [(0, 1), (1, 2), (2, 3), (3, 0)],
+            anti_edges=[(0, 2), (1, 3)],
+        )
+        g = erdos_renyi(12, 0.4, seed=3)
+        assert count(g, pb) == brute_force_count(g, pb)
+
+    def test_p8_chordal_square(self):
+        g = erdos_renyi(12, 0.45, seed=4)
+        assert count(g, pattern_p8()) == brute_force_count(g, pattern_p8())
+
+    def test_matches_verify_anti_edges(self):
+        g = erdos_renyi(14, 0.4, seed=5)
+        p = pattern_p8()
+
+        def verify(m):
+            for u, v in p.anti_edges():
+                assert not g.has_edge(m[u], m[v])
+
+        match(g, p, callback=verify)
+
+    def test_anti_edge_excludes_all_on_complete_graph(self):
+        # On K_n every pair is adjacent, so any anti-edge kills all matches.
+        from repro.graph import complete_graph
+
+        p = Pattern.from_edges([(0, 1), (1, 2)], anti_edges=[(0, 2)])
+        assert count(complete_graph(6), p) == 0
+
+    def test_anti_edge_only_between_noncore(self):
+        # Star with anti-edges between leaves: leaves are non-core, the
+        # cover must still cover those anti-edges (§4.2).
+        p = Pattern.from_edges(
+            [(0, 1), (0, 2), (0, 3)], anti_edges=[(1, 2), (2, 3), (1, 3)]
+        )
+        g = erdos_renyi(12, 0.35, seed=6)
+        assert count(g, p) == brute_force_count(g, p)
+
+
+class TestVertexInducedEquivalence:
+    """Theorem 3.1: vertex-induced matches == edge-induced of the closure."""
+
+    def test_wedge(self):
+        g = erdos_renyi(15, 0.3, seed=7)
+        wedge = Pattern.from_edges([(0, 1), (1, 2)])
+        closed = wedge.vertex_induced_closure()
+        assert count(g, wedge, edge_induced=False) == count(g, closed)
+
+    def test_cycle4(self):
+        from repro.pattern import generate_cycle
+
+        g = erdos_renyi(15, 0.3, seed=8)
+        c4 = generate_cycle(4)
+        assert count(g, c4, edge_induced=False) == count(
+            g, c4.vertex_induced_closure()
+        )
+
+    def test_clique_closure_is_identity(self):
+        from repro.pattern import generate_clique
+
+        g = erdos_renyi(15, 0.3, seed=9)
+        k3 = generate_clique(3)
+        assert count(g, k3, edge_induced=False) == count(g, k3)

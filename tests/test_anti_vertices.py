@@ -1,0 +1,126 @@
+"""Anti-vertex semantics (§4.3): strict absence of common neighbors."""
+
+from itertools import permutations
+
+from repro.core import count, match
+from repro.graph import DataGraph, erdos_renyi, from_edges, complete_graph
+from repro.pattern import Pattern, pattern_p7
+
+
+def brute_force_anti_vertex_count(graph: DataGraph, p: Pattern) -> int:
+    """Oracle for patterns with anti-vertices: map regular vertices
+    injectively, verify edges + regular anti-edges, then verify each
+    anti-vertex constraint (no common neighbor outside the match)."""
+    from repro.pattern import automorphisms
+
+    regular = p.regular_vertices()
+    anti = p.anti_vertices()
+    autos = automorphisms(p)
+    # Count distinct regular-assignments, then collapse by the automorphism
+    # action restricted to regular vertices.
+    valid = set()
+    for assignment in permutations(range(graph.num_vertices), len(regular)):
+        m = dict(zip(regular, assignment))
+        ok = all(graph.has_edge(m[u], m[v]) for u, v in p.edges())
+        if ok:
+            for u, v in p.anti_edges():
+                if u in m and v in m and graph.has_edge(m[u], m[v]):
+                    ok = False
+                    break
+        if ok:
+            matched = set(m.values())
+            for a in anti:
+                nbrs = [m[x] for x in p.anti_neighbors(a)]
+                common = set(graph.neighbors(nbrs[0]))
+                for x in nbrs[1:]:
+                    common &= set(graph.neighbors(x))
+                if common - matched:
+                    ok = False
+                    break
+        if ok:
+            valid.add(tuple(m[u] for u in regular))
+    # collapse automorphic duplicates
+    reps = set()
+    for assignment in valid:
+        m = dict(zip(regular, assignment))
+        images = []
+        for sigma in autos:
+            image = tuple(m[sigma[u]] for u in regular)
+            images.append(image)
+        reps.add(min(images))
+    return len(reps)
+
+
+class TestAntiVertexSemantics:
+    def test_p7_maximal_triangles(self):
+        g = erdos_renyi(12, 0.4, seed=1)
+        assert count(g, pattern_p7()) == brute_force_anti_vertex_count(
+            g, pattern_p7()
+        )
+
+    def test_pc_no_common_neighbor_edge(self):
+        # pc in Figure 3: an edge whose endpoints have no common neighbor
+        # (triangle-free edge).
+        pc = Pattern.from_edges([(0, 1)])
+        pc.add_anti_vertex([0, 1])
+        g = erdos_renyi(12, 0.35, seed=2)
+        assert count(g, pc) == brute_force_anti_vertex_count(g, pc)
+
+    def test_pd_single_neighbor_anti_vertex(self):
+        # pd-style: wedge whose center has NO neighbors outside the match.
+        pd = Pattern.from_edges([(0, 1), (1, 2)])
+        pd.add_anti_vertex([1])
+        g = erdos_renyi(10, 0.35, seed=3)
+        assert count(g, pd) == brute_force_anti_vertex_count(g, pd)
+
+    def test_pe_exactly_one_mutual_friend(self):
+        # pe: triangle where the two 'friends' (0, 2) have only vertex 1 as
+        # common neighbor: anti-vertex adjacent to 0 and 2.
+        pe = Pattern.from_edges([(0, 1), (1, 2), (0, 2)])
+        pe.add_anti_vertex([0, 2])
+        g = erdos_renyi(12, 0.35, seed=4)
+        assert count(g, pe) == brute_force_anti_vertex_count(g, pe)
+
+    def test_pf_two_anti_vertices(self):
+        pf = Pattern.from_edges([(0, 1), (1, 2)])
+        pf.add_anti_vertex([0, 2])
+        pf.add_anti_vertex([1])
+        g = erdos_renyi(10, 0.35, seed=5)
+        assert count(g, pf) == brute_force_anti_vertex_count(g, pf)
+
+    def test_anti_vertex_on_complete_graph_matches_nothing(self):
+        # K_6: every triangle is in a K_4, so maximal triangles = 0.
+        assert count(complete_graph(6), pattern_p7()) == 0
+
+    def test_isolated_triangle_is_maximal(self):
+        g = from_edges([(0, 1), (1, 2), (0, 2)], num_vertices=5)
+        assert count(g, pattern_p7()) == 1
+
+    def test_paper_symmetry_example(self):
+        """§4.3's example: in the Figure 6 graph, pe-style matching of
+        triangle {v1, v4, v6} must produce matches for both orientations
+        that the anti-vertex distinguishes."""
+        # Figure 6 graph, 0-indexed: v1..v7 -> 0..6
+        g = from_edges(
+            [(0, 2), (0, 3), (0, 5), (1, 2), (2, 3), (2, 4), (3, 5),
+             (3, 4), (4, 6), (3, 6)],
+            name="fig6-like",
+        )
+        pe = Pattern.from_edges([(0, 1), (1, 2), (0, 2)])
+        pe.add_anti_vertex([0, 2])
+        got = count(g, pe)
+        expected = brute_force_anti_vertex_count(g, pe)
+        assert got == expected
+
+    def test_callbacks_see_constraint_satisfied(self):
+        g = erdos_renyi(14, 0.35, seed=6)
+        p = pattern_p7()
+
+        def verify(m):
+            a, b, c = (m[u] for u in range(3))
+            common = (
+                set(g.neighbors(a)) & set(g.neighbors(b)) & set(g.neighbors(c))
+            )
+            assert not (common - {a, b, c})
+
+        match(g, p, callback=verify)

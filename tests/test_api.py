@@ -1,0 +1,101 @@
+"""Tests for the public match/count/exists API surface."""
+
+import pytest
+
+from repro.core import count, count_many, exists, match, generate_plan
+from repro.errors import MatchingError
+from repro.graph import erdos_renyi, from_edges, with_random_labels
+from repro.pattern import (
+    Pattern,
+    generate_all_vertex_induced,
+    generate_clique,
+    generate_star,
+)
+
+
+class TestCount:
+    def test_count_matches_callback_total(self, random_graph):
+        p = generate_star(4)
+        calls = []
+        n = match(random_graph, p, callback=lambda m: calls.append(1))
+        assert n == len(calls) == count(random_graph, p)
+
+    def test_count_many(self, random_graph):
+        patterns = generate_all_vertex_induced(3)
+        counts = count_many(random_graph, patterns, edge_induced=False)
+        assert set(counts) == set(patterns)
+        for p, n in counts.items():
+            assert n == count(random_graph, p, edge_induced=False)
+
+    def test_precomputed_plan_reused(self, random_graph):
+        p = generate_clique(3)
+        plan = generate_plan(p)
+        assert count(random_graph, p, plan=plan) == count(random_graph, p)
+
+
+class TestExists:
+    def test_exists_positive(self):
+        g = from_edges([(0, 1), (1, 2), (0, 2)])
+        assert exists(g, generate_clique(3))
+
+    def test_exists_negative(self):
+        g = from_edges([(0, 1), (1, 2), (2, 3)])
+        assert not exists(g, generate_clique(3))
+
+    def test_exists_vertex_induced(self):
+        g = from_edges([(0, 1), (1, 2), (0, 2)])
+        wedge = Pattern.from_edges([(0, 1), (1, 2)])
+        # Every wedge in K3 closes into a triangle: no vertex-induced wedge.
+        assert not exists(g, wedge, edge_induced=False)
+        assert exists(g, wedge)  # but edge-induced wedges exist
+
+
+class TestLabeledMatching:
+    def test_labeled_pattern_on_unlabeled_graph_raises(self, random_graph):
+        p = generate_clique(3)
+        p.set_label(0, 1)
+        with pytest.raises(MatchingError):
+            count(random_graph, p)
+
+    def test_label_constraints_filter(self):
+        g = from_edges([(0, 1), (1, 2), (0, 2)], labels=[1, 1, 2])
+        p = generate_clique(3)
+        p.set_label(0, 1)
+        p.set_label(1, 1)
+        p.set_label(2, 2)
+        assert count(g, p) == 1
+        p2 = generate_clique(3)
+        for u in range(3):
+            p2.set_label(u, 1)
+        assert count(g, p2) == 0
+
+    def test_partial_labels(self):
+        g = from_edges([(0, 1), (1, 2), (0, 2)], labels=[1, 1, 2])
+        p = generate_clique(3)
+        p.set_label(0, 2)  # one pinned vertex, two wildcards
+        assert count(g, p) == 1
+
+    def test_labeled_count_vs_oracle(self, labeled_graph):
+        import networkx as nx
+
+        from repro.pattern import automorphism_count
+
+        p = generate_clique(3)
+        p.set_label(0, 0)
+        p.set_label(1, 1)
+        p.set_label(2, 2)
+        G = labeled_graph.to_networkx()
+        raw = 0
+        from itertools import permutations
+
+        for a, b, c in permutations(range(labeled_graph.num_vertices), 3):
+            if (
+                G.has_edge(a, b)
+                and G.has_edge(b, c)
+                and G.has_edge(a, c)
+                and G.nodes[a]["label"] == 0
+                and G.nodes[b]["label"] == 1
+                and G.nodes[c]["label"] == 2
+            ):
+                raw += 1
+        assert count(labeled_graph, p) == raw // automorphism_count(p)

@@ -1,0 +1,132 @@
+"""Tests for ASAP-style approximate pattern counting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import count
+from repro.graph import erdos_renyi, from_edges, with_random_labels
+from repro.mining import (
+    ApproxResult,
+    approximate_count,
+    approximate_motif_counts,
+    approximate_triangle_count,
+    motif_counts,
+    trials_for_error,
+)
+from repro.pattern import Pattern, generate_chain, generate_clique, generate_star
+
+
+@pytest.fixture(scope="module")
+def sample_graph():
+    return erdos_renyi(60, 0.15, seed=5)
+
+
+class TestEstimatorAccuracy:
+    def test_triangles_within_confidence_interval(self, sample_graph):
+        exact = count(sample_graph, generate_clique(3))
+        r = approximate_triangle_count(sample_graph, trials=30_000, seed=1)
+        assert r.within(exact, slack=3.0)
+        assert r.relative_ci < 0.1
+
+    @pytest.mark.parametrize(
+        "pattern_fn",
+        [lambda: generate_chain(3), lambda: generate_star(4),
+         lambda: Pattern.from_edges([(0, 1), (1, 2), (2, 0), (2, 3)])],
+    )
+    def test_other_patterns_converge(self, sample_graph, pattern_fn):
+        p = pattern_fn()
+        exact = count(sample_graph, p)
+        r = approximate_count(sample_graph, p, trials=40_000, seed=7)
+        assert exact > 0
+        assert abs(r.estimate - exact) / exact < 0.15
+
+    def test_vertex_induced_mode(self, sample_graph):
+        chain = generate_chain(3)
+        exact = count(sample_graph, chain, edge_induced=False)
+        r = approximate_count(
+            sample_graph, chain, trials=40_000, seed=11, edge_induced=False
+        )
+        assert abs(r.estimate - exact) / exact < 0.15
+
+    def test_labeled_pattern(self):
+        g = with_random_labels(erdos_renyi(50, 0.2, seed=2), 2, seed=3)
+        p = Pattern.from_edges([(0, 1)])
+        p.set_label(0, 0)
+        p.set_label(1, 1)
+        exact = count(g, p)
+        r = approximate_count(g, p, trials=60_000, seed=5)
+        assert exact > 0
+        assert abs(r.estimate - exact) / exact < 0.2
+
+    def test_motif_census_estimates(self, sample_graph):
+        exact = motif_counts(sample_graph, 3)
+        approx = approximate_motif_counts(sample_graph, 3, trials=30_000, seed=9)
+        assert len(approx) == len(exact) == 2
+        exact_by_edges = {p.num_edges: c for p, c in exact.items()}
+        for motif, r in approx.items():
+            truth = exact_by_edges[motif.num_edges]
+            assert abs(r.estimate - truth) / max(truth, 1) < 0.2
+
+
+class TestEstimatorBehaviour:
+    def test_zero_matches_estimates_zero(self):
+        g = from_edges([(0, 1), (1, 2), (2, 3)])  # a path: no triangles
+        r = approximate_triangle_count(g, trials=2_000, seed=1)
+        assert r.estimate == 0.0
+        assert r.ci95 == 0.0
+        assert r.hit_rate == 0.0
+
+    def test_deterministic_with_seed(self, sample_graph):
+        a = approximate_triangle_count(sample_graph, trials=1_000, seed=42)
+        b = approximate_triangle_count(sample_graph, trials=1_000, seed=42)
+        assert a == b
+
+    def test_different_seeds_differ(self, sample_graph):
+        a = approximate_triangle_count(sample_graph, trials=1_000, seed=1)
+        b = approximate_triangle_count(sample_graph, trials=1_000, seed=2)
+        assert a.estimate != b.estimate
+
+    def test_more_trials_tighter_interval(self, sample_graph):
+        small = approximate_triangle_count(sample_graph, trials=1_000, seed=3)
+        big = approximate_triangle_count(sample_graph, trials=50_000, seed=3)
+        assert big.ci95 < small.ci95
+
+    def test_empty_graph(self):
+        g = from_edges([], num_vertices=0)
+        r = approximate_triangle_count(g, trials=100, seed=0)
+        assert r.estimate == 0.0
+
+    def test_invalid_trials_rejected(self, sample_graph):
+        with pytest.raises(ValueError):
+            approximate_count(sample_graph, generate_clique(3), trials=0)
+
+    def test_relative_ci_of_zero_estimate(self):
+        r = ApproxResult(estimate=0.0, trials=10, stddev=0.0, ci95=0.0, hit_rate=0.0)
+        assert r.relative_ci == 0.0
+
+
+class TestErrorLatencyProfile:
+    def test_tighter_error_needs_more_trials(self, sample_graph):
+        p = generate_clique(3)
+        loose = trials_for_error(sample_graph, p, 0.5, pilot_trials=500, seed=1)
+        tight = trials_for_error(sample_graph, p, 0.005, pilot_trials=500, seed=1)
+        assert tight > loose
+
+    def test_profile_prediction_holds(self, sample_graph):
+        """Running the predicted trial count achieves the target error."""
+        p = generate_clique(3)
+        target = 0.05
+        trials = trials_for_error(sample_graph, p, target, pilot_trials=2_000, seed=1)
+        r = approximate_count(sample_graph, p, trials=trials, seed=99)
+        exact = count(sample_graph, p)
+        assert abs(r.estimate - exact) / exact < 3 * target
+
+    def test_zero_signal_pilot_rejected(self):
+        g = from_edges([(0, 1), (1, 2)])
+        with pytest.raises(ValueError):
+            trials_for_error(g, generate_clique(3), 0.1, pilot_trials=200, seed=1)
+
+    def test_invalid_target_rejected(self, sample_graph):
+        with pytest.raises(ValueError):
+            trials_for_error(sample_graph, generate_clique(3), 0.0)

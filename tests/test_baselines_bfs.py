@@ -1,0 +1,107 @@
+"""Tests for the Arabesque-like BFS baseline: correctness + cost profile."""
+
+import pytest
+
+from repro.baselines import (
+    bfs_clique_count,
+    bfs_fsm,
+    bfs_motif_count,
+    canonical_growth_order,
+    is_canonical_embedding,
+)
+from repro.errors import BudgetExceeded, MemoryBudgetExceeded
+from repro.graph import erdos_renyi, mico_like
+from repro.mining import clique_count, fsm, motif_counts
+from repro.pattern import canonical_code
+
+
+class TestCanonicality:
+    def test_exactly_one_canonical_order_per_set(self, random_graph):
+        # For any connected vertex set, exactly one growth order passes.
+        from itertools import permutations
+
+        from repro.core import count as _count
+
+        tri_sets = set()
+        from repro.mining import list_cliques
+
+        for trio in list_cliques(random_graph, 3)[:10]:
+            orders = [
+                perm
+                for perm in permutations(trio)
+                if is_canonical_embedding(random_graph, perm)
+            ]
+            assert len(orders) == 1
+
+    def test_canonical_order_starts_at_min(self, random_graph):
+        order = canonical_growth_order(random_graph, (7, 3, 9))
+        assert order[0] == 3
+
+
+class TestAgainstEngine:
+    def test_motifs_equal(self, random_graph):
+        baseline, counters = bfs_motif_count(random_graph, 3)
+        engine = {
+            canonical_code(p): n for p, n in motif_counts(random_graph, 3).items()
+        }
+        assert baseline == engine
+        assert counters.result_size == sum(engine.values())
+
+    def test_cliques_equal(self, denser_graph):
+        baseline, _ = bfs_clique_count(denser_graph, 4)
+        assert baseline == clique_count(denser_graph, 4)
+
+    def test_fsm_equal(self):
+        g = mico_like(0.15)
+        baseline, _ = bfs_fsm(g, 2, 3)
+        engine = {
+            canonical_code(p): s for p, s in fsm(g, 2, 3).frequent.items()
+        }
+        assert baseline == engine
+
+
+class TestCostProfile:
+    """The Figure 1 claims: baselines explore far more than the result size
+    and pay canonicality/isomorphism checks; Peregrine pays none."""
+
+    def test_explored_exceeds_results(self, random_graph):
+        _, counters = bfs_motif_count(random_graph, 3)
+        assert counters.matches_explored > counters.result_size
+        assert counters.canonicality_checks > 0
+        assert counters.isomorphism_checks >= counters.result_size
+
+    def test_engine_pays_no_checks(self, random_graph):
+        from repro.core import EngineStats, count
+        from repro.pattern import generate_clique
+
+        stats = EngineStats()
+        count(random_graph, generate_clique(3), stats=stats)
+        assert stats.canonicality_checks == 0
+        assert stats.isomorphism_checks == 0
+
+    def test_clique_waste_ratio(self, denser_graph):
+        """Most explored embeddings are not cliques (the 99.7% waste)."""
+        _, counters = bfs_clique_count(denser_graph, 4)
+        assert counters.matches_explored > 2 * counters.result_size
+
+    def test_memory_grows_with_level_width(self, denser_graph):
+        _, c3 = bfs_clique_count(denser_graph, 3)
+        _, c4 = bfs_motif_count(denser_graph, 3)
+        # Unfiltered motif enumeration must store more than clique-filtered.
+        assert c4.peak_store_bytes >= c3.peak_store_bytes
+
+
+class TestBudgets:
+    def test_step_budget_raises(self, denser_graph):
+        with pytest.raises(BudgetExceeded):
+            bfs_motif_count(denser_graph, 4, step_budget=100)
+
+    def test_store_budget_raises(self, denser_graph):
+        with pytest.raises(MemoryBudgetExceeded):
+            bfs_motif_count(denser_graph, 4, store_budget=500)
+
+    def test_generous_budget_passes(self, random_graph):
+        counts, _ = bfs_motif_count(
+            random_graph, 3, step_budget=10**9, store_budget=10**12
+        )
+        assert counts

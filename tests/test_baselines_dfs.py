@@ -1,0 +1,101 @@
+"""Tests for the Fractal-like DFS baseline."""
+
+import pytest
+
+from repro.baselines import (
+    bfs_motif_count,
+    dfs_clique_count,
+    dfs_fsm,
+    dfs_motif_count,
+    dfs_pattern_match,
+)
+from repro.errors import BudgetExceeded
+from repro.graph import erdos_renyi, mico_like
+from repro.mining import clique_count, fsm, motif_counts
+from repro.pattern import (
+    canonical_code,
+    generate_clique,
+    generate_star,
+    pattern_p1,
+    pattern_p5,
+)
+from repro.core import count
+
+
+class TestAgainstEngine:
+    def test_motifs_equal(self, random_graph):
+        baseline, _ = dfs_motif_count(random_graph, 3)
+        engine = {
+            canonical_code(p): n for p, n in motif_counts(random_graph, 3).items()
+        }
+        assert baseline == engine
+
+    def test_cliques_equal(self, denser_graph):
+        baseline, _ = dfs_clique_count(denser_graph, 4)
+        assert baseline == clique_count(denser_graph, 4)
+
+    def test_fsm_equal(self):
+        g = mico_like(0.15)
+        baseline, _ = dfs_fsm(g, 2, 3)
+        engine = {
+            canonical_code(p): s for p, s in fsm(g, 2, 3).frequent.items()
+        }
+        assert baseline == engine
+
+    @pytest.mark.parametrize(
+        "pattern_fn", [generate_clique, None]
+    )
+    def test_pattern_match_equal(self, random_graph, pattern_fn):
+        patterns = (
+            [generate_clique(3)] if pattern_fn else [pattern_p1(), generate_star(4)]
+        )
+        for p in patterns:
+            baseline, _ = dfs_pattern_match(random_graph, p)
+            assert baseline == count(random_graph, p)
+
+    def test_labeled_pattern_match(self, labeled_graph):
+        p = generate_clique(3)
+        p.set_label(0, 0)
+        p.set_label(1, 1)
+        p.set_label(2, 2)
+        baseline, _ = dfs_pattern_match(labeled_graph, p)
+        assert baseline == count(labeled_graph, p)
+
+
+class TestCostProfile:
+    def test_dfs_memory_below_bfs(self, denser_graph):
+        """Fig 13: DFS holds a stack; BFS holds whole levels."""
+        _, dfs_counters = dfs_motif_count(denser_graph, 3)
+        _, bfs_counters = bfs_motif_count(denser_graph, 3)
+        assert dfs_counters.peak_store_bytes < bfs_counters.peak_store_bytes
+
+    def test_same_exploration_volume_as_bfs(self, random_graph):
+        """DFS visits the same embedding tree, just in different order."""
+        _, dfs_counters = dfs_motif_count(random_graph, 3)
+        _, bfs_counters = bfs_motif_count(random_graph, 3)
+        assert dfs_counters.matches_explored == bfs_counters.matches_explored
+
+    def test_pattern_match_explores_more_than_engine(self, denser_graph):
+        from repro.core import EngineStats
+
+        p = pattern_p5()
+        stats = EngineStats()
+        count(denser_graph, p, stats=stats)
+        _, counters = dfs_pattern_match(denser_graph, p)
+        assert counters.matches_explored > stats.partial_matches
+
+    def test_pattern_match_pays_isomorphism_per_match(self, denser_graph):
+        p = generate_clique(3)
+        _, counters = dfs_pattern_match(denser_graph, p)
+        # One minimality check per raw (automorphic) full match: 6x results.
+        assert counters.isomorphism_checks == 6 * counters.result_size
+
+
+class TestBudgets:
+    def test_step_budget(self, denser_graph):
+        with pytest.raises(BudgetExceeded):
+            dfs_motif_count(denser_graph, 4, step_budget=50)
+
+    def test_pattern_match_budget(self, denser_graph):
+        with pytest.raises(BudgetExceeded):
+            dfs_pattern_match(denser_graph, pattern_p5(), step_budget=10)

@@ -1,0 +1,82 @@
+"""Tests for the RStream-like and G-Miner-like baselines."""
+
+import pytest
+
+from repro.baselines import (
+    bfs_clique_count,
+    gminer_match_p2,
+    gminer_triangle_count,
+    rstream_clique_count,
+    rstream_fsm,
+    rstream_motif_count,
+)
+from repro.core import count
+from repro.errors import MemoryBudgetExceeded
+from repro.graph import erdos_renyi, mico_like, with_random_labels
+from repro.mining import clique_count, fsm, motif_counts
+from repro.pattern import Pattern, canonical_code, pattern_p2
+
+
+class TestRStream:
+    def test_motifs_equal_engine(self, random_graph):
+        baseline, _ = rstream_motif_count(random_graph, 3)
+        engine = {
+            canonical_code(p): n for p, n in motif_counts(random_graph, 3).items()
+        }
+        assert baseline == engine
+
+    def test_cliques_equal_engine(self, denser_graph):
+        baseline, counters = rstream_clique_count(denser_graph, 4)
+        assert baseline == clique_count(denser_graph, 4)
+        # Native clique support: no isomorphism computations (Fig 1b).
+        assert counters.isomorphism_checks == 0
+
+    def test_fsm_equal_engine(self):
+        g = mico_like(0.15)
+        baseline, _ = rstream_fsm(g, 2, 3)
+        engine = {
+            canonical_code(p): s for p, s in fsm(g, 2, 3).frequent.items()
+        }
+        assert baseline == engine
+
+    def test_materialization_costs_more_disk_than_bfs_memory(self, denser_graph):
+        """RStream stores the join output before filtering (Fig 1b)."""
+        _, rs = rstream_clique_count(denser_graph, 4)
+        _, ab = bfs_clique_count(denser_graph, 4)
+        assert rs.peak_store_bytes > ab.peak_store_bytes
+
+    def test_disk_budget_raises(self, denser_graph):
+        with pytest.raises(MemoryBudgetExceeded):
+            rstream_motif_count(denser_graph, 4, disk_budget=2_000)
+
+
+class TestGMiner:
+    def test_triangles_equal_engine(self, denser_graph):
+        got, counters = gminer_triangle_count(denser_graph)
+        assert got == clique_count(denser_graph, 3)
+        assert counters.extra["tasks"] == denser_graph.num_vertices
+        assert counters.extra["task_bytes"] > 0
+
+    def test_triangles_on_triangle_free_graph(self):
+        from repro.graph import cycle_graph
+
+        got, _ = gminer_triangle_count(cycle_graph(8))
+        assert got == 0
+
+    def test_p2_equal_engine(self):
+        g = with_random_labels(erdos_renyi(50, 0.25, seed=5), 6, seed=6)
+        p2 = pattern_p2()
+        got, _ = gminer_match_p2(g, p2)
+        assert got == count(g, p2)
+
+    def test_p2_requires_full_labels(self, random_graph):
+        p = Pattern.from_edges([(0, 1), (1, 2), (2, 0), (2, 3)])
+        with pytest.raises(ValueError):
+            gminer_match_p2(random_graph, p)
+
+    def test_task_materialization_costs_memory(self, denser_graph):
+        from repro.core import EngineStats
+
+        _, counters = gminer_triangle_count(denser_graph)
+        # Peregrine materializes nothing per task; G-Miner ships subgraphs.
+        assert counters.peak_store_bytes > 0

@@ -1,0 +1,284 @@
+"""Tests for the roaring-like compressed bitmaps (repro.bitmap)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitmap import (
+    ARRAY_MAX,
+    ArrayContainer,
+    BitmapContainer,
+    RoaringBitmap,
+    RunContainer,
+    container_from_values,
+)
+from repro.bitmap.containers import CHUNK_SIZE
+from repro.mining.support import Bitset, Domain
+
+
+# ----------------------------------------------------------------------
+# Containers
+# ----------------------------------------------------------------------
+
+
+class TestArrayContainer:
+    def test_add_and_contains(self):
+        c = ArrayContainer()
+        c.add(5)
+        c.add(3)
+        c.add(5)  # duplicate
+        assert 5 in c and 3 in c and 4 not in c
+        assert len(c) == 2
+
+    def test_values_sorted(self):
+        c = ArrayContainer([9, 1, 4])
+        assert list(c.values()) == [1, 4, 9]
+
+    def test_memory_two_bytes_per_member(self):
+        c = ArrayContainer(range(10))
+        assert c.memory_bytes() == 20
+
+    def test_union_with_array(self):
+        a = ArrayContainer([1, 2])
+        b = ArrayContainer([2, 3])
+        assert sorted(a.union(b).values()) == [1, 2, 3]
+
+    def test_intersect_smaller_side(self):
+        a = ArrayContainer(range(100))
+        b = ArrayContainer([5, 500])
+        got = a.intersect(b)
+        assert list(got.values()) == [5]
+
+
+class TestBitmapContainer:
+    def test_roundtrip(self):
+        c = BitmapContainer([0, 63, 64, 65535])
+        assert list(c.values()) == [0, 63, 64, 65535]
+        assert len(c) == 4
+
+    def test_add_idempotent_count(self):
+        c = BitmapContainer()
+        c.add(7)
+        c.add(7)
+        assert len(c) == 1
+
+    def test_fixed_memory(self):
+        assert BitmapContainer().memory_bytes() == CHUNK_SIZE // 8
+        assert BitmapContainer(range(5000)).memory_bytes() == CHUNK_SIZE // 8
+
+    def test_union_bitmap_bitmap(self):
+        a = BitmapContainer([1, 2])
+        b = BitmapContainer([2, 3])
+        assert sorted(a.union(b).values()) == [1, 2, 3]
+
+    def test_intersect_downgrades_to_array(self):
+        a = BitmapContainer(range(0, 10000, 2))
+        b = BitmapContainer(range(0, 10000, 3))
+        got = a.intersect(b)
+        assert got.kind == "array"
+        assert list(got.values()) == list(range(0, 10000, 6))
+
+
+class TestRunContainer:
+    def test_runs_coalesce(self):
+        c = RunContainer([1, 2, 3, 7, 8])
+        assert c.runs() == [(1, 3), (7, 2)]
+        assert len(c) == 5
+
+    def test_add_bridges_runs(self):
+        c = RunContainer([1, 2, 4, 5])
+        c.add(3)
+        assert c.runs() == [(1, 5)]
+
+    def test_contains_interior(self):
+        c = RunContainer([10, 11, 12])
+        assert 11 in c and 13 not in c and 9 not in c
+
+    def test_memory_four_bytes_per_run(self):
+        c = RunContainer(list(range(100)) + [500])
+        assert c.memory_bytes() == 8  # two runs
+
+
+class TestContainerSelection:
+    def test_sparse_picks_array(self):
+        c = container_from_values([1, 100, 10000])
+        assert c.kind == "array"
+
+    def test_dense_scattered_picks_bitmap(self):
+        # > ARRAY_MAX members, no long runs.
+        c = container_from_values(range(0, 2 * (ARRAY_MAX + 100), 2))
+        assert c.kind == "bitmap"
+
+    def test_contiguous_picks_run(self):
+        c = container_from_values(range(5000))
+        assert c.kind == "run"
+        assert c.memory_bytes() == 4
+
+    def test_selection_preserves_members(self):
+        vals = set(range(0, 300, 7)) | set(range(1000, 1100))
+        c = container_from_values(vals)
+        assert set(c.values()) == vals
+
+
+# ----------------------------------------------------------------------
+# RoaringBitmap
+# ----------------------------------------------------------------------
+
+
+class TestRoaringBitmap:
+    def test_empty(self):
+        r = RoaringBitmap()
+        assert len(r) == 0
+        assert not r
+        assert 0 not in r
+        assert r.memory_bytes() >= 1
+
+    def test_add_across_chunks(self):
+        r = RoaringBitmap([1, 65535, 65536, 1 << 20])
+        assert sorted(r) == [1, 65535, 65536, 1 << 20]
+        assert len(r._chunks) == 3
+
+    def test_negative_add_rejected(self):
+        with pytest.raises(ValueError):
+            RoaringBitmap().add(-1)
+
+    def test_negative_contains_false(self):
+        assert -5 not in RoaringBitmap([1])
+
+    def test_or_and_ior_agree(self):
+        a = RoaringBitmap([1, 2, 70000])
+        b = RoaringBitmap([2, 3, 140000])
+        union = a | b
+        a |= b
+        assert sorted(union) == sorted(a) == [1, 2, 3, 70000, 140000]
+
+    def test_and(self):
+        a = RoaringBitmap([1, 2, 70000, 70001])
+        b = RoaringBitmap([2, 70001, 900000])
+        assert sorted(a & b) == [2, 70001]
+
+    def test_equality_structure_independent(self):
+        # Same members through different construction orders / container
+        # evolutions must compare equal.
+        a = RoaringBitmap(range(6000))        # becomes run/bitmap
+        b = RoaringBitmap()
+        for v in reversed(range(6000)):
+            b.add(v)
+        assert a == b
+
+    def test_array_upgrades_to_dense(self):
+        r = RoaringBitmap()
+        for v in range(0, 2 * ARRAY_MAX + 2, 2):  # > ARRAY_MAX scattered
+            r.add(v)
+        kinds = r.container_kinds()
+        assert kinds.get("array", 0) == 0
+
+    def test_optimize_finds_runs(self):
+        r = RoaringBitmap()
+        for v in range(3000):  # stays an array (below upgrade threshold)
+            r.add(v)
+        assert r.container_kinds() == {"array": 1}
+        before = r.memory_bytes()
+        r.optimize()
+        assert r.memory_bytes() < before
+        assert r.container_kinds() == {"run": 1}
+        assert len(r) == 3000
+
+    def test_compression_beats_dense_bitset_on_sparse_ids(self):
+        ids = [10_000_000 + i for i in range(50)]
+        roaring = RoaringBitmap(ids)
+        dense = Bitset(ids)
+        assert roaring.memory_bytes() < dense.memory_bytes() / 100
+
+    def test_interface_matches_bitset(self):
+        """Every operation Domain uses must exist on both backends."""
+        for backend in (Bitset, RoaringBitmap):
+            x = backend()
+            x.add(3)
+            y = backend([3, 5])
+            x |= y
+            assert len(x) == 2
+            assert 5 in x
+            assert x.memory_bytes() > 0
+            assert (x & y) is not None
+            assert x.to_list() == [3, 5]
+
+
+# ----------------------------------------------------------------------
+# Property tests: roaring == set semantics
+# ----------------------------------------------------------------------
+
+values_strategy = st.lists(
+    st.integers(min_value=0, max_value=1 << 21), max_size=300
+)
+
+
+class TestRoaringProperties:
+    @given(values_strategy)
+    def test_membership_matches_set(self, vals):
+        r = RoaringBitmap(vals)
+        s = set(vals)
+        assert len(r) == len(s)
+        assert sorted(r) == sorted(s)
+        for probe in list(s)[:20]:
+            assert probe in r
+
+    @given(values_strategy, values_strategy)
+    def test_union_matches_set(self, a_vals, b_vals):
+        a, b = RoaringBitmap(a_vals), RoaringBitmap(b_vals)
+        assert sorted(a | b) == sorted(set(a_vals) | set(b_vals))
+
+    @given(values_strategy, values_strategy)
+    def test_intersection_matches_set(self, a_vals, b_vals):
+        a, b = RoaringBitmap(a_vals), RoaringBitmap(b_vals)
+        assert sorted(a & b) == sorted(set(a_vals) & set(b_vals))
+
+    @given(values_strategy)
+    @settings(max_examples=30)
+    def test_optimize_is_semantics_preserving(self, vals):
+        r = RoaringBitmap(vals)
+        before = sorted(r)
+        r.optimize()
+        assert sorted(r) == before
+
+    @given(values_strategy, values_strategy)
+    @settings(max_examples=30)
+    def test_ior_equals_or(self, a_vals, b_vals):
+        a1, a2 = RoaringBitmap(a_vals), RoaringBitmap(a_vals)
+        b = RoaringBitmap(b_vals)
+        a1 |= b
+        assert sorted(a1) == sorted(a2 | b)
+
+
+# ----------------------------------------------------------------------
+# Domain integration
+# ----------------------------------------------------------------------
+
+
+class TestDomainWithRoaring:
+    def test_support_agrees_with_dense_backend(self):
+        dense = Domain(3)
+        compressed = Domain(3, bitset_factory=RoaringBitmap)
+        for mapping in ([0, 1, 2], [0, 2, 3], [1, 2, 4]):
+            dense.update(mapping)
+            compressed.update(mapping)
+        assert dense.support() == compressed.support() == 2
+
+    def test_merge_from_mixed_rounds(self):
+        a = Domain(2, bitset_factory=RoaringBitmap)
+        b = Domain(2, bitset_factory=RoaringBitmap)
+        a.update([1, 2])
+        b.update([3, 4])
+        a.merge_from(b)
+        assert a.support() == 2
+        assert a.writes == 4
+
+    def test_orbit_folding_with_roaring(self):
+        # Symmetric 2-vertex pattern: both vertices share one orbit.
+        d = Domain(2, orbits=[[0, 1]], bitset_factory=RoaringBitmap)
+        d.update([0, 1])  # canonical match only
+        # Full domain of each vertex is {0,1} after orbit folding.
+        assert d.support() == 2
+        assert sorted(d.vertex_domain(0)) == [0, 1]

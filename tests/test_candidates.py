@@ -1,0 +1,80 @@
+"""Property-based tests for the sorted-list set operations."""
+
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    bounded,
+    contains,
+    difference,
+    intersect,
+    intersect_count,
+    intersect_many,
+)
+
+sorted_lists = st.lists(
+    st.integers(min_value=0, max_value=200), max_size=60
+).map(lambda xs: sorted(set(xs)))
+
+
+class TestIntersect:
+    @given(sorted_lists, sorted_lists)
+    def test_matches_set_semantics(self, a, b):
+        assert intersect(a, b) == sorted(set(a) & set(b))
+
+    @given(sorted_lists, sorted_lists)
+    def test_commutative(self, a, b):
+        assert intersect(a, b) == intersect(b, a)
+
+    def test_empty(self):
+        assert intersect([], [1, 2]) == []
+        assert intersect([1, 2], []) == []
+
+    @given(sorted_lists, sorted_lists)
+    def test_count_matches_len(self, a, b):
+        assert intersect_count(a, b) == len(intersect(a, b))
+
+
+class TestIntersectMany:
+    @given(st.lists(sorted_lists, max_size=4))
+    def test_matches_set_semantics(self, lists):
+        got = intersect_many(lists)
+        if not lists:
+            assert got == []
+        else:
+            expected = set(lists[0])
+            for other in lists[1:]:
+                expected &= set(other)
+            assert got == sorted(expected)
+
+    def test_single_list_copied_semantics(self):
+        a = [1, 2, 3]
+        assert intersect_many([a]) == a
+
+
+class TestDifference:
+    @given(sorted_lists, sorted_lists)
+    def test_matches_set_semantics(self, a, b):
+        assert difference(a, b) == sorted(set(a) - set(b))
+
+    def test_empty_cases(self):
+        assert difference([], [1]) == []
+        assert difference([1, 2], []) == [1, 2]
+
+
+class TestBounded:
+    @given(
+        sorted_lists,
+        st.integers(min_value=-5, max_value=205),
+        st.integers(min_value=-5, max_value=205),
+    )
+    def test_matches_filter_semantics(self, a, lo, hi):
+        assert bounded(a, lo, hi) == [x for x in a if lo < x < hi]
+
+    def test_exclusive_bounds(self):
+        assert bounded([1, 2, 3, 4], 1, 4) == [2, 3]
+
+
+class TestContains:
+    @given(sorted_lists, st.integers(min_value=-5, max_value=205))
+    def test_matches_in_operator(self, a, x):
+        assert contains(a, x) == (x in set(a))

@@ -1,0 +1,268 @@
+"""Tests for the repro-mine command-line interface."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.cli.parsing import parse_pattern_spec
+from repro.core import count
+from repro.errors import PatternFormatError
+from repro.graph import mico_like
+from repro.pattern import (
+    Pattern,
+    are_isomorphic,
+    generate_chain,
+    generate_clique,
+    generate_cycle,
+    generate_star,
+)
+from repro.pattern.evaluation import pattern_p2, pattern_p7
+
+
+def run_cli(argv: list[str]) -> tuple[int, str]:
+    """Invoke a subcommand, capturing its output stream."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    out = io.StringIO()
+    code = args.func(args, out)
+    return code, out.getvalue()
+
+
+MICO = ["--dataset", "mico", "--scale", "0.05"]
+
+
+# ----------------------------------------------------------------------
+# Pattern spec parsing
+# ----------------------------------------------------------------------
+
+
+class TestPatternSpec:
+    @pytest.mark.parametrize(
+        "spec,expected",
+        [
+            ("clique:3", generate_clique(3)),
+            ("star:4", generate_star(4)),
+            ("chain:4", generate_chain(4)),
+            ("cycle:5", generate_cycle(5)),
+            ("edges:0-1,1-2,2-0", generate_clique(3)),
+        ],
+    )
+    def test_generated_specs(self, spec, expected):
+        assert are_isomorphic(parse_pattern_spec(spec), expected)
+
+    def test_figure9_specs(self):
+        assert are_isomorphic(parse_pattern_spec("p2"), pattern_p2())
+        p7 = parse_pattern_spec("p7")
+        assert p7.num_anti_edges == pattern_p7().num_anti_edges
+
+    def test_file_spec(self, tmp_path):
+        from repro.pattern.io import save_patterns
+
+        path = tmp_path / "pat.txt"
+        save_patterns([generate_clique(3)], path)
+        assert are_isomorphic(
+            parse_pattern_spec(f"file:{path}"), generate_clique(3)
+        )
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "clique", "clique:x", "edges:0", "edges:a-b", "nope:3", "p99"],
+    )
+    def test_bad_specs_rejected(self, bad):
+        with pytest.raises(PatternFormatError):
+            parse_pattern_spec(bad)
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+
+
+class TestSubcommands:
+    def test_stats(self):
+        code, out = run_cli(["stats", *MICO])
+        assert code == 0
+        assert "mico-like" in out
+
+    def test_stats_requires_source(self):
+        with pytest.raises(SystemExit):
+            run_cli(["stats"])
+
+    def test_count_matches_library(self):
+        code, out = run_cli(["count", *MICO, "--pattern", "clique:3"])
+        assert code == 0
+        expected = count(mico_like(0.05), generate_clique(3))
+        assert f"matches: {expected}" in out
+
+    def test_count_profile_counters(self):
+        code, out = run_cli(
+            ["count", *MICO, "--pattern", "clique:3", "--profile"]
+        )
+        assert code == 0
+        assert "canonicality_checks: 0" in out
+        assert "isomorphism_checks: 0" in out
+
+    def test_count_vertex_induced_differs(self):
+        _, edge_out = run_cli(["count", *MICO, "--pattern", "chain:3"])
+        _, vi_out = run_cli(
+            ["count", *MICO, "--pattern", "chain:3", "--vertex-induced"]
+        )
+        edge_n = int(edge_out.split("matches: ")[1].split()[0])
+        vi_n = int(vi_out.split("matches: ")[1].split()[0])
+        assert vi_n <= edge_n
+
+    def test_match_limit_and_total(self):
+        code, out = run_cli(
+            ["match", *MICO, "--pattern", "clique:3", "--limit", "2"]
+        )
+        assert code == 0
+        lines = [l for l in out.splitlines() if l and l[0].isdigit()]
+        assert len(lines) == 2
+        assert "(printed first 2)" in out
+
+    def test_match_output_file(self, tmp_path):
+        path = tmp_path / "matches.txt"
+        code, out = run_cli(
+            ["match", *MICO, "--pattern", "clique:3", "--output", str(path)]
+        )
+        assert code == 0
+        total = int(out.split("matches: ")[1].split()[0])
+        assert len(path.read_text().splitlines()) == total
+
+    def test_exists_exit_codes(self):
+        code, out = run_cli(["exists", *MICO, "--pattern", "clique:3"])
+        assert code == 0 and "found" in out
+        code, out = run_cli(["exists", *MICO, "--pattern", "clique:12"])
+        assert code == 1 and "not found" in out
+
+    def test_motifs(self):
+        code, out = run_cli(["motifs", *MICO, "--size", "3"])
+        assert code == 0
+        assert "census" in out
+
+    def test_cliques_modes(self):
+        code, out = run_cli(["cliques", *MICO, "-k", "3"])
+        assert code == 0 and "3-cliques:" in out
+        code, out = run_cli(["cliques", *MICO, "-k", "3", "--maximal"])
+        assert code == 0 and "maximal" in out
+        code, out = run_cli(
+            ["cliques", *MICO, "-k", "3", "--list", "--limit", "3"]
+        )
+        assert code == 0
+
+    def test_cliques_existence_negative(self):
+        code, _ = run_cli(["cliques", *MICO, "-k", "12", "--existence"])
+        assert code == 1
+
+    def test_fsm_on_labeled_dataset(self):
+        code, out = run_cli(
+            ["fsm", *MICO, "--edges", "1", "--threshold", "1", "--verbose"]
+        )
+        assert code == 0
+        assert "frequent 1-edge patterns" in out
+
+    def test_fsm_rejects_unlabeled(self):
+        with pytest.raises(SystemExit):
+            run_cli(
+                ["fsm", "--dataset", "orkut", "--scale", "0.05",
+                 "--edges", "1", "--threshold", "1"]
+            )
+
+    def test_approx(self):
+        code, out = run_cli(
+            ["approx", *MICO, "--pattern", "clique:3",
+             "--trials", "3000", "--sample-seed", "7"]
+        )
+        assert code == 0
+        assert "estimate:" in out and "hit rate" in out
+
+    def test_approx_with_target_error(self):
+        code, out = run_cli(
+            ["approx", *MICO, "--pattern", "clique:3",
+             "--target-error", "0.2", "--trials", "500", "--sample-seed", "7"]
+        )
+        assert code == 0
+        assert "error profile chose" in out
+
+    def test_plan_shows_anti_vertex_checks(self):
+        code, out = run_cli(["plan", "--pattern", "p7"])
+        assert code == 0
+        assert "anti-vertex checks" in out
+
+    def test_generate_roundtrip(self, tmp_path):
+        path = tmp_path / "g.edges"
+        code, out = run_cli(
+            ["generate", *MICO, "--output", str(path)]
+        )
+        assert code == 0
+        code, out = run_cli(["stats", "--graph", str(path)])
+        assert code == 0
+
+    def test_generate_labels_roundtrip(self, tmp_path):
+        epath, lpath = tmp_path / "g.edges", tmp_path / "g.labels"
+        code, _ = run_cli(
+            ["generate", *MICO, "--output", str(epath),
+             "--label-output", str(lpath)]
+        )
+        assert code == 0
+        code, out = run_cli(
+            ["count", "--graph", str(epath), "--labels", str(lpath),
+             "--pattern", "clique:3"]
+        )
+        assert code == 0
+
+    def test_seed_override_changes_graph(self):
+        _, a = run_cli(["stats", *MICO, "--seed", "1"])
+        _, b = run_cli(["stats", *MICO, "--seed", "2"])
+        assert a != b
+
+
+# ----------------------------------------------------------------------
+# main() wiring
+# ----------------------------------------------------------------------
+
+
+class TestMain:
+    def test_main_returns_command_exit_code(self, capsys):
+        assert main(["stats", *MICO]) == 0
+        assert "mico-like" in capsys.readouterr().out
+
+    def test_main_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert "repro-mine" in capsys.readouterr().out
+
+
+class TestNpzIntegration:
+    def test_generate_and_load_npz(self, tmp_path):
+        path = tmp_path / "g.npz"
+        code, out = run_cli(["generate", *MICO, "--output", str(path)])
+        assert code == 0
+        code, out = run_cli(
+            ["count", "--graph", str(path), "--pattern", "clique:3"]
+        )
+        assert code == 0
+        expected = count(mico_like(0.05), generate_clique(3))
+        assert f"matches: {expected}" in out
+
+    def test_npz_embeds_labels(self, tmp_path):
+        path = tmp_path / "g.npz"
+        run_cli(["generate", *MICO, "--output", str(path)])
+        code, out = run_cli(["stats", "--graph", str(path)])
+        assert code == 0
+
+    def test_npz_with_labels_flag_rejected(self, tmp_path):
+        path = tmp_path / "g.npz"
+        run_cli(["generate", *MICO, "--output", str(path)])
+        with pytest.raises(SystemExit):
+            run_cli(
+                ["stats", "--graph", str(path), "--labels", "whatever.txt"]
+            )

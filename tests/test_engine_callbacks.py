@@ -1,0 +1,137 @@
+"""Engine behavior: callbacks, Match objects, early termination, stats."""
+
+from repro.core import (
+    EngineStats,
+    ExplorationControl,
+    Match,
+    count,
+    generate_plan,
+    match,
+)
+from repro.graph import erdos_renyi, from_edges
+from repro.pattern import Pattern, generate_clique, generate_star, pattern_p1
+
+
+class TestMatchObjects:
+    def test_each_match_is_valid(self):
+        g = erdos_renyi(25, 0.25, seed=1)
+        p = pattern_p1()
+
+        def verify(m: Match) -> None:
+            for u, v in p.edges():
+                assert g.has_edge(m[u], m[v])
+            assert len(set(m.vertices())) == p.num_vertices
+
+        n = match(g, p, callback=verify)
+        assert n == count(g, p)
+
+    def test_matches_distinct(self):
+        g = erdos_renyi(25, 0.25, seed=2)
+        seen = set()
+        match(g, generate_clique(3), callback=lambda m: seen.add(m.mapping))
+        assert len(seen) == count(g, generate_clique(3))
+
+    def test_anti_vertex_mapping_is_minus_one(self):
+        from repro.pattern import pattern_p7
+
+        g = erdos_renyi(20, 0.3, seed=3)
+        collected = []
+        match(g, pattern_p7(), callback=lambda m: collected.append(m))
+        for m in collected:
+            assert m.mapping[3] == -1
+            assert 3 not in m.as_dict()
+            assert len(m.vertices()) == 3
+
+    def test_match_ids_in_original_numbering(self):
+        # A graph whose degree ordering shuffles ids: callbacks must see
+        # original ids (valid edges in the *original* graph).
+        g = from_edges([(0, 1), (0, 2), (0, 3), (1, 2)])
+
+        def verify(m: Match) -> None:
+            assert g.has_edge(m[0], m[1])
+
+        match(g, Pattern.from_edges([(0, 1)]), callback=verify)
+
+    def test_match_equality_and_hash(self):
+        p = generate_clique(3)
+        a = Match(p, (1, 2, 3))
+        b = Match(p, (1, 2, 3))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Match(p, (1, 2, 4))
+
+
+class TestEarlyTermination:
+    def test_stop_after_first(self):
+        g = erdos_renyi(30, 0.3, seed=4)
+        control = ExplorationControl()
+        found = []
+
+        def first(m: Match) -> None:
+            found.append(m)
+            control.stop()
+
+        match(g, generate_clique(3), callback=first, control=control)
+        assert len(found) <= 4  # at most a few per core match batch
+        assert control.stopped
+
+    def test_control_reset(self):
+        c = ExplorationControl()
+        c.stop()
+        c.reset()
+        assert not c.stopped
+
+    def test_no_stop_finds_all(self):
+        g = erdos_renyi(30, 0.3, seed=4)
+        control = ExplorationControl()
+        n = match(g, generate_clique(3), control=control)
+        assert n == count(g, generate_clique(3))
+
+
+class TestEngineStats:
+    def test_zero_checks_always(self):
+        g = erdos_renyi(30, 0.2, seed=5)
+        stats = EngineStats()
+        count(g, pattern_p1(), stats=stats)
+        assert stats.canonicality_checks == 0
+        assert stats.isomorphism_checks == 0
+
+    def test_complete_matches_equals_count(self):
+        g = erdos_renyi(30, 0.2, seed=5)
+        stats = EngineStats()
+        n = count(g, generate_star(4), stats=stats)
+        assert stats.complete_matches == n
+
+    def test_partial_at_least_complete(self):
+        g = erdos_renyi(30, 0.2, seed=6)
+        stats = EngineStats()
+        count(g, pattern_p1(), stats=stats)
+        assert stats.partial_matches >= stats.complete_matches
+
+    def test_tasks_counted(self):
+        g = erdos_renyi(10, 0.2, seed=7)
+        stats = EngineStats()
+        count(g, generate_clique(3), stats=stats)
+        assert stats.tasks == 10
+
+    def test_merge(self):
+        a, b = EngineStats(), EngineStats()
+        a.tasks, b.tasks = 2, 3
+        a.complete_matches, b.complete_matches = 5, 7
+        a.merge(b)
+        assert a.tasks == 5
+        assert a.complete_matches == 12
+
+    def test_as_dict(self):
+        d = EngineStats().as_dict()
+        assert d["tasks"] == 0
+        assert set(d) >= {"partial_matches", "complete_matches"}
+
+
+class TestCountFastPath:
+    def test_count_equals_enumeration(self):
+        g = erdos_renyi(30, 0.25, seed=8)
+        for p in [generate_clique(3), generate_star(4), pattern_p1()]:
+            enumerated = []
+            match(g, p, callback=lambda m: enumerated.append(m))
+            assert count(g, p) == len(enumerated)

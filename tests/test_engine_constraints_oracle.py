@@ -1,0 +1,190 @@
+"""Brute-force oracle tests for combined matching constraints.
+
+The existing oracle tests cover plain edge- and vertex-induced matching;
+this module cross-checks the *combinations* the paper's advanced use
+cases rely on: labels + anti-edges, anti-vertices on labeled graphs, and
+partially-labeled patterns — against an exhaustive enumerator that knows
+nothing about plans, cores or symmetry breaking.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, permutations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import count, match
+from repro.graph import DataGraph, erdos_renyi, with_random_labels
+from repro.pattern import Pattern, automorphism_count, generate_chain, generate_clique
+
+
+def brute_force_count(graph: DataGraph, p: Pattern) -> int:
+    """Canonical match count by exhaustive assignment checking.
+
+    Tries every injective assignment of pattern regular vertices to data
+    vertices; checks edges, anti-edges, labels, then anti-vertex
+    constraints; divides by |Aut| restricted to the matched pattern.
+    Exponential — keep graphs tiny.
+    """
+    regular = p.regular_vertices()
+    anti_vertices = set(p.anti_vertices())
+    n = graph.num_vertices
+    raw = 0
+    for assignment in permutations(range(n), len(regular)):
+        m = dict(zip(regular, assignment))
+        ok = True
+        for u, v in p.edges():
+            if u in anti_vertices or v in anti_vertices:
+                continue
+            if not graph.has_edge(m[u], m[v]):
+                ok = False
+                break
+        if ok:
+            for u, v in p.anti_edges():
+                if u in anti_vertices or v in anti_vertices:
+                    continue
+                if graph.has_edge(m[u], m[v]):
+                    ok = False
+                    break
+        if ok and graph.is_labeled:
+            for u in regular:
+                want = p.label_of(u)
+                if want is not None and graph.label(m[u]) != want:
+                    ok = False
+                    break
+        if ok:
+            used = set(assignment)
+            for a in anti_vertices:
+                nbrs = [m[w] for w in p.anti_neighbors(a)]
+                common = set(graph.neighbors(nbrs[0]))
+                for w in nbrs[1:]:
+                    common &= set(graph.neighbors(w))
+                if common - used:
+                    ok = False
+                    break
+        if ok:
+            raw += 1
+    return raw // automorphism_count(p)
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return erdos_renyi(12, 0.35, seed=6)
+
+
+@pytest.fixture(scope="module")
+def tiny_labeled():
+    return with_random_labels(erdos_renyi(12, 0.35, seed=6), 2, seed=9)
+
+
+class TestAntiEdgeCombinations:
+    def test_wedge_with_anti_edge(self, tiny):
+        p = generate_chain(3)
+        p.add_anti_edge(0, 2)
+        assert count(tiny, p) == brute_force_count(tiny, p)
+
+    def test_square_with_diagonal_anti_edge(self, tiny):
+        p = Pattern.from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+        p.add_anti_edge(0, 2)
+        assert count(tiny, p) == brute_force_count(tiny, p)
+
+    def test_labeled_anti_edge(self, tiny_labeled):
+        p = generate_chain(3)
+        p.add_anti_edge(0, 2)
+        p.set_label(0, 0)
+        p.set_label(2, 1)
+        assert count(tiny_labeled, p) == brute_force_count(tiny_labeled, p)
+
+    def test_two_anti_edges(self, tiny):
+        # Paper's pb: 4-cycle with both diagonals anti (vertex-induced sq).
+        p = Pattern.from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+        p.add_anti_edge(0, 2)
+        p.add_anti_edge(1, 3)
+        assert count(tiny, p) == brute_force_count(tiny, p)
+        # Must equal vertex-induced matching of the plain square.
+        sq = Pattern.from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert count(tiny, p) == count(tiny, sq, edge_induced=False)
+
+
+class TestAntiVertexCombinations:
+    def test_maximal_triangle_on_labeled_graph(self, tiny_labeled):
+        p = generate_clique(3)
+        p.add_anti_vertex([0, 1, 2])
+        assert count(tiny_labeled, p) == brute_force_count(tiny_labeled, p)
+
+    def test_anti_vertex_on_edge(self, tiny):
+        # Paper's pe: triangle whose endpoints 0,1 have no common neighbor
+        # outside the match (anti-vertex adjacent to two of the three).
+        q = Pattern.from_edges([(0, 1), (1, 2), (2, 0)])
+        q.add_anti_vertex([0, 1])
+        assert count(tiny, q) == brute_force_count(tiny, q)
+
+    def test_labeled_pattern_with_anti_vertex(self, tiny_labeled):
+        q = Pattern.from_edges([(0, 1)])
+        q.set_label(0, 0)
+        q.add_anti_vertex([0, 1])
+        assert count(tiny_labeled, q) == brute_force_count(tiny_labeled, q)
+
+
+class TestPartialLabels:
+    @pytest.mark.parametrize("labeled_vertex", [0, 1, 2])
+    def test_one_labeled_vertex_in_wedge(self, tiny_labeled, labeled_vertex):
+        p = generate_chain(3)
+        p.set_label(labeled_vertex, 0)
+        assert count(tiny_labeled, p) == brute_force_count(tiny_labeled, p)
+
+    def test_vertex_induced_with_labels(self, tiny_labeled):
+        p = generate_chain(3)
+        p.set_label(1, 1)
+        closed = p.vertex_induced_closure()
+        assert count(tiny_labeled, p, edge_induced=False) == brute_force_count(
+            tiny_labeled, closed
+        )
+
+
+class TestRandomizedConstraintOracle:
+    @given(st.integers(min_value=0, max_value=5000), st.booleans())
+    @settings(max_examples=12, deadline=None)
+    def test_random_anti_edge_patterns(self, seed, use_labels):
+        import random
+
+        rng = random.Random(seed)
+        g = erdos_renyi(10, 0.4, seed=seed)
+        if use_labels:
+            g = with_random_labels(g, 2, seed=seed + 1)
+        # Random connected 3-4 vertex pattern with one anti-edge.
+        size = rng.choice([3, 4])
+        chain_edges = [(i, i + 1) for i in range(size - 1)]
+        extra = [
+            (u, v)
+            for u, v in combinations(range(size), 2)
+            if (u, v) not in chain_edges and rng.random() < 0.4
+        ]
+        p = Pattern.from_edges(chain_edges + extra)
+        non_adjacent = [
+            (u, v)
+            for u, v in combinations(range(size), 2)
+            if not p.are_connected(u, v)
+        ]
+        if non_adjacent:
+            u, v = rng.choice(non_adjacent)
+            p.add_anti_edge(u, v)
+        if use_labels and rng.random() < 0.7:
+            p.set_label(rng.randrange(size), rng.randrange(2))
+        assert count(g, p) == brute_force_count(g, p)
+
+    def test_enumerated_matches_satisfy_all_constraints(self, tiny_labeled):
+        p = generate_chain(3)
+        p.add_anti_edge(0, 2)
+        p.set_label(1, 0)
+        seen = []
+        match(tiny_labeled, p, callback=lambda m: seen.append(m.mapping))
+        assert len(seen) == count(tiny_labeled, p)
+        for mapping in seen:
+            v0, v1, v2 = mapping[0], mapping[1], mapping[2]
+            assert tiny_labeled.has_edge(v0, v1)
+            assert tiny_labeled.has_edge(v1, v2)
+            assert not tiny_labeled.has_edge(v0, v2)
+            assert tiny_labeled.label(v1) == 0

@@ -1,0 +1,137 @@
+"""Engine correctness: counts cross-checked against the networkx oracle.
+
+This is the load-bearing test file: every structural claim of the matching
+engine (symmetry breaking, matching orders, completion, vertex-induced
+closure) is wrong if any count here diverges.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import count, generate_plan, run_tasks
+from repro.graph import erdos_renyi, barabasi_albert, from_edges
+from repro.pattern import (
+    Pattern,
+    generate_chain,
+    generate_clique,
+    generate_cycle,
+    generate_star,
+    pattern_p1,
+    pattern_p3,
+    pattern_p4,
+    pattern_p5,
+    pattern_p6,
+)
+from conftest import nx_count_edge_induced, nx_count_vertex_induced
+
+PATTERNS = {
+    "edge": generate_clique(2),
+    "wedge": generate_star(3),
+    "triangle": generate_clique(3),
+    "path4": generate_chain(4),
+    "star4": generate_star(4),
+    "cycle4": generate_cycle(4),
+    "diamond": pattern_p1(),
+    "k4": generate_clique(4),
+    "house": pattern_p3(),
+    "tailed-k4": pattern_p4(),
+    "bowtie": pattern_p5(),
+    "near-k5": pattern_p6(),
+    "star5": generate_star(5),
+    "cycle5": generate_cycle(5),
+}
+
+
+@pytest.mark.parametrize("name", sorted(PATTERNS))
+class TestEdgeInducedAgainstOracle:
+    def test_sparse(self, name):
+        g = erdos_renyi(35, 0.12, seed=1)
+        p = PATTERNS[name]
+        assert count(g, p) == nx_count_edge_induced(g, p)
+
+    def test_dense(self, name):
+        g = erdos_renyi(22, 0.35, seed=2)
+        p = PATTERNS[name]
+        assert count(g, p) == nx_count_edge_induced(g, p)
+
+    def test_powerlaw(self, name):
+        g = barabasi_albert(40, 3, seed=3)
+        p = PATTERNS[name]
+        assert count(g, p) == nx_count_edge_induced(g, p)
+
+
+@pytest.mark.parametrize("name", sorted(PATTERNS))
+def test_vertex_induced_against_oracle(name):
+    g = erdos_renyi(28, 0.2, seed=4)
+    p = PATTERNS[name]
+    assert count(g, p, edge_induced=False) == nx_count_vertex_induced(g, p)
+
+
+class TestSymmetryBreakingInvariant:
+    @pytest.mark.parametrize(
+        "name", ["triangle", "star4", "cycle4", "k4", "bowtie"]
+    )
+    def test_unaware_count_is_aut_multiple(self, name):
+        from repro.pattern import automorphism_count
+
+        g = erdos_renyi(25, 0.2, seed=5)
+        p = PATTERNS[name]
+        canonical = count(g, p)
+        raw = count(g, p, symmetry_breaking=False)
+        assert raw == canonical * automorphism_count(p)
+
+
+class TestEdgeCases:
+    def test_empty_graph(self):
+        g = from_edges([], num_vertices=5)
+        assert count(g, generate_clique(3)) == 0
+
+    def test_pattern_larger_than_graph(self):
+        g = from_edges([(0, 1)])
+        assert count(g, generate_clique(4)) == 0
+
+    def test_single_vertex_pattern_counts_vertices(self):
+        g = from_edges([(0, 1), (1, 2)], num_vertices=7)
+        assert count(g, Pattern(num_vertices=1)) == 7
+
+    def test_single_edge_pattern_counts_edges(self):
+        g = erdos_renyi(20, 0.3, seed=6)
+        assert count(g, Pattern.from_edges([(0, 1)])) == g.num_edges
+
+    def test_graph_with_isolated_vertices(self):
+        g = from_edges([(0, 1), (1, 2), (0, 2)], num_vertices=10)
+        assert count(g, generate_clique(3)) == 1
+
+    def test_run_tasks_on_subset_of_starts(self):
+        g = erdos_renyi(25, 0.25, seed=7)
+        ordered, _ = g.degree_ordered()
+        plan = generate_plan(generate_clique(3))
+        full = run_tasks(ordered, plan, count_only=True)
+        split = run_tasks(
+            ordered, plan, start_vertices=range(0, 25, 2), count_only=True
+        ) + run_tasks(
+            ordered, plan, start_vertices=range(1, 25, 2), count_only=True
+        )
+        assert split == full
+
+
+class TestRandomizedOracle:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_random_pattern_random_graph(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(3, 5)
+        edges = []
+        # random connected pattern: random tree + extra edges
+        for v in range(1, n):
+            edges.append((rng.randrange(v), v))
+        for u in range(n):
+            for v in range(u + 1, n):
+                if (u, v) not in edges and rng.random() < 0.3:
+                    edges.append((u, v))
+        p = Pattern(num_vertices=n, edges=edges)
+        g = erdos_renyi(18, 0.25, seed=seed)
+        assert count(g, p) == nx_count_edge_induced(g, p)
+        assert count(g, p, edge_induced=False) == nx_count_vertex_induced(g, p)

@@ -1,0 +1,50 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    BudgetExceeded,
+    GraphError,
+    GraphFormatError,
+    MatchingError,
+    MemoryBudgetExceeded,
+    PatternError,
+    PatternFormatError,
+    PlanError,
+    ReproError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            GraphError,
+            GraphFormatError,
+            PatternError,
+            PatternFormatError,
+            PlanError,
+            MatchingError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_format_errors_are_domain_errors(self):
+        assert issubclass(GraphFormatError, GraphError)
+        assert issubclass(PatternFormatError, PatternError)
+
+    def test_budget_exceeded_payload(self):
+        e = BudgetExceeded(150, 100)
+        assert e.steps == 150
+        assert e.budget == 100
+        assert "150" in str(e)
+
+    def test_memory_budget_payload(self):
+        e = MemoryBudgetExceeded(2048, 1024)
+        assert e.used_bytes == 2048
+        assert e.budget_bytes == 1024
+
+    def test_catchable_as_repro_error(self):
+        with pytest.raises(ReproError):
+            raise BudgetExceeded(2, 1)

@@ -1,0 +1,72 @@
+"""Shape checks for the Figure 9 evaluation patterns p1-p8."""
+
+from repro.pattern import (
+    automorphism_count,
+    evaluation_patterns,
+    pattern_p1,
+    pattern_p2,
+    pattern_p3,
+    pattern_p4,
+    pattern_p5,
+    pattern_p6,
+    pattern_p7,
+    pattern_p8,
+)
+
+
+class TestShapes:
+    def test_p1_diamond(self):
+        p = pattern_p1()
+        assert p.num_vertices == 4
+        assert p.num_edges == 5
+        assert automorphism_count(p) == 4
+
+    def test_p2_labeled_tailed_triangle(self):
+        p = pattern_p2()
+        assert p.num_vertices == 4
+        assert p.num_edges == 4
+        assert p.is_fully_labeled
+        assert automorphism_count(p) == 1  # labels pin every vertex
+
+    def test_p3_house(self):
+        p = pattern_p3()
+        assert p.num_vertices == 5
+        assert p.num_edges == 6
+
+    def test_p4_clique_with_tail(self):
+        p = pattern_p4()
+        assert p.num_vertices == 5
+        assert p.num_edges == 7
+        assert sorted(p.degree(u) for u in p.vertices()) == [1, 3, 3, 3, 4]
+
+    def test_p5_bowtie(self):
+        p = pattern_p5()
+        assert p.num_vertices == 5
+        assert p.num_edges == 6
+        assert p.degree(0) == 4
+        assert automorphism_count(p) == 8
+
+    def test_p6_near_five_clique(self):
+        p = pattern_p6()
+        assert p.num_vertices == 5
+        assert p.num_edges == 9
+        assert automorphism_count(p) == 12  # 3! for the core x 2 for the pair
+
+    def test_p7_maximal_triangle(self):
+        p = pattern_p7()
+        assert p.anti_vertices() == [3]
+        assert p.num_edges == 3
+        assert p.num_anti_edges == 3
+
+    def test_p8_chordal_square_anti_edge(self):
+        p = pattern_p8()
+        assert p.num_edges == 5
+        assert p.num_anti_edges == 1
+        assert not p.anti_vertices()  # anti-edge endpoints are regular
+
+    def test_all_connected(self):
+        for name, p in evaluation_patterns().items():
+            assert p.is_connected(), name
+
+    def test_dictionary_complete(self):
+        assert set(evaluation_patterns()) == {f"p{i}" for i in range(1, 9)}

@@ -1,0 +1,71 @@
+"""Tests for existence queries and the clustering-coefficient bound."""
+
+import networkx as nx
+
+from repro.graph import complete_graph, erdos_renyi, from_edges, star_graph
+from repro.mining import (
+    clique_existence,
+    gcc_exceeds_bound,
+    global_clustering_coefficient,
+)
+
+
+class TestCliqueExistence:
+    def test_positive_and_negative(self):
+        g = erdos_renyi(25, 0.3, seed=1)
+        assert clique_existence(g, 3)
+        assert not clique_existence(g, 10)
+
+    def test_complete_graph(self):
+        assert clique_existence(complete_graph(14), 14)
+        assert not clique_existence(complete_graph(13), 14)
+
+
+class TestGcc:
+    def test_matches_networkx_transitivity(self, random_graph):
+        got = global_clustering_coefficient(random_graph)
+        expected = nx.transitivity(random_graph.to_networkx())
+        assert abs(got - expected) < 1e-12
+
+    def test_star_has_zero_gcc(self):
+        assert global_clustering_coefficient(star_graph(10)) == 0.0
+
+    def test_complete_graph_gcc_one(self):
+        assert global_clustering_coefficient(complete_graph(6)) == 1.0
+
+    def test_empty_wedges(self):
+        g = from_edges([(0, 1)])  # single edge: no wedges at all
+        assert global_clustering_coefficient(g) == 0.0
+
+
+class TestGccBound:
+    def test_exceeds_low_bound(self, denser_graph):
+        gcc = global_clustering_coefficient(denser_graph)
+        result = gcc_exceeds_bound(denser_graph, gcc / 2)
+        assert result.exceeded
+        assert result.wedges > 0
+
+    def test_early_termination_saves_work(self, denser_graph):
+        from repro.core import count
+        from repro.pattern import generate_clique
+
+        total_triangles = count(denser_graph, generate_clique(3))
+        result = gcc_exceeds_bound(denser_graph, 0.01)
+        assert result.exceeded
+        assert result.triangles_seen <= total_triangles
+
+    def test_does_not_exceed_high_bound(self, denser_graph):
+        gcc = global_clustering_coefficient(denser_graph)
+        result = gcc_exceeds_bound(denser_graph, gcc * 1.5)
+        assert not result.exceeded
+
+    def test_no_wedges(self):
+        result = gcc_exceeds_bound(from_edges([(0, 1)]), 0.5)
+        assert not result.exceeded
+        assert result.wedges == 0
+
+    def test_boundary_consistency(self, denser_graph):
+        """The bound check must agree with the exact GCC on both sides."""
+        gcc = global_clustering_coefficient(denser_graph)
+        assert gcc_exceeds_bound(denser_graph, gcc * 0.99).exceeded
+        assert not gcc_exceeds_bound(denser_graph, gcc * 1.01).exceeded

@@ -1,0 +1,68 @@
+"""Tests for graph construction helpers."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import from_adjacency, from_edges, induced_subgraph
+
+
+class TestFromEdges:
+    def test_negative_vertex_rejected(self):
+        with pytest.raises(GraphError):
+            from_edges([(-1, 0)])
+
+    def test_num_vertices_too_small_rejected(self):
+        with pytest.raises(GraphError):
+            from_edges([(0, 5)], num_vertices=3)
+
+    def test_labels_as_mapping_defaults_to_zero(self):
+        g = from_edges([(0, 1), (1, 2)], labels={1: 7})
+        assert g.label(0) == 0
+        assert g.label(1) == 7
+
+    def test_labels_as_sequence_sets_vertex_count(self):
+        g = from_edges([(0, 1)], labels=[1, 2, 3])
+        assert g.num_vertices == 3
+
+    def test_labels_sequence_wrong_length(self):
+        with pytest.raises(GraphError):
+            from_edges([(0, 2)], labels=[1, 2])
+
+    def test_name_carried(self):
+        assert from_edges([(0, 1)], name="abc").name == "abc"
+
+
+class TestFromAdjacency:
+    def test_symmetrizes(self):
+        g = from_adjacency({0: [1, 2], 3: []})
+        assert g.has_edge(1, 0)
+        assert g.num_vertices == 4
+
+    def test_empty(self):
+        g = from_adjacency({})
+        assert g.num_vertices == 0
+
+
+class TestInducedSubgraph:
+    def test_keeps_internal_edges_only(self):
+        g = from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+        sub = induced_subgraph(g, [0, 1, 2])
+        assert sub.num_vertices == 3
+        assert set(sub.edges()) == {(0, 1), (1, 2)}
+
+    def test_renames_densely(self):
+        g = from_edges([(0, 5), (5, 9)])
+        sub = induced_subgraph(g, [5, 9])
+        assert sub.num_vertices == 2
+        assert sub.has_edge(0, 1)
+
+    def test_preserves_labels(self):
+        g = from_edges([(0, 1), (1, 2)], labels=[3, 4, 5])
+        sub = induced_subgraph(g, [1, 2])
+        assert sub.label(0) == 4
+        assert sub.label(1) == 5
+
+    def test_duplicates_ignored(self):
+        g = from_edges([(0, 1)])
+        sub = induced_subgraph(g, [0, 0, 1, 1])
+        assert sub.num_vertices == 2

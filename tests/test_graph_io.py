@@ -1,0 +1,79 @@
+"""Tests for edge-list / label file I/O."""
+
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import (
+    from_edges,
+    load_edge_list,
+    load_labeled,
+    load_labels,
+    save_edge_list,
+    save_labels,
+)
+
+
+class TestEdgeListRoundTrip:
+    def test_round_trip(self, tmp_path):
+        g = from_edges([(0, 1), (1, 2), (2, 3), (0, 3)], name="rt")
+        path = tmp_path / "g.edges"
+        save_edge_list(g, path)
+        loaded = load_edge_list(path, name="rt")
+        assert loaded == g
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("# comment\n\n% other\n// also\n0 1\n1 2\n")
+        g = load_edge_list(path)
+        assert g.num_edges == 2
+
+    def test_extra_columns_tolerated(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("0 1 1.5\n1 2 0.25\n")
+        assert load_edge_list(path).num_edges == 2
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("0\n")
+        with pytest.raises(GraphFormatError):
+            load_edge_list(path)
+
+    def test_non_integer_raises(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("a b\n")
+        with pytest.raises(GraphFormatError):
+            load_edge_list(path)
+
+    def test_default_name_is_basename(self, tmp_path):
+        path = tmp_path / "mygraph.edges"
+        path.write_text("0 1\n")
+        assert load_edge_list(path).name == "mygraph.edges"
+
+
+class TestLabels:
+    def test_label_round_trip(self, tmp_path):
+        g = from_edges([(0, 1), (1, 2)], labels=[3, 1, 4])
+        epath, lpath = tmp_path / "g.edges", tmp_path / "g.labels"
+        save_edge_list(g, epath)
+        save_labels(g, lpath)
+        loaded = load_labeled(epath, lpath)
+        assert loaded == g
+
+    def test_save_labels_of_unlabeled_raises(self, tmp_path):
+        g = from_edges([(0, 1)])
+        with pytest.raises(GraphFormatError):
+            save_labels(g, tmp_path / "x")
+
+    def test_missing_labels_default_zero(self, tmp_path):
+        epath, lpath = tmp_path / "g.edges", tmp_path / "g.labels"
+        epath.write_text("0 1\n1 2\n")
+        lpath.write_text("0 9\n")
+        g = load_labeled(epath, lpath)
+        assert g.label(0) == 9
+        assert g.label(1) == 0
+
+    def test_malformed_label_line(self, tmp_path):
+        lpath = tmp_path / "g.labels"
+        lpath.write_text("0 1 2\n")
+        with pytest.raises(GraphFormatError):
+            load_labels(lpath)

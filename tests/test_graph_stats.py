@@ -1,0 +1,32 @@
+"""Tests for Table 2-style dataset statistics."""
+
+from repro.graph import from_edges, graph_stats, stats_table
+
+
+class TestGraphStats:
+    def test_basic_fields(self):
+        g = from_edges([(0, 1), (0, 2), (0, 3)], name="star4")
+        s = graph_stats(g)
+        assert s.name == "star4"
+        assert s.num_vertices == 4
+        assert s.num_edges == 3
+        assert s.max_degree == 3
+        assert s.avg_degree == 1.5
+        assert s.num_labels == 0
+
+    def test_labeled(self):
+        g = from_edges([(0, 1)], labels=[1, 2])
+        assert graph_stats(g).num_labels == 2
+
+    def test_row_shows_dash_for_unlabeled(self):
+        g = from_edges([(0, 1)], name="x")
+        assert "—" in graph_stats(g).row()
+
+    def test_table_has_header_and_rows(self):
+        g1 = from_edges([(0, 1)], name="a")
+        g2 = from_edges([(0, 1), (1, 2)], name="b")
+        table = stats_table([g1, g2])
+        lines = table.splitlines()
+        assert "|V(G)|" in lines[0]
+        assert len(lines) == 4  # header + rule + 2 rows
+        assert lines[2].startswith("a")

@@ -1,0 +1,82 @@
+"""Tests for matching-order computation (ordered cores)."""
+
+import math
+
+from repro.core import break_symmetries, compute_matching_orders, minimum_connected_vertex_cover
+from repro.pattern import Pattern, generate_chain, generate_clique, generate_cycle
+
+
+class TestSequences:
+    def test_total_order_single_sequence(self):
+        p = generate_clique(3)
+        core = minimum_connected_vertex_cover(p)
+        po = break_symmetries(p)
+        orders = compute_matching_orders(p, core, po)
+        # Clique core is totally ordered: exactly one linear extension.
+        assert len(orders) == 1
+        assert len(orders[0].sequences) == 1
+
+    def test_all_sequences_respect_partial_order(self):
+        p = generate_cycle(4)
+        core = minimum_connected_vertex_cover(p)
+        po = break_symmetries(p)
+        for oc in compute_matching_orders(p, core, po):
+            for seq in oc.sequences:
+                pos = {u: i for i, u in enumerate(seq)}
+                for u, v in po:
+                    if u in pos and v in pos:
+                        assert pos[u] < pos[v]
+
+    def test_no_symmetry_breaking_covers_all_permutations(self):
+        p = generate_clique(3)
+        core = minimum_connected_vertex_cover(p)
+        orders = compute_matching_orders(p, core, [])
+        total = sum(len(oc.sequences) for oc in orders)
+        assert total == math.factorial(len(core))
+
+    def test_duplicate_structures_grouped(self):
+        # Without partial orders a symmetric core collapses into one
+        # ordered structure holding all sequences.
+        p = generate_clique(4)
+        core = minimum_connected_vertex_cover(p)  # triangle core
+        orders = compute_matching_orders(p, core, [])
+        assert len(orders) == 1
+        assert len(orders[0].sequences) == 6
+
+
+class TestOrderedCoreStructure:
+    def test_positions_edges(self):
+        p = generate_chain(4)  # core {1, 2}
+        core = minimum_connected_vertex_cover(p)
+        po = break_symmetries(p)
+        for oc in compute_matching_orders(p, core, po):
+            assert oc.size == 2
+            assert oc.edges == ((0, 1),)
+
+    def test_neighbor_helpers(self):
+        p = generate_clique(4)
+        core = minimum_connected_vertex_cover(p)
+        po = break_symmetries(p)
+        oc = compute_matching_orders(p, core, po)[0]
+        assert oc.later_neighbors(0) == [1, 2]
+        assert oc.earlier_neighbors(2) == [0, 1]
+
+    def test_labels_in_key(self):
+        p = Pattern.from_edges([(0, 1)])
+        p.set_label(0, 7)
+        p.set_label(1, 8)
+        core = minimum_connected_vertex_cover(p)
+        orders = compute_matching_orders(p, core, [])
+        # single-vertex core: label of the core vertex recorded
+        assert all(len(oc.labels) == oc.size for oc in orders)
+
+    def test_anti_edges_projected_to_core(self):
+        p = Pattern.from_edges([(0, 1), (1, 2)], anti_edges=[(0, 2)])
+        core = minimum_connected_vertex_cover(p)
+        po = break_symmetries(p)
+        orders = compute_matching_orders(p, core, po)
+        if len(core) == 2 and set(core) >= {0, 2} - set():
+            pass  # structure depends on chosen cover; just check validity
+        for oc in orders:
+            for a, b in oc.anti_edges:
+                assert 0 <= a < b < oc.size

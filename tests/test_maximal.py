@@ -1,0 +1,123 @@
+"""Tests for clique-problem variations (maximal / pseudo / frequent cliques).
+
+The central cross-check: the anti-vertex route to maximal cliques must
+agree with Bron–Kerbosch and with networkx's ``find_cliques`` on every
+graph we throw at it.
+"""
+
+from itertools import combinations
+
+import networkx as nx
+import pytest
+
+from repro.graph import complete_graph, erdos_renyi, from_edges
+from repro.mining.maximal import (
+    bron_kerbosch,
+    frequent_clique_sizes,
+    maximal_clique_census,
+    maximal_cliques_of_size,
+    pseudo_clique_count,
+    pseudo_cliques,
+)
+
+
+def nx_maximal_cliques(graph) -> set[tuple[int, ...]]:
+    return {tuple(sorted(c)) for c in nx.find_cliques(graph.to_networkx())}
+
+
+class TestBronKerbosch:
+    def test_matches_networkx(self, denser_graph):
+        ours = set(bron_kerbosch(denser_graph))
+        assert ours == nx_maximal_cliques(denser_graph)
+
+    def test_complete_graph_single_maximal(self):
+        g = complete_graph(6)
+        assert list(bron_kerbosch(g)) == [tuple(range(6))]
+
+    def test_empty_edges_all_singletons(self):
+        g = from_edges([], num_vertices=4)
+        assert set(bron_kerbosch(g)) == {(0,), (1,), (2,), (3,)}
+
+    def test_two_triangles_sharing_vertex(self):
+        g = from_edges([(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)])
+        assert set(bron_kerbosch(g)) == {(0, 1, 2), (2, 3, 4)}
+
+
+class TestMaximalCliquesOfSize:
+    def test_agrees_with_bron_kerbosch(self, denser_graph):
+        by_size: dict[int, set] = {}
+        for c in bron_kerbosch(denser_graph):
+            by_size.setdefault(len(c), set()).add(c)
+        for k in range(2, 6):
+            expected = by_size.get(k, set())
+            assert set(maximal_cliques_of_size(denser_graph, k)) == expected
+
+    def test_triangle_inside_k4_not_maximal(self):
+        g = complete_graph(4)
+        assert maximal_cliques_of_size(g, 3) == []
+        assert maximal_cliques_of_size(g, 4) == [(0, 1, 2, 3)]
+
+    def test_isolated_vertices_are_maximal_1_cliques(self):
+        g = from_edges([(0, 1)], num_vertices=4)
+        assert maximal_cliques_of_size(g, 1) == [(2,), (3,)]
+
+    def test_census_totals_match_enumeration(self, random_graph):
+        census = maximal_clique_census(random_graph, 5)
+        all_maximal = list(bron_kerbosch(random_graph))
+        assert len(all_maximal) <= 5 or max(len(c) for c in all_maximal) <= 5
+        for k, n in census.items():
+            assert n == sum(1 for c in all_maximal if len(c) == k)
+
+
+class TestPseudoCliques:
+    def test_density_one_is_exact_cliques(self, denser_graph):
+        from repro.mining import clique_count
+
+        assert pseudo_clique_count(denser_graph, 4, 1.0) == clique_count(
+            denser_graph, 4
+        )
+
+    def test_vs_brute_force(self, random_graph):
+        G = random_graph.to_networkx()
+        k, density = 4, 0.66
+        expected = 0
+        for nodes in combinations(G.nodes, k):
+            sub = G.subgraph(nodes)
+            if not nx.is_connected(sub):
+                continue
+            if sub.number_of_edges() / (k * (k - 1) / 2) >= density:
+                expected += 1
+        assert pseudo_clique_count(random_graph, k, density) == expected
+
+    def test_listing_matches_count(self, random_graph):
+        sets = pseudo_cliques(random_graph, 3, 0.66)
+        assert len(sets) == pseudo_clique_count(random_graph, 3, 0.66)
+        assert len(set(sets)) == len(sets)  # each vertex set reported once
+
+    def test_invalid_density_rejected(self, random_graph):
+        with pytest.raises(ValueError):
+            pseudo_clique_count(random_graph, 3, 0.0)
+        with pytest.raises(ValueError):
+            pseudo_cliques(random_graph, 3, 1.5)
+
+
+class TestFrequentCliques:
+    def test_complete_graph_supports(self):
+        g = complete_graph(6)
+        out = frequent_clique_sizes(g, threshold=6, max_k=6)
+        # every vertex participates in cliques of every size up to 6
+        assert out == {k: 6 for k in range(2, 7)}
+
+    def test_threshold_prunes(self):
+        g = complete_graph(5)
+        assert frequent_clique_sizes(g, threshold=6, max_k=5) == {}
+
+    def test_anti_monotone(self, denser_graph):
+        out = frequent_clique_sizes(denser_graph, threshold=1, max_k=5)
+        supports = [out[k] for k in sorted(out)]
+        assert supports == sorted(supports, reverse=True)
+
+    def test_support_counts_participants(self, triangle_graph):
+        # triangle 0-1-2 plus pendant 3: K_3 support = 3 vertices
+        out = frequent_clique_sizes(triangle_graph, threshold=3, max_k=3)
+        assert out[3] == 3

@@ -1,0 +1,75 @@
+"""Tests for motif counting."""
+
+import networkx as nx
+
+from repro.mining import labeled_motif_counts, motif_census_table, motif_counts
+from repro.graph import erdos_renyi, with_random_labels
+from repro.pattern import generate_clique, are_isomorphic
+from conftest import nx_count_vertex_induced
+
+
+class TestMotifCounts:
+    def test_three_motifs_vs_oracle(self, random_graph):
+        counts = motif_counts(random_graph, 3)
+        assert len(counts) == 2
+        for p, n in counts.items():
+            assert n == nx_count_vertex_induced(random_graph, p)
+
+    def test_triangle_entry_matches_nx(self, random_graph):
+        counts = motif_counts(random_graph, 3)
+        tri = next(p for p in counts if p.num_edges == 3)
+        G = random_graph.to_networkx()
+        assert counts[tri] == sum(nx.triangles(G).values()) // 3
+
+    def test_four_motifs_vs_oracle(self):
+        g = erdos_renyi(20, 0.3, seed=9)
+        counts = motif_counts(g, 4)
+        assert len(counts) == 6
+        for p, n in counts.items():
+            assert n == nx_count_vertex_induced(g, p)
+
+    def test_sum_equals_connected_subgraph_count(self, random_graph):
+        # Total vertex-induced motif matches = number of connected
+        # 3-vertex induced subgraphs.
+        counts = motif_counts(random_graph, 3)
+        G = random_graph.to_networkx()
+        from itertools import combinations
+
+        total = 0
+        for trio in combinations(G.nodes, 3):
+            sub = G.subgraph(trio)
+            if nx.is_connected(sub):
+                total += 1
+        assert sum(counts.values()) == total
+
+    def test_prgu_equals_aware(self, random_graph):
+        aware = motif_counts(random_graph, 3)
+        unaware = motif_counts(random_graph, 3, symmetry_breaking=False)
+        for p in aware:
+            assert aware[p] == unaware[p]
+
+
+class TestLabeledMotifs:
+    def test_totals_match_structural(self):
+        g = with_random_labels(erdos_renyi(25, 0.25, seed=3), 3, seed=1)
+        labeled = labeled_motif_counts(g, 3)
+        structural = motif_counts(g, 3)
+        from repro.pattern import canonical_code
+
+        by_code = {}
+        for (code, labels), n in labeled.items():
+            by_code[code] = by_code.get(code, 0) + n
+        for p, n in structural.items():
+            assert by_code.get(canonical_code(p), 0) == n
+
+    def test_label_tuples_have_pattern_size(self):
+        g = with_random_labels(erdos_renyi(15, 0.3, seed=4), 2, seed=2)
+        for (code, labels) in labeled_motif_counts(g, 3):
+            assert len(labels) == 3
+
+
+class TestCensusTable:
+    def test_table_mentions_graph_name(self, random_graph):
+        table = motif_census_table(random_graph, 3)
+        assert random_graph.name in table
+        assert "edges" in table

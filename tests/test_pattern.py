@@ -1,0 +1,164 @@
+"""Unit tests for the Pattern class (anti-edges, anti-vertices, labels)."""
+
+import pytest
+
+from repro.errors import PatternError
+from repro.pattern import Pattern, generate_clique
+
+
+class TestMutators:
+    def test_add_edge_grows_vertex_set(self):
+        p = Pattern()
+        p.add_edge(0, 4)
+        assert p.num_vertices == 5
+        assert p.are_connected(0, 4)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(PatternError):
+            Pattern().add_edge(1, 1)
+
+    def test_anti_edge_self_loop_rejected(self):
+        with pytest.raises(PatternError):
+            Pattern().add_anti_edge(2, 2)
+
+    def test_edge_anti_edge_conflict(self):
+        p = Pattern.from_edges([(0, 1)])
+        with pytest.raises(PatternError):
+            p.add_anti_edge(0, 1)
+
+    def test_anti_edge_edge_conflict(self):
+        p = Pattern()
+        p.add_anti_edge(0, 1)
+        with pytest.raises(PatternError):
+            p.add_edge(1, 0)
+
+    def test_remove_edge(self):
+        p = Pattern.from_edges([(0, 1), (1, 2)])
+        p.remove_edge(0, 1)
+        assert not p.are_connected(0, 1)
+        assert p.num_edges == 1
+
+    def test_remove_missing_edge_raises(self):
+        with pytest.raises(PatternError):
+            Pattern.from_edges([(0, 1)]).remove_edge(0, 2)
+
+    def test_remove_anti_edge(self):
+        p = Pattern.from_edges([(0, 1)], anti_edges=[(0, 2)])
+        p.remove_anti_edge(0, 2)
+        assert p.num_anti_edges == 0
+
+    def test_labels(self):
+        p = Pattern.from_edges([(0, 1)])
+        p.set_label(0, 7)
+        assert p.label_of(0) == 7
+        assert p.label_of(1) is None
+        assert p.is_labeled
+        p.clear_label(0)
+        assert not p.is_labeled
+
+    def test_add_vertex(self):
+        p = Pattern.from_edges([(0, 1)])
+        w = p.add_vertex()
+        assert w == 2
+        assert p.num_vertices == 3
+
+    def test_copy_is_independent(self):
+        p = Pattern.from_edges([(0, 1)])
+        q = p.copy()
+        q.add_edge(1, 2)
+        assert p.num_vertices == 2
+        assert q.num_vertices == 3
+
+
+class TestAntiVertices:
+    def test_classification(self):
+        p = Pattern.from_edges([(0, 1), (1, 2), (2, 0)])
+        av = p.add_anti_vertex([0, 1, 2])
+        assert p.is_anti_vertex(av)
+        assert not p.is_anti_vertex(0)
+        assert p.anti_vertices() == [av]
+        assert p.regular_vertices() == [0, 1, 2]
+
+    def test_anti_vertex_needs_neighbors(self):
+        with pytest.raises(PatternError):
+            Pattern.from_edges([(0, 1)]).add_anti_vertex([])
+
+    def test_vertex_with_edge_and_anti_edge_is_regular(self):
+        p = Pattern.from_edges([(0, 1)], anti_edges=[(1, 2)])
+        p.add_edge(2, 0)
+        assert not p.is_anti_vertex(2)
+
+    def test_without_anti_vertices(self):
+        p = Pattern.from_edges([(0, 1), (1, 2), (2, 0)])
+        p.add_anti_vertex([0, 2])
+        stripped = p.without_anti_vertices()
+        assert stripped.num_vertices == 3
+        assert stripped.num_anti_edges == 0
+        assert stripped.num_edges == 3
+
+    def test_without_anti_vertices_renames_densely(self):
+        p = Pattern(num_vertices=0)
+        p.add_anti_edge(0, 1)  # vertex 0 anti-vertex if no regular edge
+        p.add_edge(1, 2)
+        stripped = p.without_anti_vertices()
+        assert stripped.num_vertices == 2
+        assert stripped.are_connected(0, 1)
+
+
+class TestStructure:
+    def test_neighbors_and_degree(self):
+        p = Pattern.from_edges([(0, 1), (0, 2)], anti_edges=[(0, 3)])
+        assert p.neighbors(0) == [1, 2]
+        assert p.anti_neighbors(0) == [3]
+        assert p.degree(0) == 2
+
+    def test_connectivity(self):
+        assert Pattern.from_edges([(0, 1), (1, 2)]).is_connected()
+        disconnected = Pattern(num_vertices=4, edges=[(0, 1), (2, 3)])
+        assert not disconnected.is_connected()
+
+    def test_connectivity_ignores_anti_vertices(self):
+        p = Pattern.from_edges([(0, 1), (1, 2), (2, 0)])
+        p.add_anti_vertex([0])
+        assert p.is_connected()
+
+    def test_empty_pattern_not_connected(self):
+        assert not Pattern().is_connected()
+
+    def test_vertex_induced_closure(self):
+        p = Pattern.from_edges([(0, 1), (1, 2)])  # wedge
+        closed = p.vertex_induced_closure()
+        assert closed.are_anti_adjacent(0, 2)
+        assert closed.num_anti_edges == 1
+
+    def test_closure_skips_existing_anti_edges(self):
+        p = Pattern.from_edges([(0, 1), (1, 2)], anti_edges=[(0, 2)])
+        closed = p.vertex_induced_closure()
+        assert closed.num_anti_edges == 1
+
+    def test_closure_ignores_anti_vertices(self):
+        p = Pattern.from_edges([(0, 1), (1, 2)])
+        p.add_anti_vertex([0])
+        closed = p.vertex_induced_closure()
+        # Only the (0, 2) regular pair is closed; the anti-vertex pair isn't.
+        assert closed.are_anti_adjacent(0, 2)
+        assert not closed.are_anti_adjacent(1, 3)
+
+    def test_degree_sequence(self):
+        assert generate_clique(4).degree_sequence() == [3, 3, 3, 3]
+
+
+class TestIdentity:
+    def test_equality_exact(self):
+        assert Pattern.from_edges([(0, 1)]) == Pattern.from_edges([(0, 1)])
+        assert Pattern.from_edges([(0, 1)]) != Pattern.from_edges([(1, 2)])
+
+    def test_hashable(self):
+        s = {Pattern.from_edges([(0, 1)]), Pattern.from_edges([(0, 1)])}
+        assert len(s) == 1
+
+    def test_signature_includes_labels(self):
+        p = Pattern.from_edges([(0, 1)])
+        q = p.copy()
+        q.set_label(0, 1)
+        assert p != q

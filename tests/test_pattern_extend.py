@@ -1,0 +1,64 @@
+"""Tests for the extend-by-edge / extend-by-vertex operators [C1-C2]."""
+
+from repro.pattern import (
+    Pattern,
+    are_isomorphic,
+    canonical_code,
+    extend_by_edge,
+    extend_by_vertex,
+    generate_chain,
+    generate_clique,
+    generate_star,
+)
+
+
+class TestExtendByEdge:
+    def test_single_edge_extends_to_wedge_only(self):
+        out = extend_by_edge([Pattern.from_edges([(0, 1)])])
+        assert len(out) == 1
+        assert are_isomorphic(out[0], generate_chain(3))
+
+    def test_wedge_extensions(self):
+        out = extend_by_edge([generate_chain(3)])
+        # wedge + edge: triangle, 4-path, 4-star
+        assert len(out) == 3
+
+    def test_results_unique_across_inputs(self):
+        fam = extend_by_edge([generate_chain(3)])
+        fam2 = extend_by_edge(fam)
+        codes = [canonical_code(p) for p in fam2]
+        assert len(codes) == len(set(codes))
+
+    def test_labels_preserved_and_new_vertex_wildcard(self):
+        p = Pattern.from_edges([(0, 1)])
+        p.set_label(0, 3)
+        p.set_label(1, 4)
+        for q in extend_by_edge([p]):
+            labeled = [u for u in q.vertices() if q.label_of(u) is not None]
+            assert len(labeled) == 2  # original labels survive; new is wildcard
+
+    def test_edge_count_increases_by_one(self):
+        for q in extend_by_edge([generate_clique(3)]):
+            assert q.num_edges == 4
+
+
+class TestExtendByVertex:
+    def test_single_vertex_counts(self):
+        out = extend_by_vertex([Pattern.from_edges([(0, 1)])])
+        # new vertex attached to 1 or 2 anchors: wedge and triangle
+        assert len(out) == 2
+
+    def test_star_extension_includes_bigger_star(self):
+        out = extend_by_vertex([generate_star(3)])
+        assert any(are_isomorphic(p, generate_star(4)) for p in out)
+
+    def test_vertex_count_increases_by_one(self):
+        for q in extend_by_vertex([generate_clique(3)]):
+            assert q.num_vertices == 4
+
+    def test_includes_full_attachment(self):
+        out = extend_by_vertex([generate_clique(3)])
+        assert any(are_isomorphic(p, generate_clique(4)) for p in out)
+
+    def test_results_connected(self):
+        assert all(p.is_connected() for p in extend_by_vertex([generate_chain(3)]))

@@ -1,0 +1,106 @@
+"""Tests for pattern generators [S1-S3, G1-G2]."""
+
+import pytest
+
+from repro.errors import PatternError
+from repro.pattern import (
+    are_isomorphic,
+    canonical_code,
+    generate_all_edge_induced,
+    generate_all_vertex_induced,
+    generate_chain,
+    generate_clique,
+    generate_cycle,
+    generate_star,
+    generate_triangle,
+)
+
+
+class TestSpecialPatterns:
+    def test_clique_structure(self):
+        p = generate_clique(5)
+        assert p.num_vertices == 5
+        assert p.num_edges == 10
+
+    def test_clique_size_one(self):
+        p = generate_clique(1)
+        assert p.num_vertices == 1
+        assert p.num_edges == 0
+
+    def test_star_structure(self):
+        p = generate_star(5)
+        assert p.degree(0) == 4
+        assert all(p.degree(v) == 1 for v in range(1, 5))
+
+    def test_chain_structure(self):
+        p = generate_chain(4)
+        assert p.degree_sequence() == [1, 1, 2, 2]
+
+    def test_cycle_structure(self):
+        p = generate_cycle(6)
+        assert all(p.degree(v) == 2 for v in range(6))
+
+    def test_triangle_is_k3(self):
+        assert are_isomorphic(generate_triangle(), generate_clique(3))
+
+    def test_size_validation(self):
+        with pytest.raises(PatternError):
+            generate_clique(0)
+        with pytest.raises(PatternError):
+            generate_star(1)
+        with pytest.raises(PatternError):
+            generate_chain(1)
+        with pytest.raises(PatternError):
+            generate_cycle(2)
+
+
+class TestVertexInducedFamilies:
+    def test_known_motif_counts(self):
+        # Connected graphs on n vertices up to isomorphism: 1, 1, 2, 6, 21.
+        assert len(generate_all_vertex_induced(1)) == 1
+        assert len(generate_all_vertex_induced(2)) == 1
+        assert len(generate_all_vertex_induced(3)) == 2
+        assert len(generate_all_vertex_induced(4)) == 6
+        assert len(generate_all_vertex_induced(5)) == 21
+
+    def test_all_connected(self):
+        assert all(p.is_connected() for p in generate_all_vertex_induced(4))
+
+    def test_all_unique(self):
+        codes = [canonical_code(p) for p in generate_all_vertex_induced(4)]
+        assert len(codes) == len(set(codes))
+
+    def test_includes_extremes(self):
+        motifs = generate_all_vertex_induced(4)
+        assert any(are_isomorphic(p, generate_clique(4)) for p in motifs)
+        assert any(are_isomorphic(p, generate_chain(4)) for p in motifs)
+
+    def test_size_validation(self):
+        with pytest.raises(PatternError):
+            generate_all_vertex_induced(0)
+
+
+class TestEdgeInducedFamilies:
+    def test_known_counts(self):
+        # Connected graphs with k edges up to isomorphism: 1, 1, 3, 5.
+        assert len(generate_all_edge_induced(1)) == 1
+        assert len(generate_all_edge_induced(2)) == 1
+        assert len(generate_all_edge_induced(3)) == 3
+        assert len(generate_all_edge_induced(4)) == 5
+
+    def test_three_edge_family(self):
+        fam = generate_all_edge_induced(3)
+        shapes = {
+            "triangle": generate_clique(3),
+            "path4": generate_chain(4),
+            "star4": generate_star(4),
+        }
+        for name, shape in shapes.items():
+            assert any(are_isomorphic(p, shape) for p in fam), name
+
+    def test_edge_counts_exact(self):
+        assert all(p.num_edges == 3 for p in generate_all_edge_induced(3))
+
+    def test_size_validation(self):
+        with pytest.raises(PatternError):
+            generate_all_edge_induced(0)

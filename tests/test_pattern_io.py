@@ -1,0 +1,81 @@
+"""Tests for pattern file I/O."""
+
+import pytest
+
+from repro.errors import PatternFormatError
+from repro.pattern import (
+    Pattern,
+    load_pattern,
+    load_patterns,
+    pattern_from_text,
+    pattern_to_text,
+    save_patterns,
+    pattern_p7,
+    pattern_p8,
+)
+
+
+class TestTextFormat:
+    def test_round_trip_plain(self):
+        p = Pattern.from_edges([(0, 1), (1, 2), (0, 2)])
+        assert pattern_from_text(pattern_to_text(p)) == p
+
+    def test_round_trip_with_anti_and_labels(self):
+        p = pattern_p8()
+        p.set_label(0, 3)
+        assert pattern_from_text(pattern_to_text(p)) == p
+
+    def test_round_trip_anti_vertex(self):
+        p = pattern_p7()
+        assert pattern_from_text(pattern_to_text(p)) == p
+
+    def test_comments_ignored(self):
+        p = pattern_from_text("e 0 1  # an edge\n# full comment\na 0 2")
+        assert p.num_edges == 1
+        assert p.num_anti_edges == 1
+
+    def test_bad_directive(self):
+        with pytest.raises(PatternFormatError):
+            pattern_from_text("x 0 1")
+
+    def test_bad_arity(self):
+        with pytest.raises(PatternFormatError):
+            pattern_from_text("e 0 1 2")
+
+    def test_non_integer(self):
+        with pytest.raises(PatternFormatError):
+            pattern_from_text("e a b")
+
+    def test_empty_block(self):
+        with pytest.raises(PatternFormatError):
+            pattern_from_text("# nothing\n")
+
+
+class TestFiles:
+    def test_multi_pattern_round_trip(self, tmp_path):
+        patterns = [
+            Pattern.from_edges([(0, 1)]),
+            pattern_p8(),
+            pattern_p7(),
+        ]
+        path = tmp_path / "patterns.txt"
+        save_patterns(patterns, path)
+        loaded = load_patterns(path)
+        assert loaded == patterns
+
+    def test_load_pattern_single(self, tmp_path):
+        path = tmp_path / "one.txt"
+        save_patterns([Pattern.from_edges([(0, 1)])], path)
+        assert load_pattern(path).num_edges == 1
+
+    def test_load_pattern_rejects_multiple(self, tmp_path):
+        path = tmp_path / "two.txt"
+        save_patterns([Pattern.from_edges([(0, 1)])] * 2, path)
+        with pytest.raises(PatternFormatError):
+            load_pattern(path)
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# only comments\n")
+        with pytest.raises(PatternFormatError):
+            load_patterns(path)

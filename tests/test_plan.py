@@ -1,0 +1,89 @@
+"""Tests for exploration-plan generation (Figure 5)."""
+
+import pytest
+
+from repro.core import generate_plan
+from repro.errors import PlanError
+from repro.pattern import (
+    Pattern,
+    generate_chain,
+    generate_clique,
+    generate_star,
+    pattern_p7,
+    pattern_p8,
+)
+
+
+class TestPlanStructure:
+    def test_clique_plan(self):
+        plan = generate_plan(generate_clique(4))
+        assert len(plan.core) == 3
+        assert len(plan.noncore_steps) == 1
+        assert plan.noncore_steps[0].neighbors == tuple(plan.core)
+
+    def test_star_plan(self):
+        plan = generate_plan(generate_star(4))
+        assert list(plan.core) == [0]
+        assert len(plan.noncore_steps) == 3
+
+    def test_partial_orders_off(self):
+        plan = generate_plan(generate_clique(3), symmetry_breaking=False)
+        assert plan.partial_orders == ()
+
+    def test_vertex_induced_closure_applied(self):
+        plan = generate_plan(generate_chain(3), edge_induced=False)
+        assert plan.matched_pattern.num_anti_edges == 1
+        assert plan.pattern.num_anti_edges == 0  # original untouched
+
+    def test_anti_vertex_checks_collected(self):
+        plan = generate_plan(pattern_p7())
+        assert len(plan.anti_vertex_checks) == 1
+        check = plan.anti_vertex_checks[0]
+        assert check.anti_vertex == 3
+        assert check.neighbors == (0, 1, 2)
+
+    def test_anti_vertex_not_in_core_or_steps(self):
+        plan = generate_plan(pattern_p7())
+        assert 3 not in plan.core
+        assert all(s.vertex != 3 for s in plan.noncore_steps)
+
+    def test_anti_edge_in_noncore_step(self):
+        plan = generate_plan(pattern_p8())
+        anti_steps = [s for s in plan.noncore_steps if s.anti_neighbors]
+        core_anti = any(oc.anti_edges for oc in plan.ordered_cores)
+        assert anti_steps or core_anti  # the anti-edge lands somewhere
+
+    def test_noncore_neighbors_subset_of_core(self):
+        for p in [generate_clique(5), generate_star(5), pattern_p8()]:
+            plan = generate_plan(p)
+            core = set(plan.core)
+            for step in plan.noncore_steps:
+                assert set(step.neighbors) <= core
+
+    def test_bounds_reference_earlier_vertices(self):
+        plan = generate_plan(generate_star(5))
+        seen = set(plan.core)
+        for step in plan.noncore_steps:
+            assert set(step.lower_bounds) <= seen
+            assert set(step.upper_bounds) <= seen
+            seen.add(step.vertex)
+
+    def test_describe_mentions_core(self):
+        text = generate_plan(generate_clique(3)).describe()
+        assert "core" in text
+        assert "matching orders" in text
+
+
+class TestPlanValidation:
+    def test_empty_pattern(self):
+        with pytest.raises(PlanError):
+            generate_plan(Pattern())
+
+    def test_disconnected_pattern(self):
+        with pytest.raises(PlanError):
+            generate_plan(Pattern(num_vertices=4, edges=[(0, 1), (2, 3)]))
+
+    def test_single_vertex_pattern_plans(self):
+        plan = generate_plan(Pattern(num_vertices=1))
+        assert plan.core == (0,)
+        assert plan.ordered_cores[0].size == 1

@@ -1,0 +1,129 @@
+"""Tests for counters, memory accounting and stage timers."""
+
+import time
+
+from repro.profiling import (
+    ExplorationCounters,
+    StageTimer,
+    StoreMeter,
+    embedding_bytes,
+    format_fig1_row,
+)
+
+
+class TestExplorationCounters:
+    def test_explored_ratio(self):
+        c = ExplorationCounters(matches_explored=100, result_size=4)
+        assert c.explored_ratio() == 25.0
+
+    def test_ratio_zero_results(self):
+        assert ExplorationCounters(matches_explored=5).explored_ratio() == float("inf")
+        assert ExplorationCounters().explored_ratio() == 0.0
+
+    def test_merge(self):
+        a = ExplorationCounters(matches_explored=1, canonicality_checks=2,
+                                peak_store_bytes=10)
+        b = ExplorationCounters(matches_explored=3, canonicality_checks=4,
+                                peak_store_bytes=50)
+        a.merge(b)
+        assert a.matches_explored == 4
+        assert a.canonicality_checks == 6
+        assert a.peak_store_bytes == 50
+
+    def test_format_row(self):
+        c = ExplorationCounters(system="x", matches_explored=10, result_size=5)
+        row = format_fig1_row(c)
+        assert "x" in row
+        assert "(2x)" in row
+
+
+class TestStoreMeter:
+    def test_peak_tracking(self):
+        m = StoreMeter()
+        m.add(100)
+        m.add(50)
+        m.remove(120)
+        m.add(10)
+        assert m.peak_bytes == 150
+        assert m.live_bytes == 40
+
+    def test_never_negative(self):
+        m = StoreMeter()
+        m.remove(10)
+        assert m.live_bytes == 0
+
+    def test_embedding_helpers(self):
+        m = StoreMeter()
+        m.add_embedding(4)
+        assert m.live_bytes == embedding_bytes(4) == 32
+        m.remove_embedding(4)
+        assert m.live_bytes == 0
+
+    def test_budget(self):
+        m = StoreMeter(budget_bytes=100)
+        m.add(99)
+        assert not m.over_budget()
+        m.add(2)
+        assert m.over_budget()
+
+    def test_no_budget_never_over(self):
+        m = StoreMeter()
+        m.add(10**12)
+        assert not m.over_budget()
+
+
+class TestStageTimer:
+    def test_breakdown_sums_to_total(self):
+        t = StageTimer()
+        t.start("other")
+        t.start("core")
+        time.sleep(0.005)
+        t.stop("core")
+        t.start("po")
+        time.sleep(0.002)
+        t.stop("po")
+        t.stop("other")
+        parts = t.breakdown()
+        assert parts["core"] >= 0.004
+        assert parts["po"] >= 0.001
+        assert abs(sum(parts.values()) - t.total) < 1e-6
+
+    def test_shares_sum_to_one(self):
+        t = StageTimer()
+        t.start("other")
+        t.start("noncore")
+        time.sleep(0.002)
+        t.stop("noncore")
+        t.stop("other")
+        shares = t.shares()
+        assert abs(sum(shares.values()) - 1.0) < 1e-9
+
+    def test_empty_timer_shares_zero(self):
+        assert sum(StageTimer().shares().values()) == 0.0
+
+    def test_unbalanced_stop_ignored(self):
+        t = StageTimer()
+        t.stop("core")  # never started: no crash
+        assert t.breakdown()["core"] == 0.0
+
+    def test_reset(self):
+        t = StageTimer()
+        t.start("other")
+        t.stop("other")
+        t.reset()
+        assert t.total == 0.0
+
+
+class TestEngineTimerIntegration:
+    def test_engine_populates_stages(self):
+        from repro.core import count
+        from repro.graph import erdos_renyi
+        from repro.pattern import pattern_p1
+
+        g = erdos_renyi(40, 0.2, seed=1)
+        timer = StageTimer()
+        count(g, pattern_p1(), timer=timer)
+        parts = timer.breakdown()
+        assert parts["core"] > 0
+        assert parts["noncore"] > 0
+        assert timer.total > 0

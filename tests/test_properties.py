@@ -1,0 +1,107 @@
+"""Property-based invariants on the whole pipeline (hypothesis).
+
+These tests generate random graphs and random connected patterns and check
+the system-level invariants the paper's design rests on:
+
+* the engine count equals the networkx oracle (edge- and vertex-induced);
+* symmetry breaking removes exactly the |Aut| redundancy;
+* matching-order sequences partition the match space (no dupes, no gaps);
+* plan generation is deterministic.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import count, generate_plan, match
+from repro.graph import erdos_renyi
+from repro.pattern import Pattern, automorphism_count
+from conftest import nx_count_edge_induced, nx_count_vertex_induced
+
+
+def random_connected_pattern(rng: random.Random, max_vertices: int = 5) -> Pattern:
+    n = rng.randint(2, max_vertices)
+    edges = [(rng.randrange(v), v) for v in range(1, n)]  # random tree
+    for u in range(n):
+        for v in range(u + 1, n):
+            if (u, v) not in edges and rng.random() < 0.35:
+                edges.append((u, v))
+    return Pattern(num_vertices=n, edges=edges)
+
+
+seeds = st.integers(min_value=0, max_value=100_000)
+
+
+class TestOracleEquivalence:
+    @given(seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_edge_induced(self, seed):
+        rng = random.Random(seed)
+        p = random_connected_pattern(rng)
+        g = erdos_renyi(16, 0.3, seed=seed)
+        assert count(g, p) == nx_count_edge_induced(g, p)
+
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_vertex_induced(self, seed):
+        rng = random.Random(seed)
+        p = random_connected_pattern(rng, max_vertices=4)
+        g = erdos_renyi(14, 0.35, seed=seed + 1)
+        assert count(g, p, edge_induced=False) == nx_count_vertex_induced(g, p)
+
+
+class TestSymmetryInvariant:
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_unaware_is_aut_multiple(self, seed):
+        rng = random.Random(seed)
+        p = random_connected_pattern(rng, max_vertices=4)
+        g = erdos_renyi(14, 0.3, seed=seed + 2)
+        canonical = count(g, p)
+        raw = count(g, p, symmetry_breaking=False)
+        assert raw == canonical * automorphism_count(p)
+
+
+class TestEnumerationInvariants:
+    @given(seeds)
+    @settings(max_examples=12, deadline=None)
+    def test_matches_distinct_and_valid(self, seed):
+        rng = random.Random(seed)
+        p = random_connected_pattern(rng, max_vertices=4)
+        g = erdos_renyi(14, 0.3, seed=seed + 3)
+        seen = set()
+
+        def check(m):
+            assert m.mapping not in seen
+            seen.add(m.mapping)
+            for u, v in p.edges():
+                assert g.has_edge(m[u], m[v])
+            assert len(set(m.vertices())) == p.num_vertices
+
+        total = match(g, p, callback=check)
+        assert total == len(seen)
+
+
+class TestPlanDeterminism:
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_same_pattern_same_plan(self, seed):
+        rng = random.Random(seed)
+        p = random_connected_pattern(rng)
+        plan_a = generate_plan(p)
+        plan_b = generate_plan(p)
+        assert plan_a.partial_orders == plan_b.partial_orders
+        assert plan_a.core == plan_b.core
+        assert [oc.sequences for oc in plan_a.ordered_cores] == [
+            oc.sequences for oc in plan_b.ordered_cores
+        ]
+
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_core_is_connected_cover(self, seed):
+        rng = random.Random(seed)
+        p = random_connected_pattern(rng)
+        plan = generate_plan(p)
+        cover = set(plan.core)
+        for u, v in p.edges():
+            assert u in cover or v in cover

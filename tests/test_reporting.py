@@ -1,0 +1,181 @@
+"""Tests for the reporting helpers (tables, charts, formatters)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.reporting import (
+    Table,
+    bar_chart,
+    format_bytes,
+    format_count,
+    format_seconds,
+    speedup_cell,
+    stacked_bar,
+)
+
+
+class TestFormatters:
+    @pytest.mark.parametrize(
+        "seconds,expected",
+        [
+            (None, "—"),
+            (0.0000005, "0us"),
+            (0.0005, "500us"),
+            (0.25, "250.0ms"),
+            (1.0, "1.00s"),
+            (402.57, "402.57s"),
+        ],
+    )
+    def test_format_seconds(self, seconds, expected):
+        assert format_seconds(seconds) == expected
+
+    def test_format_seconds_rejects_negative(self):
+        with pytest.raises(ValueError):
+            format_seconds(-1.0)
+
+    @pytest.mark.parametrize(
+        "nbytes,expected",
+        [
+            (None, "—"),
+            (0, "0B"),
+            (1023, "1023B"),
+            (1024, "1.0KiB"),
+            (32 * 1024**3, "32.0GiB"),
+        ],
+    )
+    def test_format_bytes(self, nbytes, expected):
+        assert format_bytes(nbytes) == expected
+
+    def test_format_count(self):
+        assert format_count(3_500_000) == "3,500,000"
+        assert format_count(None) == "—"
+
+    def test_speedup_cell_variants(self):
+        assert speedup_cell(158.05, 0.12) == "158.05s (1317.1x)"
+        assert speedup_cell(None, 1.0) == "—"
+        assert speedup_cell(1.0, 1.0, status="timeout") == "×"
+        assert speedup_cell(1.0, 1.0, status="oom") == "—"
+        assert "inf" in speedup_cell(1.0, 0.0)
+
+
+class TestTable:
+    def test_render_alignment(self):
+        t = Table(["system", "time"], aligns="<>")
+        t.add_row("peregrine", "0.12s")
+        t.add_row("arabesque-like", "158.05s")
+        out = t.render()
+        lines = out.splitlines()
+        assert lines[0].startswith("system")
+        assert set(lines[1]) == {"-"}
+        assert lines[2].startswith("peregrine")
+        assert lines[3].endswith("158.05s")
+
+    def test_right_alignment_pads_left(self):
+        t = Table(["n"], aligns=">")
+        t.add_row("5")
+        t.add_row("5000")
+        lines = t.render().splitlines()
+        assert lines[2] == "   5"
+
+    def test_wrong_cell_count_rejected(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row("only-one")
+
+    def test_bad_aligns_rejected(self):
+        with pytest.raises(ValueError):
+            Table(["a"], aligns="^")
+        with pytest.raises(ValueError):
+            Table(["a", "b"], aligns="<")
+
+    def test_add_rows_bulk(self):
+        t = Table(["x", "y"])
+        t.add_rows([(1, 2), (3, 4)])
+        assert t.num_rows == 2
+
+    def test_empty_table_renders_header(self):
+        t = Table(["alpha"])
+        out = t.render()
+        assert "alpha" in out
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.text(
+                    alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+                    min_size=1,
+                    max_size=8,
+                ),
+                st.integers(),
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    def test_render_row_count_property(self, rows):
+        t = Table(["name", "value"])
+        for name, value in rows:
+            t.add_row(name, value)
+        assert len(t.render().splitlines()) == 2 + len(rows)
+
+
+class TestBarChart:
+    def test_scales_to_peak(self):
+        out = bar_chart({"a": 4.0, "b": 1.0}, width=8)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 8
+        assert lines[1].count("#") == 2
+
+    def test_zero_value_gets_no_bar(self):
+        out = bar_chart({"a": 1.0, "b": 0.0}, width=4)
+        assert out.splitlines()[1].count("#") == 0
+
+    def test_tiny_nonzero_gets_one_cell(self):
+        out = bar_chart({"a": 1000.0, "b": 0.001}, width=10)
+        assert out.splitlines()[1].count("#") == 1
+
+    def test_empty_and_invalid(self):
+        assert bar_chart({}) == "(no data)"
+        with pytest.raises(ValueError):
+            bar_chart({"a": -1.0})
+        with pytest.raises(ValueError):
+            bar_chart({"a": 1.0}, width=0)
+
+    def test_custom_value_format(self):
+        out = bar_chart({"a": 0.5}, value_format=lambda v: f"{v:.0%}")
+        assert out.endswith("50%")
+
+
+class TestStackedBar:
+    def test_width_exact(self):
+        out = stacked_bar({"po": 1, "core": 1, "noncore": 6}, width=40)
+        bar_line = out.splitlines()[0]
+        assert len(bar_line) == 42  # brackets + width cells
+
+    def test_legend_has_percentages(self):
+        out = stacked_bar({"x": 3, "y": 1}, width=20)
+        assert "75.0%" in out and "25.0%" in out
+
+    def test_zero_total(self):
+        assert stacked_bar({"a": 0.0}) == "(no data)"
+
+    def test_rejects_negative_and_narrow(self):
+        with pytest.raises(ValueError):
+            stacked_bar({"a": -1.0})
+        with pytest.raises(ValueError):
+            stacked_bar({"a": 1, "b": 1, "c": 1}, width=2)
+
+    @given(
+        st.dictionaries(
+            st.text(min_size=1, max_size=5),
+            st.floats(min_value=0.01, max_value=100),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_bar_always_fills_width(self, shares):
+        out = stacked_bar(shares, width=50)
+        assert len(out.splitlines()[0]) == 52

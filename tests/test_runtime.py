@@ -1,0 +1,206 @@
+"""Tests for the concurrent runtime: scheduler, threads, aggregation."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import Aggregator, ExplorationControl, count
+from repro.graph import erdos_renyi
+from repro.pattern import generate_clique, pattern_p1
+from repro.runtime import (
+    AggregatorThread,
+    DeadlineControl,
+    TaskScheduler,
+    parallel_match,
+    process_count,
+    stop_after_n_matches,
+    stop_when_aggregate,
+)
+
+
+class TestTaskScheduler:
+    def test_chunks_cover_everything_once(self):
+        sched = TaskScheduler(range(100), chunk_size=7)
+        seen = []
+        while True:
+            chunk = sched.next_chunk()
+            if not chunk:
+                break
+            seen.extend(chunk)
+        assert seen == list(range(100))
+
+    def test_degree_descending_order(self):
+        sched = TaskScheduler.degree_descending(5, chunk_size=10)
+        assert list(sched.next_chunk()) == [4, 3, 2, 1, 0]
+
+    def test_remaining_and_reset(self):
+        sched = TaskScheduler(range(10), chunk_size=4)
+        sched.next_chunk()
+        assert sched.remaining() == 6
+        sched.reset()
+        assert sched.remaining() == 10
+
+    def test_bad_chunk_size(self):
+        with pytest.raises(ValueError):
+            TaskScheduler(range(3), chunk_size=0)
+
+    def test_thread_safety(self):
+        sched = TaskScheduler(range(1000), chunk_size=3)
+        collected = []
+        lock = threading.Lock()
+
+        def worker():
+            while True:
+                chunk = sched.next_chunk()
+                if not chunk:
+                    return
+                with lock:
+                    collected.extend(chunk)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(collected) == list(range(1000))
+
+
+class TestParallelMatch:
+    def test_counts_match_sequential(self):
+        g = erdos_renyi(80, 0.12, seed=1)
+        expected = count(g, pattern_p1())
+        for threads in (1, 2, 4):
+            result = parallel_match(g, pattern_p1(), num_threads=threads)
+            assert result.matches == expected
+
+    def test_callback_aggregation(self):
+        g = erdos_renyi(60, 0.15, seed=2)
+        expected = count(g, generate_clique(3))
+
+        def cb(m, agg):
+            agg.map_pattern("triangles", 1)
+
+        result = parallel_match(g, generate_clique(3), num_threads=3, callback=cb)
+        assert result.aggregates.get("triangles") == expected
+
+    def test_stats_merged(self):
+        g = erdos_renyi(50, 0.15, seed=3)
+        result = parallel_match(g, generate_clique(3), num_threads=2)
+        assert result.stats.complete_matches == result.matches
+        assert result.stats.tasks == 50
+
+    def test_early_stop_with_control(self):
+        g = erdos_renyi(60, 0.25, seed=4)
+        control = ExplorationControl()
+
+        def cb(m, agg):
+            control.stop()
+
+        result = parallel_match(
+            g, generate_clique(3), num_threads=2, callback=cb, control=control
+        )
+        assert result.matches < count(g, generate_clique(3))
+
+    def test_per_thread_accounting(self):
+        g = erdos_renyi(60, 0.2, seed=5)
+        result = parallel_match(g, generate_clique(3), num_threads=3, chunk_size=4)
+        assert sum(result.per_thread_matches) == result.matches
+        assert 0.0 <= result.load_imbalance() <= 1.0
+
+
+class TestProcessCount:
+    def test_matches_sequential(self):
+        g = erdos_renyi(60, 0.15, seed=6)
+        expected = count(g, generate_clique(3))
+        assert process_count(g, generate_clique(3), num_processes=1) == expected
+        assert process_count(g, generate_clique(3), num_processes=2) == expected
+
+    def test_vertex_induced(self):
+        g = erdos_renyi(40, 0.2, seed=7)
+        from repro.pattern import generate_star
+
+        expected = count(g, generate_star(3), edge_induced=False)
+        got = process_count(
+            g, generate_star(3), num_processes=2, edge_induced=False
+        )
+        assert got == expected
+
+
+class TestAggregatorThread:
+    def test_merges_local_values(self):
+        global_agg = Aggregator()
+        locals_ = [Aggregator(), Aggregator()]
+        locals_[0].map_pattern("x", 2)
+        locals_[1].map_pattern("x", 3)
+        with AggregatorThread(global_agg, locals_, interval=0.001):
+            time.sleep(0.02)
+        assert global_agg.get("x") == 5
+
+    def test_on_update_hook_runs(self):
+        global_agg = Aggregator()
+        local = Aggregator()
+        local.map_pattern("k", 1)
+        seen = []
+        t = AggregatorThread(
+            global_agg, [local], interval=0.001, on_update=lambda a: seen.append(a.get("k"))
+        )
+        t.start()
+        time.sleep(0.02)
+        t.stop()
+        assert seen and seen[-1] == 1
+
+
+class TestTerminationHelpers:
+    def test_stop_after_n(self):
+        control = ExplorationControl()
+        calls = []
+        cb = stop_after_n_matches(control, 3, inner=calls.append)
+        from repro.core import Match
+        from repro.pattern import Pattern
+
+        m = Match(Pattern.from_edges([(0, 1)]), (0, 1))
+        for _ in range(3):
+            cb(m)
+        assert control.stopped
+        assert len(calls) == 3
+
+    def test_stop_when_aggregate(self):
+        control = ExplorationControl()
+        agg = Aggregator()
+        hook = stop_when_aggregate(control, "n", lambda v: v >= 10)
+        agg.map_pattern("n", 5)
+        hook(agg)
+        assert not control.stopped
+        agg.map_pattern("n", 5)
+        hook(agg)
+        assert control.stopped
+
+    def test_deadline_control(self):
+        c = DeadlineControl(0.01)
+        assert not c.stopped
+        time.sleep(0.02)
+        assert c.stopped
+
+
+class TestAggregator:
+    def test_custom_combine(self):
+        agg = Aggregator(combine=max)
+        agg.map_pattern("k", 3)
+        agg.map_pattern("k", 1)
+        assert agg.get("k") == 3
+
+    def test_merge_from_drains_source(self):
+        a, b = Aggregator(), Aggregator()
+        b.map_pattern("k", 4)
+        a.merge_from(b)
+        assert a.get("k") == 4
+        assert len(b) == 0
+
+    def test_result_snapshot(self):
+        agg = Aggregator()
+        agg.map_pattern("a", 1)
+        snap = agg.result()
+        agg.map_pattern("b", 2)
+        assert snap == {"a": 1}
+        assert agg.keys() == ["a", "b"]

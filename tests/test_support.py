@@ -1,0 +1,101 @@
+"""Tests for Bitset and MNI Domain (support computation)."""
+
+from hypothesis import given, strategies as st
+
+from repro.mining import Bitset, Domain
+
+values = st.lists(st.integers(min_value=0, max_value=500), max_size=50)
+
+
+class TestBitset:
+    @given(values)
+    def test_membership_and_len(self, xs):
+        b = Bitset(xs)
+        assert len(b) == len(set(xs))
+        for x in xs:
+            assert x in b
+        assert -1 not in b
+
+    @given(values, values)
+    def test_or_is_union(self, xs, ys):
+        assert (Bitset(xs) | Bitset(ys)).to_list() == sorted(set(xs) | set(ys))
+
+    @given(values, values)
+    def test_and_is_intersection(self, xs, ys):
+        assert (Bitset(xs) & Bitset(ys)).to_list() == sorted(set(xs) & set(ys))
+
+    @given(values)
+    def test_ior_in_place(self, xs):
+        b = Bitset()
+        b |= Bitset(xs)
+        assert b == Bitset(xs)
+
+    def test_add(self):
+        b = Bitset()
+        b.add(3)
+        b.add(3)
+        assert len(b) == 1
+        assert b.to_list() == [3]
+
+    def test_memory_bytes_grows(self):
+        small = Bitset([1])
+        large = Bitset([10_000])
+        assert large.memory_bytes() > small.memory_bytes()
+
+    def test_equality_hash(self):
+        assert Bitset([1, 2]) == Bitset([2, 1])
+        assert hash(Bitset([5])) == hash(Bitset([5]))
+
+
+class TestDomain:
+    def test_support_is_min_domain_size(self):
+        d = Domain(2)
+        d.update([0, 10])
+        d.update([1, 10])
+        d.update([2, 10])
+        assert d.support() == 1  # vertex 1 only ever maps to 10
+
+    def test_update_ignores_negative(self):
+        d = Domain(2)
+        d.update([3, -1])
+        assert len(d.vertex_domain(0)) == 1
+        assert len(d.vertex_domain(1)) == 0
+
+    def test_orbit_merging(self):
+        # Symmetric pattern (both vertices one orbit): canonical matches
+        # only ever put the smaller data vertex first, but the full domain
+        # of each vertex is the union across the orbit.
+        d = Domain(2, orbits=[[0, 1]])
+        d.update([0, 5])
+        d.update([1, 5])
+        # raw domains: {0,1} and {5}; orbit-merged: {0,1,5} for both
+        assert d.support() == 3
+
+    def test_trivial_orbits_no_merge(self):
+        d = Domain(2, orbits=[[0], [1]])
+        d.update([0, 5])
+        d.update([1, 5])
+        assert d.support() == 1
+
+    def test_merge_from_unions_and_clears_counts(self):
+        a, b = Domain(1), Domain(1)
+        a.update([1])
+        b.update([2])
+        a.merge_from(b)
+        assert a.vertex_domain(0).to_list() == [1, 2]
+        assert a.writes == 2
+
+    def test_writes_counted(self):
+        d = Domain(3)
+        d.update([1, 2, 3])
+        d.update([1, 2, 3])
+        assert d.writes == 6
+
+    def test_empty_domain_support_zero(self):
+        assert Domain(2).support() == 0
+        assert Domain(0).support() == 0
+
+    def test_memory_bytes(self):
+        d = Domain(2)
+        d.update([100, 200])
+        assert d.memory_bytes() > 0

@@ -1,0 +1,108 @@
+"""Tests for symmetry breaking (partial orders) and orbits."""
+
+from itertools import permutations
+
+from repro.core import break_symmetries, conditions_hold, orbit_partition
+from repro.pattern import (
+    Pattern,
+    automorphisms,
+    generate_chain,
+    generate_clique,
+    generate_cycle,
+    generate_star,
+    pattern_p7,
+)
+
+
+def representative_count(p: Pattern, conditions) -> int:
+    """Of all |V|! vertex orderings, how many satisfy the partial order
+    *per automorphism class*: used to verify exactly-one-representative."""
+    n = p.num_vertices
+    autos = automorphisms(p)
+    total_orderings = 0
+    for perm in permutations(range(n)):
+        # perm assigns distinct 'data ids' = positions to vertices
+        mapping = {u: perm[u] for u in range(n)}
+        if conditions_hold(conditions, mapping):
+            total_orderings += 1
+    # every automorphism class of orderings should contribute exactly one
+    import math
+
+    return total_orderings, math.factorial(n) // len(autos)
+
+
+class TestBreakSymmetries:
+    def test_unique_representative_for_known_patterns(self):
+        for p in [
+            generate_clique(3),
+            generate_clique(4),
+            generate_star(4),
+            generate_chain(4),
+            generate_cycle(4),
+            generate_cycle(5),
+        ]:
+            conditions = break_symmetries(p)
+            got, expected = representative_count(p, conditions)
+            assert got == expected, repr(p)
+
+    def test_asymmetric_pattern_needs_no_conditions(self):
+        p = Pattern.from_edges([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)])
+        p.add_edge(1, 3)  # make it asymmetric
+        if len(automorphisms(p)) == 1:
+            assert break_symmetries(p) == []
+
+    def test_clique_total_order(self):
+        conditions = break_symmetries(generate_clique(4))
+        # A clique's partial order must be a total order: C(4,2) relations
+        # are implied; the GK chain gives 3 + 2 + 1 = 6 direct pairs.
+        assert len(conditions) == 6
+
+    def test_labels_reduce_conditions(self):
+        p = generate_clique(3)
+        plain = break_symmetries(p)
+        p.set_label(0, 1)
+        p.set_label(1, 2)
+        p.set_label(2, 3)
+        labeled = break_symmetries(p)
+        assert len(labeled) < len(plain)
+        assert labeled == []
+
+    def test_anti_vertex_conditions_excluded(self):
+        conditions = break_symmetries(pattern_p7())
+        anti = 3  # p7's anti-vertex id
+        assert all(anti not in pair for pair in conditions)
+
+    def test_paper_example_square_with_diagonals_core(self):
+        # Figure 6's pattern: 4-cycle u1-u2-u3-u4 with chords? The paper's
+        # partial order for its example is u1 < u3 and u2 < u4 on a square.
+        p = generate_cycle(4)
+        conditions = break_symmetries(p)
+        got, expected = representative_count(p, conditions)
+        assert got == expected
+
+
+class TestConditionsHold:
+    def test_holds(self):
+        assert conditions_hold([(0, 1)], {0: 3, 1: 5})
+
+    def test_violated(self):
+        assert not conditions_hold([(0, 1)], {0: 5, 1: 3})
+
+    def test_list_mapping(self):
+        assert conditions_hold([(0, 2)], [1, 9, 4])
+
+
+class TestOrbits:
+    def test_clique_single_orbit(self):
+        assert orbit_partition(generate_clique(4)) == [[0, 1, 2, 3]]
+
+    def test_star_orbits(self):
+        assert orbit_partition(generate_star(4)) == [[0], [1, 2, 3]]
+
+    def test_chain_orbits(self):
+        assert orbit_partition(generate_chain(4)) == [[0, 3], [1, 2]]
+
+    def test_labels_split_orbits(self):
+        p = generate_clique(3)
+        p.set_label(0, 9)
+        assert orbit_partition(p) == [[0], [1, 2]]

@@ -1,0 +1,53 @@
+"""Tests for PRG-U (Peregrine without symmetry breaking)."""
+
+from repro.baselines import (
+    dedup_factor,
+    prgu_count,
+    prgu_count_raw,
+    prgu_fsm,
+    prgu_motif_counts,
+)
+from repro.core import count
+from repro.graph import mico_like
+from repro.mining import fsm, motif_counts
+from repro.pattern import (
+    canonical_code,
+    generate_chain,
+    generate_clique,
+    generate_cycle,
+    generate_star,
+)
+
+
+class TestDedupFactor:
+    def test_known_factors(self):
+        assert dedup_factor(generate_clique(3)) == 6
+        assert dedup_factor(generate_star(4)) == 6
+        assert dedup_factor(generate_chain(4)) == 2
+        assert dedup_factor(generate_cycle(4)) == 8
+
+    def test_vertex_induced_uses_closure(self):
+        assert dedup_factor(generate_chain(3), edge_induced=False) == 2
+
+
+class TestCounts:
+    def test_raw_is_factor_times_canonical(self, random_graph):
+        for p in [generate_clique(3), generate_star(4), generate_cycle(4)]:
+            raw = prgu_count_raw(random_graph, p)
+            assert raw == count(random_graph, p) * dedup_factor(p)
+
+    def test_corrected_equals_canonical(self, random_graph):
+        for p in [generate_clique(3), generate_star(4)]:
+            assert prgu_count(random_graph, p) == count(random_graph, p)
+
+    def test_motifs_match(self, random_graph):
+        assert prgu_motif_counts(random_graph, 3) == motif_counts(random_graph, 3)
+
+    def test_fsm_results_match_with_more_writes(self):
+        g = mico_like(0.15)
+        aware = fsm(g, 2, 3)
+        unaware = prgu_fsm(g, 2, 3)
+        assert {canonical_code(p): s for p, s in aware.frequent.items()} == {
+            canonical_code(p): s for p, s in unaware.frequent.items()
+        }
+        assert unaware.domain_writes >= aware.domain_writes

@@ -1,0 +1,109 @@
+"""Tests for minimum connected vertex cover (the pattern core)."""
+
+import pytest
+
+from repro.core import is_connected_cover, minimum_connected_vertex_cover
+from repro.errors import PlanError
+from repro.pattern import (
+    Pattern,
+    generate_chain,
+    generate_clique,
+    generate_cycle,
+    generate_star,
+    pattern_p7,
+    pattern_p8,
+)
+
+
+class TestKnownCovers:
+    def test_single_edge(self):
+        assert minimum_connected_vertex_cover(Pattern.from_edges([(0, 1)])) == [0]
+
+    def test_star_center(self):
+        assert minimum_connected_vertex_cover(generate_star(5)) == [0]
+
+    def test_triangle_needs_two(self):
+        cover = minimum_connected_vertex_cover(generate_clique(3))
+        assert len(cover) == 2
+
+    def test_clique_k_minus_one(self):
+        cover = minimum_connected_vertex_cover(generate_clique(5))
+        assert len(cover) == 4
+
+    def test_chain4(self):
+        cover = minimum_connected_vertex_cover(generate_chain(4))
+        assert cover == [1, 2]
+
+    def test_cycle4_connected_constraint(self):
+        # {0, 2} covers C4 but is disconnected; connected cover needs 3.
+        cover = minimum_connected_vertex_cover(generate_cycle(4))
+        assert len(cover) == 3
+
+    def test_single_vertex_pattern(self):
+        assert minimum_connected_vertex_cover(Pattern(num_vertices=1)) == [0]
+
+
+class TestAntiEdgeCoverage:
+    def test_regular_anti_edge_must_be_covered(self):
+        # Wedge with anti-edge between the two leaves (vertex-induced wedge):
+        # cover {center} covers both edges but not the anti-edge.
+        p = Pattern.from_edges([(0, 1), (1, 2)], anti_edges=[(0, 2)])
+        cover = minimum_connected_vertex_cover(p)
+        assert 0 in cover or 2 in cover
+        assert len(cover) == 2
+
+    def test_anti_vertex_edges_not_covered(self):
+        # p7's anti-vertex constraints are deferred; core is the triangle's.
+        cover = minimum_connected_vertex_cover(pattern_p7())
+        assert 3 not in cover
+        assert len(cover) == 2
+
+    def test_p8_cover(self):
+        cover = minimum_connected_vertex_cover(pattern_p8())
+        p = pattern_p8()
+        assert is_connected_cover(p, set(cover))
+
+
+class TestValidation:
+    def test_disconnected_pattern_rejected(self):
+        p = Pattern(num_vertices=4, edges=[(0, 1), (2, 3)])
+        with pytest.raises(PlanError):
+            minimum_connected_vertex_cover(p)
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(PlanError):
+            minimum_connected_vertex_cover(Pattern())
+
+    def test_is_connected_cover_checks_edges(self):
+        p = generate_clique(3)
+        assert not is_connected_cover(p, {0})
+        assert is_connected_cover(p, {0, 1})
+
+    def test_is_connected_cover_checks_connectivity(self):
+        p = generate_cycle(4)
+        assert not is_connected_cover(p, {0, 2})
+        assert is_connected_cover(p, {0, 1, 2})
+
+
+class TestNonCoreIndependence:
+    """The property complete_match relies on: non-core vertices have all
+    their regular neighbors inside the cover."""
+
+    @pytest.mark.parametrize(
+        "pattern",
+        [
+            generate_clique(4),
+            generate_star(5),
+            generate_chain(5),
+            generate_cycle(5),
+            pattern_p8(),
+        ],
+    )
+    def test_noncore_is_independent_set(self, pattern):
+        cover = set(minimum_connected_vertex_cover(pattern))
+        noncore = [
+            u for u in pattern.regular_vertices() if u not in cover
+        ]
+        for u in noncore:
+            for v in pattern.neighbors(u):
+                assert v in cover
