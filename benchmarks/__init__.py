@@ -1,0 +1,9 @@
+"""Benchmark suite as a package.
+
+The ``__init__.py`` is load-bearing: it gives ``benchmarks/conftest.py``
+the unique module name ``benchmarks.conftest`` so pytest can collect
+``tests/`` and ``benchmarks/`` in one invocation without colliding with
+``tests/conftest.py`` (two top-level modules named ``conftest`` raise an
+import-file mismatch under the default import mode).  Benchmark modules
+therefore import shared helpers as ``from benchmarks.common import ...``.
+"""

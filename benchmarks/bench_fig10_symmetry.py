@@ -7,7 +7,7 @@ magnitude for 4-motifs) and by ~3x on FSM due to redundant domain writes.
 
 import pytest
 
-from common import run_once, timed
+from benchmarks.common import run_once, timed
 
 from repro.baselines import prgu_fsm, prgu_motif_counts
 from repro.mining import fsm, motif_counts

@@ -7,7 +7,7 @@ fully guided by the matching orders.
 
 import pytest
 
-from common import run_once
+from benchmarks.common import run_once
 
 from repro.core import count
 from repro.pattern import generate_all_vertex_induced

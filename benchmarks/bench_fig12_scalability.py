@@ -18,7 +18,7 @@ import os
 
 import pytest
 
-from common import run_once, timed
+from benchmarks.common import run_once, timed
 
 from repro.core import count, generate_plan, run_tasks
 from repro.pattern import pattern_p1

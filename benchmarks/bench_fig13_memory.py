@@ -11,7 +11,7 @@ The paper's shape, reproduced via logical byte accounting:
 
 import pytest
 
-from common import run_once
+from benchmarks.common import run_once
 
 from repro.baselines import (
     bfs_clique_count,

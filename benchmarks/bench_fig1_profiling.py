@@ -10,7 +10,7 @@ multiples and nonzero checks — that *shape* is the paper's argument.
 
 import pytest
 
-from common import run_once
+from benchmarks.common import run_once
 
 from repro.baselines import (
     bfs_clique_count,

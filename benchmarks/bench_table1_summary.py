@@ -9,7 +9,7 @@ slowest, PRG-U in between — is the reproduced claim.
 
 import pytest
 
-from common import run_once, timed
+from benchmarks.common import run_once, timed
 
 from repro.baselines import (
     bfs_clique_count,

@@ -8,7 +8,7 @@ systems hit memory walls first (their budgeted runs report 'oom').
 
 import pytest
 
-from common import guarded, run_once, timed
+from benchmarks.common import guarded, run_once, timed
 
 from repro.baselines import (
     bfs_clique_count,

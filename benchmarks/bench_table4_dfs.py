@@ -8,7 +8,7 @@ guided by matching orders or symmetry breaking.
 
 import pytest
 
-from common import run_once, timed
+from benchmarks.common import run_once, timed
 
 from repro.baselines import (
     dfs_clique_count,

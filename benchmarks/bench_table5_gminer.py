@@ -10,7 +10,7 @@ dynamically).
 
 import pytest
 
-from common import run_once, timed
+from benchmarks.common import run_once, timed
 
 from repro.baselines import gminer_match_p2, gminer_triangle_count
 from repro.core import count

@@ -13,7 +13,7 @@ while graphs without one must be searched exhaustively.
 
 import pytest
 
-from common import run_once
+from benchmarks.common import run_once
 
 from repro.core import EngineStats, count
 from repro.mining import clique_existence

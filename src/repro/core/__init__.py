@@ -1,6 +1,6 @@
 """Pattern-aware matching core: plans (§4) + guided engine (§5.1)."""
 
-from .api import match, count, count_many, exists
+from .api import match, count, count_many, exists, accel_preferred
 from .callbacks import Match, ExplorationControl, Aggregator, MatchCallback
 from .candidates import (
     bounded,
@@ -26,6 +26,7 @@ __all__ = [
     "count",
     "count_many",
     "exists",
+    "accel_preferred",
     "Match",
     "ExplorationControl",
     "Aggregator",

@@ -1,30 +1,49 @@
-"""NumPy-vectorized candidate kernels (the C++-fidelity substitute).
+"""NumPy-vectorized matching engine (the C++-fidelity substitute).
 
 Peregrine's hot loop is adjacency-list intersection on a 16-core C++
 machine; CPython cannot match that with interpreted merge loops.  This
-module provides drop-in vectorized versions of the
-:mod:`repro.core.candidates` kernels operating on sorted ``numpy`` arrays
-— the closest offline-available stand-in for the paper's compiled set
-operations (the calibration notes call for Cython/numba; ``numpy``'s
-``intersect1d``/``searchsorted`` are the same order of improvement for
-the large-adjacency regime).
+module provides vectorized versions of the :mod:`repro.core.candidates`
+kernels operating on sorted ``numpy`` arrays — the closest
+offline-available stand-in for the paper's compiled set operations — and
+builds them into :class:`AcceleratedEngine`, a drop-in vectorized
+analogue of :func:`repro.core.engine.run_tasks`.
 
-:class:`AcceleratedGraphView` wraps a :class:`~repro.graph.graph.DataGraph`
-with per-vertex ``numpy`` adjacency arrays so kernels run allocation-free
-on views.  ``accelerated_count`` is a fully-vectorized counting engine for
-the common case (edge-induced, symmetry-broken, no anti-constraints,
-no callback); it must agree exactly with the reference engine —
-``tests/test_accel.py`` fuzzes that equivalence — and the speedup is
-measured in ``bench_ablations.py``.
+The engine covers the **full pattern-feature matrix** of the paper:
+
+* edge-induced and vertex-induced matching (anti-edge difference
+  kernels via :func:`np_difference`, Theorem 3.1);
+* anti-edges and anti-vertices (§4.3) — core anti-edges subtract
+  neighbor arrays during core matching, non-core anti-neighbors subtract
+  during completion, anti-vertex checks run on materialized matches;
+* labeled patterns — :class:`AcceleratedGraphView` keeps a label array
+  plus label-partitioned vertex arrays, so label constraints become
+  boolean masks and label-restricted range scans instead of per-vertex
+  Python comparisons;
+* per-match callbacks via batched final-step match materialization, and
+  the enumeration-free tail count when no callback needs the matches.
+
+Counts must agree **exactly** with the reference engine on every
+feature combination — ``tests/test_accel.py`` fuzzes that equivalence
+against both the reference engine and the networkx oracles.
+:mod:`repro.core.api` auto-dispatches here when a run qualifies (no
+stats / timer / control attached) *and* sits in the vectorized winning
+regime (dense graph, multi-vertex core — see
+:func:`repro.core.api.accel_preferred`): numpy per-call overhead beats
+bisect loops only once adjacency arrays are large.  The crossover is
+measured in ``benchmarks/bench_ablations.py::test_engine_dispatch``.
 """
 
 from __future__ import annotations
+
+from typing import Callable, Iterable
 
 import numpy as np
 
 from ..errors import MatchingError
 from ..graph.graph import DataGraph
 from ..pattern.pattern import Pattern
+from .callbacks import Match
+from .matching_order import OrderedCore
 from .plan import ExplorationPlan, generate_plan
 
 __all__ = [
@@ -33,6 +52,8 @@ __all__ = [
     "np_intersect_many",
     "np_difference",
     "AcceleratedGraphView",
+    "AcceleratedEngine",
+    "shared_view",
     "accelerated_count",
 ]
 
@@ -83,9 +104,15 @@ def np_difference(a: np.ndarray, b: np.ndarray) -> np.ndarray:
 
 
 class AcceleratedGraphView:
-    """Per-vertex ``numpy`` adjacency views over a degree-ordered graph."""
+    """CSR ``numpy`` adjacency (+ label) views over a degree-ordered graph.
 
-    __slots__ = ("graph", "_flat", "_offsets")
+    The flat/offset arrays are plain contiguous ``int64`` buffers, which
+    makes the view cheap to share: fork-inherited copy-on-write pages or
+    ``multiprocessing.shared_memory`` segments both work without pickling
+    a single adjacency list (see :func:`repro.runtime.parallel.process_count`).
+    """
+
+    __slots__ = ("graph", "_flat", "_offsets", "_labels", "_label_arrays")
 
     def __init__(self, graph: DataGraph):
         self.graph = graph
@@ -96,22 +123,294 @@ class AcceleratedGraphView:
         for v in graph.vertices():
             lo, hi = self._offsets[v], self._offsets[v + 1]
             self._flat[lo:hi] = graph.neighbors(v)
+        labels = graph.labels()
+        self._labels = (
+            np.asarray(labels, dtype=np.int64) if labels is not None else None
+        )
+        self._label_arrays: dict[int, np.ndarray] | None = None
+
+    @classmethod
+    def from_csr(
+        cls,
+        flat: np.ndarray,
+        offsets: np.ndarray,
+        labels: np.ndarray | None = None,
+        graph: DataGraph | None = None,
+    ) -> "AcceleratedGraphView":
+        """Wrap pre-built CSR buffers (e.g. shared-memory segments)."""
+        view = cls.__new__(cls)
+        view.graph = graph
+        view._flat = flat
+        view._offsets = offsets
+        view._labels = labels
+        view._label_arrays = None
+        return view
+
+    def csr(self) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+        """The raw ``(flat, offsets, labels)`` buffers (do not mutate)."""
+        return self._flat, self._offsets, self._labels
+
+    @property
+    def num_vertices(self) -> int:
+        return int(self._offsets.size - 1)
+
+    @property
+    def labels(self) -> np.ndarray | None:
+        """Per-vertex label array (``None`` for unlabeled graphs)."""
+        return self._labels
 
     def neighbors(self, v: int) -> np.ndarray:
         """Sorted neighbor array of ``v`` (a zero-copy view)."""
         return self._flat[self._offsets[v]: self._offsets[v + 1]]
 
+    def vertices_with_label(self, label: int) -> np.ndarray:
+        """Sorted vertex-id array carrying ``label`` (lazily partitioned)."""
+        if self._labels is None:
+            return np.empty(0, dtype=np.int64)
+        if self._label_arrays is None:
+            self._label_arrays = {
+                int(lab): np.flatnonzero(self._labels == lab).astype(np.int64)
+                for lab in np.unique(self._labels)
+            }
+        return self._label_arrays.get(label, np.empty(0, dtype=np.int64))
+
     def memory_bytes(self) -> int:
-        return self._flat.nbytes + self._offsets.nbytes
+        total = self._flat.nbytes + self._offsets.nbytes
+        if self._labels is not None:
+            total += self._labels.nbytes
+        return total
 
 
-def _plan_supported(plan: ExplorationPlan) -> bool:
-    return (
-        not plan.anti_vertex_checks
-        and not plan.has_anti_edges
-        and all(oc.labels.count(None) == oc.size for oc in plan.ordered_cores)
-        and all(step.label is None for step in plan.noncore_steps)
+def shared_view(ordered: DataGraph) -> AcceleratedGraphView:
+    """The (cached) CSR view of a degree-ordered graph.
+
+    Graphs are immutable, so the view is built once and reused across
+    every accelerated run — motif censuses and FSM rounds issue hundreds
+    of counts against one graph.
+    """
+    view = ordered._accel_view
+    if view is None:
+        view = AcceleratedGraphView(ordered)
+        ordered._accel_view = view
+    return view
+
+
+class AcceleratedEngine:
+    """Vectorized analogue of the reference engine over a CSR view.
+
+    Semantics mirror :class:`repro.core.engine._Run` exactly — same task
+    order, same candidate order, same injectivity and partial-order
+    handling — so counts *and* callback invocation order are identical.
+    The engine does not track :class:`~repro.core.engine.EngineStats` or
+    stage timers; runs that need profiling use the reference engine
+    (api dispatch enforces this).
+    """
+
+    __slots__ = (
+        "view",
+        "labels",
+        "n",
+        "plan",
+        "steps",
+        "on_match",
+        "count_only",
+        "can_count_tail",
+        "mapping",
+        "used",
+        "total",
     )
+
+    def __init__(self, view: AcceleratedGraphView):
+        self.view = view
+        self.labels = view.labels
+        self.n = view.num_vertices
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        plan: ExplorationPlan,
+        start_vertices: Iterable[int] | None = None,
+        on_match: Callable[[Match], None] | None = None,
+        count_only: bool = False,
+    ) -> int:
+        """Run matching tasks over ``start_vertices``; return the count.
+
+        Vertex ids (tasks, matches) are in the degree-ordered graph's
+        numbering, exactly like :func:`repro.core.engine.run_tasks`.
+        """
+        pattern = plan.matched_pattern
+        if pattern.is_labeled and self.labels is None:
+            raise MatchingError(
+                "pattern has label constraints but the data graph is unlabeled"
+            )
+        self.plan = plan
+        self.steps = plan.noncore_steps
+        self.on_match = on_match
+        self.count_only = count_only and on_match is None
+        self.can_count_tail = self.count_only and not plan.anti_vertex_checks
+        self.mapping = [-1] * pattern.num_vertices
+        self.used = set()
+        self.total = 0
+        if start_vertices is None:
+            start_vertices = range(self.n - 1, -1, -1)
+        labels = self.labels
+        for start in start_vertices:
+            for oc in plan.ordered_cores:
+                top = oc.size - 1
+                label = oc.labels[top]
+                if label is not None and labels[start] != label:
+                    continue
+                pos_map = [-1] * oc.size
+                pos_map[top] = start
+                if oc.size == 1:
+                    self._core_matched(oc, pos_map)
+                else:
+                    self._match_core(oc, pos_map, top - 1)
+        return self.total
+
+    # ------------------------------------------------------------------
+    # Core matching (high-to-low over one ordered core)
+    # ------------------------------------------------------------------
+
+    def _core_candidates(self, oc: OrderedCore, pos_map: list[int], i: int) -> np.ndarray:
+        view = self.view
+        upper = pos_map[i + 1]
+        later = oc.later_neighbors(i)
+        label = oc.labels[i]
+        if later:
+            base = np_intersect_many([view.neighbors(pos_map[j]) for j in later])
+            cands = np_bounded(base, -1, upper)
+        elif label is not None:
+            # Position with no later core neighbor but a label: scan the
+            # label partition instead of every vertex below the bound.
+            cands = np_bounded(view.vertices_with_label(label), -1, upper)
+            label = None
+        else:
+            cands = np.arange(upper, dtype=np.int64)
+        for j in (b for a, b in oc.anti_edges if a == i):
+            cands = np_difference(cands, view.neighbors(pos_map[j]))
+        if label is not None and cands.size:
+            cands = cands[self.labels[cands] == label]
+        return cands
+
+    def _match_core(self, oc: OrderedCore, pos_map: list[int], i: int) -> None:
+        cands = self._core_candidates(oc, pos_map, i)
+        if i == 0:
+            if self.count_only and not self.steps and not self.plan.anti_vertex_checks:
+                # Core-only count: each completed core yields one match
+                # per collapsed sequence, counted by array length.
+                self.total += int(cands.size) * len(oc.sequences)
+                return
+            for v in cands.tolist():
+                pos_map[0] = v
+                self._core_matched(oc, pos_map)
+            pos_map[0] = -1
+            return
+        for v in cands.tolist():
+            pos_map[i] = v
+            self._match_core(oc, pos_map, i - 1)
+        pos_map[i] = -1
+
+    def _core_matched(self, oc: OrderedCore, pos_map: list[int]) -> None:
+        """Remap a fully-assigned ordered core through each sequence."""
+        mapping = self.mapping
+        used = self.used
+        for seq in oc.sequences:
+            for position, pattern_vertex in enumerate(seq):
+                mapping[pattern_vertex] = pos_map[position]
+            used.update(pos_map)
+            self._complete(0)
+            used.difference_update(pos_map)
+            for pattern_vertex in seq:
+                mapping[pattern_vertex] = -1
+
+    # ------------------------------------------------------------------
+    # Completion (non-core vertices, then anti-vertex checks)
+    # ------------------------------------------------------------------
+
+    def _complete(self, step_index: int) -> None:
+        steps = self.steps
+        if step_index == len(steps):
+            self._report()
+            return
+        step = steps[step_index]
+        view = self.view
+        mapping = self.mapping
+        cands = np_intersect_many(
+            [view.neighbors(mapping[v]) for v in step.neighbors]
+        )
+        for a in step.anti_neighbors:
+            cands = np_difference(cands, view.neighbors(mapping[a]))
+        lo = -1
+        for w in step.lower_bounds:
+            mw = mapping[w]
+            if mw > lo:
+                lo = mw
+        hi = self.n
+        for w in step.upper_bounds:
+            mw = mapping[w]
+            if mw < hi:
+                hi = mw
+        if lo >= 0 or hi < self.n:
+            cands = np_bounded(cands, lo, hi)
+        if step.label is not None and cands.size:
+            cands = cands[self.labels[cands] == step.label]
+
+        used = self.used
+        is_last = step_index + 1 == len(steps)
+        if is_last and self.can_count_tail:
+            # Tail count: subtract already-used candidates (injectivity).
+            overlap = 0
+            for m in used:
+                idx = int(np.searchsorted(cands, m))
+                if idx < cands.size and cands[idx] == m:
+                    overlap += 1
+            self.total += int(cands.size) - overlap
+            return
+        if used and cands.size:
+            cands = np_difference(
+                cands, np.fromiter(sorted(used), dtype=np.int64, count=len(used))
+            )
+        u = step.vertex
+        if is_last and not self.plan.anti_vertex_checks:
+            # Batched match materialization: the final candidate array is
+            # the match set; fill the last slot per candidate and emit.
+            self.total += int(cands.size)
+            on_match = self.on_match
+            if on_match is not None:
+                pattern = self.plan.pattern
+                for v in cands.tolist():
+                    mapping[u] = v
+                    on_match(Match(pattern, tuple(mapping)))
+                mapping[u] = -1
+            return
+        for v in cands.tolist():
+            mapping[u] = v
+            used.add(v)
+            self._complete(step_index + 1)
+            used.discard(v)
+            mapping[u] = -1
+
+    def _report(self) -> None:
+        """A full regular-vertex assignment: verify anti-vertices, emit."""
+        mapping = self.mapping
+        checks = self.plan.anti_vertex_checks
+        if checks:
+            view = self.view
+            used = self.used
+            for check in checks:
+                common = np_intersect_many(
+                    [view.neighbors(mapping[v]) for v in check.neighbors]
+                )
+                for x in common.tolist():
+                    if x not in used:
+                        return  # a forbidden common neighbor exists
+        self.total += 1
+        if self.on_match is not None:
+            self.on_match(Match(self.plan.pattern, tuple(mapping)))
 
 
 def accelerated_count(
@@ -119,136 +418,24 @@ def accelerated_count(
     pattern: Pattern,
     plan: ExplorationPlan | None = None,
     view: AcceleratedGraphView | None = None,
+    edge_induced: bool = True,
+    symmetry_breaking: bool = True,
 ) -> int:
-    """Vectorized match counting for unlabeled, anti-free patterns.
+    """Vectorized match counting across the full pattern-feature matrix.
 
-    Semantically identical to ``repro.core.count`` on its supported
-    subset; raises :class:`~repro.errors.MatchingError` outside it (the
-    caller should fall back to the reference engine).  The final
-    completion step is counted via array lengths, and the partial-order
-    bound restriction uses ``searchsorted`` windows.
+    Semantically identical to ``repro.core.count`` — labeled patterns,
+    vertex-induced matching, anti-edges and anti-vertices included.
+    Raises :class:`~repro.errors.MatchingError` only where the reference
+    engine would (labeled pattern on an unlabeled graph).
     """
     if plan is None:
-        plan = generate_plan(pattern)
-    if not _plan_supported(plan):
-        raise MatchingError(
-            "accelerated_count supports unlabeled patterns without "
-            "anti-edges/anti-vertices; use repro.core.count instead"
+        plan = generate_plan(
+            pattern, edge_induced=edge_induced, symmetry_breaking=symmetry_breaking
         )
     ordered, _ = graph.degree_ordered()
+    # A caller-supplied view is only trusted when it was built for this
+    # graph's degree ordering; anything else would silently count over
+    # the wrong adjacency.
     if view is None or view.graph is not ordered:
-        view = AcceleratedGraphView(ordered)
-    n = ordered.num_vertices
-    total = 0
-    steps = plan.noncore_steps
-    num_steps = len(steps)
-
-    # Precompute per-step bound vertex lists once.
-    for oc in plan.ordered_cores:
-        top = oc.size - 1
-        pos_map = [-1] * oc.size
-
-        def match_core(i: int) -> None:
-            nonlocal total
-            later = oc.later_neighbors(i)
-            upper = pos_map[i + 1]
-            if later:
-                base = np_intersect_many([view.neighbors(pos_map[j]) for j in later])
-                cands = np_bounded(base, -1, upper)
-            else:
-                cands = np.arange(0, upper, dtype=np.int64)
-            for v in cands.tolist():
-                pos_map[i] = v
-                if i == 0:
-                    for seq in oc.sequences:
-                        mapping = [-1] * plan.matched_pattern.num_vertices
-                        for position, pattern_vertex in enumerate(seq):
-                            mapping[pattern_vertex] = pos_map[position]
-                        complete(0, mapping)
-                else:
-                    match_core(i - 1)
-            pos_map[i] = -1
-
-        def complete(step_index: int, mapping: list[int]) -> None:
-            nonlocal total
-            step = steps[step_index]
-            cands = np_intersect_many(
-                [view.neighbors(mapping[v]) for v in step.neighbors]
-            )
-            lo = -1
-            for w in step.lower_bounds:
-                mw = mapping[w]
-                if mw > lo:
-                    lo = mw
-            hi = n
-            for w in step.upper_bounds:
-                mw = mapping[w]
-                if mw < hi:
-                    hi = mw
-            if lo >= 0 or hi < n:
-                cands = np_bounded(cands, lo, hi)
-            if step_index + 1 == num_steps:
-                # Tail count: subtract already-used candidates (injectivity).
-                used = [m for m in mapping if m >= 0]
-                overlap = 0
-                for m in used:
-                    idx = np.searchsorted(cands, m)
-                    if idx < cands.size and cands[idx] == m:
-                        overlap += 1
-                total += int(cands.size) - overlap
-                return
-            u = step.vertex
-            used_set = {m for m in mapping if m >= 0}
-            for v in cands.tolist():
-                if v in used_set:
-                    continue
-                mapping[u] = v
-                complete(step_index + 1, mapping)
-                mapping[u] = -1
-
-        if not steps:
-            # Core-only pattern: count completed cores directly.
-            def complete_core_only() -> None:
-                pass
-
-        if num_steps == 0:
-            # Count core matches: each full pos_map yields len(sequences).
-            def match_core_count(i: int) -> None:
-                nonlocal total
-                later = oc.later_neighbors(i)
-                upper = pos_map[i + 1]
-                if later:
-                    base = np_intersect_many(
-                        [view.neighbors(pos_map[j]) for j in later]
-                    )
-                    cands = np_bounded(base, -1, upper)
-                else:
-                    cands = np.arange(0, upper, dtype=np.int64)
-                if i == 0:
-                    total += int(len(cands)) * len(oc.sequences)
-                    return
-                for v in cands.tolist():
-                    pos_map[i] = v
-                    match_core_count(i - 1)
-                pos_map[i] = -1
-
-            for start in range(n - 1, -1, -1):
-                pos_map[top] = start
-                if oc.size == 1:
-                    total += len(oc.sequences)
-                else:
-                    match_core_count(top - 1)
-                pos_map[top] = -1
-            continue
-
-        for start in range(n - 1, -1, -1):
-            pos_map[top] = start
-            if oc.size == 1:
-                for seq in oc.sequences:
-                    mapping = [-1] * plan.matched_pattern.num_vertices
-                    mapping[seq[0]] = start
-                    complete(0, mapping)
-            else:
-                match_core(top - 1)
-            pos_map[top] = -1
-    return total
+        view = shared_view(ordered)
+    return AcceleratedEngine(view).run(plan, count_only=True)

@@ -7,19 +7,91 @@ enumeration-free counting fast path); ``exists`` stops at the first match.
 
 The data graph is degree-ordered internally (§5.2) and matches are
 translated back to the caller's vertex ids before callbacks see them.
+
+**Engine dispatch.**  Two engines implement identical semantics: the
+reference interpreter (:mod:`repro.core.engine`) and the vectorized
+:class:`~repro.core.accel.AcceleratedEngine`.  With ``engine="auto"``
+(the default) a run is served by the accelerated engine when it
+*qualifies* — numpy importable, and no ``stats`` / ``timer`` /
+``control`` attached (those hooks are only instrumented in the
+reference engine) — **and** the run is in the vectorized engine's
+winning regime: numpy's per-call overhead only amortizes when the
+candidate arrays are large, so auto requires a dense data graph
+(average degree >= :data:`ACCEL_MIN_AVG_DEGREE`) and a pattern whose
+core has at least two vertices (single-vertex cores are tail-count
+dominated, where sliced Python lists are already optimal).  Benchmarks:
+``bench_ablations.py::test_engine_dispatch``.  ``engine="reference"`` /
+``engine="accel"`` force one side unconditionally (ablations,
+debugging); forcing ``"accel"`` raises when the run does not qualify.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Iterable, Mapping, Sequence
 
+from ..errors import MatchingError
 from ..graph.graph import DataGraph
 from ..pattern.pattern import Pattern
 from .callbacks import ExplorationControl, Match
 from .engine import EngineStats, run_tasks
 from .plan import ExplorationPlan, generate_plan
 
-__all__ = ["match", "count", "count_many", "exists"]
+try:  # numpy is an optional accelerator, not a hard dependency
+    from . import accel as _accel
+except ImportError:  # pragma: no cover - exercised only without numpy
+    _accel = None
+
+__all__ = ["match", "count", "count_many", "exists", "accel_preferred"]
+
+_ENGINE_CHOICES = ("auto", "accel", "reference")
+
+# Measured crossover (bench_ablations.py::test_engine_dispatch): below
+# this average degree the reference interpreter's bisect/slice loops beat
+# numpy's per-call overhead; above it the vectorized kernels win.
+ACCEL_MIN_AVG_DEGREE = 128.0
+
+
+def accel_preferred(ordered: DataGraph, plan: ExplorationPlan) -> bool:
+    """Whether the vectorized engine is expected to win this run.
+
+    The heuristic behind ``engine="auto"`` (shared with the process
+    runtime): dense adjacency arrays amortize numpy call overhead, and a
+    multi-vertex core means real intersection work; sparse graphs and
+    single-vertex-core (tail-count dominated) patterns stay on the
+    reference interpreter.
+    """
+    return (
+        ordered.avg_degree() >= ACCEL_MIN_AVG_DEGREE and len(plan.core) >= 2
+    )
+
+
+def _dispatch_accel(
+    engine: str,
+    control: ExplorationControl | None,
+    stats: EngineStats | None,
+    timer,
+    ordered: DataGraph,
+    plan: ExplorationPlan,
+) -> bool:
+    """Decide whether a run goes to the vectorized engine."""
+    if engine not in _ENGINE_CHOICES:
+        raise ValueError(f"engine must be one of {_ENGINE_CHOICES}, got {engine!r}")
+    if engine == "reference":
+        return False
+    qualifies = (
+        _accel is not None
+        and control is None
+        and stats is None
+        and timer is None
+    )
+    if engine == "accel":
+        if not qualifies:
+            raise MatchingError(
+                "engine='accel' requires numpy and no stats/timer/control "
+                "hooks; use engine='auto' to fall back to the reference engine"
+            )
+        return True
+    return qualifies and accel_preferred(ordered, plan)
 
 
 def _translated_callback(
@@ -67,6 +139,7 @@ def match(
     plan: ExplorationPlan | None = None,
     start_vertices: Iterable[int] | None = None,
     label_index: bool = True,
+    engine: str = "auto",
 ) -> int:
     """Find every canonical match of ``pattern`` in ``graph``.
 
@@ -94,6 +167,14 @@ def match(
     )
     if start_vertices is None and label_index:
         start_vertices = _label_filtered_starts(ordered, plan)
+    if _dispatch_accel(engine, control, stats, timer, ordered, plan):
+        accelerated = _accel.AcceleratedEngine(_accel.shared_view(ordered))
+        return accelerated.run(
+            plan,
+            start_vertices=start_vertices,
+            on_match=wrapped,
+            count_only=callback is None,
+        )
     return run_tasks(
         ordered,
         plan,
@@ -114,6 +195,7 @@ def count(
     stats: EngineStats | None = None,
     timer=None,
     plan: ExplorationPlan | None = None,
+    engine: str = "auto",
 ) -> int:
     """Number of canonical matches of ``pattern`` in ``graph``.
 
@@ -129,6 +211,7 @@ def count(
         stats=stats,
         timer=timer,
         plan=plan,
+        engine=engine,
     )
 
 
@@ -137,6 +220,7 @@ def count_many(
     patterns: Sequence[Pattern],
     edge_induced: bool = True,
     symmetry_breaking: bool = True,
+    engine: str = "auto",
 ) -> Mapping[Pattern, int]:
     """Count each pattern in turn; returns ``{pattern: count}``.
 
@@ -149,6 +233,7 @@ def count_many(
             p,
             edge_induced=edge_induced,
             symmetry_breaking=symmetry_breaking,
+            engine=engine,
         )
         for p in patterns
     }

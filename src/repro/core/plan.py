@@ -77,6 +77,20 @@ class ExplorationPlan:
     def has_anti_edges(self) -> bool:
         return self.matched_pattern.num_anti_edges > 0
 
+    def features(self) -> dict[str, bool]:
+        """Which pattern features this plan exercises.
+
+        Used by benchmarks and docs to report engine-dispatch behavior;
+        every combination is served by both the reference and the
+        accelerated engine.
+        """
+        return {
+            "labeled": self.matched_pattern.is_labeled,
+            "vertex_induced": not self.edge_induced,
+            "anti_edges": self.has_anti_edges,
+            "anti_vertices": bool(self.anti_vertex_checks),
+        }
+
     def describe(self) -> str:
         """Human-readable plan summary (for docs, examples, debugging)."""
         lines = [

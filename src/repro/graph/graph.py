@@ -50,6 +50,7 @@ class DataGraph:
         "name",
         "_label_index",
         "_ordered_cache",
+        "_accel_view",
     )
 
     def __init__(
@@ -64,6 +65,10 @@ class DataGraph:
         self.name = name
         self._label_index: dict[int, list[int]] | None = None
         self._ordered_cache: tuple["DataGraph", list[int]] | None = None
+        # Cached CSR view for the vectorized engine; owned and populated
+        # by repro.core.accel.shared_view (graphs are immutable, so the
+        # cache can never go stale).
+        self._accel_view = None
 
         if self._labels is not None and len(self._labels) != len(self._adj):
             raise GraphError(

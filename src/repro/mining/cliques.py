@@ -23,14 +23,16 @@ __all__ = [
 ]
 
 
-def clique_count(graph: DataGraph, k: int, symmetry_breaking: bool = True) -> int:
+def clique_count(
+    graph: DataGraph, k: int, symmetry_breaking: bool = True, engine: str = "auto"
+) -> int:
     """Number of k-cliques in the graph.
 
     With ``symmetry_breaking=False`` (PRG-U) every one of the k! automorphic
     orderings is explored; the result is corrected by dividing by k!.
     """
     found = count(
-        graph, generate_clique(k), symmetry_breaking=symmetry_breaking
+        graph, generate_clique(k), symmetry_breaking=symmetry_breaking, engine=engine
     )
     if not symmetry_breaking:
         factorial = 1
@@ -69,6 +71,6 @@ def maximal_clique_pattern(k: int) -> Pattern:
     return p
 
 
-def maximal_clique_count(graph: DataGraph, k: int) -> int:
+def maximal_clique_count(graph: DataGraph, k: int, engine: str = "auto") -> int:
     """Number of k-cliques not contained in any (k+1)-clique."""
-    return count(graph, maximal_clique_pattern(k))
+    return count(graph, maximal_clique_pattern(k), engine=engine)

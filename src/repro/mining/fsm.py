@@ -61,6 +61,7 @@ def _discover(
     structural: Pattern,
     symmetry_breaking: bool,
     bitset_factory=None,
+    engine: str = "auto",
 ) -> dict[tuple, tuple[Pattern, Domain]]:
     """Match one (partially labeled) pattern, grouping by discovered labels.
 
@@ -100,6 +101,7 @@ def _discover(
         callback=on_match,
         edge_induced=True,
         symmetry_breaking=symmetry_breaking,
+        engine=engine,
     )
     return tables
 
@@ -110,6 +112,7 @@ def fsm(
     threshold: int,
     symmetry_breaking: bool = True,
     bitset_factory=None,
+    engine: str = "auto",
 ) -> FSMResult:
     """Mine all frequent labeled patterns with up to ``num_edges`` edges.
 
@@ -134,7 +137,9 @@ def fsm(
         merged: dict[tuple, tuple[Pattern, Domain]] = {}
         for structural in frontier:
             result.patterns_explored += 1
-            tables = _discover(graph, structural, symmetry_breaking, bitset_factory)
+            tables = _discover(
+                graph, structural, symmetry_breaking, bitset_factory, engine=engine
+            )
             for code, (labeled, domain) in tables.items():
                 if code in merged:
                     merged[code][1].merge_from(domain)

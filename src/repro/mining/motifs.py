@@ -27,6 +27,7 @@ def motif_counts(
     graph: DataGraph,
     size: int,
     symmetry_breaking: bool = True,
+    engine: str = "auto",
 ) -> dict[Pattern, int]:
     """Count vertex-induced matches of every motif with ``size`` vertices.
 
@@ -42,6 +43,7 @@ def motif_counts(
             motif,
             edge_induced=False,
             symmetry_breaking=symmetry_breaking,
+            engine=engine,
         )
         if not symmetry_breaking:
             found //= automorphism_count(motif.vertex_induced_closure())
@@ -50,7 +52,7 @@ def motif_counts(
 
 
 def labeled_motif_counts(
-    graph: DataGraph, size: int
+    graph: DataGraph, size: int, engine: str = "auto"
 ) -> dict[tuple, int]:
     """Count vertex-induced motifs grouped by discovered vertex labels.
 
@@ -67,7 +69,7 @@ def labeled_motif_counts(
             key = (_code, labels)
             results[key] = results.get(key, 0) + 1
 
-        match(graph, motif, callback=on_match, edge_induced=False)
+        match(graph, motif, callback=on_match, edge_induced=False, engine=engine)
     return results
 
 

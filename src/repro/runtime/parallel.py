@@ -4,9 +4,12 @@
 threads pull start-vertex chunks from a shared atomic-counter scheduler,
 run the engine with thread-local stats/aggregators, and honor a shared
 early-termination control.  CPython's GIL serializes the actual list
-operations, so wall-clock speedup needs ``process_count`` — a fork-based
-process pool that partitions start vertices and sums counts — which the
-Figure 12 scalability benchmark uses.
+operations, so wall-clock speedup needs ``process_count`` — a process
+pool that partitions start vertices, shares the CSR adjacency arrays of
+the accelerated view with every worker (fork-inherited copy-on-write
+pages or ``multiprocessing.shared_memory`` segments — never per-worker
+graph pickling), and sums counts — which the Figure 12 scalability
+benchmark uses.
 """
 
 from __future__ import annotations
@@ -17,6 +20,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable
 
+from ..core.api import accel_preferred
 from ..core.callbacks import Aggregator, ExplorationControl, Match
 from ..core.engine import EngineStats, run_tasks
 from ..core.plan import ExplorationPlan, generate_plan
@@ -155,26 +159,51 @@ def parallel_match(
 
 # ----------------------------------------------------------------------
 # Process-based scaling (Figure 12): real parallelism for the speedup
-# curve.  Fork start method shares the graph copy-on-write.
+# curve.  The CSR adjacency arrays of the accelerated view are shared
+# with workers instead of pickling per-worker graph copies:
+#
+# * ``share_mode="fork"`` (default where fork exists) publishes the view
+#   and plan in a module global before the pool forks — children inherit
+#   the numpy buffers copy-on-write, so worker startup moves zero graph
+#   bytes no matter how many processes run;
+# * ``share_mode="shm"`` copies the CSR buffers into
+#   ``multiprocessing.shared_memory`` segments once and has each worker
+#   re-wrap them as arrays — one graph copy total, works under any start
+#   method;
+# * ``share_mode="pickle"`` is the legacy per-worker adjacency pickling
+#   (kept as the numpy-free fallback; it drives the reference engine).
 # ----------------------------------------------------------------------
 
 _WORKER_STATE: dict = {}
 
 
-def _init_worker(adjacency, labels, pattern_signature_args, edge_induced, symmetry_breaking):
-    graph = DataGraph(adjacency, labels, validate=False)
-    num_vertices, edges, anti_edges, label_items = pattern_signature_args
-    pattern = Pattern(
+def _accel():
+    """The accel module, or ``None`` when numpy is unavailable."""
+    try:
+        from ..core import accel
+    except ImportError:  # pragma: no cover - exercised only without numpy
+        return None
+    return accel
+
+
+def _pattern_from_signature(signature) -> Pattern:
+    num_vertices, edges, anti_edges, label_items = signature
+    return Pattern(
         num_vertices=num_vertices,
         edges=edges,
         anti_edges=anti_edges,
         labels=dict(label_items),
     )
-    plan = generate_plan(
-        pattern, edge_induced=edge_induced, symmetry_breaking=symmetry_breaking
+
+
+def _init_worker(adjacency, labels, signature, edge_induced, symmetry_breaking):
+    """Legacy pickling initializer (numpy-free fallback)."""
+    _WORKER_STATE["graph"] = DataGraph(adjacency, labels, validate=False)
+    _WORKER_STATE["plan"] = generate_plan(
+        _pattern_from_signature(signature),
+        edge_induced=edge_induced,
+        symmetry_breaking=symmetry_breaking,
     )
-    _WORKER_STATE["graph"] = graph
-    _WORKER_STATE["plan"] = plan
 
 
 def _count_slice(args: tuple[int, int]) -> int:
@@ -185,32 +214,181 @@ def _count_slice(args: tuple[int, int]) -> int:
     return run_tasks(graph, plan, start_vertices=starts, count_only=True)
 
 
+def _fork_init(view, graph, plan):
+    """Fork-pool initializer: state arrives fork-inherited, not pickled.
+
+    Under the fork start method ``initargs`` are plain references the
+    child inherits copy-on-write — nothing is serialized — and binding
+    them in the *child's* ``_WORKER_STATE`` keeps concurrent
+    ``process_count`` calls in the parent from clobbering each other
+    through a shared module global.
+    """
+    _WORKER_STATE["view"] = view
+    _WORKER_STATE["graph"] = graph
+    _WORKER_STATE["plan"] = plan
+
+
+def _accel_count_slice(args: tuple[int, int]) -> int:
+    """Strided accelerated count over the shared CSR view."""
+    offset, stride = args
+    view = _WORKER_STATE["view"]
+    plan = _WORKER_STATE["plan"]
+    engine = _accel().AcceleratedEngine(view)
+    starts = range(view.num_vertices - 1 - offset, -1, -stride)
+    return engine.run(plan, start_vertices=starts, count_only=True)
+
+
+def _shm_init(segment_meta, signature, edge_induced, symmetry_breaking, use_accel):
+    """Re-wrap shared-memory CSR segments as a view (no graph pickling)."""
+    import numpy as np
+    from multiprocessing import shared_memory
+
+    arrays = {}
+    segments = []
+    for key, (name, length) in segment_meta.items():
+        if name is None:
+            arrays[key] = None
+            continue
+        # Pool children share the parent's resource-tracker process, so
+        # attaching re-registers the same name as a no-op; the parent
+        # owns the segment lifetime and unlinks it once.
+        seg = shared_memory.SharedMemory(name=name)
+        segments.append(seg)
+        arrays[key] = np.ndarray((length,), dtype=np.int64, buffer=seg.buf)
+    view = _accel().AcceleratedGraphView.from_csr(
+        arrays["flat"], arrays["offsets"], arrays["labels"]
+    )
+    _WORKER_STATE["view"] = view
+    _WORKER_STATE["segments"] = segments  # keep buffers alive
+    _WORKER_STATE["plan"] = generate_plan(
+        _pattern_from_signature(signature),
+        edge_induced=edge_induced,
+        symmetry_breaking=symmetry_breaking,
+    )
+    if not use_accel:
+        # Reference engine in this worker: materialize adjacency lists
+        # from the shared CSR buffers (still no pickling).
+        flat, offsets = arrays["flat"], arrays["offsets"]
+        adjacency = [
+            flat[offsets[v]: offsets[v + 1]].tolist()
+            for v in range(view.num_vertices)
+        ]
+        labels = None if arrays["labels"] is None else arrays["labels"].tolist()
+        _WORKER_STATE["graph"] = DataGraph(adjacency, labels, validate=False)
+
+
+def _shm_segments(view):
+    """Copy a view's CSR buffers into named shared-memory segments."""
+    import numpy as np
+    from multiprocessing import shared_memory
+
+    flat, offsets, labels = view.csr()
+    segments = []
+    meta = {}
+    for key, arr in (("flat", flat), ("offsets", offsets), ("labels", labels)):
+        if arr is None:
+            meta[key] = (None, 0)
+            continue
+        seg = shared_memory.SharedMemory(create=True, size=max(1, arr.nbytes))
+        seg_arr = np.ndarray((arr.size,), dtype=arr.dtype, buffer=seg.buf)
+        seg_arr[:] = arr
+        segments.append(seg)
+        meta[key] = (seg.name, int(arr.size))
+    return segments, meta
+
+
 def process_count(
     graph: DataGraph,
     pattern: Pattern,
     num_processes: int = 2,
     edge_induced: bool = True,
     symmetry_breaking: bool = True,
+    share_mode: str | None = None,
 ) -> int:
     """Count matches with a process pool (true parallel speedup).
 
     Start vertices are strided across processes so every process gets a
-    mix of hub and leaf tasks — the same load-balancing intuition as §5.2.
+    mix of hub and leaf tasks — the same load-balancing intuition as
+    §5.2.  The graph reaches workers via shared CSR arrays (see the
+    ``share_mode`` modes above), so scaling ``num_processes`` does not
+    multiply graph copies or pickling time.
     """
     ordered, _ = graph.degree_ordered()
+    accel = _accel()
+    has_fork = "fork" in multiprocessing.get_all_start_methods()
+    if share_mode is None:
+        if accel is None:
+            share_mode = "pickle"
+        elif has_fork:
+            share_mode = "fork"
+        else:  # pragma: no cover - non-posix platforms
+            share_mode = "shm"
+    if share_mode not in ("fork", "shm", "pickle"):
+        raise ValueError(f"unknown share_mode {share_mode!r}")
+    if share_mode in ("fork", "shm") and accel is None:
+        raise RuntimeError(f"share_mode={share_mode!r} requires numpy")
+
+    plan = generate_plan(
+        pattern, edge_induced=edge_induced, symmetry_breaking=symmetry_breaking
+    )
+    # Per-worker engine choice mirrors the api auto-dispatch heuristic:
+    # vectorized kernels only in their winning (dense) regime.
+    use_accel = accel is not None and accel_preferred(ordered, plan)
     if num_processes <= 1:
-        plan = generate_plan(
-            pattern, edge_induced=edge_induced, symmetry_breaking=symmetry_breaking
-        )
+        if use_accel:
+            view = accel.shared_view(ordered)
+            return accel.AcceleratedEngine(view).run(plan, count_only=True)
         return run_tasks(ordered, plan, count_only=True)
+
+    slices = [(i, num_processes) for i in range(num_processes)]
+    slice_fn = _accel_count_slice if use_accel else _count_slice
+
+    if share_mode == "fork":
+        ctx = multiprocessing.get_context("fork")
+        # The CSR view is only worth building (and caching on the graph)
+        # when the workers will actually run the vectorized engine.
+        view = accel.shared_view(ordered) if use_accel else None
+        with ctx.Pool(
+            processes=num_processes,
+            initializer=_fork_init,
+            initargs=(view, ordered, plan),
+        ) as pool:
+            counts = pool.map(slice_fn, slices)
+        return sum(counts)
+
+    ctx = multiprocessing.get_context("fork" if has_fork else "spawn")
+
+    if share_mode == "shm":
+        view = accel.shared_view(ordered)
+        segments, meta = _shm_segments(view)
+        try:
+            init_args = (
+                meta,
+                pattern.signature(),
+                edge_induced,
+                symmetry_breaking,
+                use_accel,
+            )
+            with ctx.Pool(
+                processes=num_processes, initializer=_shm_init, initargs=init_args
+            ) as pool:
+                counts = pool.map(slice_fn, slices)
+        finally:
+            for seg in segments:
+                seg.close()
+                seg.unlink()
+        return sum(counts)
+
     adjacency = [ordered.neighbors(v) for v in ordered.vertices()]
-    sig = pattern.signature()
-    init_args = (adjacency, ordered.labels(), sig, edge_induced, symmetry_breaking)
-    ctx = multiprocessing.get_context("fork")
+    init_args = (
+        adjacency,
+        ordered.labels(),
+        pattern.signature(),
+        edge_induced,
+        symmetry_breaking,
+    )
     with ctx.Pool(
         processes=num_processes, initializer=_init_worker, initargs=init_args
     ) as pool:
-        counts = pool.map(
-            _count_slice, [(i, num_processes) for i in range(num_processes)]
-        )
+        counts = pool.map(_count_slice, slices)
     return sum(counts)

@@ -1,0 +1,20 @@
+"""Cross-validation helpers shared by tests and benchmarks.
+
+Lives inside the installed package (rather than in ``tests/``) so that
+test modules, benchmark modules and downstream users can all import the
+oracles without relying on pytest's ``sys.path`` insertion — bare
+``from conftest import ...`` is exactly the pattern that broke tier-1
+collection when two ``conftest.py`` files were on the path.
+"""
+
+from .oracles import (
+    nx_count_edge_induced,
+    nx_count_vertex_induced,
+    pattern_to_nx,
+)
+
+__all__ = [
+    "nx_count_edge_induced",
+    "nx_count_vertex_induced",
+    "pattern_to_nx",
+]

@@ -1,44 +1,17 @@
-"""Shared fixtures and oracles for the test suite.
+"""Shared fixtures for the test suite.
 
-The most important tool here is the networkx oracle: for any pattern and
-small graph we can compute the exact number of edge-induced (monomorphism)
-or vertex-induced (induced-isomorphism) canonical matches independently of
-our engine, by dividing raw isomorphism counts by |Aut(pattern)|.
+The networkx counting oracles now live in :mod:`repro.testing.oracles`
+(importable everywhere); do **not** re-grow bare ``from conftest import``
+usages — with both ``tests/conftest.py`` and ``benchmarks/conftest.py``
+on ``sys.path`` the module name ``conftest`` is ambiguous and whichever
+directory pytest touches first shadows the other, killing collection.
 """
 
 from __future__ import annotations
 
-import networkx as nx
 import pytest
 
 from repro.graph import DataGraph, erdos_renyi, from_edges, with_random_labels
-from repro.pattern import Pattern, automorphism_count
-
-
-def pattern_to_nx(p: Pattern) -> "nx.Graph":
-    """Regular-edge view of a pattern as a networkx graph."""
-    g = nx.Graph()
-    g.add_nodes_from(range(p.num_vertices))
-    g.add_edges_from(p.edges())
-    return g
-
-
-def nx_count_edge_induced(graph: DataGraph, p: Pattern) -> int:
-    """Oracle: canonical edge-induced match count via monomorphisms."""
-    gm = nx.algorithms.isomorphism.GraphMatcher(
-        graph.to_networkx(), pattern_to_nx(p)
-    )
-    raw = sum(1 for _ in gm.subgraph_monomorphisms_iter())
-    return raw // automorphism_count(p)
-
-
-def nx_count_vertex_induced(graph: DataGraph, p: Pattern) -> int:
-    """Oracle: canonical vertex-induced match count via induced isos."""
-    gm = nx.algorithms.isomorphism.GraphMatcher(
-        graph.to_networkx(), pattern_to_nx(p)
-    )
-    raw = sum(1 for _ in gm.subgraph_isomorphisms_iter())
-    return raw // automorphism_count(p)
 
 
 @pytest.fixture

@@ -1,4 +1,11 @@
-"""Tests for the numpy-accelerated kernels and counting engine."""
+"""Tests for the numpy-accelerated kernels and the vectorized engine.
+
+Every feature of the pattern matrix — labels, vertex-induced matching,
+anti-edges, anti-vertices, callbacks — is parity-fuzzed against the
+reference engine (``engine="reference"`` forces it; a bare ``count``
+would auto-dispatch right back to the accelerated engine) and, where
+cheap enough, against the networkx oracles.
+"""
 
 from __future__ import annotations
 
@@ -7,22 +14,31 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import count
+from repro.core import count, generate_plan, match
 from repro.core.accel import (
+    AcceleratedEngine,
     AcceleratedGraphView,
     accelerated_count,
     np_bounded,
     np_difference,
     np_intersect,
     np_intersect_many,
+    shared_view,
 )
+from repro.core.engine import EngineStats
 from repro.errors import MatchingError
-from repro.graph import barabasi_albert, erdos_renyi
+from repro.graph import barabasi_albert, erdos_renyi, with_random_labels
+from repro.mining.cliques import maximal_clique_pattern
 from repro.pattern import Pattern, generate_chain, generate_clique, generate_star
+from repro.testing.oracles import nx_count_edge_induced, nx_count_vertex_induced
 
 sorted_arrays = st.lists(
     st.integers(min_value=0, max_value=200), max_size=60
 ).map(lambda xs: np.array(sorted(set(xs)), dtype=np.int64))
+
+
+def reference_count(graph, pattern, **kwargs):
+    return count(graph, pattern, engine="reference", **kwargs)
 
 
 # ----------------------------------------------------------------------
@@ -88,9 +104,42 @@ class TestAcceleratedGraphView:
         view = AcceleratedGraphView(g)
         assert view.memory_bytes() >= 8 * 2 * g.num_edges
 
+    def test_label_partition(self):
+        g = with_random_labels(erdos_renyi(40, 0.2, seed=9), 3, seed=5)
+        view = AcceleratedGraphView(g)
+        seen = []
+        for lab in range(3):
+            arr = view.vertices_with_label(lab)
+            assert arr.tolist() == sorted(
+                v for v in g.vertices() if g.label(v) == lab
+            )
+            seen.extend(arr.tolist())
+        assert sorted(seen) == list(g.vertices())
+        assert view.vertices_with_label(99).size == 0
+
+    def test_unlabeled_partition_empty(self):
+        g = erdos_renyi(10, 0.3, seed=1)
+        view = AcceleratedGraphView(g)
+        assert view.labels is None
+        assert view.vertices_with_label(0).size == 0
+
+    def test_from_csr_roundtrip(self):
+        g = with_random_labels(erdos_renyi(30, 0.2, seed=2), 2, seed=3)
+        view = AcceleratedGraphView(g)
+        rebuilt = AcceleratedGraphView.from_csr(*view.csr())
+        assert rebuilt.num_vertices == g.num_vertices
+        for v in g.vertices():
+            assert rebuilt.neighbors(v).tolist() == g.neighbors(v)
+        assert rebuilt.labels.tolist() == g.labels()
+
+    def test_shared_view_cached(self):
+        g = erdos_renyi(20, 0.3, seed=8)
+        ordered, _ = g.degree_ordered()
+        assert shared_view(ordered) is shared_view(ordered)
+
 
 # ----------------------------------------------------------------------
-# Accelerated counting == reference engine
+# Accelerated counting == reference engine (unlabeled, edge-induced)
 # ----------------------------------------------------------------------
 
 
@@ -109,29 +158,15 @@ class TestAcceleratedCount:
     def test_agrees_with_reference(self, pattern_fn):
         g = barabasi_albert(300, 5, seed=9)
         p = pattern_fn()
-        assert accelerated_count(g, p) == count(g, p)
+        assert accelerated_count(g, p) == reference_count(g, p)
 
     @given(st.integers(min_value=0, max_value=10_000))
     @settings(max_examples=10, deadline=None)
     def test_random_graph_triangles(self, seed):
         g = erdos_renyi(40, 0.25, seed=seed)
-        assert accelerated_count(g, generate_clique(3)) == count(
+        assert accelerated_count(g, generate_clique(3)) == reference_count(
             g, generate_clique(3)
         )
-
-    def test_rejects_anti_edges(self):
-        g = erdos_renyi(20, 0.3, seed=1)
-        p = generate_chain(3)
-        p.add_anti_edge(0, 2)
-        with pytest.raises(MatchingError):
-            accelerated_count(g, p)
-
-    def test_rejects_labels(self):
-        g = erdos_renyi(20, 0.3, seed=1)
-        p = Pattern.from_edges([(0, 1)])
-        p.set_label(0, 1)
-        with pytest.raises(MatchingError):
-            accelerated_count(g, p)
 
     def test_single_edge_pattern(self):
         g = erdos_renyi(30, 0.2, seed=2)
@@ -142,4 +177,258 @@ class TestAcceleratedCount:
         ordered, _ = g.degree_ordered()
         view = AcceleratedGraphView(ordered)
         for p in (generate_clique(3), generate_chain(3)):
-            assert accelerated_count(g, p, view=view) == count(g, p)
+            assert accelerated_count(g, p, view=view) == reference_count(g, p)
+
+    def test_foreign_view_is_rebuilt_not_trusted(self):
+        g = erdos_renyi(40, 0.3, seed=2)
+        other = erdos_renyi(25, 0.2, seed=99)
+        foreign = AcceleratedGraphView(other.degree_ordered()[0])
+        p = generate_clique(3)
+        assert accelerated_count(g, p, view=foreign) == reference_count(g, p)
+
+    def test_rejects_labeled_pattern_on_unlabeled_graph(self):
+        g = erdos_renyi(20, 0.3, seed=1)
+        p = Pattern.from_edges([(0, 1)])
+        p.set_label(0, 1)
+        with pytest.raises(MatchingError):
+            accelerated_count(g, p)
+
+
+# ----------------------------------------------------------------------
+# Parity: anti-edges and anti-vertices
+# ----------------------------------------------------------------------
+
+
+class TestAntiConstraintParity:
+    def test_chain_with_anti_edge(self):
+        g = erdos_renyi(40, 0.25, seed=1)
+        p = generate_chain(3)
+        p.add_anti_edge(0, 2)
+        assert accelerated_count(g, p) == reference_count(g, p)
+
+    def test_square_with_anti_diagonals(self):
+        g = erdos_renyi(35, 0.3, seed=13)
+        p = Pattern.from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+        p.add_anti_edge(0, 2)
+        p.add_anti_edge(1, 3)
+        assert accelerated_count(g, p) == reference_count(g, p)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_fuzz_anti_edge_paths(self, seed):
+        g = erdos_renyi(30, 0.25, seed=seed)
+        p = generate_chain(4)
+        p.add_anti_edge(0, 3)
+        assert accelerated_count(g, p) == reference_count(g, p)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_fuzz_maximal_cliques(self, seed):
+        g = erdos_renyi(30, 0.3, seed=seed)
+        p = maximal_clique_pattern(3)
+        assert accelerated_count(g, p) == reference_count(g, p)
+
+    def test_anti_vertex_star(self):
+        g = erdos_renyi(40, 0.2, seed=21)
+        p = generate_star(3)
+        p.add_anti_vertex([0, 1])
+        assert accelerated_count(g, p) == reference_count(g, p)
+
+
+# ----------------------------------------------------------------------
+# Parity: vertex-induced matching (Theorem 3.1 closure)
+# ----------------------------------------------------------------------
+
+
+class TestVertexInducedParity:
+    @pytest.mark.parametrize(
+        "pattern_fn",
+        [
+            lambda: generate_chain(3),
+            lambda: generate_chain(4),
+            lambda: generate_star(4),
+            lambda: Pattern.from_edges([(0, 1), (1, 2), (2, 0), (2, 3)]),
+            lambda: Pattern.from_edges([(0, 1), (1, 2), (2, 3), (3, 0)]),
+        ],
+    )
+    def test_agrees_with_reference_and_oracle(self, pattern_fn):
+        g = erdos_renyi(30, 0.25, seed=17)
+        p = pattern_fn()
+        got = accelerated_count(g, p, edge_induced=False)
+        assert got == reference_count(g, p, edge_induced=False)
+        assert got == nx_count_vertex_induced(g, p)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=8, deadline=None)
+    def test_fuzz_vertex_induced_wedges(self, seed):
+        g = erdos_renyi(30, 0.3, seed=seed)
+        p = generate_star(3)
+        assert accelerated_count(g, p, edge_induced=False) == reference_count(
+            g, p, edge_induced=False
+        )
+
+
+# ----------------------------------------------------------------------
+# Parity: labeled patterns
+# ----------------------------------------------------------------------
+
+
+def _labeled_pattern(structural: Pattern, labels: dict[int, int]) -> Pattern:
+    p = structural.copy()
+    for u, lab in labels.items():
+        p.set_label(u, lab)
+    return p
+
+
+class TestLabeledParity:
+    @pytest.mark.parametrize(
+        "labels",
+        [
+            {0: 0},  # partially labeled
+            {0: 0, 1: 1},
+            {0: 0, 1: 1, 2: 2},  # fully labeled
+            {0: 1, 1: 1, 2: 1},  # repeated labels keep symmetry orders
+        ],
+    )
+    def test_labeled_triangle(self, labels):
+        g = with_random_labels(erdos_renyi(40, 0.25, seed=7), 3, seed=1)
+        p = _labeled_pattern(generate_clique(3), labels)
+        assert accelerated_count(g, p) == reference_count(g, p)
+
+    @pytest.mark.parametrize(
+        "labels",
+        [{0: 0, 1: 1, 2: 0}, {1: 2}, {0: 3, 2: 3}],
+    )
+    def test_labeled_chain(self, labels):
+        g = with_random_labels(erdos_renyi(40, 0.2, seed=11), 4, seed=2)
+        p = _labeled_pattern(generate_chain(3), labels)
+        assert accelerated_count(g, p) == reference_count(g, p)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=8, deadline=None)
+    def test_fuzz_labeled_stars(self, seed):
+        g = with_random_labels(erdos_renyi(35, 0.2, seed=seed), 3, seed=seed)
+        p = _labeled_pattern(generate_star(3), {0: seed % 3, 2: (seed + 1) % 3})
+        assert accelerated_count(g, p) == reference_count(g, p)
+
+    def test_labeled_vertex_induced_combination(self):
+        g = with_random_labels(erdos_renyi(30, 0.25, seed=19), 3, seed=4)
+        p = _labeled_pattern(generate_star(3), {0: 1, 1: 0, 2: 2})
+        got = accelerated_count(g, p, edge_induced=False)
+        assert got == reference_count(g, p, edge_induced=False)
+
+    def test_label_absent_from_graph(self):
+        g = with_random_labels(erdos_renyi(20, 0.3, seed=3), 2, seed=5)
+        p = _labeled_pattern(generate_clique(3), {0: 7})
+        assert accelerated_count(g, p) == 0 == reference_count(g, p)
+
+
+# ----------------------------------------------------------------------
+# Parity: callbacks (batched match materialization)
+# ----------------------------------------------------------------------
+
+
+def _collect_matches(graph, pattern, engine, **kwargs):
+    found = []
+    match(graph, pattern, callback=lambda m: found.append(m.mapping),
+          engine=engine, **kwargs)
+    return found
+
+
+class TestCallbackParity:
+    @pytest.mark.parametrize(
+        "pattern_fn,kwargs",
+        [
+            (lambda: generate_clique(3), {}),
+            (lambda: generate_chain(4), {}),
+            (lambda: generate_star(3), {"edge_induced": False}),
+            (lambda: maximal_clique_pattern(3), {}),
+        ],
+    )
+    def test_same_matches_same_order(self, pattern_fn, kwargs):
+        g = erdos_renyi(30, 0.25, seed=23)
+        p = pattern_fn()
+        accel = _collect_matches(g, p, "accel", **kwargs)
+        ref = _collect_matches(g, p, "reference", **kwargs)
+        assert accel == ref
+
+    def test_labeled_callback_matches(self):
+        g = with_random_labels(erdos_renyi(30, 0.25, seed=29), 3, seed=6)
+        p = _labeled_pattern(generate_chain(3), {0: 0, 2: 1})
+        assert _collect_matches(g, p, "accel") == _collect_matches(
+            g, p, "reference"
+        )
+
+    def test_callback_count_equals_count(self):
+        g = erdos_renyi(40, 0.2, seed=31)
+        p = generate_clique(3)
+        assert len(_collect_matches(g, p, "accel")) == count(g, p)
+
+
+# ----------------------------------------------------------------------
+# Engine dispatch rules (repro.core.api)
+# ----------------------------------------------------------------------
+
+
+class TestDispatch:
+    def test_auto_with_stats_uses_reference(self):
+        g = erdos_renyi(30, 0.25, seed=37)
+        stats = EngineStats()
+        n = count(g, generate_clique(3), stats=stats)
+        assert n == count(g, generate_clique(3))
+        assert stats.partial_matches > 0  # reference engine ran
+
+    def test_force_accel_with_stats_raises(self):
+        g = erdos_renyi(20, 0.3, seed=1)
+        with pytest.raises(MatchingError):
+            count(g, generate_clique(3), stats=EngineStats(), engine="accel")
+
+    def test_unknown_engine_rejected(self):
+        g = erdos_renyi(10, 0.3, seed=1)
+        with pytest.raises(ValueError):
+            count(g, generate_clique(3), engine="warp-drive")
+
+    def test_forced_engines_agree(self):
+        g = with_random_labels(erdos_renyi(30, 0.25, seed=41), 3, seed=7)
+        p = _labeled_pattern(generate_star(3), {0: 1})
+        assert count(g, p, engine="accel") == count(g, p, engine="reference")
+
+    def test_engine_runs_against_oracle(self):
+        g = erdos_renyi(25, 0.3, seed=43)
+        p = generate_chain(3)
+        assert count(g, p, engine="accel") == nx_count_edge_induced(g, p)
+
+    def test_accel_preferred_heuristic(self):
+        from repro.core import accel_preferred
+
+        dense, _ = erdos_renyi(300, 0.6, seed=51).degree_ordered()
+        sparse, _ = erdos_renyi(300, 0.05, seed=51).degree_ordered()
+        clique_plan = generate_plan(generate_clique(3))
+        chain_plan = generate_plan(generate_chain(3))
+        assert accel_preferred(dense, clique_plan)  # dense + real core
+        assert not accel_preferred(sparse, clique_plan)  # sparse graph
+        # single-vertex core (tail-count dominated) stays on the interpreter
+        assert not accel_preferred(dense, chain_plan)
+
+
+# ----------------------------------------------------------------------
+# Direct AcceleratedEngine API (start-vertex slicing for the runtime)
+# ----------------------------------------------------------------------
+
+
+class TestEngineSlicing:
+    def test_strided_starts_partition_the_count(self):
+        g = erdos_renyi(50, 0.2, seed=47)
+        ordered, _ = g.degree_ordered()
+        plan = generate_plan(generate_clique(3))
+        view = shared_view(ordered)
+        total = AcceleratedEngine(view).run(plan, count_only=True)
+        strided = sum(
+            AcceleratedEngine(view).run(
+                plan,
+                start_vertices=range(ordered.num_vertices - 1 - off, -1, -3),
+                count_only=True,
+            )
+            for off in range(3)
+        )
+        assert strided == total == reference_count(g, generate_clique(3))

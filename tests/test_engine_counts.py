@@ -24,7 +24,7 @@ from repro.pattern import (
     pattern_p5,
     pattern_p6,
 )
-from conftest import nx_count_edge_induced, nx_count_vertex_induced
+from repro.testing.oracles import nx_count_edge_induced, nx_count_vertex_induced
 
 PATTERNS = {
     "edge": generate_clique(2),

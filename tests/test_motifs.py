@@ -5,7 +5,7 @@ import networkx as nx
 from repro.mining import labeled_motif_counts, motif_census_table, motif_counts
 from repro.graph import erdos_renyi, with_random_labels
 from repro.pattern import generate_clique, are_isomorphic
-from conftest import nx_count_vertex_induced
+from repro.testing.oracles import nx_count_vertex_induced
 
 
 class TestMotifCounts:

@@ -16,7 +16,7 @@ from hypothesis import given, settings, strategies as st
 from repro.core import count, generate_plan, match
 from repro.graph import erdos_renyi
 from repro.pattern import Pattern, automorphism_count
-from conftest import nx_count_edge_induced, nx_count_vertex_induced
+from repro.testing.oracles import nx_count_edge_induced, nx_count_vertex_induced
 
 
 def random_connected_pattern(rng: random.Random, max_vertices: int = 5) -> Pattern:

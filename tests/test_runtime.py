@@ -126,6 +126,79 @@ class TestProcessCount:
         )
         assert got == expected
 
+    @pytest.mark.parametrize("share_mode", ["fork", "shm", "pickle"])
+    def test_share_modes_agree(self, share_mode):
+        if share_mode == "fork":
+            import multiprocessing
+
+            if "fork" not in multiprocessing.get_all_start_methods():
+                pytest.skip("fork start method unavailable")
+        g = erdos_renyi(60, 0.15, seed=6)
+        expected = count(g, generate_clique(3))
+        got = process_count(
+            g, generate_clique(3), num_processes=3, share_mode=share_mode
+        )
+        assert got == expected
+
+    def test_shared_labeled_graph(self):
+        from repro.graph import with_random_labels
+        from repro.pattern import generate_chain
+
+        g = with_random_labels(erdos_renyi(50, 0.2, seed=9), 3, seed=4)
+        p = generate_chain(3)
+        p.set_label(0, 1)
+        p.set_label(2, 2)
+        expected = count(g, p)
+        assert process_count(g, p, num_processes=2) == expected
+
+    @pytest.mark.parametrize("share_mode", ["fork", "shm"])
+    def test_dense_graph_uses_accelerated_workers(self, share_mode):
+        """Dense regime: workers must run the vectorized engine path."""
+        import multiprocessing
+
+        from repro.core import accel_preferred, generate_plan
+
+        if share_mode == "fork" and (
+            "fork" not in multiprocessing.get_all_start_methods()
+        ):
+            pytest.skip("fork start method unavailable")
+        g = erdos_renyi(200, 0.7, seed=13)
+        ordered, _ = g.degree_ordered()
+        plan = generate_plan(generate_clique(3))
+        assert accel_preferred(ordered, plan)  # guard: accel path engaged
+        expected = count(g, generate_clique(3))
+        got = process_count(
+            g, generate_clique(3), num_processes=2, share_mode=share_mode
+        )
+        assert got == expected
+
+    @pytest.mark.parametrize("share_mode", ["fork", "shm"])
+    def test_dense_labeled_graph_shares_label_arrays(self, share_mode):
+        """Labels must survive CSR sharing into accelerated workers."""
+        import multiprocessing
+
+        from repro.graph import with_random_labels
+        from repro.pattern import generate_clique as clique
+
+        if share_mode == "fork" and (
+            "fork" not in multiprocessing.get_all_start_methods()
+        ):
+            pytest.skip("fork start method unavailable")
+        g = with_random_labels(erdos_renyi(200, 0.7, seed=17), 3, seed=3)
+        p = clique(3)
+        p.set_label(0, 1)
+        p.set_label(1, 2)
+        expected = count(g, p)
+        got = process_count(g, p, num_processes=2, share_mode=share_mode)
+        assert got == expected
+
+    def test_unknown_share_mode_rejected(self):
+        g = erdos_renyi(20, 0.3, seed=2)
+        with pytest.raises(ValueError):
+            process_count(
+                g, generate_clique(3), num_processes=2, share_mode="carrier-pigeon"
+            )
+
 
 class TestAggregatorThread:
     def test_merges_local_values(self):
