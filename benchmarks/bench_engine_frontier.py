@@ -1,0 +1,149 @@
+"""Frontier-batched engine benchmark: avg-degree sweep + perf baseline.
+
+Compares the three engines — reference interpreter, per-match vectorized
+(``accel``), frontier-batched (``accel-batch``) — across an average-degree
+sweep, and writes the machine-readable timings to ``BENCH_engine.json`` at
+the repo root so future PRs have a baseline to regress against.  The sweep
+is what measured ``repro.core.api.ACCEL_BATCH_MIN_AVG_DEGREE``: frontier
+batching amortizes numpy dispatch across whole match levels, so the batched
+engine wins from avg degree ~2 upward — far below the per-match engine's
+old crossover of 128 — including on single-vertex-core patterns, whose
+tail count it vectorizes per frontier row.
+
+Run the full sweep (writes ``BENCH_engine.json``, prints the table)::
+
+    python -m pytest benchmarks/bench_engine_frontier.py -q -s
+
+The ``fast``-marked smoke test is wired into CI so this harness cannot
+silently rot.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from benchmarks.common import timed
+
+from repro.core import count
+from repro.graph import erdos_renyi
+from repro.pattern import Pattern, generate_chain, generate_clique
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+OUTPUT_PATH = REPO_ROOT / "BENCH_engine.json"
+
+ENGINES = ("reference", "accel", "accel-batch")
+SWEEP_N = 600
+SWEEP_DEGREES = (2, 4, 8, 16, 32, 64, 128)
+
+# One multi-vertex-core pattern per regime the dispatch rules reason
+# about: core-intersection dominated (clique), mixed core+completion
+# (tailed triangle), and tail-count dominated (single-vertex-core chain).
+PATTERNS = {
+    "triangle": lambda: generate_clique(3),
+    "tailed-triangle": lambda: Pattern.from_edges(
+        [(0, 1), (1, 2), (2, 0), (2, 3)]
+    ),
+    "chain-3": lambda: generate_chain(3),
+}
+
+MULTI_CORE_PATTERNS = ("triangle", "tailed-triangle")
+
+
+def _sweep_graph(avg_degree: int, n: int = SWEEP_N, seed: int = 7):
+    return erdos_renyi(n, min(1.0, avg_degree / (n - 1)), seed=seed)
+
+
+def _time_engines(graph, pattern) -> dict:
+    """Per-engine wall time and count; counts must agree exactly."""
+    count(graph, pattern, engine="accel-batch")  # warm CSR view + keys
+    entry = {}
+    counts = {}
+    for engine in ENGINES:
+        seconds, matches = timed(lambda: count(graph, pattern, engine=engine))
+        entry[f"{engine}_seconds"] = seconds
+        counts[engine] = matches
+    assert len(set(counts.values())) == 1, f"engine disagreement: {counts}"
+    entry["matches"] = counts["reference"]
+    entry["batch_speedup_vs_reference"] = (
+        entry["reference_seconds"] / entry["accel-batch_seconds"]
+        if entry["accel-batch_seconds"] > 0
+        else float("inf")
+    )
+    return entry
+
+
+@pytest.mark.fast
+@pytest.mark.paper_artifact("engine-frontier")
+def test_frontier_smoke():
+    """CI smoke: every engine runs and agrees on a small sparse graph."""
+    g = _sweep_graph(8, n=150)
+    for name, pattern_fn in PATTERNS.items():
+        p = pattern_fn()
+        expected = count(g, p, engine="reference")
+        assert count(g, p, engine="accel") == expected, name
+        assert count(g, p, engine="accel-batch") == expected, name
+        assert count(g, p, engine="accel-batch", frontier_chunk=64) == expected
+
+
+@pytest.mark.paper_artifact("engine-frontier")
+def test_frontier_sweep_emits_json(capsys):
+    """Full sweep: beat the interpreter below the old crossover, log it."""
+    results = []
+    for name, pattern_fn in PATTERNS.items():
+        pattern = pattern_fn()
+        for degree in SWEEP_DEGREES:
+            graph = _sweep_graph(degree)
+            entry = _time_engines(graph, pattern)
+            entry.update(
+                pattern=name,
+                multi_vertex_core=name in MULTI_CORE_PATTERNS,
+                avg_degree_target=degree,
+                avg_degree=round(graph.avg_degree(), 2),
+                n=SWEEP_N,
+            )
+            results.append(entry)
+
+    payload = {
+        "bench": "engine-frontier",
+        "n": SWEEP_N,
+        "engines": list(ENGINES),
+        "note": (
+            "Wall-clock seconds per engine for count() across an "
+            "erdos_renyi avg-degree sweep; measured basis for "
+            "ACCEL_BATCH_MIN_AVG_DEGREE in repro.core.api."
+        ),
+        "results": results,
+    }
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    with capsys.disabled():
+        print("\n=== engine frontier sweep (seconds) ===")
+        header = f"{'pattern':<16} {'deg':>4} {'matches':>10}"
+        header += "".join(f" {engine:>11}" for engine in ENGINES)
+        header += f" {'batch-x':>8}"
+        print(header)
+        for row in results:
+            line = (
+                f"{row['pattern']:<16} {row['avg_degree_target']:>4}"
+                f" {row['matches']:>10,}"
+            )
+            for engine in ENGINES:
+                line += f" {row[f'{engine}_seconds']:>11.4f}"
+            line += f" {row['batch_speedup_vs_reference']:>7.1f}x"
+            print(line)
+        print(f"wrote {OUTPUT_PATH}")
+
+    # Acceptance: the batched engine beats the reference interpreter at
+    # avg degree <= 32 on a multi-vertex-core pattern (the old per-match
+    # crossover sat at 128 with a core-size exclusion).
+    low_degree_wins = [
+        row
+        for row in results
+        if row["multi_vertex_core"]
+        and row["avg_degree_target"] <= 32
+        and row["batch_speedup_vs_reference"] > 1.0
+    ]
+    assert low_degree_wins, "batched engine no longer wins below degree 32"

@@ -62,3 +62,6 @@ def pytest_configure(config):
     config.addinivalue_line(
         "markers", "paper_artifact(name): maps a benchmark to a paper table/figure"
     )
+    config.addinivalue_line(
+        "markers", "fast: benchmark smoke tests cheap enough for every CI run"
+    )

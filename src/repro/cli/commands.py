@@ -100,6 +100,9 @@ def cmd_count(args: argparse.Namespace, out: TextIO = sys.stdout) -> int:
     graph = load_dataset(args)
     pattern = parse_pattern_spec(args.pattern)
     stats = EngineStats() if args.profile else None
+    # Profiling counters live in the reference engine only; forcing a
+    # vectorized engine alongside --profile would raise in the api.
+    engine = "reference" if args.profile else getattr(args, "engine", "auto")
     begin = time.perf_counter()
     n = count_api(
         graph,
@@ -107,6 +110,7 @@ def cmd_count(args: argparse.Namespace, out: TextIO = sys.stdout) -> int:
         edge_induced=not args.vertex_induced,
         symmetry_breaking=not args.no_symmetry_breaking,
         stats=stats,
+        engine=engine,
     )
     elapsed = time.perf_counter() - begin
     print(f"matches: {n}", file=out)

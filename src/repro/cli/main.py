@@ -73,6 +73,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print engine counters (tasks, partial matches, ...)",
     )
+    p.add_argument(
+        "--engine",
+        choices=["auto", "accel", "accel-batch", "reference"],
+        default="auto",
+        help="engine selection (auto dispatches by graph density; "
+        "--profile forces the reference engine)",
+    )
     p.set_defaults(func=commands.cmd_count)
 
     p = sub.add_parser("match", help="enumerate matches of a pattern")

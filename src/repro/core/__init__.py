@@ -1,6 +1,14 @@
 """Pattern-aware matching core: plans (§4) + guided engine (§5.1)."""
 
-from .api import match, count, count_many, exists, accel_preferred
+from .api import (
+    match,
+    count,
+    count_many,
+    exists,
+    match_batches,
+    accel_preferred,
+    batch_preferred,
+)
 from .callbacks import Match, ExplorationControl, Aggregator, MatchCallback
 from .candidates import (
     bounded,
@@ -26,7 +34,9 @@ __all__ = [
     "count",
     "count_many",
     "exists",
+    "match_batches",
     "accel_preferred",
+    "batch_preferred",
     "Match",
     "ExplorationControl",
     "Aggregator",

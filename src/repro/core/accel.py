@@ -44,7 +44,7 @@ from ..graph.graph import DataGraph
 from ..pattern.pattern import Pattern
 from .callbacks import Match
 from .matching_order import OrderedCore
-from .plan import ExplorationPlan, generate_plan
+from .plan import ExplorationPlan, NonCoreStep, generate_plan
 
 __all__ = [
     "np_bounded",
@@ -53,9 +53,20 @@ __all__ = [
     "np_difference",
     "AcceleratedGraphView",
     "AcceleratedEngine",
+    "FrontierBatchedEngine",
+    "ACCEL_FRONTIER_CHUNK",
+    "frontier_start_order",
     "shared_view",
     "accelerated_count",
+    "frontier_count",
 ]
+
+# Frontier rows expanded per kernel dispatch.  Each expansion touches
+# O(rows * avg_degree) intermediate elements, so the default bounds peak
+# memory to a few tens of MB on dense graphs while still amortizing
+# numpy call overhead across thousands of partial matches.  Tunable per
+# run via the ``frontier_chunk`` knob on :func:`repro.core.api.match`.
+ACCEL_FRONTIER_CHUNK = 16_384
 
 
 def np_bounded(values: np.ndarray, lo: int, hi: int) -> np.ndarray:
@@ -112,7 +123,14 @@ class AcceleratedGraphView:
     a single adjacency list (see :func:`repro.runtime.parallel.process_count`).
     """
 
-    __slots__ = ("graph", "_flat", "_offsets", "_labels", "_label_arrays")
+    __slots__ = (
+        "graph",
+        "_flat",
+        "_offsets",
+        "_labels",
+        "_label_arrays",
+        "_adj_keys",
+    )
 
     def __init__(self, graph: DataGraph):
         self.graph = graph
@@ -128,6 +146,7 @@ class AcceleratedGraphView:
             np.asarray(labels, dtype=np.int64) if labels is not None else None
         )
         self._label_arrays: dict[int, np.ndarray] | None = None
+        self._adj_keys: np.ndarray | None = None
 
     @classmethod
     def from_csr(
@@ -144,6 +163,7 @@ class AcceleratedGraphView:
         view._offsets = offsets
         view._labels = labels
         view._label_arrays = None
+        view._adj_keys = None
         return view
 
     def csr(self) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
@@ -173,6 +193,25 @@ class AcceleratedGraphView:
                 for lab in np.unique(self._labels)
             }
         return self._label_arrays.get(label, np.empty(0, dtype=np.int64))
+
+    def adjacency_keys(self) -> np.ndarray:
+        """Globally sorted ``owner * (n + 1) + neighbor`` keys (lazy).
+
+        The flat CSR array is sorted *per segment* only; fusing the owner
+        into each entry yields one globally sorted array, so a single
+        ``searchsorted`` answers per-element queries over *different*
+        adjacency lists at once — the primitive every frontier-batched
+        membership test and bound rank is built on.  The ``n + 1``
+        multiplier leaves headroom for queries with the sentinel bounds
+        ``-1`` and ``n`` without colliding into adjacent segments.
+        """
+        if self._adj_keys is None:
+            n = self.num_vertices
+            owners = np.repeat(
+                np.arange(n, dtype=np.int64), np.diff(self._offsets)
+            )
+            self._adj_keys = owners * (n + 1) + self._flat
+        return self._adj_keys
 
     def memory_bytes(self) -> int:
         total = self._flat.nbytes + self._offsets.nbytes
@@ -439,3 +478,583 @@ def accelerated_count(
     if view is None or view.graph is not ordered:
         view = shared_view(ordered)
     return AcceleratedEngine(view).run(plan, count_only=True)
+
+
+def frontier_start_order(
+    labels: np.ndarray | None, num_vertices: int, plan: ExplorationPlan
+) -> np.ndarray:
+    """The level-0 frontier: hub-first start vertices, label-filtered.
+
+    The array form of the pruning rule
+    :meth:`~repro.core.plan.ExplorationPlan.pinned_start_labels`
+    defines (and :func:`repro.core.api._label_filtered_starts` applies
+    to list-based runs), so the concurrent runtimes can partition one
+    shared frontier instead of raw vertex-id ranges — workers then
+    split *live* tasks, not vertices a label constraint would discard.
+    """
+    starts = np.arange(num_vertices - 1, -1, -1, dtype=np.int64)
+    if labels is None:
+        return starts
+    top_labels = plan.pinned_start_labels()
+    if top_labels is None:
+        return starts
+    wanted = np.fromiter(sorted(top_labels), dtype=np.int64)
+    return starts[np.isin(labels[starts], wanted)]
+
+
+class FrontierBatchedEngine:
+    """Level-synchronous batched analogue of :class:`AcceleratedEngine`.
+
+    Where :class:`AcceleratedEngine` vectorizes one candidate computation
+    at a time and recurses per partial match, this engine holds *all*
+    live partial matches of a matching-order level in one
+    ``(n_partials, level)`` array and extends the whole level per numpy
+    dispatch:
+
+    * candidate neighborhoods are gathered with a CSR degree-prefix
+      gather from each row's cheapest (min-degree) constraint vertex,
+      pre-clipped to the symmetry bound by a rank query;
+    * remaining edge constraints, anti-edge differences, label
+      constraints and injectivity become boolean masks over the
+      concatenated candidate segments (membership via one
+      ``searchsorted`` over the view's :meth:`adjacency_keys`);
+    * the final completion step is counted with per-row arithmetic
+      instead of enumerated (the vectorized tail count), which is why the
+      batched engine also wins on single-vertex-core patterns that the
+      per-match engine's dispatch excludes.
+
+    Exploration order is the reference engine's DFS order: expansion
+    preserves row order and candidate order, so leaves surface in DFS
+    preorder; with several ordered cores, start vertices are walked in
+    ``chunk``-sized slices through every core and each slice's per-core
+    match batches are merge-sorted (keyed by level-0 origin) back into
+    the reference interleaving before callbacks fire, so the merge
+    buffer never holds more than one slice's matches.  Counts *and*
+    callback order are therefore identical to
+    :func:`repro.core.engine.run_tasks`.
+
+    Memory is bounded two ways (default :data:`ACCEL_FRONTIER_CHUNK`):
+    oversized frontiers are split into ``chunk``-row blocks exhausted
+    depth-first, and each expansion gathers its candidate segments in
+    groups capped near ``chunk`` *candidates* (:meth:`_row_groups`), so
+    peak intermediates stay ~``O(chunk)`` per level regardless of graph
+    density — a single row's segment (at most one adjacency list or one
+    ``arange(bound)``) is the only irreducible allocation.
+    """
+
+    __slots__ = (
+        "view",
+        "labels",
+        "n",
+        "flat",
+        "offsets",
+        "degrees",
+        "keys",
+        "stride",
+        "plan",
+        "steps",
+        "on_match",
+        "on_batch",
+        "count_only",
+        "can_count_tail",
+        "chunk",
+        "width",
+        "total",
+        "_cur_oc",
+        "_cur_rank",
+        "_pending",
+        "_ordered_emit",
+    )
+
+    def __init__(self, view: AcceleratedGraphView):
+        self.view = view
+        self.labels = view.labels
+        self.n = view.num_vertices
+        flat, offsets, _ = view.csr()
+        self.flat = flat
+        self.offsets = offsets
+        self.degrees = np.diff(offsets)
+        self.keys = view.adjacency_keys()
+        self.stride = self.n + 1
+
+    # ------------------------------------------------------------------
+    # Batched kernels over concatenated candidate segments
+    # ------------------------------------------------------------------
+
+    def _member(self, owners: np.ndarray, values: np.ndarray) -> np.ndarray:
+        """Elementwise ``values[k] in neighbors(owners[k])``."""
+        if self.keys.size == 0 or owners.size == 0:
+            return np.zeros(owners.size, dtype=bool)
+        queries = owners * self.stride + values
+        pos = np.searchsorted(self.keys, queries)
+        pos[pos == self.keys.size] = 0
+        return self.keys[pos] == queries
+
+    def _rank(self, owners: np.ndarray, bounds: np.ndarray, side: str) -> np.ndarray:
+        """Per-element rank of ``bounds[k]`` within ``neighbors(owners[k])``.
+
+        ``side="left"`` counts neighbors strictly below the bound,
+        ``side="right"`` neighbors at or below it.
+        """
+        queries = owners * self.stride + bounds
+        return (
+            np.searchsorted(self.keys, queries, side=side)
+            - self.offsets[owners]
+        )
+
+    @staticmethod
+    def _gather(lens: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Row ids and within-segment offsets for concatenated segments."""
+        lens = lens.astype(np.int64, copy=False)
+        row_ids = np.repeat(np.arange(lens.size, dtype=np.int64), lens)
+        total = row_ids.size
+        if total == 0:
+            return row_ids, np.empty(0, dtype=np.int64)
+        seg_starts = np.cumsum(lens) - lens
+        local = np.arange(total, dtype=np.int64) - np.repeat(seg_starts, lens)
+        return row_ids, local
+
+    def _row_groups(self, lens: np.ndarray):
+        """Split rows so each group's *candidate total* stays near ``chunk``.
+
+        Input-row chunking alone cannot bound an expansion: a single
+        level can fan ``chunk`` rows out to ``chunk * n`` candidates
+        (e.g. an unconstrained core position whose candidates are
+        ``arange(bound)``).  Capping the cumulative candidate count per
+        gather keeps every intermediate allocation near the chunk size;
+        a lone row whose own segment exceeds the cap still goes through
+        whole (one segment is one gather), which bounds the worst case
+        at ``O(max_segment)``, not ``O(rows * max_segment)``.
+        """
+        total = int(lens.sum())
+        if total <= self.chunk:
+            yield slice(0, lens.size)
+            return
+        cum = np.cumsum(lens)
+        start = 0
+        while start < lens.size:
+            base = int(cum[start - 1]) if start else 0
+            end = int(np.searchsorted(cum, base + self.chunk, side="left")) + 1
+            end = min(max(end, start + 1), lens.size)
+            yield slice(start, end)
+            start = end
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        plan: ExplorationPlan,
+        start_vertices: Iterable[int] | None = None,
+        on_match: Callable[[Match], None] | None = None,
+        on_batch: Callable[[np.ndarray], None] | None = None,
+        count_only: bool = False,
+        chunk: int | None = None,
+    ) -> int:
+        """Run matching tasks over ``start_vertices``; return the count.
+
+        ``on_batch`` is the array-native alternative to ``on_match``: it
+        receives ``(rows, num_pattern_vertices)`` int64 arrays (column
+        ``u`` holds the data vertex matched to pattern vertex ``u``,
+        ``-1`` for anti-vertices) in degree-ordered ids, without
+        per-match Python object construction.  Batch boundaries and
+        inter-batch order are an implementation detail; the row multiset
+        equals the reference engine's match multiset.
+        """
+        pattern = plan.matched_pattern
+        if pattern.is_labeled and self.labels is None:
+            raise MatchingError(
+                "pattern has label constraints but the data graph is unlabeled"
+            )
+        if on_match is not None and on_batch is not None:
+            raise ValueError("pass on_match or on_batch, not both")
+        self.plan = plan
+        self.steps = plan.noncore_steps
+        self.on_match = on_match
+        self.on_batch = on_batch
+        self.count_only = count_only and on_match is None and on_batch is None
+        self.can_count_tail = self.count_only and not plan.anti_vertex_checks
+        self.chunk = ACCEL_FRONTIER_CHUNK if chunk is None else max(1, int(chunk))
+        self.width = pattern.num_vertices
+        self.total = 0
+        if start_vertices is None:
+            starts = np.arange(self.n - 1, -1, -1, dtype=np.int64)
+        elif isinstance(start_vertices, np.ndarray):
+            starts = start_vertices.astype(np.int64, copy=False)
+        else:
+            starts = np.fromiter(start_vertices, dtype=np.int64)
+        # Several ordered cores interleave per start vertex in the
+        # reference order; exact callback order then needs a merge keyed
+        # by each match's level-0 origin.  The merge buffer is bounded by
+        # walking start *slices* through every core and emitting after
+        # each slice — pending matches never exceed one slice's yield.
+        self._ordered_emit = (
+            on_match is not None and len(plan.ordered_cores) > 1
+        )
+        self._pending = [] if self._ordered_emit else None
+        slice_size = starts.size if not self._ordered_emit else self.chunk
+        for lo in range(0, starts.size, max(1, slice_size)):
+            self._run_cores(starts[lo: lo + max(1, slice_size)])
+            if self._ordered_emit:
+                self._emit_pending()
+                self._pending = []
+        return self.total
+
+    def _run_cores(self, starts: np.ndarray) -> None:
+        """Run every ordered core over one slice of start vertices."""
+        for rank, oc in enumerate(self.plan.ordered_cores):
+            self._cur_oc = oc
+            self._cur_rank = rank
+            top_label = oc.labels[oc.size - 1]
+            if top_label is not None:
+                keep = self.labels[starts] == top_label
+                oc_starts = starts[keep]
+                origin = np.flatnonzero(keep).astype(np.int64)
+            else:
+                oc_starts = starts
+                origin = np.arange(starts.size, dtype=np.int64)
+            self._process_core(oc_starts[:, None], origin, 1)
+
+    # ------------------------------------------------------------------
+    # Core matching (high-to-low over one ordered core, level-batched)
+    # ------------------------------------------------------------------
+
+    def _process_core(
+        self, block: np.ndarray, origin: np.ndarray, level: int
+    ) -> None:
+        oc = self._cur_oc
+        if block.shape[0] == 0:
+            return
+        if level == oc.size:
+            self._core_complete(block, origin)
+            return
+        if block.shape[0] > self.chunk:
+            for lo in range(0, block.shape[0], self.chunk):
+                hi = lo + self.chunk
+                self._process_core(block[lo:hi], origin[lo:hi], level)
+            return
+        for nxt, nxt_origin in self._expand_core(oc, block, origin, level):
+            self._process_core(nxt, nxt_origin, level + 1)
+
+    def _expand_core(
+        self, oc: OrderedCore, block: np.ndarray, origin: np.ndarray, level: int
+    ):
+        """Assign core position ``top - level``; yields expanded sub-blocks.
+
+        Per-row candidate segments are described once (source array, base
+        offset, length), then gathered in :meth:`_row_groups`-bounded
+        groups so no single expansion materializes more than ~``chunk``
+        candidates at a time.
+        """
+        top = oc.size - 1
+        i = top - level
+        rows = block.shape[0]
+        bound = block[:, -1]  # the (strictly larger) value at position i+1
+        later = oc.later_neighbors(i)
+        label = oc.labels[i]
+        anti_later = [b for a, b in oc.anti_edges if a == i]
+        pick = None
+        if later:
+            owner_cols = block[:, [top - j for j in later]]
+            pick = np.argmin(self.degrees[owner_cols], axis=1)
+            pivot = owner_cols[np.arange(rows), pick]
+            lens = self._rank(pivot, bound, "left")
+            seg_base = self.offsets[pivot]
+            source = self.flat
+        elif label is not None:
+            # No later core neighbor but a label: scan the (sorted) label
+            # partition below the bound instead of every vertex.
+            source = self.view.vertices_with_label(label)
+            lens = np.searchsorted(source, bound).astype(np.int64)
+            seg_base = np.zeros(rows, dtype=np.int64)
+            label = None
+        else:
+            lens = bound
+            seg_base = None
+            source = None  # candidates are 0 .. bound-1 verbatim
+        for rows_slice in self._row_groups(lens):
+            row_ids, local = self._gather(lens[rows_slice])
+            if source is not None:
+                cands = source[seg_base[rows_slice][row_ids] + local]
+            else:
+                cands = local
+            g_block = block[rows_slice]
+            mask = np.ones(cands.size, dtype=bool)
+            if later and len(later) > 1:
+                g_pick = pick[rows_slice]
+                for k, j in enumerate(later):
+                    # the pivot's own membership is implicit
+                    hit = self._member(g_block[row_ids, top - j], cands)
+                    mask &= hit | (g_pick[row_ids] == k)
+            for j in anti_later:
+                mask &= ~self._member(g_block[row_ids, top - j], cands)
+            if label is not None and cands.size:
+                mask &= self.labels[cands] == label
+            if not mask.all():
+                row_ids = row_ids[mask]
+                cands = cands[mask]
+            yield (
+                np.concatenate([g_block[row_ids], cands[:, None]], axis=1),
+                origin[rows_slice][row_ids],
+            )
+
+    # ------------------------------------------------------------------
+    # Completion (non-core steps, batched)
+    # ------------------------------------------------------------------
+
+    def _columns(self, step_index: int) -> list[int]:
+        """Pattern vertex held by each frontier column at ``step_index``."""
+        return list(self.plan.core) + [
+            s.vertex for s in self.steps[:step_index]
+        ]
+
+    def _core_complete(self, block: np.ndarray, origin: np.ndarray) -> None:
+        """Remap finished core rows through each sequence, interleaved."""
+        oc = self._cur_oc
+        rows = block.shape[0]
+        if self.count_only and not self.steps and not self.plan.anti_vertex_checks:
+            # Core-only count: one match per collapsed sequence per row.
+            self.total += rows * len(oc.sequences)
+            return
+        top = oc.size - 1
+        core_vertices = self.plan.core
+        perms = []
+        for seq in oc.sequences:
+            pos_of = {vertex: position for position, vertex in enumerate(seq)}
+            perms.append([top - pos_of[v] for v in core_vertices])
+        if len(perms) == 1:
+            remapped = block[:, perms[0]]
+            rep_origin = origin
+        else:
+            # Row-major (row, sequence) interleave keeps the reference
+            # emission order: each core match walks all its sequences
+            # before the next core match starts.
+            stacked = np.stack([block[:, p] for p in perms], axis=1)
+            remapped = stacked.reshape(rows * len(perms), len(core_vertices))
+            rep_origin = np.repeat(origin, len(perms))
+        self._process_steps(remapped, rep_origin, 0)
+
+    def _process_steps(
+        self, block: np.ndarray, origin: np.ndarray, step_index: int
+    ) -> None:
+        if block.shape[0] == 0:
+            return
+        steps = self.steps
+        if step_index == len(steps):
+            self._finalize(block, origin)
+            return
+        if block.shape[0] > self.chunk:
+            for lo in range(0, block.shape[0], self.chunk):
+                hi = lo + self.chunk
+                self._process_steps(block[lo:hi], origin[lo:hi], step_index)
+            return
+        if step_index + 1 == len(steps) and self.can_count_tail:
+            self.total += self._count_tail_step(block, step_index)
+            return
+        for nxt, nxt_origin in self._expand_step(block, origin, step_index):
+            self._process_steps(nxt, nxt_origin, step_index + 1)
+
+    def _step_context(self, block: np.ndarray, step_index: int):
+        """Per-row candidate geometry for one completion step."""
+        step = self.steps[step_index]
+        col_of = {v: c for c, v in enumerate(self._columns(step_index))}
+        rows = block.shape[0]
+        nbr_cols = [col_of[v] for v in step.neighbors]
+        # Tightest symmetry bounds per row (vectorized max/min folds).
+        lo = np.full(rows, -1, dtype=np.int64)
+        for w in step.lower_bounds:
+            np.maximum(lo, block[:, col_of[w]], out=lo)
+        hi = np.full(rows, self.n, dtype=np.int64)
+        for w in step.upper_bounds:
+            np.minimum(hi, block[:, col_of[w]], out=hi)
+        owner_cols = block[:, nbr_cols]
+        pick = np.argmin(self.degrees[owner_cols], axis=1)
+        pivot = owner_cols[np.arange(rows), pick]
+        start_rank = self._rank(pivot, lo, "right")
+        end_rank = self._rank(pivot, hi, "left")
+        lens = np.maximum(end_rank - start_rank, 0)
+        return step, col_of, nbr_cols, lo, hi, pick, pivot, start_rank, lens
+
+    def _step_mask(
+        self,
+        g_block: np.ndarray,
+        row_ids: np.ndarray,
+        cands: np.ndarray,
+        step: NonCoreStep,
+        col_of: dict[int, int],
+        nbr_cols: list[int],
+        g_pick: np.ndarray,
+    ) -> np.ndarray:
+        """Constraint masks for one gathered candidate group."""
+        mask = np.ones(cands.size, dtype=bool)
+        if len(nbr_cols) > 1:
+            for k, c in enumerate(nbr_cols):
+                # the pivot's own membership is implicit
+                hit = self._member(g_block[row_ids, c], cands)
+                mask &= hit | (g_pick[row_ids] == k)
+        for v in step.anti_neighbors:
+            mask &= ~self._member(g_block[row_ids, col_of[v]], cands)
+        if step.label is not None and cands.size:
+            mask &= self.labels[cands] == step.label
+        # Injectivity: the candidate may equal none of the row's matched
+        # vertices (the frontier columns are exactly the used set).
+        for c in range(g_block.shape[1]):
+            mask &= cands != g_block[row_ids, c]
+        return mask
+
+    def _count_tail_step(self, block: np.ndarray, step_index: int) -> int:
+        """Count the final completion step without enumerating it."""
+        step, col_of, nbr_cols, lo, hi, pick, pivot, start_rank, lens = (
+            self._step_context(block, step_index)
+        )
+        if (
+            len(nbr_cols) == 1
+            and not step.anti_neighbors
+            and step.label is None
+        ):
+            # Pure degree arithmetic per frontier row: the candidate set
+            # is one bounded adjacency segment, so its size is a rank
+            # difference and injectivity subtracts the used vertices that
+            # land inside it — no candidate array is ever gathered.
+            total = int(lens.sum())
+            for c in range(block.shape[1]):
+                used = block[:, c]
+                inside = (used > lo) & (used < hi) & self._member(pivot, used)
+                total -= int(np.count_nonzero(inside))
+            return total
+        total = 0
+        seg_base = self.offsets[pivot] + start_rank
+        for rows_slice in self._row_groups(lens):
+            row_ids, local = self._gather(lens[rows_slice])
+            cands = self.flat[seg_base[rows_slice][row_ids] + local]
+            mask = self._step_mask(
+                block[rows_slice], row_ids, cands, step, col_of, nbr_cols,
+                pick[rows_slice],
+            )
+            total += int(np.count_nonzero(mask))
+        return total
+
+    def _expand_step(
+        self, block: np.ndarray, origin: np.ndarray, step_index: int
+    ):
+        """Assign one non-core vertex; yields expanded sub-blocks."""
+        step, col_of, nbr_cols, _lo, _hi, pick, pivot, start_rank, lens = (
+            self._step_context(block, step_index)
+        )
+        seg_base = self.offsets[pivot] + start_rank
+        for rows_slice in self._row_groups(lens):
+            row_ids, local = self._gather(lens[rows_slice])
+            cands = self.flat[seg_base[rows_slice][row_ids] + local]
+            g_block = block[rows_slice]
+            mask = self._step_mask(
+                g_block, row_ids, cands, step, col_of, nbr_cols,
+                pick[rows_slice],
+            )
+            if not mask.all():
+                row_ids = row_ids[mask]
+                cands = cands[mask]
+            yield (
+                np.concatenate([g_block[row_ids], cands[:, None]], axis=1),
+                origin[rows_slice][row_ids],
+            )
+
+    # ------------------------------------------------------------------
+    # Anti-vertex verification + emission
+    # ------------------------------------------------------------------
+
+    def _finalize(self, block: np.ndarray, origin: np.ndarray) -> None:
+        checks = self.plan.anti_vertex_checks
+        cols = self._columns(len(self.steps))
+        if checks:
+            col_of = {v: c for c, v in enumerate(cols)}
+            alive = np.ones(block.shape[0], dtype=bool)
+            for check in checks:
+                if not check.neighbors:
+                    continue
+                nbr_cols = [col_of[v] for v in check.neighbors]
+                rows = block.shape[0]
+                owner_cols = block[:, nbr_cols]
+                pick = np.argmin(self.degrees[owner_cols], axis=1)
+                pivot = owner_cols[np.arange(rows), pick]
+                lens = self.degrees[pivot]
+                for rows_slice in self._row_groups(lens):
+                    row_ids, local = self._gather(lens[rows_slice])
+                    cands = self.flat[
+                        self.offsets[pivot[rows_slice]][row_ids] + local
+                    ]
+                    g_block = block[rows_slice]
+                    mask = np.ones(cands.size, dtype=bool)
+                    if len(nbr_cols) > 1:
+                        g_pick = pick[rows_slice]
+                        for k, c in enumerate(nbr_cols):
+                            hit = self._member(g_block[row_ids, c], cands)
+                            mask &= hit | (g_pick[row_ids] == k)
+                    for c in range(g_block.shape[1]):
+                        mask &= cands != g_block[row_ids, c]
+                    # Rows with any surviving common neighbor outside the
+                    # match violate the anti-vertex; scatter-reject them.
+                    alive[rows_slice.start + row_ids[mask]] = False
+            if not alive.all():
+                block = block[alive]
+                origin = origin[alive]
+        self.total += block.shape[0]
+        if self.on_match is None and self.on_batch is None:
+            return
+        mappings = np.full((block.shape[0], self.width), -1, dtype=np.int64)
+        mappings[:, cols] = block
+        if self.on_batch is not None:
+            self.on_batch(mappings)
+            return
+        if self._ordered_emit:
+            self._pending.append((origin, self._cur_rank, mappings))
+            return
+        pattern = self.plan.pattern
+        on_match = self.on_match
+        for row in mappings.tolist():
+            on_match(Match(pattern, tuple(row)))
+
+    def _emit_pending(self) -> None:
+        """Merge one slice's per-core match batches into reference order."""
+        pending = self._pending
+        if not pending:
+            return
+        origins = np.concatenate([origin for origin, _, _ in pending])
+        ranks = np.concatenate(
+            [
+                np.full(origin.size, rank, dtype=np.int64)
+                for origin, rank, _ in pending
+            ]
+        )
+        mappings = np.vstack([rows for _, _, rows in pending])
+        # Stable sort: primary key origin (start order), secondary key
+        # ordered-core rank; ties keep intra-core DFS emission order.
+        order = np.lexsort((ranks, origins))
+        pattern = self.plan.pattern
+        on_match = self.on_match
+        for row in mappings[order].tolist():
+            on_match(Match(pattern, tuple(row)))
+
+
+def frontier_count(
+    graph: DataGraph,
+    pattern: Pattern,
+    plan: ExplorationPlan | None = None,
+    view: AcceleratedGraphView | None = None,
+    edge_induced: bool = True,
+    symmetry_breaking: bool = True,
+    chunk: int | None = None,
+) -> int:
+    """Frontier-batched match counting (full pattern-feature matrix).
+
+    The batched counterpart of :func:`accelerated_count` — semantically
+    identical to ``repro.core.count`` on every feature combination.
+    """
+    if plan is None:
+        plan = generate_plan(
+            pattern, edge_induced=edge_induced, symmetry_breaking=symmetry_breaking
+        )
+    ordered, _ = graph.degree_ordered()
+    if view is None or view.graph is not ordered:
+        view = shared_view(ordered)
+    return FrontierBatchedEngine(view).run(plan, count_only=True, chunk=chunk)

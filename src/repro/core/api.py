@@ -8,21 +8,29 @@ enumeration-free counting fast path); ``exists`` stops at the first match.
 The data graph is degree-ordered internally (§5.2) and matches are
 translated back to the caller's vertex ids before callbacks see them.
 
-**Engine dispatch.**  Two engines implement identical semantics: the
-reference interpreter (:mod:`repro.core.engine`) and the vectorized
-:class:`~repro.core.accel.AcceleratedEngine`.  With ``engine="auto"``
-(the default) a run is served by the accelerated engine when it
-*qualifies* — numpy importable, and no ``stats`` / ``timer`` /
+**Engine dispatch.**  Three engines implement identical semantics: the
+reference interpreter (:mod:`repro.core.engine`), the per-match
+vectorized :class:`~repro.core.accel.AcceleratedEngine`, and the
+frontier-batched :class:`~repro.core.accel.FrontierBatchedEngine`
+(whole matching-order levels per numpy dispatch).  With
+``engine="auto"`` (the default) a run is served by a vectorized engine
+when it *qualifies* — numpy importable, and no ``stats`` / ``timer`` /
 ``control`` attached (those hooks are only instrumented in the
-reference engine) — **and** the run is in the vectorized engine's
-winning regime: numpy's per-call overhead only amortizes when the
-candidate arrays are large, so auto requires a dense data graph
-(average degree >= :data:`ACCEL_MIN_AVG_DEGREE`) and a pattern whose
-core has at least two vertices (single-vertex cores are tail-count
-dominated, where sliced Python lists are already optimal).  Benchmarks:
+reference engine) — **and** it is in a vectorized winning regime.  The
+batched engine amortizes numpy call overhead across the whole frontier,
+so its crossover sits at average degree >=
+:data:`ACCEL_BATCH_MIN_AVG_DEGREE` (measured ~2: near-forest graphs are
+the only place the interpreter still ties) with **no** core-size
+exclusion — its tail count is per-row arithmetic, so single-vertex-core
+patterns win too.  The per-match engine's old crossover
+(:data:`ACCEL_MIN_AVG_DEGREE`, 128, with a multi-vertex-core
+requirement) is kept for the ``engine="accel"`` ablation and as the
+middle dispatch tier.  Benchmarks:
+``bench_engine_frontier.py`` (sweep + ``BENCH_engine.json``) and
 ``bench_ablations.py::test_engine_dispatch``.  ``engine="reference"`` /
-``engine="accel"`` force one side unconditionally (ablations,
-debugging); forcing ``"accel"`` raises when the run does not qualify.
+``engine="accel"`` / ``engine="accel-batch"`` force one engine
+unconditionally (ablations, debugging); forcing a vectorized engine
+raises when the run does not qualify.
 """
 
 from __future__ import annotations
@@ -41,57 +49,93 @@ try:  # numpy is an optional accelerator, not a hard dependency
 except ImportError:  # pragma: no cover - exercised only without numpy
     _accel = None
 
-__all__ = ["match", "count", "count_many", "exists", "accel_preferred"]
+__all__ = [
+    "match",
+    "count",
+    "count_many",
+    "exists",
+    "match_batches",
+    "accel_preferred",
+    "batch_preferred",
+]
 
-_ENGINE_CHOICES = ("auto", "accel", "reference")
+_ENGINE_CHOICES = ("auto", "accel", "accel-batch", "reference")
 
-# Measured crossover (bench_ablations.py::test_engine_dispatch): below
-# this average degree the reference interpreter's bisect/slice loops beat
-# numpy's per-call overhead; above it the vectorized kernels win.
+# Measured crossover of the *per-match* vectorized engine
+# (bench_ablations.py::test_engine_dispatch): below this average degree
+# the reference interpreter's bisect/slice loops beat numpy's per-call
+# overhead; above it the per-candidate vectorized kernels win.
 ACCEL_MIN_AVG_DEGREE = 128.0
+
+# Measured crossover of the *frontier-batched* engine
+# (bench_engine_frontier.py, BENCH_engine.json): batching whole match
+# levels amortizes numpy dispatch across thousands of partials, so the
+# batched engine already wins at avg degree ~2 on graphs of a few
+# hundred vertices (6-12x over the interpreter at degree 2-8, measured).
+# Only near-forest graphs below this line stay on the interpreter.
+ACCEL_BATCH_MIN_AVG_DEGREE = 2.0
 
 
 def accel_preferred(ordered: DataGraph, plan: ExplorationPlan) -> bool:
-    """Whether the vectorized engine is expected to win this run.
+    """Whether the *per-match* vectorized engine is expected to win.
 
-    The heuristic behind ``engine="auto"`` (shared with the process
-    runtime): dense adjacency arrays amortize numpy call overhead, and a
-    multi-vertex core means real intersection work; sparse graphs and
-    single-vertex-core (tail-count dominated) patterns stay on the
-    reference interpreter.
+    The historic ``engine="auto"`` heuristic, kept for the
+    ``engine="accel"`` ablation tier: dense adjacency arrays amortize
+    numpy call overhead, and a multi-vertex core means real intersection
+    work; sparse graphs and single-vertex-core (tail-count dominated)
+    patterns lose to the reference interpreter here.
     """
     return (
         ordered.avg_degree() >= ACCEL_MIN_AVG_DEGREE and len(plan.core) >= 2
     )
 
 
-def _dispatch_accel(
+def batch_preferred(ordered: DataGraph, plan: ExplorationPlan) -> bool:
+    """Whether the frontier-batched engine is expected to win this run.
+
+    Frontier batching amortizes per-dispatch overhead across every live
+    partial match of a level, and its tail count is per-row arithmetic,
+    so neither the density floor nor the core-size exclusion of
+    :func:`accel_preferred` applies — only near-forest graphs (average
+    degree below :data:`ACCEL_BATCH_MIN_AVG_DEGREE`) stay on the
+    interpreter.
+    """
+    return ordered.avg_degree() >= ACCEL_BATCH_MIN_AVG_DEGREE
+
+
+def _dispatch_engine(
     engine: str,
     control: ExplorationControl | None,
     stats: EngineStats | None,
     timer,
     ordered: DataGraph,
     plan: ExplorationPlan,
-) -> bool:
-    """Decide whether a run goes to the vectorized engine."""
+) -> str:
+    """Resolve the engine choice to ``reference``/``accel``/``accel-batch``."""
     if engine not in _ENGINE_CHOICES:
         raise ValueError(f"engine must be one of {_ENGINE_CHOICES}, got {engine!r}")
     if engine == "reference":
-        return False
+        return "reference"
     qualifies = (
         _accel is not None
         and control is None
         and stats is None
         and timer is None
     )
-    if engine == "accel":
+    if engine in ("accel", "accel-batch"):
         if not qualifies:
             raise MatchingError(
-                "engine='accel' requires numpy and no stats/timer/control "
+                f"engine={engine!r} requires numpy and no stats/timer/control "
                 "hooks; use engine='auto' to fall back to the reference engine"
             )
-        return True
-    return qualifies and accel_preferred(ordered, plan)
+        return engine
+    if not qualifies:
+        return "reference"
+    if batch_preferred(ordered, plan):
+        return "accel-batch"
+    if accel_preferred(ordered, plan):
+        return "accel"
+    return "reference"
 
 
 def _translated_callback(
@@ -118,8 +162,8 @@ def _label_filtered_starts(ordered: DataGraph, plan: ExplorationPlan):
     """
     if ordered.labels() is None:
         return None
-    top_labels = {oc.labels[oc.size - 1] for oc in plan.ordered_cores}
-    if None in top_labels or not top_labels:
+    top_labels = plan.pinned_start_labels()
+    if top_labels is None:
         return None
     starts: set[int] = set()
     for label in top_labels:
@@ -140,6 +184,7 @@ def match(
     start_vertices: Iterable[int] | None = None,
     label_index: bool = True,
     engine: str = "auto",
+    frontier_chunk: int | None = None,
 ) -> int:
     """Find every canonical match of ``pattern`` in ``graph``.
 
@@ -156,6 +201,11 @@ def match(
     data vertices whose label can match a core top position — the same
     pruning G-Miner gets from its label index, without preprocessing the
     graph per query.  Disable to measure its effect (``bench_ablations``).
+
+    ``frontier_chunk`` caps how many partial matches the frontier-batched
+    engine expands per numpy dispatch (memory/locality trade-off;
+    default :data:`repro.core.accel.ACCEL_FRONTIER_CHUNK`).  Ignored by
+    the other engines.
     """
     if plan is None:
         plan = generate_plan(
@@ -167,7 +217,17 @@ def match(
     )
     if start_vertices is None and label_index:
         start_vertices = _label_filtered_starts(ordered, plan)
-    if _dispatch_accel(engine, control, stats, timer, ordered, plan):
+    selected = _dispatch_engine(engine, control, stats, timer, ordered, plan)
+    if selected == "accel-batch":
+        batched = _accel.FrontierBatchedEngine(_accel.shared_view(ordered))
+        return batched.run(
+            plan,
+            start_vertices=start_vertices,
+            on_match=wrapped,
+            count_only=callback is None,
+            chunk=frontier_chunk,
+        )
+    if selected == "accel":
         accelerated = _accel.AcceleratedEngine(_accel.shared_view(ordered))
         return accelerated.run(
             plan,
@@ -196,6 +256,7 @@ def count(
     timer=None,
     plan: ExplorationPlan | None = None,
     engine: str = "auto",
+    frontier_chunk: int | None = None,
 ) -> int:
     """Number of canonical matches of ``pattern`` in ``graph``.
 
@@ -212,6 +273,7 @@ def count(
         timer=timer,
         plan=plan,
         engine=engine,
+        frontier_chunk=frontier_chunk,
     )
 
 
@@ -243,11 +305,15 @@ def exists(
     graph: DataGraph,
     pattern: Pattern,
     edge_induced: bool = True,
+    engine: str = "auto",
 ) -> bool:
     """Whether at least one match exists; stops exploring at the first.
 
     This is the paper's existence-query idiom (Fig 4f): the callback fires
-    ``stopExploration()`` on the first match.
+    ``stopExploration()`` on the first match.  Early termination is a
+    reference-engine hook, so ``engine="auto"`` always resolves to the
+    interpreter here; the knob exists so forced ablations fail loudly
+    (forcing a vectorized engine raises) instead of silently diverging.
     """
     control = ExplorationControl()
     found = []
@@ -257,5 +323,83 @@ def exists(
         control.stop()
 
     match(graph, pattern, callback=on_first, edge_induced=edge_induced,
-          control=control)
+          control=control, engine=engine)
     return bool(found)
+
+
+def match_batches(
+    graph: DataGraph,
+    pattern: Pattern,
+    on_batch,
+    edge_induced: bool = True,
+    symmetry_breaking: bool = True,
+    plan: ExplorationPlan | None = None,
+    label_index: bool = True,
+    engine: str = "auto",
+    frontier_chunk: int | None = None,
+    flush_size: int = 4096,
+) -> int:
+    """Stream every canonical match as 2D numpy arrays; return the count.
+
+    ``on_batch`` receives ``(rows, num_pattern_vertices)`` int64 arrays —
+    column ``u`` is the data vertex matched to pattern vertex ``u`` (in
+    the caller's vertex ids; ``-1`` for anti-vertices).  This is the
+    array-native alternative to ``match``'s per-match callback: domain
+    and aggregation consumers (FSM, motif tables) fold whole batches with
+    vectorized group-bys instead of paying one Python call per match.
+
+    When the frontier-batched engine serves the run, batches come
+    straight off its final frontiers; otherwise matches are buffered into
+    ``flush_size``-row arrays over the fallback engine, so callers keep a
+    single code path.  Batch boundaries and inter-batch order are
+    unspecified; the row multiset equals ``match``'s match multiset.
+    """
+    if _accel is None:
+        raise MatchingError("match_batches requires numpy")
+    np = _accel.np
+    if plan is None:
+        plan = generate_plan(
+            pattern, edge_induced=edge_induced, symmetry_breaking=symmetry_breaking
+        )
+    ordered, old_of_new = graph.degree_ordered()
+    translation = np.asarray(old_of_new, dtype=np.int64)
+
+    def emit(mappings: "np.ndarray") -> None:
+        translated = translation[np.maximum(mappings, 0)]
+        translated[mappings < 0] = -1
+        on_batch(translated)
+
+    start_vertices = _label_filtered_starts(ordered, plan) if label_index else None
+    selected = _dispatch_engine(engine, None, None, None, ordered, plan)
+    if selected == "accel-batch":
+        batched = _accel.FrontierBatchedEngine(_accel.shared_view(ordered))
+        return batched.run(
+            plan,
+            start_vertices=start_vertices,
+            on_batch=emit,
+            chunk=frontier_chunk,
+        )
+
+    buffer: list[tuple[int, ...]] = []
+
+    def flush() -> None:
+        if buffer:
+            emit(np.asarray(buffer, dtype=np.int64))
+            buffer.clear()
+
+    def collect(m: Match) -> None:
+        buffer.append(m.mapping)
+        if len(buffer) >= flush_size:
+            flush()
+
+    if selected == "accel":
+        engine_obj = _accel.AcceleratedEngine(_accel.shared_view(ordered))
+        total = engine_obj.run(
+            plan, start_vertices=start_vertices, on_match=collect
+        )
+    else:
+        total = run_tasks(
+            ordered, plan, start_vertices=start_vertices, on_match=collect
+        )
+    flush()
+    return total

@@ -77,6 +77,22 @@ class ExplorationPlan:
     def has_anti_edges(self) -> bool:
         return self.matched_pattern.num_anti_edges > 0
 
+    def pinned_start_labels(self) -> set[int] | None:
+        """Labels a start vertex must carry, or ``None`` if unrestricted.
+
+        Every task's start vertex fills some ordered core's *top*
+        position; when all cores pin that position to a label, only
+        vertices carrying one of those labels can seed a match (the
+        G-Miner label-index pruning, §6.4).  A wildcard top position on
+        any core means no restriction.  Both the api's start filtering
+        and the runtimes' frontier construction derive from this single
+        rule.
+        """
+        top_labels = {oc.labels[oc.size - 1] for oc in self.ordered_cores}
+        if not top_labels or None in top_labels:
+            return None
+        return top_labels
+
     def features(self) -> dict[str, bool]:
         """Which pattern features this plan exercises.
 

@@ -21,7 +21,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..core.api import match
+try:  # numpy powers the batched domain group-by; per-match is the fallback
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    _np = None
+
+from ..core.api import match, match_batches
 from ..core.callbacks import Match
 from ..core.symmetry import orbit_partition
 from ..graph.graph import DataGraph
@@ -69,14 +74,20 @@ def _discover(
     The labeled pattern's canonical permutation is computed lazily per
     distinct labeling, and each match's vertices are written into the
     domains in canonical coordinates.
+
+    With numpy available, matches arrive as whole arrays
+    (:func:`repro.core.api.match_batches`) and each batch is group-reduced
+    with a vectorized row-``unique`` over the matched label tuples, then
+    folded into the domains column-wise — one Python call per distinct
+    labeling per batch instead of one per match.  The per-match callback
+    path remains as the numpy-free fallback and computes identical tables.
     """
     tables: dict[tuple, tuple[Pattern, Domain]] = {}
     # Cache per distinct label tuple: (code, order) of the labeled pattern.
     labeling_cache: dict[tuple, tuple[tuple, tuple[int, ...]]] = {}
     n = structural.num_vertices
 
-    def on_match(m: Match) -> None:
-        labels = tuple(graph.label(m.mapping[u]) for u in range(n))
+    def table_key(labels: tuple) -> tuple[tuple, tuple[int, ...]]:
         cached = labeling_cache.get(labels)
         if cached is None:
             labeled = structural.copy()
@@ -84,14 +95,69 @@ def _discover(
                 labeled.set_label(u, lab)
             cached = canonical_permutation(labeled)
             labeling_cache[labels] = cached
-            code, order = cached
+            code, _ = cached
             if code not in tables:
                 canonical = canonical_form(labeled)
                 orbits = (
                     orbit_partition(canonical) if symmetry_breaking else None
                 )
-                tables[code] = (canonical, Domain(n, orbits, bitset_factory=bitset_factory))
-        code, order = cached
+                tables[code] = (
+                    canonical,
+                    Domain(n, orbits, bitset_factory=bitset_factory),
+                )
+        return cached
+
+    if _np is not None and graph.labels() is not None:
+        graph_labels = _np.asarray(graph.labels(), dtype=_np.int64)
+        # Scalar keys for the row group-by: label tuples are mixed-radix
+        # encoded so the per-batch unique runs over 1D int64 (far cheaper
+        # than ``np.unique(axis=0)``'s structured sort).
+        radix = int(graph_labels.max()) + 1 if graph_labels.size else 1
+        # Huge label alphabets could overflow the scalar encoding; the
+        # structured-sort unique is the (slower) safe fallback there.
+        scalar_keys = (
+            radix > 1
+            and int(graph_labels.min()) >= 0
+            and n * (radix - 1).bit_length() < 62
+        )
+        powers = radix ** _np.arange(n, dtype=_np.int64) if scalar_keys else None
+
+        def on_batch(mappings) -> None:
+            # Group rows by their matched label tuple in one vectorized
+            # pass (unique + stable argsort, so each group is one slice),
+            # then write each group's columns (canonical order) into its
+            # domain table as a batch.
+            label_rows = graph_labels[mappings]
+            if scalar_keys:
+                _, first_row, inverse = _np.unique(
+                    label_rows @ powers, return_index=True, return_inverse=True
+                )
+            else:
+                _, first_row, inverse = _np.unique(
+                    label_rows, axis=0, return_index=True, return_inverse=True
+                )
+            by_group = mappings[_np.argsort(inverse, kind="stable")]
+            ends = _np.cumsum(_np.bincount(inverse, minlength=first_row.size))
+            start = 0
+            for gi, end in enumerate(ends.tolist()):
+                labels = tuple(int(lab) for lab in label_rows[first_row[gi]])
+                code, order = table_key(labels)
+                tables[code][1].update_batch(by_group[start:end, list(order)])
+                start = end
+
+        match_batches(
+            graph,
+            structural,
+            on_batch,
+            edge_induced=True,
+            symmetry_breaking=symmetry_breaking,
+            engine=engine,
+        )
+        return tables
+
+    def on_match(m: Match) -> None:
+        labels = tuple(graph.label(m.mapping[u]) for u in range(n))
+        code, order = table_key(labels)
         domain = tables[code][1]
         domain.update([m.mapping[u] for u in order])
 

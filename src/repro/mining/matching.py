@@ -18,10 +18,13 @@ __all__ = [
 
 
 def count_pattern(
-    graph: DataGraph, pattern: Pattern, edge_induced: bool = True
+    graph: DataGraph,
+    pattern: Pattern,
+    edge_induced: bool = True,
+    engine: str = "auto",
 ) -> int:
     """Number of canonical matches of ``pattern``."""
-    return count(graph, pattern, edge_induced=edge_induced)
+    return count(graph, pattern, edge_induced=edge_induced, engine=engine)
 
 
 def enumerate_matches(
@@ -49,13 +52,19 @@ def match_and_write(
     pattern: Pattern,
     write: Callable[[Match], None],
     edge_induced: bool = True,
+    engine: str = "auto",
 ) -> int:
     """The paper's Fig 4c program: stream every match to ``write``."""
-    return match(graph, pattern, callback=write, edge_induced=edge_induced)
+    return match(
+        graph, pattern, callback=write, edge_induced=edge_induced, engine=engine
+    )
 
 
 def count_unique_subgraphs(
-    graph: DataGraph, pattern: Pattern, edge_induced: bool = True
+    graph: DataGraph,
+    pattern: Pattern,
+    edge_induced: bool = True,
+    engine: str = "auto",
 ) -> int:
     """Count distinct data-vertex *sets* matched (collapses automorphism-
     inequivalent assignments over the same vertices, e.g. for reporting)."""
@@ -64,5 +73,6 @@ def count_unique_subgraphs(
     def collect(m: Match) -> None:
         seen.add(tuple(sorted(m.vertices())))
 
-    match(graph, pattern, callback=collect, edge_induced=edge_induced)
+    match(graph, pattern, callback=collect, edge_induced=edge_induced,
+          engine=engine)
     return len(seen)

@@ -75,7 +75,9 @@ def bron_kerbosch(graph: DataGraph) -> Iterator[tuple[int, ...]]:
 # Pattern-aware maximal cliques (anti-vertex route)
 # ----------------------------------------------------------------------
 
-def maximal_cliques_of_size(graph: DataGraph, k: int) -> list[tuple[int, ...]]:
+def maximal_cliques_of_size(
+    graph: DataGraph, k: int, engine: str = "auto"
+) -> list[tuple[int, ...]]:
     """All maximal cliques with exactly ``k`` vertices, via anti-vertex.
 
     A k-clique is maximal iff no data vertex is adjacent to all of its
@@ -91,11 +93,13 @@ def maximal_cliques_of_size(graph: DataGraph, k: int) -> list[tuple[int, ...]]:
     def on_match(m: Match) -> None:
         found.append(tuple(sorted(m.vertices())))
 
-    match(graph, maximal_clique_pattern(k), callback=on_match)
+    match(graph, maximal_clique_pattern(k), callback=on_match, engine=engine)
     return sorted(found)
 
 
-def maximal_clique_census(graph: DataGraph, max_k: int) -> dict[int, int]:
+def maximal_clique_census(
+    graph: DataGraph, max_k: int, engine: str = "auto"
+) -> dict[int, int]:
     """Count maximal cliques by size for sizes ``1..max_k``.
 
     The census over *all* sizes equals what :func:`bron_kerbosch` yields,
@@ -103,7 +107,8 @@ def maximal_clique_census(graph: DataGraph, max_k: int) -> dict[int, int]:
     one anti-vertex query per size.
     """
     return {
-        k: len(maximal_cliques_of_size(graph, k)) for k in range(1, max_k + 1)
+        k: len(maximal_cliques_of_size(graph, k, engine=engine))
+        for k in range(1, max_k + 1)
     }
 
 

@@ -1,11 +1,16 @@
 """Concurrent matching runtime: thread pool + process pool (§5, Fig 12).
 
 ``parallel_match`` reproduces Peregrine's architecture faithfully: worker
-threads pull start-vertex chunks from a shared atomic-counter scheduler,
-run the engine with thread-local stats/aggregators, and honor a shared
-early-termination control.  CPython's GIL serializes the actual list
-operations, so wall-clock speedup needs ``process_count`` — a process
-pool that partitions start vertices, shares the CSR adjacency arrays of
+threads pull frontier chunks from a shared atomic-counter scheduler, run
+the engine with thread-local aggregators, and honor a shared
+early-termination control.  When a run qualifies (numpy present, no
+user control) the workers drive the frontier-batched engine over
+partitions of the level-0 frontier — numpy kernels release the GIL, so
+the thread pool gets real parallelism on the hot loop; runs that need
+stats, stage timers or early termination stay on the reference
+interpreter, where CPython's GIL serializes the list operations.
+Process-level scaling is ``process_count`` — a process pool that slices
+the level-0 frontier across workers, shares the CSR adjacency arrays of
 the accelerated view with every worker (fork-inherited copy-on-write
 pages or ``multiprocessing.shared_memory`` segments — never per-worker
 graph pickling), and sums counts — which the Figure 12 scalability
@@ -20,7 +25,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable
 
-from ..core.api import accel_preferred
+from ..core.api import accel_preferred, batch_preferred
+from ..errors import MatchingError
 from ..core.callbacks import Aggregator, ExplorationControl, Match
 from ..core.engine import EngineStats, run_tasks
 from ..core.plan import ExplorationPlan, generate_plan
@@ -34,7 +40,13 @@ __all__ = ["ParallelResult", "parallel_match", "process_count"]
 
 @dataclass
 class ParallelResult:
-    """Outcome of a ``parallel_match`` run."""
+    """Outcome of a ``parallel_match`` run.
+
+    ``engine`` records which engine the workers drove
+    (``"reference"`` or ``"accel-batch"``); engine stats are a
+    reference-engine feature, so ``stats`` counters are zero for
+    vectorized runs.
+    """
 
     matches: int
     num_threads: int
@@ -42,6 +54,7 @@ class ParallelResult:
     aggregates: dict = field(default_factory=dict)
     per_thread_matches: list[int] = field(default_factory=list)
     per_thread_cpu: list[float] = field(default_factory=list)
+    engine: str = "reference"
 
     def load_imbalance(self) -> float:
         """Max-minus-min share of matches across threads (0 = perfect).
@@ -70,6 +83,40 @@ class ParallelResult:
         return 0.0 if hi == 0 else (hi - lo) / hi
 
 
+def _thread_engine_mode(
+    engine: str,
+    accel,
+    control: ExplorationControl | None,
+    ordered: DataGraph,
+    plan,
+) -> str:
+    """Resolve the thread-pool engine: ``reference`` or ``accel-batch``.
+
+    Mirrors the :func:`repro.core.api` auto-dispatch, restricted to the
+    two engines that make sense under threads: the reference interpreter
+    (owns stats and honors a user control mid-run) and the
+    frontier-batched engine (numpy kernels drop the GIL, so workers
+    overlap).  A caller-supplied control forces the interpreter — the
+    batched engine only polls between frontier chunks.
+    """
+    choices = ("auto", "accel-batch", "reference")
+    if engine not in choices:
+        raise ValueError(f"engine must be one of {choices}, got {engine!r}")
+    if engine == "reference":
+        return "reference"
+    qualifies = accel is not None and control is None
+    if engine == "accel-batch":
+        if not qualifies:
+            raise MatchingError(
+                "engine='accel-batch' under threads requires numpy and no "
+                "user control; use engine='auto' to fall back"
+            )
+        return "accel-batch"
+    if qualifies and batch_preferred(ordered, plan):
+        return "accel-batch"
+    return "reference"
+
+
 def parallel_match(
     graph: DataGraph,
     pattern: Pattern,
@@ -81,20 +128,39 @@ def parallel_match(
     chunk_size: int = 64,
     aggregate_interval: float = 0.005,
     on_update: Callable[[Aggregator], None] | None = None,
+    engine: str = "auto",
 ) -> ParallelResult:
     """Match a pattern with ``num_threads`` worker threads.
 
     ``callback(match, local_aggregator)`` runs on the worker thread that
     found the match; values it maps into the local aggregator surface in
     the global aggregate via the asynchronous aggregator thread.
+
+    With ``engine="auto"`` the workers drive the frontier-batched engine
+    over partitions of the level-0 frontier whenever the run qualifies
+    (numpy importable, no user ``control``, graph above the batched
+    crossover): each chunk's numpy kernels run with the GIL released, so
+    worker threads overlap on the hot loop instead of serializing.
+    Reference-engine runs keep per-thread :class:`EngineStats`;
+    vectorized runs report zero stats (see :class:`ParallelResult`).
     """
     plan = generate_plan(
         pattern, edge_induced=edge_induced, symmetry_breaking=symmetry_breaking
     )
     ordered, old_of_new = graph.degree_ordered()
-    scheduler = TaskScheduler.degree_descending(
-        ordered.num_vertices, chunk_size=chunk_size
-    )
+    accel = _accel()
+    mode = _thread_engine_mode(engine, accel, control, ordered, plan)
+    if mode == "accel-batch":
+        view = accel.shared_view(ordered)
+        frontier = accel.frontier_start_order(
+            view.labels, view.num_vertices, plan
+        )
+        scheduler = TaskScheduler(frontier, chunk_size=chunk_size)
+    else:
+        view = None
+        scheduler = TaskScheduler.degree_descending(
+            ordered.num_vertices, chunk_size=chunk_size
+        )
     shared_control = control if control is not None else ExplorationControl()
     global_agg = Aggregator()
     local_aggs = [Aggregator() for _ in range(num_threads)]
@@ -112,21 +178,32 @@ def parallel_match(
                 )
                 callback(Match(m.pattern, translated), local)
 
+        batched = (
+            accel.FrontierBatchedEngine(view) if mode == "accel-batch" else None
+        )
         total = 0
         cpu_begin = time.thread_time()
         while not shared_control.stopped:
             chunk = scheduler.next_chunk()
-            if not chunk:
+            if len(chunk) == 0:
                 break
-            total += run_tasks(
-                ordered,
-                plan,
-                start_vertices=chunk,
-                on_match=on_match,
-                control=shared_control,
-                stats=local_stats[tid],
-                count_only=callback is None,
-            )
+            if batched is not None:
+                total += batched.run(
+                    plan,
+                    start_vertices=chunk,
+                    on_match=on_match,
+                    count_only=callback is None,
+                )
+            else:
+                total += run_tasks(
+                    ordered,
+                    plan,
+                    start_vertices=chunk,
+                    on_match=on_match,
+                    control=shared_control,
+                    stats=local_stats[tid],
+                    count_only=callback is None,
+                )
         thread_matches[tid] = total
         thread_cpu[tid] = time.thread_time() - cpu_begin
 
@@ -154,6 +231,7 @@ def parallel_match(
         aggregates=global_agg.result(),
         per_thread_matches=thread_matches,
         per_thread_cpu=thread_cpu,
+        engine=mode,
     )
 
 
@@ -238,7 +316,26 @@ def _accel_count_slice(args: tuple[int, int]) -> int:
     return engine.run(plan, start_vertices=starts, count_only=True)
 
 
-def _shm_init(segment_meta, signature, edge_induced, symmetry_breaking, use_accel):
+def _batch_count_slice(args: tuple[int, int]) -> int:
+    """Frontier-batched count over a strided slice of the level-0 frontier.
+
+    Workers slice the *frontier* (hub-first, label-filtered live tasks)
+    rather than raw vertex-id ranges: every worker gets an interleaved
+    mix of hub and leaf tasks, and label-pruned vertices never skew the
+    partition — better load balance than start-vertex ranges when labels
+    (or degree skew) concentrate the work.
+    """
+    offset, stride = args
+    view = _WORKER_STATE["view"]
+    plan = _WORKER_STATE["plan"]
+    accel = _accel()
+    frontier = accel.frontier_start_order(view.labels, view.num_vertices, plan)
+    return accel.FrontierBatchedEngine(view).run(
+        plan, start_vertices=frontier[offset::stride], count_only=True
+    )
+
+
+def _shm_init(segment_meta, signature, edge_induced, symmetry_breaking, vectorized):
     """Re-wrap shared-memory CSR segments as a view (no graph pickling)."""
     import numpy as np
     from multiprocessing import shared_memory
@@ -265,7 +362,7 @@ def _shm_init(segment_meta, signature, edge_induced, symmetry_breaking, use_acce
         edge_induced=edge_induced,
         symmetry_breaking=symmetry_breaking,
     )
-    if not use_accel:
+    if not vectorized:
         # Reference engine in this worker: materialize adjacency lists
         # from the shared CSR buffers (still no pickling).
         flat, offsets = arrays["flat"], arrays["offsets"]
@@ -307,11 +404,14 @@ def process_count(
 ) -> int:
     """Count matches with a process pool (true parallel speedup).
 
-    Start vertices are strided across processes so every process gets a
-    mix of hub and leaf tasks — the same load-balancing intuition as
-    §5.2.  The graph reaches workers via shared CSR arrays (see the
-    ``share_mode`` modes above), so scaling ``num_processes`` does not
-    multiply graph copies or pickling time.
+    Vectorized workers slice the level-0 *frontier* (hub-first,
+    label-filtered start tasks) stride-wise, so every process gets an
+    interleaved mix of hub and leaf tasks and label-pruned vertices never
+    skew the partition — the same load-balancing intuition as §5.2,
+    applied to live tasks instead of raw id ranges.  The graph reaches
+    workers via shared CSR arrays (see the ``share_mode`` modes above),
+    so scaling ``num_processes`` does not multiply graph copies or
+    pickling time.
     """
     ordered, _ = graph.degree_ordered()
     accel = _accel()
@@ -331,23 +431,44 @@ def process_count(
     plan = generate_plan(
         pattern, edge_induced=edge_induced, symmetry_breaking=symmetry_breaking
     )
-    # Per-worker engine choice mirrors the api auto-dispatch heuristic:
-    # vectorized kernels only in their winning (dense) regime.
-    use_accel = accel is not None and accel_preferred(ordered, plan)
+    # Per-worker engine choice mirrors the api auto-dispatch tiers:
+    # frontier-batched in its (wide) winning regime, per-match vectorized
+    # in the dense multi-core regime, reference interpreter otherwise.
+    # The pickle share mode has no CSR view to hand workers, so it always
+    # drives the reference engine.
+    use_batch = (
+        accel is not None
+        and share_mode != "pickle"
+        and batch_preferred(ordered, plan)
+    )
+    use_accel = (
+        not use_batch
+        and accel is not None
+        and share_mode != "pickle"
+        and accel_preferred(ordered, plan)
+    )
     if num_processes <= 1:
+        if use_batch:
+            view = accel.shared_view(ordered)
+            return accel.FrontierBatchedEngine(view).run(plan, count_only=True)
         if use_accel:
             view = accel.shared_view(ordered)
             return accel.AcceleratedEngine(view).run(plan, count_only=True)
         return run_tasks(ordered, plan, count_only=True)
 
     slices = [(i, num_processes) for i in range(num_processes)]
-    slice_fn = _accel_count_slice if use_accel else _count_slice
+    if use_batch:
+        slice_fn = _batch_count_slice
+    elif use_accel:
+        slice_fn = _accel_count_slice
+    else:
+        slice_fn = _count_slice
 
     if share_mode == "fork":
         ctx = multiprocessing.get_context("fork")
         # The CSR view is only worth building (and caching on the graph)
-        # when the workers will actually run the vectorized engine.
-        view = accel.shared_view(ordered) if use_accel else None
+        # when the workers will actually run a vectorized engine.
+        view = accel.shared_view(ordered) if (use_batch or use_accel) else None
         with ctx.Pool(
             processes=num_processes,
             initializer=_fork_init,
@@ -367,7 +488,7 @@ def process_count(
                 pattern.signature(),
                 edge_induced,
                 symmetry_breaking,
-                use_accel,
+                use_batch or use_accel,
             )
             with ctx.Pool(
                 processes=num_processes, initializer=_shm_init, initargs=init_args

@@ -14,11 +14,14 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import count, generate_plan, match
+from repro.core import count, generate_plan, match, match_batches
 from repro.core.accel import (
     AcceleratedEngine,
     AcceleratedGraphView,
+    FrontierBatchedEngine,
     accelerated_count,
+    frontier_count,
+    frontier_start_order,
     np_bounded,
     np_difference,
     np_intersect,
@@ -366,6 +369,213 @@ class TestCallbackParity:
 
 
 # ----------------------------------------------------------------------
+# Frontier-batched engine: parity across the full feature matrix
+# ----------------------------------------------------------------------
+
+# Chunk sizes stress the frontier splitter: 1 (every partial alone, the
+# worst case for ordering bugs), 2 (splits at odd boundaries), and None
+# ("all": the default chunk swallows these graphs whole).
+CHUNKS = (1, 2, None)
+
+
+def _feature_matrix():
+    """(name, pattern factory, match kwargs) across every feature class."""
+    def anti_square():
+        p = Pattern.from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+        p.add_anti_edge(0, 2)
+        p.add_anti_edge(1, 3)
+        return p
+
+    def anti_chain():
+        p = generate_chain(4)
+        p.add_anti_edge(0, 3)
+        return p
+
+    def anti_vertex_star():
+        p = generate_star(3)
+        p.add_anti_vertex([0, 1])
+        return p
+
+    def labeled_chain():
+        return _labeled_pattern(generate_chain(3), {0: 0, 2: 1})
+
+    def labeled_triangle():
+        return _labeled_pattern(generate_clique(3), {0: 0, 1: 1, 2: 2})
+
+    return [
+        ("clique3", lambda: generate_clique(3), {}),
+        ("clique4", lambda: generate_clique(4), {}),
+        # single-vertex cores exercise the vectorized tail count
+        ("chain4-single-core", lambda: generate_chain(4), {}),
+        ("star4-single-core", lambda: generate_star(4), {}),
+        ("tailed-triangle", lambda: Pattern.from_edges(
+            [(0, 1), (1, 2), (2, 0), (2, 3)]), {}),
+        ("square", lambda: Pattern.from_edges(
+            [(0, 1), (1, 2), (2, 3), (3, 0)]), {}),
+        ("vertex-induced-star", lambda: generate_star(3),
+         {"edge_induced": False}),
+        ("vertex-induced-chain", lambda: generate_chain(4),
+         {"edge_induced": False}),
+        ("anti-edge-chain", anti_chain, {}),
+        ("anti-edge-square", anti_square, {}),
+        ("anti-vertex-star", anti_vertex_star, {}),
+        ("maximal-clique", lambda: maximal_clique_pattern(3), {}),
+        ("labeled-chain", labeled_chain, {}),
+        ("labeled-triangle", labeled_triangle, {}),
+        ("no-symmetry-clique", lambda: generate_clique(3),
+         {"symmetry_breaking": False}),
+    ]
+
+
+FEATURE_MATRIX = _feature_matrix()
+
+
+def _graph_for(name, seed):
+    if name.startswith("labeled"):
+        return with_random_labels(erdos_renyi(32, 0.25, seed=seed), 3, seed=seed)
+    return erdos_renyi(32, 0.25, seed=seed)
+
+
+class TestFrontierBatchedParity:
+    @pytest.mark.parametrize("chunk", CHUNKS)
+    @pytest.mark.parametrize(
+        "name,pattern_fn,kwargs",
+        FEATURE_MATRIX,
+        ids=[name for name, _, _ in FEATURE_MATRIX],
+    )
+    def test_counts_match_reference(self, name, pattern_fn, kwargs, chunk):
+        g = _graph_for(name, seed=11)
+        p = pattern_fn()
+        got = count(g, p, engine="accel-batch", frontier_chunk=chunk, **kwargs)
+        assert got == reference_count(g, p, **kwargs)
+
+    @pytest.mark.parametrize("chunk", CHUNKS)
+    @pytest.mark.parametrize(
+        "name,pattern_fn,kwargs",
+        FEATURE_MATRIX,
+        ids=[name for name, _, _ in FEATURE_MATRIX],
+    )
+    def test_callbacks_match_reference_in_order(
+        self, name, pattern_fn, kwargs, chunk
+    ):
+        """Match *sequences* (not just multisets) are engine-independent."""
+        g = _graph_for(name, seed=13)
+        p = pattern_fn()
+        batched = _collect_matches(
+            g, p, "accel-batch", frontier_chunk=chunk, **kwargs
+        )
+        assert batched == _collect_matches(g, p, "reference", **kwargs)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_fuzz_counts_across_features(self, seed):
+        g = erdos_renyi(28, 0.25, seed=seed)
+        gl = with_random_labels(erdos_renyi(28, 0.25, seed=seed), 3, seed=seed)
+        chunk = [1, 2, None][seed % 3]
+        for name, pattern_fn, kwargs in FEATURE_MATRIX:
+            graph = gl if name.startswith("labeled") else g
+            p = pattern_fn()
+            got = count(
+                graph, p, engine="accel-batch", frontier_chunk=chunk, **kwargs
+            )
+            assert got == reference_count(graph, p, **kwargs), name
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_fuzz_callback_order(self, seed):
+        g = erdos_renyi(24, 0.3, seed=seed)
+        for pattern_fn in (
+            lambda: generate_clique(3),
+            lambda: generate_chain(4),
+            lambda: maximal_clique_pattern(3),
+        ):
+            p = pattern_fn()
+            batched = _collect_matches(
+                g, p, "accel-batch", frontier_chunk=(seed % 3) or None
+            )
+            assert batched == _collect_matches(g, p, "reference")
+
+    def test_count_with_callback_equals_count_only(self):
+        g = erdos_renyi(40, 0.2, seed=19)
+        p = generate_chain(3)  # single-vertex core: vectorized tail count
+        assert count(g, p, engine="accel-batch") == len(
+            _collect_matches(g, p, "accel-batch")
+        )
+
+    def test_frontier_count_helper(self):
+        g = barabasi_albert(200, 4, seed=3)
+        for p in (generate_clique(3), generate_chain(3)):
+            assert frontier_count(g, p) == reference_count(g, p)
+
+    def test_rejects_labeled_pattern_on_unlabeled_graph(self):
+        g = erdos_renyi(20, 0.3, seed=1)
+        p = Pattern.from_edges([(0, 1)])
+        p.set_label(0, 1)
+        with pytest.raises(MatchingError):
+            frontier_count(g, p)
+
+    def test_rejects_on_match_and_on_batch_together(self):
+        g = erdos_renyi(20, 0.3, seed=2)
+        ordered, _ = g.degree_ordered()
+        engine = FrontierBatchedEngine(shared_view(ordered))
+        with pytest.raises(ValueError):
+            engine.run(
+                generate_plan(generate_clique(3)),
+                on_match=lambda m: None,
+                on_batch=lambda arr: None,
+            )
+
+    def test_on_batch_rows_match_reference_multiset(self):
+        g = with_random_labels(erdos_renyi(30, 0.25, seed=23), 3, seed=5)
+        p = _labeled_pattern(generate_chain(3), {0: 0})
+        rows = []
+        total = match_batches(g, p, lambda arr: rows.extend(
+            tuple(r) for r in arr.tolist()
+        ))
+        ref = _collect_matches(g, p, "reference")
+        assert total == len(ref)
+        assert sorted(rows) == sorted(ref)
+
+
+class TestFrontierStartOrder:
+    def test_unlabeled_is_hub_first(self):
+        g = erdos_renyi(25, 0.2, seed=3)
+        ordered, _ = g.degree_ordered()
+        view = shared_view(ordered)
+        plan = generate_plan(generate_clique(3))
+        starts = frontier_start_order(view.labels, view.num_vertices, plan)
+        assert starts.tolist() == list(range(view.num_vertices - 1, -1, -1))
+
+    def test_labeled_filters_to_top_labels(self):
+        g = with_random_labels(erdos_renyi(40, 0.25, seed=5), 3, seed=7)
+        ordered, _ = g.degree_ordered()
+        view = shared_view(ordered)
+        p = _labeled_pattern(generate_clique(3), {0: 1, 1: 1, 2: 1})
+        plan = generate_plan(p)
+        starts = frontier_start_order(view.labels, view.num_vertices, plan)
+        assert starts.size > 0
+        assert all(view.labels[v] == 1 for v in starts.tolist())
+        # hub-first order is preserved within the filtered set
+        assert starts.tolist() == sorted(starts.tolist(), reverse=True)
+
+    def test_sliced_frontier_partitions_the_count(self):
+        g = with_random_labels(erdos_renyi(50, 0.25, seed=9), 2, seed=11)
+        ordered, _ = g.degree_ordered()
+        view = shared_view(ordered)
+        p = _labeled_pattern(generate_chain(3), {0: 0, 1: 1, 2: 0})
+        plan = generate_plan(p)
+        starts = frontier_start_order(view.labels, view.num_vertices, plan)
+        total = FrontierBatchedEngine(view).run(plan, count_only=True)
+        sliced = sum(
+            FrontierBatchedEngine(view).run(
+                plan, start_vertices=starts[off::3], count_only=True
+            )
+            for off in range(3)
+        )
+        assert sliced == total == reference_count(g, p)
+
+
+# ----------------------------------------------------------------------
 # Engine dispatch rules (repro.core.api)
 # ----------------------------------------------------------------------
 
@@ -409,6 +619,36 @@ class TestDispatch:
         assert not accel_preferred(sparse, clique_plan)  # sparse graph
         # single-vertex core (tail-count dominated) stays on the interpreter
         assert not accel_preferred(dense, chain_plan)
+
+    def test_batch_preferred_heuristic(self):
+        from repro.core import batch_preferred
+
+        moderate, _ = erdos_renyi(300, 0.05, seed=51).degree_ordered()
+        forest, _ = erdos_renyi(300, 0.002, seed=51).degree_ordered()
+        clique_plan = generate_plan(generate_clique(3))
+        chain_plan = generate_plan(generate_chain(3))
+        # no density floor beyond near-forests, no core-size exclusion
+        assert batch_preferred(moderate, clique_plan)
+        assert batch_preferred(moderate, chain_plan)
+        assert not batch_preferred(forest, clique_plan)
+
+    def test_force_accel_batch_with_stats_raises(self):
+        g = erdos_renyi(20, 0.3, seed=1)
+        with pytest.raises(MatchingError):
+            count(g, generate_clique(3), stats=EngineStats(),
+                  engine="accel-batch")
+
+    def test_forced_batch_agrees_everywhere(self):
+        g = with_random_labels(erdos_renyi(30, 0.25, seed=41), 3, seed=7)
+        p = _labeled_pattern(generate_star(3), {0: 1})
+        assert count(g, p, engine="accel-batch") == count(
+            g, p, engine="reference"
+        )
+
+    def test_batch_engine_runs_against_oracle(self):
+        g = erdos_renyi(25, 0.3, seed=43)
+        p = generate_chain(3)
+        assert count(g, p, engine="accel-batch") == nx_count_edge_induced(g, p)
 
 
 # ----------------------------------------------------------------------

@@ -101,6 +101,45 @@ class TestSymmetryBreakingAblation:
         assert unaware.domain_writes >= aware.domain_writes
 
 
+class TestEngineParity:
+    def test_batched_domains_match_per_match_fallback(self):
+        """The vectorized group-by computes the per-match path's tables."""
+        import sys
+
+        fsm_mod = sys.modules["repro.mining.fsm"]
+        g = with_random_labels(erdos_renyi(40, 0.2, seed=31), 2, seed=9)
+        batched = fsm(g, 2, 2)
+        saved = fsm_mod._np
+        fsm_mod._np = None  # force the per-match callback fallback
+        try:
+            per_match = fsm(g, 2, 2)
+        finally:
+            fsm_mod._np = saved
+        batched_set = {
+            (canonical_code(p), s) for p, s in batched.frequent.items()
+        }
+        per_match_set = {
+            (canonical_code(p), s) for p, s in per_match.frequent.items()
+        }
+        assert batched_set == per_match_set
+        assert batched.domain_writes == per_match.domain_writes
+        assert batched.domain_bytes == per_match.domain_bytes
+
+    def test_engine_knob_parity(self):
+        g = with_random_labels(erdos_renyi(30, 0.25, seed=33), 3, seed=11)
+        results = {
+            engine: fsm(g, 2, 2, engine=engine)
+            for engine in ("auto", "accel-batch", "reference")
+        }
+        baseline = {
+            (canonical_code(p), s)
+            for p, s in results["reference"].frequent.items()
+        }
+        for engine, result in results.items():
+            got = {(canonical_code(p), s) for p, s in result.frequent.items()}
+            assert got == baseline, engine
+
+
 class TestResultShape:
     def test_metadata(self):
         g = mico_like(0.1)

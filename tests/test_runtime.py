@@ -85,8 +85,12 @@ class TestParallelMatch:
         assert result.aggregates.get("triangles") == expected
 
     def test_stats_merged(self):
+        # Engine stats are a reference-engine feature; force it so the
+        # counters are populated (auto would pick the batched engine).
         g = erdos_renyi(50, 0.15, seed=3)
-        result = parallel_match(g, generate_clique(3), num_threads=2)
+        result = parallel_match(g, generate_clique(3), num_threads=2,
+                                engine="reference")
+        assert result.engine == "reference"
         assert result.stats.complete_matches == result.matches
         assert result.stats.tasks == 50
 
@@ -107,6 +111,81 @@ class TestParallelMatch:
         result = parallel_match(g, generate_clique(3), num_threads=3, chunk_size=4)
         assert sum(result.per_thread_matches) == result.matches
         assert 0.0 <= result.load_imbalance() <= 1.0
+
+
+class TestParallelMatchEngines:
+    """The accel-exclusion fix: threads dispatch per-worker like count."""
+
+    @pytest.mark.parametrize("engine", ["auto", "accel-batch", "reference"])
+    def test_identical_totals_across_engines(self, engine):
+        g = erdos_renyi(70, 0.15, seed=8)
+        expected = count(g, generate_clique(3), engine="reference")
+        result = parallel_match(
+            g, generate_clique(3), num_threads=3, engine=engine
+        )
+        assert result.matches == expected
+
+    def test_auto_without_hooks_drives_batched_engine(self):
+        g = erdos_renyi(70, 0.15, seed=8)  # well above the batch crossover
+        result = parallel_match(g, generate_clique(3), num_threads=2)
+        assert result.engine == "accel-batch"
+        assert result.matches == count(g, generate_clique(3), engine="reference")
+
+    def test_single_vertex_core_pattern_batched(self):
+        from repro.pattern import generate_chain
+
+        g = erdos_renyi(60, 0.15, seed=9)
+        result = parallel_match(g, generate_chain(3), num_threads=3)
+        assert result.engine == "accel-batch"
+        assert result.matches == count(g, generate_chain(3), engine="reference")
+
+    def test_callback_aggregation_on_batched_engine(self):
+        g = erdos_renyi(60, 0.15, seed=10)
+        expected = count(g, generate_clique(3), engine="reference")
+
+        def cb(m, agg):
+            agg.map_pattern("triangles", 1)
+
+        result = parallel_match(g, generate_clique(3), num_threads=3, callback=cb)
+        assert result.engine == "accel-batch"
+        assert result.aggregates.get("triangles") == expected
+
+    def test_user_control_falls_back_to_reference(self):
+        g = erdos_renyi(50, 0.15, seed=11)
+        result = parallel_match(
+            g, generate_clique(3), num_threads=2, control=ExplorationControl()
+        )
+        assert result.engine == "reference"
+
+    def test_forced_batch_with_control_raises(self):
+        from repro.errors import MatchingError
+
+        g = erdos_renyi(30, 0.2, seed=12)
+        with pytest.raises(MatchingError):
+            parallel_match(
+                g,
+                generate_clique(3),
+                num_threads=2,
+                control=ExplorationControl(),
+                engine="accel-batch",
+            )
+
+    def test_unknown_engine_rejected(self):
+        g = erdos_renyi(20, 0.3, seed=13)
+        with pytest.raises(ValueError):
+            parallel_match(g, generate_clique(3), engine="warp-drive")
+
+    def test_labeled_pattern_batched_totals(self):
+        from repro.graph import with_random_labels
+        from repro.pattern import generate_chain
+
+        g = with_random_labels(erdos_renyi(60, 0.15, seed=14), 3, seed=2)
+        p = generate_chain(3)
+        p.set_label(0, 0)
+        p.set_label(2, 1)
+        expected = count(g, p, engine="reference")
+        result = parallel_match(g, p, num_threads=3)
+        assert result.matches == expected
 
 
 class TestProcessCount:
@@ -191,6 +270,40 @@ class TestProcessCount:
         expected = count(g, p)
         got = process_count(g, p, num_processes=2, share_mode=share_mode)
         assert got == expected
+
+    @pytest.mark.parametrize("share_mode", ["fork", "shm"])
+    def test_moderate_density_uses_batched_workers(self, share_mode):
+        """The batched tier engages far below the old 128 crossover."""
+        import multiprocessing
+
+        from repro.core import batch_preferred, generate_plan
+
+        if share_mode == "fork" and (
+            "fork" not in multiprocessing.get_all_start_methods()
+        ):
+            pytest.skip("fork start method unavailable")
+        g = erdos_renyi(80, 0.1, seed=21)  # avg degree ~8
+        ordered, _ = g.degree_ordered()
+        plan = generate_plan(generate_clique(3))
+        assert batch_preferred(ordered, plan)  # guard: batch path engaged
+        expected = count(g, generate_clique(3), engine="reference")
+        got = process_count(
+            g, generate_clique(3), num_processes=3, share_mode=share_mode
+        )
+        assert got == expected
+
+    def test_labeled_frontier_slicing_partitions_work(self):
+        """Workers slice the label-filtered frontier, not vertex ranges."""
+        from repro.graph import with_random_labels
+        from repro.pattern import generate_chain
+
+        g = with_random_labels(erdos_renyi(70, 0.12, seed=23), 3, seed=5)
+        p = generate_chain(3)
+        p.set_label(0, 1)
+        p.set_label(2, 2)
+        expected = count(g, p, engine="reference")
+        for procs in (2, 3):
+            assert process_count(g, p, num_processes=procs) == expected
 
     def test_unknown_share_mode_rejected(self):
         g = erdos_renyi(20, 0.3, seed=2)
