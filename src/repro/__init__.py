@@ -11,8 +11,11 @@ Quick start::
     from repro import graph, pattern, core, mining
 
     g = graph.load_edge_list("my.graph")
-    triangles = core.count(g, pattern.generate_clique(3))
-    motifs = mining.motif_counts(g, size=4)
+    session = core.MiningSession(g)   # pins g: ordering/CSR/plans cached
+    triangles = session.count(pattern.generate_clique(3))
+    motifs = mining.motif_counts(session, size=4)
+
+    core.count(g, pattern.generate_clique(3))  # legacy one-shot shim
 
 Packages
 --------

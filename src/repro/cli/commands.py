@@ -2,8 +2,11 @@
 
 Each ``cmd_*`` takes the parsed argparse namespace and an output stream,
 returns a process exit code, and prints human-readable results.  They are
-thin orchestration layers: all real work happens in the library, so
-anything the CLI can do is equally scriptable from Python.
+thin session consumers: every command builds one
+:class:`~repro.core.session.MiningSession` over the loaded dataset and
+issues its queries through it, so multi-pattern commands (motif census,
+clique scans, FSM rounds) share one degree ordering, CSR view and plan
+cache — and anything the CLI can do is equally scriptable from Python.
 """
 
 from __future__ import annotations
@@ -13,8 +16,8 @@ import sys
 import time
 from typing import TextIO
 
-from ..core.api import count as count_api, exists as exists_api, match as match_api
 from ..core.engine import EngineStats
+from ..core.session import MiningSession
 from ..core.plan import generate_plan
 from ..graph.binary_io import save_npz
 from ..graph.io import save_edge_list, save_labels
@@ -97,15 +100,14 @@ def cmd_plan(args: argparse.Namespace, out: TextIO = sys.stdout) -> int:
 
 def cmd_count(args: argparse.Namespace, out: TextIO = sys.stdout) -> int:
     """Count matches of one pattern."""
-    graph = load_dataset(args)
+    session = MiningSession(load_dataset(args))
     pattern = parse_pattern_spec(args.pattern)
     stats = EngineStats() if args.profile else None
     # Profiling counters live in the reference engine only; forcing a
-    # vectorized engine alongside --profile would raise in the api.
+    # vectorized engine alongside --profile would raise at dispatch.
     engine = "reference" if args.profile else getattr(args, "engine", "auto")
     begin = time.perf_counter()
-    n = count_api(
-        graph,
+    n = session.count(
         pattern,
         edge_induced=not args.vertex_induced,
         symmetry_breaking=not args.no_symmetry_breaking,
@@ -123,7 +125,7 @@ def cmd_count(args: argparse.Namespace, out: TextIO = sys.stdout) -> int:
 
 def cmd_match(args: argparse.Namespace, out: TextIO = sys.stdout) -> int:
     """Enumerate matches, printing each mapping (or writing to a file)."""
-    graph = load_dataset(args)
+    session = MiningSession(load_dataset(args))
     pattern = parse_pattern_spec(args.pattern)
     sink = open(args.output, "w") if args.output else out
     emitted = 0
@@ -136,10 +138,9 @@ def cmd_match(args: argparse.Namespace, out: TextIO = sys.stdout) -> int:
                 print(" ".join(str(v) for v in m.mapping), file=sink)
                 emitted += 1
 
-        total = match_api(
-            graph,
+        total = session.match(
             pattern,
-            callback=on_match,
+            on_match,
             edge_induced=not args.vertex_induced,
         )
     finally:
@@ -153,10 +154,10 @@ def cmd_match(args: argparse.Namespace, out: TextIO = sys.stdout) -> int:
 
 def cmd_exists(args: argparse.Namespace, out: TextIO = sys.stdout) -> int:
     """Existence query: exit code 0 when found, 1 when absent."""
-    graph = load_dataset(args)
+    session = MiningSession(load_dataset(args))
     pattern = parse_pattern_spec(args.pattern)
     begin = time.perf_counter()
-    found = exists_api(graph, pattern, edge_induced=not args.vertex_induced)
+    found = session.exists(pattern, edge_induced=not args.vertex_induced)
     elapsed = time.perf_counter() - begin
     print("found" if found else "not found", file=out)
     print(f"elapsed: {elapsed:.3f}s", file=out)
@@ -165,33 +166,33 @@ def cmd_exists(args: argparse.Namespace, out: TextIO = sys.stdout) -> int:
 
 def cmd_motifs(args: argparse.Namespace, out: TextIO = sys.stdout) -> int:
     """Vertex-induced motif census of the selected size."""
-    graph = load_dataset(args)
+    session = MiningSession(load_dataset(args))
     begin = _timed_header(out, f"{args.size}-motif census")
-    print(motif_census_table(graph, args.size), file=out)
+    print(motif_census_table(session, args.size), file=out)
     _timed_footer(out, begin)
     return 0
 
 
 def cmd_cliques(args: argparse.Namespace, out: TextIO = sys.stdout) -> int:
     """k-clique counting / existence / listing / maximal variants."""
-    graph = load_dataset(args)
+    session = MiningSession(load_dataset(args))
     k = args.k
     begin = time.perf_counter()
     if args.maximal:
-        n = maximal_clique_count(graph, k)
+        n = maximal_clique_count(session, k)
         print(f"maximal {k}-cliques: {n}", file=out)
     elif args.existence:
-        found = clique_exists(graph, k)
+        found = clique_exists(session, k)
         print("found" if found else "not found", file=out)
         print(f"elapsed: {time.perf_counter() - begin:.3f}s", file=out)
         return 0 if found else 1
     elif args.list:
-        cliques = list_cliques(graph, k, limit=args.limit)
+        cliques = list_cliques(session, k, limit=args.limit)
         for c in cliques:
             print(" ".join(str(v) for v in c), file=out)
         print(f"{k}-cliques listed: {len(cliques)}", file=out)
     else:
-        n = clique_count(graph, k)
+        n = clique_count(session, k)
         print(f"{k}-cliques: {n}", file=out)
     print(f"elapsed: {time.perf_counter() - begin:.3f}s", file=out)
     return 0
@@ -206,7 +207,7 @@ def cmd_fsm(args: argparse.Namespace, out: TextIO = sys.stdout) -> int:
             "--dataset mico, or --graph/--labels)"
         )
     begin = time.perf_counter()
-    result = fsm_api(graph, args.edges, args.threshold)
+    result = fsm_api(MiningSession(graph), args.edges, args.threshold)
     elapsed = time.perf_counter() - begin
     print(
         f"frequent {args.edges}-edge patterns at support >= {args.threshold}: "

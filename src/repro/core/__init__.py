@@ -6,9 +6,11 @@ from .api import (
     count_many,
     exists,
     match_batches,
+    aggregate,
     accel_preferred,
     batch_preferred,
 )
+from .session import ExecOptions, MiningSession, as_session
 from .callbacks import Match, ExplorationControl, Aggregator, MatchCallback
 from .candidates import (
     bounded,
@@ -35,8 +37,12 @@ __all__ = [
     "count_many",
     "exists",
     "match_batches",
+    "aggregate",
     "accel_preferred",
     "batch_preferred",
+    "ExecOptions",
+    "MiningSession",
+    "as_session",
     "Match",
     "ExplorationControl",
     "Aggregator",

@@ -25,12 +25,13 @@ The engine covers the **full pattern-feature matrix** of the paper:
 Counts must agree **exactly** with the reference engine on every
 feature combination — ``tests/test_accel.py`` fuzzes that equivalence
 against both the reference engine and the networkx oracles.
-:mod:`repro.core.api` auto-dispatches here when a run qualifies (no
-stats / timer / control attached) *and* sits in the vectorized winning
-regime (dense graph, multi-vertex core — see
-:func:`repro.core.api.accel_preferred`): numpy per-call overhead beats
-bisect loops only once adjacency arrays are large.  The crossover is
-measured in ``benchmarks/bench_ablations.py::test_engine_dispatch``.
+:mod:`repro.core.session` auto-dispatches here when a run qualifies (no
+stats / timer attached; an early-termination control additionally rules
+out the per-match engine, which has no polling hook) *and* sits in the
+vectorized winning regime (dense graph, multi-vertex core — see
+:func:`repro.core.session.accel_preferred`): numpy per-call overhead
+beats bisect loops only once adjacency arrays are large.  The crossover
+is measured in ``benchmarks/bench_ablations.py::test_engine_dispatch``.
 """
 
 from __future__ import annotations
@@ -42,7 +43,7 @@ import numpy as np
 from ..errors import MatchingError
 from ..graph.graph import DataGraph
 from ..pattern.pattern import Pattern
-from .callbacks import Match
+from .callbacks import ExplorationControl, Match
 from .matching_order import OrderedCore
 from .plan import ExplorationPlan, NonCoreStep, generate_plan
 
@@ -487,7 +488,7 @@ def frontier_start_order(
 
     The array form of the pruning rule
     :meth:`~repro.core.plan.ExplorationPlan.pinned_start_labels`
-    defines (and :func:`repro.core.api._label_filtered_starts` applies
+    defines (and :func:`repro.core.session._label_filtered_starts` applies
     to list-based runs), so the concurrent runtimes can partition one
     shared frontier instead of raw vertex-id ranges — workers then
     split *live* tasks, not vertices a label constraint would discard.
@@ -560,6 +561,7 @@ class FrontierBatchedEngine:
         "chunk",
         "width",
         "total",
+        "control",
         "_cur_oc",
         "_cur_rank",
         "_pending",
@@ -651,6 +653,7 @@ class FrontierBatchedEngine:
         on_batch: Callable[[np.ndarray], None] | None = None,
         count_only: bool = False,
         chunk: int | None = None,
+        control: ExplorationControl | None = None,
     ) -> int:
         """Run matching tasks over ``start_vertices``; return the count.
 
@@ -661,6 +664,16 @@ class FrontierBatchedEngine:
         per-match Python object construction.  Batch boundaries and
         inter-batch order are an implementation detail; the row multiset
         equals the reference engine's match multiset.
+
+        ``control`` enables cooperative early termination (§5.3): the
+        flag is polled before every frontier block and before each
+        ``on_match`` callback, so a stop lands within one block's worth
+        of work — or one *task's* worth when several ordered cores
+        require order-merged emission (start slices shrink to single
+        vertices so buffered matches can't defer the stopping callback).
+        With ``on_match``, the returned count equals the callbacks
+        actually fired; batch/count-only runs wind down at block
+        granularity and may include the stopping block in full.
         """
         pattern = plan.matched_pattern
         if pattern.is_labeled and self.labels is None:
@@ -678,6 +691,7 @@ class FrontierBatchedEngine:
         self.chunk = ACCEL_FRONTIER_CHUNK if chunk is None else max(1, int(chunk))
         self.width = pattern.num_vertices
         self.total = 0
+        self.control = control
         if start_vertices is None:
             starts = np.arange(self.n - 1, -1, -1, dtype=np.int64)
         elif isinstance(start_vertices, np.ndarray):
@@ -693,17 +707,36 @@ class FrontierBatchedEngine:
             on_match is not None and len(plan.ordered_cores) > 1
         )
         self._pending = [] if self._ordered_emit else None
-        slice_size = starts.size if not self._ordered_emit else self.chunk
+        if self._ordered_emit and control is not None:
+            # Ordered emission defers callbacks until a slice is fully
+            # explored, and callbacks are the only place this control
+            # can be stopped in a single-threaded run — so walk one
+            # start vertex per slice: a stop then lands within one
+            # task's work, mirroring the reference engine's per-task
+            # control checks, instead of after a whole chunk of starts.
+            slice_size = 1
+        elif self._ordered_emit:
+            slice_size = self.chunk
+        else:
+            slice_size = starts.size
         for lo in range(0, starts.size, max(1, slice_size)):
+            if self._stopped():
+                break
             self._run_cores(starts[lo: lo + max(1, slice_size)])
             if self._ordered_emit:
                 self._emit_pending()
                 self._pending = []
         return self.total
 
+    def _stopped(self) -> bool:
+        """Whether a caller-supplied control has requested termination."""
+        return self.control is not None and self.control.stopped
+
     def _run_cores(self, starts: np.ndarray) -> None:
         """Run every ordered core over one slice of start vertices."""
         for rank, oc in enumerate(self.plan.ordered_cores):
+            if self._stopped():
+                return
             self._cur_oc = oc
             self._cur_rank = rank
             top_label = oc.labels[oc.size - 1]
@@ -724,7 +757,7 @@ class FrontierBatchedEngine:
         self, block: np.ndarray, origin: np.ndarray, level: int
     ) -> None:
         oc = self._cur_oc
-        if block.shape[0] == 0:
+        if block.shape[0] == 0 or self._stopped():
             return
         if level == oc.size:
             self._core_complete(block, origin)
@@ -838,7 +871,7 @@ class FrontierBatchedEngine:
     def _process_steps(
         self, block: np.ndarray, origin: np.ndarray, step_index: int
     ) -> None:
-        if block.shape[0] == 0:
+        if block.shape[0] == 0 or self._stopped():
             return
         steps = self.steps
         if step_index == len(steps):
@@ -998,20 +1031,44 @@ class FrontierBatchedEngine:
             if not alive.all():
                 block = block[alive]
                 origin = origin[alive]
-        self.total += block.shape[0]
-        if self.on_match is None and self.on_batch is None:
+        if self.on_match is None:
+            # Count-only / batch paths count whole blocks up front: a
+            # stop between blocks never splits a delivered batch.
+            self.total += block.shape[0]
+            if self.on_batch is not None:
+                mappings = np.full(
+                    (block.shape[0], self.width), -1, dtype=np.int64
+                )
+                mappings[:, cols] = block
+                self.on_batch(mappings)
             return
         mappings = np.full((block.shape[0], self.width), -1, dtype=np.int64)
         mappings[:, cols] = block
-        if self.on_batch is not None:
-            self.on_batch(mappings)
-            return
         if self._ordered_emit:
             self._pending.append((origin, self._cur_rank, mappings))
             return
+        self._emit_rows(mappings.tolist())
+
+    def _emit_rows(self, rows: list[list[int]]) -> None:
+        """Fire ``on_match`` per row, counting matches as they emit.
+
+        Mirrors the reference engine's accounting: the returned total is
+        the number of callbacks fired, so an early-terminating callback
+        (``control.stop()``) suppresses — and uncounts — everything after
+        the stopping match.
+        """
         pattern = self.plan.pattern
         on_match = self.on_match
-        for row in mappings.tolist():
+        control = self.control
+        if control is None:
+            self.total += len(rows)
+            for row in rows:
+                on_match(Match(pattern, tuple(row)))
+            return
+        for row in rows:
+            if control.stopped:
+                break
+            self.total += 1
             on_match(Match(pattern, tuple(row)))
 
     def _emit_pending(self) -> None:
@@ -1030,10 +1087,7 @@ class FrontierBatchedEngine:
         # Stable sort: primary key origin (start order), secondary key
         # ordered-core rank; ties keep intra-core DFS emission order.
         order = np.lexsort((ranks, origins))
-        pattern = self.plan.pattern
-        on_match = self.on_match
-        for row in mappings[order].tolist():
-            on_match(Match(pattern, tuple(row)))
+        self._emit_rows(mappings[order].tolist())
 
 
 def frontier_count(

@@ -5,6 +5,15 @@ invokes a user callback per canonical match; ``count`` is the paper's
 syntactic sugar for matching with a counter (and takes the engine's
 enumeration-free counting fast path); ``exists`` stops at the first match.
 
+Since the session redesign this module is a *one-shot shim layer*: every
+function delegates to the pinned-graph session machinery in
+:mod:`repro.core.session` via :meth:`MiningSession.for_graph`, which
+caches the degree-ordered graph, the CSR shared view, exploration plans
+and label-filtered start lists per graph.  Signatures here are stable —
+existing programs keep working unchanged and transparently share those
+caches; new code that issues several queries against one graph should
+hold a :class:`~repro.core.session.MiningSession` directly.
+
 The data graph is degree-ordered internally (§5.2) and matches are
 translated back to the caller's vertex ids before callbacks see them.
 
@@ -14,18 +23,20 @@ vectorized :class:`~repro.core.accel.AcceleratedEngine`, and the
 frontier-batched :class:`~repro.core.accel.FrontierBatchedEngine`
 (whole matching-order levels per numpy dispatch).  With
 ``engine="auto"`` (the default) a run is served by a vectorized engine
-when it *qualifies* — numpy importable, and no ``stats`` / ``timer`` /
-``control`` attached (those hooks are only instrumented in the
-reference engine) — **and** it is in a vectorized winning regime.  The
-batched engine amortizes numpy call overhead across the whole frontier,
-so its crossover sits at average degree >=
-:data:`ACCEL_BATCH_MIN_AVG_DEGREE` (measured ~2: near-forest graphs are
-the only place the interpreter still ties) with **no** core-size
-exclusion — its tail count is per-row arithmetic, so single-vertex-core
-patterns win too.  The per-match engine's old crossover
-(:data:`ACCEL_MIN_AVG_DEGREE`, 128, with a multi-vertex-core
-requirement) is kept for the ``engine="accel"`` ablation and as the
-middle dispatch tier.  Benchmarks:
+when it *qualifies* — numpy importable, and no ``stats`` / ``timer``
+attached (those instruments are only wired in the reference engine) —
+**and** it is in a vectorized winning regime.  An early-termination
+``control`` is polled by the batched engine between frontier blocks and
+per emitted match, so ``exists`` and capped enumerations batch too; only
+the per-match ``accel`` engine still lacks the hook.  The batched engine
+amortizes numpy call overhead across the whole frontier, so its
+crossover sits at average degree >= :data:`ACCEL_BATCH_MIN_AVG_DEGREE`
+(measured ~2: near-forest graphs are the only place the interpreter
+still ties) with **no** core-size exclusion — its tail count is per-row
+arithmetic, so single-vertex-core patterns win too.  The per-match
+engine's old crossover (:data:`ACCEL_MIN_AVG_DEGREE`, 128, with a
+multi-vertex-core requirement) is kept for the ``engine="accel"``
+ablation and as the middle dispatch tier.  Benchmarks:
 ``bench_engine_frontier.py`` (sweep + ``BENCH_engine.json``) and
 ``bench_ablations.py::test_engine_dispatch``.  ``engine="reference"`` /
 ``engine="accel"`` / ``engine="accel-batch"`` force one engine
@@ -35,19 +46,20 @@ raises when the run does not qualify.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Mapping, Sequence
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
-from ..errors import MatchingError
 from ..graph.graph import DataGraph
 from ..pattern.pattern import Pattern
 from .callbacks import ExplorationControl, Match
-from .engine import EngineStats, run_tasks
-from .plan import ExplorationPlan, generate_plan
-
-try:  # numpy is an optional accelerator, not a hard dependency
-    from . import accel as _accel
-except ImportError:  # pragma: no cover - exercised only without numpy
-    _accel = None
+from .engine import EngineStats
+from .plan import ExplorationPlan
+from .session import (
+    ACCEL_BATCH_MIN_AVG_DEGREE,
+    ACCEL_MIN_AVG_DEGREE,
+    MiningSession,
+    accel_preferred,
+    batch_preferred,
+)
 
 __all__ = [
     "match",
@@ -55,120 +67,10 @@ __all__ = [
     "count_many",
     "exists",
     "match_batches",
+    "aggregate",
     "accel_preferred",
     "batch_preferred",
 ]
-
-_ENGINE_CHOICES = ("auto", "accel", "accel-batch", "reference")
-
-# Measured crossover of the *per-match* vectorized engine
-# (bench_ablations.py::test_engine_dispatch): below this average degree
-# the reference interpreter's bisect/slice loops beat numpy's per-call
-# overhead; above it the per-candidate vectorized kernels win.
-ACCEL_MIN_AVG_DEGREE = 128.0
-
-# Measured crossover of the *frontier-batched* engine
-# (bench_engine_frontier.py, BENCH_engine.json): batching whole match
-# levels amortizes numpy dispatch across thousands of partials, so the
-# batched engine already wins at avg degree ~2 on graphs of a few
-# hundred vertices (6-12x over the interpreter at degree 2-8, measured).
-# Only near-forest graphs below this line stay on the interpreter.
-ACCEL_BATCH_MIN_AVG_DEGREE = 2.0
-
-
-def accel_preferred(ordered: DataGraph, plan: ExplorationPlan) -> bool:
-    """Whether the *per-match* vectorized engine is expected to win.
-
-    The historic ``engine="auto"`` heuristic, kept for the
-    ``engine="accel"`` ablation tier: dense adjacency arrays amortize
-    numpy call overhead, and a multi-vertex core means real intersection
-    work; sparse graphs and single-vertex-core (tail-count dominated)
-    patterns lose to the reference interpreter here.
-    """
-    return (
-        ordered.avg_degree() >= ACCEL_MIN_AVG_DEGREE and len(plan.core) >= 2
-    )
-
-
-def batch_preferred(ordered: DataGraph, plan: ExplorationPlan) -> bool:
-    """Whether the frontier-batched engine is expected to win this run.
-
-    Frontier batching amortizes per-dispatch overhead across every live
-    partial match of a level, and its tail count is per-row arithmetic,
-    so neither the density floor nor the core-size exclusion of
-    :func:`accel_preferred` applies — only near-forest graphs (average
-    degree below :data:`ACCEL_BATCH_MIN_AVG_DEGREE`) stay on the
-    interpreter.
-    """
-    return ordered.avg_degree() >= ACCEL_BATCH_MIN_AVG_DEGREE
-
-
-def _dispatch_engine(
-    engine: str,
-    control: ExplorationControl | None,
-    stats: EngineStats | None,
-    timer,
-    ordered: DataGraph,
-    plan: ExplorationPlan,
-) -> str:
-    """Resolve the engine choice to ``reference``/``accel``/``accel-batch``."""
-    if engine not in _ENGINE_CHOICES:
-        raise ValueError(f"engine must be one of {_ENGINE_CHOICES}, got {engine!r}")
-    if engine == "reference":
-        return "reference"
-    qualifies = (
-        _accel is not None
-        and control is None
-        and stats is None
-        and timer is None
-    )
-    if engine in ("accel", "accel-batch"):
-        if not qualifies:
-            raise MatchingError(
-                f"engine={engine!r} requires numpy and no stats/timer/control "
-                "hooks; use engine='auto' to fall back to the reference engine"
-            )
-        return engine
-    if not qualifies:
-        return "reference"
-    if batch_preferred(ordered, plan):
-        return "accel-batch"
-    if accel_preferred(ordered, plan):
-        return "accel"
-    return "reference"
-
-
-def _translated_callback(
-    callback: Callable[[Match], None], old_of_new: list[int]
-) -> Callable[[Match], None]:
-    def wrapper(m: Match) -> None:
-        translated = tuple(
-            old_of_new[v] if v >= 0 else -1 for v in m.mapping
-        )
-        callback(Match(m.pattern, translated))
-
-    return wrapper
-
-
-def _label_filtered_starts(ordered: DataGraph, plan: ExplorationPlan):
-    """Start vertices restricted by the matching orders' top-position labels.
-
-    The G-Miner observation (§6.4): indexing vertices by label prunes
-    whole tasks when the pattern is labeled.  Every task's start vertex
-    must match some ordered core's *top* position; when all cores pin
-    that position to a label, only the union of those labels' vertices
-    can seed a match.  Returns ``None`` (no restriction) when any core's
-    top position is a wildcard or the graph is unlabeled.
-    """
-    if ordered.labels() is None:
-        return None
-    top_labels = plan.pinned_start_labels()
-    if top_labels is None:
-        return None
-    starts: set[int] = set()
-    for label in top_labels:
-        starts.update(ordered.vertices_with_label(label))
-    return sorted(starts, reverse=True)  # preserve hub-first issue order
 
 
 def match(
@@ -207,43 +109,19 @@ def match(
     default :data:`repro.core.accel.ACCEL_FRONTIER_CHUNK`).  Ignored by
     the other engines.
     """
-    if plan is None:
-        plan = generate_plan(
-            pattern, edge_induced=edge_induced, symmetry_breaking=symmetry_breaking
-        )
-    ordered, old_of_new = graph.degree_ordered()
-    wrapped = (
-        _translated_callback(callback, old_of_new) if callback is not None else None
-    )
-    if start_vertices is None and label_index:
-        start_vertices = _label_filtered_starts(ordered, plan)
-    selected = _dispatch_engine(engine, control, stats, timer, ordered, plan)
-    if selected == "accel-batch":
-        batched = _accel.FrontierBatchedEngine(_accel.shared_view(ordered))
-        return batched.run(
-            plan,
-            start_vertices=start_vertices,
-            on_match=wrapped,
-            count_only=callback is None,
-            chunk=frontier_chunk,
-        )
-    if selected == "accel":
-        accelerated = _accel.AcceleratedEngine(_accel.shared_view(ordered))
-        return accelerated.run(
-            plan,
-            start_vertices=start_vertices,
-            on_match=wrapped,
-            count_only=callback is None,
-        )
-    return run_tasks(
-        ordered,
-        plan,
-        start_vertices=start_vertices,
-        on_match=wrapped,
+    return MiningSession.for_graph(graph).match(
+        pattern,
+        callback,
+        edge_induced=edge_induced,
+        symmetry_breaking=symmetry_breaking,
         control=control,
         stats=stats,
         timer=timer,
-        count_only=callback is None,
+        plan=plan,
+        start_vertices=start_vertices,
+        label_index=label_index,
+        engine=engine,
+        frontier_chunk=frontier_chunk,
     )
 
 
@@ -263,10 +141,8 @@ def count(
     Equivalent to ``match`` with a counting callback, but lets the engine
     count final-step candidate sets without enumerating them.
     """
-    return match(
-        graph,
+    return MiningSession.for_graph(graph).count(
         pattern,
-        callback=None,
         edge_induced=edge_induced,
         symmetry_breaking=symmetry_breaking,
         stats=stats,
@@ -287,18 +163,16 @@ def count_many(
     """Count each pattern in turn; returns ``{pattern: count}``.
 
     This is the multi-pattern overload of the paper's ``count`` (used by
-    motif counting, Fig 4e).
+    motif counting, Fig 4e).  All patterns run through one shared
+    session, so the degree ordering, CSR view and plan cache are derived
+    once, not once per pattern.
     """
-    return {
-        p: count(
-            graph,
-            p,
-            edge_induced=edge_induced,
-            symmetry_breaking=symmetry_breaking,
-            engine=engine,
-        )
-        for p in patterns
-    }
+    return MiningSession.for_graph(graph).count_many(
+        patterns,
+        edge_induced=edge_induced,
+        symmetry_breaking=symmetry_breaking,
+        engine=engine,
+    )
 
 
 def exists(
@@ -310,21 +184,18 @@ def exists(
     """Whether at least one match exists; stops exploring at the first.
 
     This is the paper's existence-query idiom (Fig 4f): the callback fires
-    ``stopExploration()`` on the first match.  Early termination is a
-    reference-engine hook, so ``engine="auto"`` always resolves to the
-    interpreter here; the knob exists so forced ablations fail loudly
-    (forcing a vectorized engine raises) instead of silently diverging.
+    ``stopExploration()`` on the first match.  The frontier-batched engine
+    polls the control between frontier blocks and per emitted match, so
+    ``engine="auto"`` dispatches this to the batched engine in its winning
+    regime; only the per-match ``accel`` engine lacks the termination
+    hook (forcing it raises).  The trade: the expensive no-match case
+    (full exploration) runs vectorized, while a quick-hit positive may
+    explore up to one start vertex's task before its stop lands —
+    ``engine="reference"`` remains the finest-grained stopper.
     """
-    control = ExplorationControl()
-    found = []
-
-    def on_first(m: Match) -> None:
-        found.append(m)
-        control.stop()
-
-    match(graph, pattern, callback=on_first, edge_induced=edge_induced,
-          control=control, engine=engine)
-    return bool(found)
+    return MiningSession.for_graph(graph).exists(
+        pattern, edge_induced=edge_induced, engine=engine
+    )
 
 
 def match_batches(
@@ -354,52 +225,33 @@ def match_batches(
     single code path.  Batch boundaries and inter-batch order are
     unspecified; the row multiset equals ``match``'s match multiset.
     """
-    if _accel is None:
-        raise MatchingError("match_batches requires numpy")
-    np = _accel.np
-    if plan is None:
-        plan = generate_plan(
-            pattern, edge_induced=edge_induced, symmetry_breaking=symmetry_breaking
-        )
-    ordered, old_of_new = graph.degree_ordered()
-    translation = np.asarray(old_of_new, dtype=np.int64)
+    return MiningSession.for_graph(graph).match_batches(
+        pattern,
+        on_batch,
+        edge_induced=edge_induced,
+        symmetry_breaking=symmetry_breaking,
+        plan=plan,
+        label_index=label_index,
+        engine=engine,
+        frontier_chunk=frontier_chunk,
+        flush_size=flush_size,
+    )
 
-    def emit(mappings: "np.ndarray") -> None:
-        translated = translation[np.maximum(mappings, 0)]
-        translated[mappings < 0] = -1
-        on_batch(translated)
 
-    start_vertices = _label_filtered_starts(ordered, plan) if label_index else None
-    selected = _dispatch_engine(engine, None, None, None, ordered, plan)
-    if selected == "accel-batch":
-        batched = _accel.FrontierBatchedEngine(_accel.shared_view(ordered))
-        return batched.run(
-            plan,
-            start_vertices=start_vertices,
-            on_batch=emit,
-            chunk=frontier_chunk,
-        )
+def aggregate(
+    graph: DataGraph,
+    patterns: Pattern | Iterable[Pattern],
+    map_fn: Callable[[Match], tuple[Any, Any] | None],
+    reduce: Callable[[Any, Any], Any] | None = None,
+    **options,
+) -> dict[Any, Any]:
+    """Map/reduce over the matches of one or more patterns (§5.4).
 
-    buffer: list[tuple[int, ...]] = []
-
-    def flush() -> None:
-        if buffer:
-            emit(np.asarray(buffer, dtype=np.int64))
-            buffer.clear()
-
-    def collect(m: Match) -> None:
-        buffer.append(m.mapping)
-        if len(buffer) >= flush_size:
-            flush()
-
-    if selected == "accel":
-        engine_obj = _accel.AcceleratedEngine(_accel.shared_view(ordered))
-        total = engine_obj.run(
-            plan, start_vertices=start_vertices, on_match=collect
-        )
-    else:
-        total = run_tasks(
-            ordered, plan, start_vertices=start_vertices, on_match=collect
-        )
-    flush()
-    return total
+    One-shot convenience over :meth:`MiningSession.aggregate`:
+    ``map_fn(match)`` returns a ``(key, value)`` pair (or ``None`` to
+    skip), values sharing a key fold through ``reduce`` (default:
+    addition), and the final ``{key: value}`` map is returned.
+    """
+    return MiningSession.for_graph(graph).aggregate(
+        patterns, map_fn, reduce=reduce, **options
+    )

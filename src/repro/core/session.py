@@ -1,0 +1,731 @@
+"""Session-centric query surface: pinned graph state, one options path.
+
+Peregrine's headline contribution is a *declarative, pattern-aware API*
+(§3, Fig 4): programs are written against ``match``/``count`` verbs and
+aggregators while the system owns planning and execution.  A
+:class:`MiningSession` is that API with the per-graph state made
+explicit: it pins one :class:`~repro.graph.graph.DataGraph` and amortizes
+everything derivable from it across queries —
+
+* the degree-ordered copy and its id translation (§5.2), computed once;
+* the numpy CSR :class:`~repro.core.accel.AcceleratedGraphView`, built
+  lazily on the first vectorized run and shared by every later one;
+* exploration plans (§4), cached per ``(pattern, edge_induced,
+  symmetry_breaking)`` — motif censuses, FSM rounds and repeated service
+  queries re-plan nothing;
+* label-filtered start-vertex lists (the G-Miner §6.4 pruning), cached
+  per plan.
+
+Execution knobs live in one frozen :class:`ExecOptions` value with a
+single resolution path: session defaults, overridden per call.  The
+session exposes the full verb set — :meth:`MiningSession.match`,
+:meth:`~MiningSession.count`, :meth:`~MiningSession.count_many`,
+:meth:`~MiningSession.exists`, :meth:`~MiningSession.match_batches` and
+:meth:`~MiningSession.aggregate` (the paper's map/reduce aggregator
+idiom, §5.4).  The module-level functions in :mod:`repro.core.api` are
+one-shot shims over the per-graph shared session
+(:meth:`MiningSession.for_graph`), so legacy programs transparently get
+the same caches.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from ..errors import MatchingError
+from ..graph.graph import DataGraph
+from ..pattern.pattern import Pattern
+from .callbacks import Aggregator, ExplorationControl, Match
+from .engine import EngineStats, run_tasks
+from .plan import ExplorationPlan, generate_plan
+
+try:  # numpy is an optional accelerator, not a hard dependency
+    from . import accel as _accel
+except ImportError:  # pragma: no cover - exercised only without numpy
+    _accel = None
+
+__all__ = [
+    "ExecOptions",
+    "MiningSession",
+    "as_session",
+    "accel_preferred",
+    "batch_preferred",
+    "ACCEL_MIN_AVG_DEGREE",
+    "ACCEL_BATCH_MIN_AVG_DEGREE",
+]
+
+_ENGINE_CHOICES = ("auto", "accel", "accel-batch", "reference")
+
+# Measured crossover of the *per-match* vectorized engine
+# (bench_ablations.py::test_engine_dispatch): below this average degree
+# the reference interpreter's bisect/slice loops beat numpy's per-call
+# overhead; above it the per-candidate vectorized kernels win.
+ACCEL_MIN_AVG_DEGREE = 128.0
+
+# Measured crossover of the *frontier-batched* engine
+# (bench_engine_frontier.py, BENCH_engine.json): batching whole match
+# levels amortizes numpy dispatch across thousands of partials, so the
+# batched engine already wins at avg degree ~2 on graphs of a few
+# hundred vertices (6-12x over the interpreter at degree 2-8, measured).
+# Only near-forest graphs below this line stay on the interpreter.
+ACCEL_BATCH_MIN_AVG_DEGREE = 2.0
+
+
+def accel_preferred(ordered: DataGraph, plan: ExplorationPlan) -> bool:
+    """Whether the *per-match* vectorized engine is expected to win.
+
+    The historic ``engine="auto"`` heuristic, kept for the
+    ``engine="accel"`` ablation tier: dense adjacency arrays amortize
+    numpy call overhead, and a multi-vertex core means real intersection
+    work; sparse graphs and single-vertex-core (tail-count dominated)
+    patterns lose to the reference interpreter here.
+    """
+    return (
+        ordered.avg_degree() >= ACCEL_MIN_AVG_DEGREE and len(plan.core) >= 2
+    )
+
+
+def batch_preferred(ordered: DataGraph, plan: ExplorationPlan) -> bool:
+    """Whether the frontier-batched engine is expected to win this run.
+
+    Frontier batching amortizes per-dispatch overhead across every live
+    partial match of a level, and its tail count is per-row arithmetic,
+    so neither the density floor nor the core-size exclusion of
+    :func:`accel_preferred` applies — only near-forest graphs (average
+    degree below :data:`ACCEL_BATCH_MIN_AVG_DEGREE`) stay on the
+    interpreter.
+    """
+    return ordered.avg_degree() >= ACCEL_BATCH_MIN_AVG_DEGREE
+
+
+def _dispatch_engine(
+    engine: str,
+    control: ExplorationControl | None,
+    stats: EngineStats | None,
+    timer,
+    ordered: DataGraph,
+    plan: ExplorationPlan,
+) -> str:
+    """Resolve the engine choice to ``reference``/``accel``/``accel-batch``.
+
+    ``stats`` and ``timer`` are reference-engine instruments, so they pin
+    the interpreter.  An :class:`ExplorationControl` no longer does: the
+    frontier-batched engine polls it between frontier blocks and per
+    emitted match, so early-terminating runs (``exists``, capped
+    enumerations) qualify for batched dispatch.  Only the per-match
+    ``accel`` engine still has no termination hook.
+    """
+    if engine not in _ENGINE_CHOICES:
+        raise ValueError(f"engine must be one of {_ENGINE_CHOICES}, got {engine!r}")
+    if engine == "reference":
+        return "reference"
+    hooks_free = _accel is not None and stats is None and timer is None
+    if engine == "accel-batch":
+        if not hooks_free:
+            raise MatchingError(
+                "engine='accel-batch' requires numpy and no stats/timer "
+                "hooks; use engine='auto' to fall back to the reference engine"
+            )
+        return "accel-batch"
+    if engine == "accel":
+        if not hooks_free or control is not None:
+            raise MatchingError(
+                "engine='accel' requires numpy and no stats/timer/control "
+                "hooks; use engine='auto' to fall back to the reference engine"
+            )
+        return "accel"
+    if not hooks_free:
+        return "reference"
+    if batch_preferred(ordered, plan):
+        return "accel-batch"
+    if control is not None:
+        return "reference"
+    if accel_preferred(ordered, plan):
+        return "accel"
+    return "reference"
+
+
+def _label_filtered_starts(ordered: DataGraph, plan: ExplorationPlan):
+    """Start vertices restricted by the matching orders' top-position labels.
+
+    The G-Miner observation (§6.4): indexing vertices by label prunes
+    whole tasks when the pattern is labeled.  Every task's start vertex
+    must match some ordered core's *top* position; when all cores pin
+    that position to a label, only the union of those labels' vertices
+    can seed a match.  Returns ``None`` (no restriction) when any core's
+    top position is a wildcard or the graph is unlabeled.
+    """
+    if ordered.labels() is None:
+        return None
+    top_labels = plan.pinned_start_labels()
+    if top_labels is None:
+        return None
+    starts: set[int] = set()
+    for label in top_labels:
+        starts.update(ordered.vertices_with_label(label))
+    return sorted(starts, reverse=True)  # preserve hub-first issue order
+
+
+@dataclass(frozen=True)
+class ExecOptions:
+    """Every execution knob of a matching run, in one frozen value.
+
+    A session holds one ``ExecOptions`` as its defaults; every verb
+    accepts the same field names as keyword overrides and resolves them
+    through :meth:`merged` — the single resolution path.  The fields are
+    exactly the knobs the legacy per-function surface scattered across
+    ``match``/``count``/``match_batches``/the runtimes:
+
+    ``edge_induced`` / ``symmetry_breaking``
+        matching semantics (Theorem 3.1; PRG-U ablation).
+    ``engine`` / ``frontier_chunk``
+        engine dispatch (see :func:`_dispatch_engine`) and the batched
+        engine's per-dispatch frontier cap.
+    ``label_index``
+        label-filtered start pruning (§6.4); disable for ablations.
+    ``flush_size``
+        row-buffer size when ``match_batches`` falls back to a
+        per-match engine.
+    ``start_vertices``
+        explicit task seeds (runtime partitioning); per-call only.
+    ``control`` / ``stats`` / ``timer``
+        early termination (§5.3) and profiling hooks (Fig 1 / Fig 11).
+    ``plan``
+        a precomputed :class:`~repro.core.plan.ExplorationPlan`,
+        bypassing the session plan cache; per-call only.
+    """
+
+    edge_induced: bool = True
+    symmetry_breaking: bool = True
+    engine: str = "auto"
+    frontier_chunk: int | None = None
+    label_index: bool = True
+    flush_size: int = 4096
+    start_vertices: Iterable[int] | None = None
+    control: ExplorationControl | None = None
+    stats: EngineStats | None = None
+    timer: Any = None
+    plan: ExplorationPlan | None = None
+
+    def merged(self, overrides: Mapping[str, Any]) -> "ExecOptions":
+        """Resolve per-call ``overrides`` against these defaults.
+
+        Unknown names raise ``TypeError`` with the valid field list, so a
+        typo'd knob fails loudly instead of being silently dropped.
+        ``engine=None`` means "inherit the default" — session-consumer
+        wrappers (mining entry points) forward their ``engine`` parameter
+        unconditionally and ``None`` is its not-specified value.
+        """
+        if not overrides:
+            return self
+        unknown = [k for k in overrides if k not in _OPTION_FIELDS]
+        if unknown:
+            raise TypeError(
+                f"unknown execution option(s) {sorted(unknown)}; "
+                f"valid options: {sorted(_OPTION_FIELDS)}"
+            )
+        resolved = dict(overrides)
+        if resolved.get("engine", "") is None:
+            del resolved["engine"]
+        if not resolved:
+            return self
+        return dataclasses.replace(self, **resolved)
+
+
+_OPTION_FIELDS = frozenset(f.name for f in dataclasses.fields(ExecOptions))
+
+# Knobs that only make sense for a single query, not as session defaults.
+_PER_CALL_ONLY = ("plan", "start_vertices")
+
+# Cached plans are small but a long-lived service graph can see an
+# unbounded stream of ad-hoc patterns; cap the cache and evict FIFO
+# (insertion order) so memory stays bounded without an eviction policy
+# knob.  Start lists are keyed per plan and evicted in lockstep.
+PLAN_CACHE_LIMIT = 1024
+
+
+class _LinkedControl(ExplorationControl):
+    """A control that also observes an external cancel token.
+
+    :meth:`stop` sets only the *internal* flag, so a query using this as
+    its private stop signal never cancels the caller's shared token;
+    :attr:`stopped` reports either side.
+    """
+
+    __slots__ = ("_external",)
+
+    def __init__(self, external: ExplorationControl):
+        super().__init__()
+        self._external = external
+
+    @property
+    def stopped(self) -> bool:
+        return self._event.is_set() or self._external.stopped
+
+
+class MiningSession:
+    """All of Peregrine's verbs over one pinned data graph.
+
+    Construction is cheap — every derived structure (degree ordering,
+    CSR view, plans, start lists) is built lazily on first use and cached
+    for the session's lifetime.  Graphs are immutable, so nothing a
+    session caches can go stale.
+
+    Parameters
+    ----------
+    graph:
+        the data graph every query of this session runs against.
+    defaults:
+        an :class:`ExecOptions` to use as the session defaults, or
+        ``None`` for the standard defaults.
+    **options:
+        alternative to ``defaults``: individual ``ExecOptions`` field
+        overrides (``MiningSession(g, engine="reference")``).
+
+    Example
+    -------
+    >>> s = MiningSession(graph)
+    >>> s.count(generate_clique(3))
+    >>> s.count_many(generate_all_vertex_induced(4), edge_induced=False)
+    >>> s.exists(generate_clique(5))
+    """
+
+    __slots__ = (
+        "graph",
+        "defaults",
+        "_ordered",
+        "_old_of_new",
+        "_translation",
+        "_plans",
+        "_starts",
+        "plan_cache_hits",
+        "plan_cache_misses",
+    )
+
+    def __init__(
+        self,
+        graph: DataGraph,
+        defaults: ExecOptions | None = None,
+        **options,
+    ):
+        if defaults is not None and options:
+            raise TypeError("pass defaults= or keyword options, not both")
+        base = defaults if defaults is not None else ExecOptions().merged(options)
+        for name in _PER_CALL_ONLY:
+            if getattr(base, name) is not None:
+                raise ValueError(
+                    f"{name!r} is a per-call option, not a session default"
+                )
+        self.graph = graph
+        self.defaults = base
+        self._ordered: DataGraph | None = None
+        self._old_of_new: list[int] | None = None
+        self._translation = None  # numpy mirror of _old_of_new (lazy)
+        self._plans: dict[tuple, ExplorationPlan] = {}
+        self._starts: dict[tuple, list[int] | None] = {}
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
+
+    @classmethod
+    def for_graph(cls, graph: DataGraph) -> "MiningSession":
+        """The graph's shared default session (created on first use).
+
+        This is what the legacy :mod:`repro.core.api` shims run on, so
+        plain ``count(graph, p)`` calls share one plan cache per graph.
+        The shared session always carries pristine defaults; shims pass
+        every knob explicitly.
+        """
+        session = graph._session_cache
+        if session is None:
+            session = cls(graph)
+            graph._session_cache = session
+        return session
+
+    # ------------------------------------------------------------------
+    # Cached per-graph state
+    # ------------------------------------------------------------------
+
+    @property
+    def ordered(self) -> DataGraph:
+        """The degree-ordered copy of the pinned graph (§5.2), cached."""
+        if self._ordered is None:
+            ordered, old_of_new = self.graph.degree_ordered()
+            # Publish the translation before the ordered graph: a
+            # concurrent first use observing _ordered set may then rely
+            # on _old_of_new being set too (no lock on the lazy init;
+            # degree_ordered itself is idempotent and graph-cached).
+            self._old_of_new = old_of_new
+            self._ordered = ordered
+        return self._ordered
+
+    @property
+    def translation(self) -> list[int]:
+        """``old_of_new`` id map from ordered ids back to caller ids."""
+        if self._old_of_new is None:
+            self.ordered
+        return self._old_of_new
+
+    @property
+    def view(self):
+        """The CSR :class:`AcceleratedGraphView` of the ordered graph."""
+        if _accel is None:
+            raise MatchingError("the CSR view requires numpy")
+        return _accel.shared_view(self.ordered)
+
+    def options(self, **overrides) -> ExecOptions:
+        """Session defaults merged with ``overrides`` — the one knob path."""
+        return self.defaults.merged(overrides)
+
+    def plan_for(
+        self,
+        pattern: Pattern,
+        edge_induced: bool | None = None,
+        symmetry_breaking: bool | None = None,
+    ) -> ExplorationPlan:
+        """The (cached) exploration plan for ``pattern`` under the flags.
+
+        ``None`` flags fall back to the session defaults.  The cache is
+        keyed by the pattern's exact signature, so mutating a pattern
+        after a query simply misses the cache instead of serving a stale
+        plan.
+        """
+        if edge_induced is None:
+            edge_induced = self.defaults.edge_induced
+        if symmetry_breaking is None:
+            symmetry_breaking = self.defaults.symmetry_breaking
+        return self._cached_plan(pattern, edge_induced, symmetry_breaking)[0]
+
+    def clear_caches(self) -> None:
+        """Drop cached plans and start lists (hit/miss counters persist).
+
+        The graph-level state (degree ordering, CSR view) stays — it is
+        O(graph) once, whereas plans/start lists grow with the pattern
+        stream (bounded by :data:`PLAN_CACHE_LIMIT`, FIFO-evicted).
+        """
+        self._plans.clear()
+        self._starts.clear()
+
+    def cache_info(self) -> dict[str, Any]:
+        """Cache occupancy/hit counters (tests, benchmarks, dashboards)."""
+        return {
+            "plans": len(self._plans),
+            "plan_hits": self.plan_cache_hits,
+            "plan_misses": self.plan_cache_misses,
+            "start_lists": len(self._starts),
+            "ordered_built": self._ordered is not None,
+            "view_built": (
+                self._ordered is not None
+                and self._ordered._accel_view is not None
+            ),
+        }
+
+    def _cached_plan(
+        self, pattern: Pattern, edge_induced: bool, symmetry_breaking: bool
+    ):
+        """The (plan, cache key) pair for ``pattern`` under the flags."""
+        key = (pattern.signature(), edge_induced, symmetry_breaking)
+        plan = self._plans.get(key)
+        if plan is None:
+            self.plan_cache_misses += 1
+            plan = generate_plan(
+                pattern,
+                edge_induced=edge_induced,
+                symmetry_breaking=symmetry_breaking,
+            )
+            self._plans[key] = plan
+            if len(self._plans) > PLAN_CACHE_LIMIT:
+                oldest = next(iter(self._plans))
+                del self._plans[oldest]
+                self._starts.pop(oldest, None)
+        else:
+            self.plan_cache_hits += 1
+        return plan, key
+
+    def _prepare(self, pattern: Pattern, opts: ExecOptions):
+        """Shared verb prelude: resolve (plan, start vertices, engine).
+
+        An explicit ``opts.plan`` bypasses the plan cache (and therefore
+        the start-list cache keyed on it).
+        """
+        if opts.plan is not None:
+            plan, key = opts.plan, None
+        else:
+            plan, key = self._cached_plan(
+                pattern, opts.edge_induced, opts.symmetry_breaking
+            )
+        starts = opts.start_vertices
+        if starts is None and opts.label_index:
+            starts = self._starts_for(plan, key)
+        selected = _dispatch_engine(
+            opts.engine, opts.control, opts.stats, opts.timer,
+            self.ordered, plan,
+        )
+        return plan, starts, selected
+
+    def _starts_for(self, plan: ExplorationPlan, key: tuple | None):
+        """Label-filtered start vertices for ``plan`` (cached per plan)."""
+        if key is None:
+            return _label_filtered_starts(self.ordered, plan)
+        if key not in self._starts:
+            self._starts[key] = _label_filtered_starts(self.ordered, plan)
+        return self._starts[key]
+
+    def _translated(
+        self, callback: Callable[[Match], None]
+    ) -> Callable[[Match], None]:
+        """Wrap ``callback`` to report matches in the caller's vertex ids."""
+        old_of_new = self.translation
+
+        def wrapper(m: Match) -> None:
+            translated = tuple(
+                old_of_new[v] if v >= 0 else -1 for v in m.mapping
+            )
+            callback(Match(m.pattern, translated))
+
+        return wrapper
+
+    # ------------------------------------------------------------------
+    # Verbs
+    # ------------------------------------------------------------------
+
+    def match(
+        self,
+        pattern: Pattern,
+        callback: Callable[[Match], None] | None = None,
+        **options,
+    ) -> int:
+        """Find every canonical match of ``pattern``; return the count.
+
+        Invokes ``callback`` once per match (if given).  Any
+        :class:`ExecOptions` field can be overridden by keyword; see the
+        legacy :func:`repro.core.api.match` for per-knob semantics.
+        """
+        opts = self.defaults.merged(options)
+        return self._run_match(pattern, callback, opts)
+
+    def count(self, pattern: Pattern, **options) -> int:
+        """Number of canonical matches of ``pattern``.
+
+        Equivalent to :meth:`match` without a callback, but lets the
+        engine count final-step candidate sets without enumerating them.
+        """
+        opts = self.defaults.merged(options)
+        return self._run_match(pattern, None, opts)
+
+    def count_many(
+        self, patterns: Sequence[Pattern], **options
+    ) -> dict[Pattern, int]:
+        """Count each pattern over the shared session state.
+
+        The multi-pattern overload of the paper's ``count`` (motif
+        counting, Fig 4e): the ordered graph, CSR view and plan cache are
+        reused across every pattern instead of being re-derived per call.
+        """
+        opts = self.defaults.merged(options)
+        return {p: self._run_match(p, None, opts) for p in patterns}
+
+    def exists(self, pattern: Pattern, **options) -> bool:
+        """Whether at least one match exists; stops at the first (§5.3).
+
+        The paper's existence-query idiom (Fig 4f): the callback fires
+        ``stopExploration()`` on the first match.  The frontier-batched
+        engine polls the control between frontier blocks and per emitted
+        match, so this qualifies for vectorized dispatch.  A ``control``
+        override is honored as an external cancel: the probe stops when
+        either the first match lands or the caller's control fires (a
+        cancelled probe reports ``False``).  The probe's own stop never
+        propagates to the caller's token — a successful ``exists`` won't
+        cancel other runs sharing that control.
+        """
+        options = dict(options)
+        external = options.get("control", self.defaults.control)
+        control = (
+            _LinkedControl(external) if external is not None
+            else ExplorationControl()
+        )
+        options["control"] = control
+        found: list[Match] = []
+
+        def on_first(m: Match) -> None:
+            found.append(m)
+            control.stop()
+
+        opts = self.defaults.merged(options)
+        self._run_match(pattern, on_first, opts)
+        return bool(found)
+
+    def match_batches(self, pattern: Pattern, on_batch, **options) -> int:
+        """Stream every canonical match as 2D numpy arrays; return the count.
+
+        ``on_batch`` receives ``(rows, num_pattern_vertices)`` int64
+        arrays — column ``u`` is the data vertex matched to pattern
+        vertex ``u`` (caller ids; ``-1`` for anti-vertices).  Batch
+        boundaries and inter-batch order are unspecified; the row
+        multiset equals :meth:`match`'s match multiset.
+        """
+        if _accel is None:
+            raise MatchingError("match_batches requires numpy")
+        np = _accel.np
+        opts = self.defaults.merged(options)
+        plan, starts, selected = self._prepare(pattern, opts)
+        if self._translation is None:
+            self._translation = np.asarray(self.translation, dtype=np.int64)
+        translation = self._translation
+
+        def emit(mappings) -> None:
+            translated = translation[np.maximum(mappings, 0)]
+            translated[mappings < 0] = -1
+            on_batch(translated)
+
+        if selected == "accel-batch":
+            batched = _accel.FrontierBatchedEngine(self.view)
+            return batched.run(
+                plan,
+                start_vertices=starts,
+                on_batch=emit,
+                chunk=opts.frontier_chunk,
+                control=opts.control,
+            )
+
+        buffer: list[tuple[int, ...]] = []
+
+        def flush() -> None:
+            if buffer:
+                emit(np.asarray(buffer, dtype=np.int64))
+                buffer.clear()
+
+        def collect(m: Match) -> None:
+            buffer.append(m.mapping)
+            if len(buffer) >= opts.flush_size:
+                flush()
+
+        if selected == "accel":
+            engine_obj = _accel.AcceleratedEngine(self.view)
+            total = engine_obj.run(plan, start_vertices=starts, on_match=collect)
+        else:
+            total = run_tasks(
+                self.ordered,
+                plan,
+                start_vertices=starts,
+                on_match=collect,
+                control=opts.control,
+                stats=opts.stats,
+                timer=opts.timer,
+            )
+        flush()
+        return total
+
+    def aggregate(
+        self,
+        patterns: Pattern | Iterable[Pattern],
+        map_fn: Callable[[Match], tuple[Any, Any] | None],
+        reduce: Callable[[Any, Any], Any] | None = None,
+        on_update: Callable[[Aggregator], None] | None = None,
+        interval: float = 0.005,
+        **options,
+    ) -> dict[Any, Any]:
+        """Map/reduce over the matches of one or more patterns (§5.4).
+
+        The paper's aggregator idiom as a verb: ``map_fn(match)`` returns
+        a ``(key, value)`` pair (or ``None`` to skip the match); values
+        sharing a key are folded with ``reduce`` (default: addition).
+        Matching writes into a worker-local
+        :class:`~repro.core.callbacks.Aggregator` that an asynchronous
+        :class:`~repro.runtime.aggregation.AggregatorThread` drains into
+        the global map while exploration is still running, so an
+        ``on_update`` hook sees live aggregates — pair it with a
+        ``control`` override to stop early once a threshold is met (the
+        Fig 4b pattern).  Returns the final ``{key: value}`` map.
+        """
+        # Deferred import: repro.runtime imports repro.core at module
+        # load; by the time a session aggregates, both are initialized.
+        from ..runtime.aggregation import AggregatorThread
+
+        if isinstance(patterns, Pattern):
+            patterns = [patterns]
+        opts = self.defaults.merged(options)
+        total = Aggregator(combine=reduce)
+        local = Aggregator(combine=reduce)
+
+        def on_match(m: Match) -> None:
+            kv = map_fn(m)
+            if kv is None:
+                return
+            key, value = kv
+            local.map_pattern(key, value)
+
+        with AggregatorThread(
+            total, [local], interval=interval, on_update=on_update
+        ):
+            for pattern in patterns:
+                self._run_match(pattern, on_match, opts)
+                if opts.control is not None and opts.control.stopped:
+                    break
+        return total.result()
+
+    # ------------------------------------------------------------------
+    # Execution core (shared by every verb)
+    # ------------------------------------------------------------------
+
+    def _run_match(
+        self,
+        pattern: Pattern,
+        callback: Callable[[Match], None] | None,
+        opts: ExecOptions,
+    ) -> int:
+        plan, starts, selected = self._prepare(pattern, opts)
+        wrapped = self._translated(callback) if callback is not None else None
+        if selected == "accel-batch":
+            batched = _accel.FrontierBatchedEngine(self.view)
+            return batched.run(
+                plan,
+                start_vertices=starts,
+                on_match=wrapped,
+                count_only=callback is None,
+                chunk=opts.frontier_chunk,
+                control=opts.control,
+            )
+        if selected == "accel":
+            accelerated = _accel.AcceleratedEngine(self.view)
+            return accelerated.run(
+                plan,
+                start_vertices=starts,
+                on_match=wrapped,
+                count_only=callback is None,
+            )
+        return run_tasks(
+            self.ordered,
+            plan,
+            start_vertices=starts,
+            on_match=wrapped,
+            control=opts.control,
+            stats=opts.stats,
+            timer=opts.timer,
+            count_only=callback is None,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        info = self.cache_info()
+        return (
+            f"MiningSession({self.graph!r}, plans={info['plans']}, "
+            f"hits={info['plan_hits']})"
+        )
+
+
+def as_session(graph_or_session: DataGraph | MiningSession) -> MiningSession:
+    """Coerce a graph or session to a session.
+
+    Sessions pass through untouched; a bare :class:`DataGraph` resolves
+    to its shared default session (:meth:`MiningSession.for_graph`), so
+    library code written against sessions keeps amortizing state even
+    when callers hand it plain graphs.
+    """
+    if isinstance(graph_or_session, MiningSession):
+        return graph_or_session
+    if isinstance(graph_or_session, DataGraph):
+        return MiningSession.for_graph(graph_or_session)
+    raise TypeError(
+        f"expected DataGraph or MiningSession, got {type(graph_or_session).__name__}"
+    )

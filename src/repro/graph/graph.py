@@ -51,6 +51,7 @@ class DataGraph:
         "_label_index",
         "_ordered_cache",
         "_accel_view",
+        "_session_cache",
     )
 
     def __init__(
@@ -69,6 +70,10 @@ class DataGraph:
         # by repro.core.accel.shared_view (graphs are immutable, so the
         # cache can never go stale).
         self._accel_view = None
+        # Shared default MiningSession; owned and populated by
+        # repro.core.session.MiningSession.for_graph so one-shot api
+        # calls share plan/start caches across queries.
+        self._session_cache = None
 
         if self._labels is not None and len(self._labels) != len(self._adj):
             raise GraphError(

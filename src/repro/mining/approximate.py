@@ -33,6 +33,7 @@ from dataclasses import dataclass
 
 from ..baselines.automine import AutoMineSchedule, compile_schedule
 from ..core.candidates import contains, intersect_many
+from ..core.session import MiningSession
 from ..graph.graph import DataGraph
 from ..pattern.generators import generate_all_vertex_induced, generate_clique
 from ..pattern.pattern import Pattern
@@ -112,7 +113,7 @@ def _sample_once(
 
 
 def approximate_count(
-    graph: DataGraph,
+    graph: DataGraph | MiningSession,
     pattern: Pattern,
     trials: int = 10_000,
     seed: int | None = None,
@@ -124,8 +125,13 @@ def approximate_count(
     :func:`trials_for_error` to pick it from a target error.  The
     estimate is unbiased for any trial count; the confidence interval
     assumes trials are i.i.d. (they are) and approximately normal
-    (reasonable once a few hundred trials hit).
+    (reasonable once a few hundred trials hit).  Accepts a
+    :class:`~repro.core.session.MiningSession` in place of the graph
+    (the sampler reads the pinned graph; exact/approximate comparisons
+    then share one session).
     """
+    if isinstance(graph, MiningSession):
+        graph = graph.graph
     if trials <= 0:
         raise ValueError("trials must be positive")
     if graph.num_vertices == 0:

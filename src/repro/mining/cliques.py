@@ -4,12 +4,15 @@ maximal-clique variant via anti-vertices (§6.5, pattern p7).
 A k-clique's matching order is unique (the clique is its own core and the
 partial order is a total order), so clique counting on Peregrine reduces to
 ordered adjacency intersections — no wasted exploration at all.
+
+Every entry point accepts a :class:`~repro.graph.graph.DataGraph` or a
+:class:`~repro.core.session.MiningSession`.
 """
 
 from __future__ import annotations
 
-from ..core.api import count, exists, match
 from ..core.callbacks import ExplorationControl, Match
+from ..core.session import MiningSession, as_session
 from ..graph.graph import DataGraph
 from ..pattern.generators import generate_clique
 from ..pattern.pattern import Pattern
@@ -24,15 +27,18 @@ __all__ = [
 
 
 def clique_count(
-    graph: DataGraph, k: int, symmetry_breaking: bool = True, engine: str = "auto"
+    graph: DataGraph | MiningSession,
+    k: int,
+    symmetry_breaking: bool = True,
+    engine: str | None = None,
 ) -> int:
     """Number of k-cliques in the graph.
 
     With ``symmetry_breaking=False`` (PRG-U) every one of the k! automorphic
     orderings is explored; the result is corrected by dividing by k!.
     """
-    found = count(
-        graph, generate_clique(k), symmetry_breaking=symmetry_breaking, engine=engine
+    found = as_session(graph).count(
+        generate_clique(k), symmetry_breaking=symmetry_breaking, engine=engine
     )
     if not symmetry_breaking:
         factorial = 1
@@ -42,12 +48,14 @@ def clique_count(
     return found
 
 
-def clique_exists(graph: DataGraph, k: int) -> bool:
+def clique_exists(graph: DataGraph | MiningSession, k: int) -> bool:
     """Whether the graph contains a k-clique; stops at the first (§5.3)."""
-    return exists(graph, generate_clique(k))
+    return as_session(graph).exists(generate_clique(k))
 
 
-def list_cliques(graph: DataGraph, k: int, limit: int | None = None) -> list[tuple[int, ...]]:
+def list_cliques(
+    graph: DataGraph | MiningSession, k: int, limit: int | None = None
+) -> list[tuple[int, ...]]:
     """Enumerate k-cliques as sorted vertex tuples (optionally capped)."""
     found: list[tuple[int, ...]] = []
     control = ExplorationControl()
@@ -57,7 +65,7 @@ def list_cliques(graph: DataGraph, k: int, limit: int | None = None) -> list[tup
         if limit is not None and len(found) >= limit:
             control.stop()
 
-    match(graph, generate_clique(k), callback=on_match, control=control)
+    as_session(graph).match(generate_clique(k), on_match, control=control)
     return found
 
 
@@ -71,6 +79,8 @@ def maximal_clique_pattern(k: int) -> Pattern:
     return p
 
 
-def maximal_clique_count(graph: DataGraph, k: int, engine: str = "auto") -> int:
+def maximal_clique_count(
+    graph: DataGraph | MiningSession, k: int, engine: str | None = None
+) -> int:
     """Number of k-cliques not contained in any (k+1)-clique."""
-    return count(graph, maximal_clique_pattern(k), engine=engine)
+    return as_session(graph).count(maximal_clique_pattern(k), engine=engine)

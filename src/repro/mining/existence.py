@@ -3,35 +3,31 @@
 Two programs from the paper: the k-clique existence check (Fig 4f) and the
 global-clustering-coefficient bound (Fig 4b), which counts 3-stars, then
 counts triangles only until the bound is provably exceeded.
+
+Each function accepts a :class:`~repro.graph.graph.DataGraph` or a
+:class:`~repro.core.session.MiningSession`; the GCC queries issue two
+pattern queries over one session.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..core.api import count, match
 from ..core.callbacks import ExplorationControl, Match
+from ..core.session import MiningSession, as_session
 from ..graph.graph import DataGraph
 from ..pattern.generators import generate_clique, generate_star
 
 __all__ = ["clique_existence", "GccBoundResult", "gcc_exceeds_bound", "global_clustering_coefficient"]
 
 
-def clique_existence(graph: DataGraph, k: int) -> bool:
+def clique_existence(graph: DataGraph | MiningSession, k: int) -> bool:
     """Whether a k-clique exists; terminates exploration at the first match.
 
     This is the paper's 14-clique existence query (Table 6): on graphs
     that contain one, only a tiny fraction of the search space is touched.
     """
-    control = ExplorationControl()
-    found = []
-
-    def on_first(m: Match) -> None:
-        found.append(True)
-        control.stop()
-
-    match(graph, generate_clique(k), callback=on_first, control=control)
-    return bool(found)
+    return as_session(graph).exists(generate_clique(k))
 
 
 @dataclass(frozen=True)
@@ -44,7 +40,9 @@ class GccBoundResult:
     bound: float
 
 
-def gcc_exceeds_bound(graph: DataGraph, bound: float) -> GccBoundResult:
+def gcc_exceeds_bound(
+    graph: DataGraph | MiningSession, bound: float
+) -> GccBoundResult:
     """Check whether the global clustering coefficient exceeds ``bound``.
 
     GCC = 3 * (#triangles) / (#connected triples).  The number of
@@ -52,7 +50,8 @@ def gcc_exceeds_bound(graph: DataGraph, bound: float) -> GccBoundResult:
     (each unordered wedge is one canonical match).  Triangle counting
     stops as soon as the bound is provably exceeded (Fig 4b).
     """
-    wedges = count(graph, generate_star(3))
+    session = as_session(graph)
+    wedges = session.count(generate_star(3))
     if wedges == 0:
         return GccBoundResult(False, 0, 0, bound)
     control = ExplorationControl()
@@ -64,15 +63,16 @@ def gcc_exceeds_bound(graph: DataGraph, bound: float) -> GccBoundResult:
         if state["triangles"] > needed:
             control.stop()
 
-    match(graph, generate_clique(3), callback=count_and_check, control=control)
+    session.match(generate_clique(3), count_and_check, control=control)
     exceeded = state["triangles"] > needed
     return GccBoundResult(exceeded, wedges, state["triangles"], bound)
 
 
-def global_clustering_coefficient(graph: DataGraph) -> float:
+def global_clustering_coefficient(graph: DataGraph | MiningSession) -> float:
     """Exact GCC (no early termination), for tests and examples."""
-    wedges = count(graph, generate_star(3))
+    session = as_session(graph)
+    wedges = session.count(generate_star(3))
     if wedges == 0:
         return 0.0
-    triangles = count(graph, generate_clique(3))
+    triangles = session.count(generate_clique(3))
     return 3.0 * triangles / wedges

@@ -26,8 +26,8 @@ try:  # numpy powers the batched domain group-by; per-match is the fallback
 except ImportError:  # pragma: no cover - exercised only without numpy
     _np = None
 
-from ..core.api import match, match_batches
 from ..core.callbacks import Match
+from ..core.session import MiningSession, as_session
 from ..core.symmetry import orbit_partition
 from ..graph.graph import DataGraph
 from ..pattern.canonical import canonical_form, canonical_permutation
@@ -62,11 +62,11 @@ class FSMResult:
 
 
 def _discover(
-    graph: DataGraph,
+    session: MiningSession,
     structural: Pattern,
     symmetry_breaking: bool,
     bitset_factory=None,
-    engine: str = "auto",
+    engine: str | None = None,
 ) -> dict[tuple, tuple[Pattern, Domain]]:
     """Match one (partially labeled) pattern, grouping by discovered labels.
 
@@ -82,6 +82,7 @@ def _discover(
     labeling per batch instead of one per match.  The per-match callback
     path remains as the numpy-free fallback and computes identical tables.
     """
+    graph = session.graph
     tables: dict[tuple, tuple[Pattern, Domain]] = {}
     # Cache per distinct label tuple: (code, order) of the labeled pattern.
     labeling_cache: dict[tuple, tuple[tuple, tuple[int, ...]]] = {}
@@ -145,8 +146,7 @@ def _discover(
                 tables[code][1].update_batch(by_group[start:end, list(order)])
                 start = end
 
-        match_batches(
-            graph,
+        session.match_batches(
             structural,
             on_batch,
             edge_induced=True,
@@ -161,10 +161,9 @@ def _discover(
         domain = tables[code][1]
         domain.update([m.mapping[u] for u in order])
 
-    match(
-        graph,
+    session.match(
         structural,
-        callback=on_match,
+        on_match,
         edge_induced=True,
         symmetry_breaking=symmetry_breaking,
         engine=engine,
@@ -173,18 +172,19 @@ def _discover(
 
 
 def fsm(
-    graph: DataGraph,
+    graph: DataGraph | MiningSession,
     num_edges: int,
     threshold: int,
     symmetry_breaking: bool = True,
     bitset_factory=None,
-    engine: str = "auto",
+    engine: str | None = None,
 ) -> FSMResult:
     """Mine all frequent labeled patterns with up to ``num_edges`` edges.
 
     Parameters
     ----------
-    graph: a *labeled* data graph.
+    graph: a *labeled* data graph (or a session pinning one); every
+        round's structural matches run over one shared session.
     num_edges: pattern size in edges at the final round (the paper's
         "3-edge FSM" is ``num_edges=3``).
     threshold: MNI support threshold tau.
@@ -195,6 +195,7 @@ def fsm(
         :class:`~repro.bitmap.RoaringBitmap` gives the paper's compressed
         behaviour (the two are compared in ``bench_ablations.py``).
     """
+    session = as_session(graph)
     result = FSMResult(threshold=threshold, num_edges=num_edges)
     seed = Pattern.from_edges([(0, 1)])
     frontier: list[Pattern] = [seed]
@@ -204,7 +205,7 @@ def fsm(
         for structural in frontier:
             result.patterns_explored += 1
             tables = _discover(
-                graph, structural, symmetry_breaking, bitset_factory, engine=engine
+                session, structural, symmetry_breaking, bitset_factory, engine=engine
             )
             for code, (labeled, domain) in tables.items():
                 if code in merged:

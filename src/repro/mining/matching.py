@@ -1,11 +1,15 @@
-"""Pattern-matching workloads (Fig 4c): count, enumerate, stream matches."""
+"""Pattern-matching workloads (Fig 4c): count, enumerate, stream matches.
+
+Each function accepts a :class:`~repro.graph.graph.DataGraph` or a
+:class:`~repro.core.session.MiningSession`.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Iterator
+from typing import Callable
 
-from ..core.api import count, match
 from ..core.callbacks import ExplorationControl, Match
+from ..core.session import MiningSession, as_session
 from ..graph.graph import DataGraph
 from ..pattern.pattern import Pattern
 
@@ -18,17 +22,19 @@ __all__ = [
 
 
 def count_pattern(
-    graph: DataGraph,
+    graph: DataGraph | MiningSession,
     pattern: Pattern,
     edge_induced: bool = True,
-    engine: str = "auto",
+    engine: str | None = None,
 ) -> int:
     """Number of canonical matches of ``pattern``."""
-    return count(graph, pattern, edge_induced=edge_induced, engine=engine)
+    return as_session(graph).count(
+        pattern, edge_induced=edge_induced, engine=engine
+    )
 
 
 def enumerate_matches(
-    graph: DataGraph,
+    graph: DataGraph | MiningSession,
     pattern: Pattern,
     edge_induced: bool = True,
     limit: int | None = None,
@@ -42,29 +48,30 @@ def enumerate_matches(
         if limit is not None and len(out) >= limit:
             control.stop()
 
-    match(graph, pattern, callback=collect, edge_induced=edge_induced,
-          control=control)
+    as_session(graph).match(
+        pattern, collect, edge_induced=edge_induced, control=control
+    )
     return out
 
 
 def match_and_write(
-    graph: DataGraph,
+    graph: DataGraph | MiningSession,
     pattern: Pattern,
     write: Callable[[Match], None],
     edge_induced: bool = True,
-    engine: str = "auto",
+    engine: str | None = None,
 ) -> int:
     """The paper's Fig 4c program: stream every match to ``write``."""
-    return match(
-        graph, pattern, callback=write, edge_induced=edge_induced, engine=engine
+    return as_session(graph).match(
+        pattern, write, edge_induced=edge_induced, engine=engine
     )
 
 
 def count_unique_subgraphs(
-    graph: DataGraph,
+    graph: DataGraph | MiningSession,
     pattern: Pattern,
     edge_induced: bool = True,
-    engine: str = "auto",
+    engine: str | None = None,
 ) -> int:
     """Count distinct data-vertex *sets* matched (collapses automorphism-
     inequivalent assignments over the same vertices, e.g. for reporting)."""
@@ -73,6 +80,7 @@ def count_unique_subgraphs(
     def collect(m: Match) -> None:
         seen.add(tuple(sorted(m.vertices())))
 
-    match(graph, pattern, callback=collect, edge_induced=edge_induced,
-          engine=engine)
+    as_session(graph).match(
+        pattern, collect, edge_induced=edge_induced, engine=engine
+    )
     return len(seen)

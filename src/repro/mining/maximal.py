@@ -19,6 +19,11 @@ Two routes to maximal cliques are provided:
 
 Both agree on every graph (tested property-style), which is itself a
 strong correctness check of the anti-vertex machinery.
+
+The pattern-aware routes accept a :class:`~repro.graph.graph.DataGraph`
+or a :class:`~repro.core.session.MiningSession`; censuses and
+density-threshold scans are multi-pattern workloads and share one
+session per call.
 """
 
 from __future__ import annotations
@@ -26,8 +31,8 @@ from __future__ import annotations
 from itertools import combinations
 from typing import Iterator, Sequence
 
-from ..core.api import count, match
 from ..core.callbacks import Match
+from ..core.session import MiningSession, as_session
 from ..graph.graph import DataGraph
 from ..mining.support import Domain
 from ..core.symmetry import orbit_partition
@@ -48,7 +53,9 @@ __all__ = [
 # Bron–Kerbosch with pivoting: the purpose-built baseline
 # ----------------------------------------------------------------------
 
-def bron_kerbosch(graph: DataGraph) -> Iterator[tuple[int, ...]]:
+def bron_kerbosch(
+    graph: DataGraph | MiningSession,
+) -> Iterator[tuple[int, ...]]:
     """Yield every maximal clique of the graph as a sorted vertex tuple.
 
     Uses the pivoting variant: at each node of the recursion tree a pivot
@@ -56,6 +63,8 @@ def bron_kerbosch(graph: DataGraph) -> Iterator[tuple[int, ...]]:
     the pivot are branched on, which prunes the search exponentially on
     dense graphs.
     """
+    if isinstance(graph, MiningSession):
+        graph = graph.graph
     adj = [set(graph.neighbors(v)) for v in graph.vertices()]
 
     def expand(r: list[int], p: set[int], x: set[int]) -> Iterator[tuple[int, ...]]:
@@ -76,7 +85,7 @@ def bron_kerbosch(graph: DataGraph) -> Iterator[tuple[int, ...]]:
 # ----------------------------------------------------------------------
 
 def maximal_cliques_of_size(
-    graph: DataGraph, k: int, engine: str = "auto"
+    graph: DataGraph | MiningSession, k: int, engine: str | None = None
 ) -> list[tuple[int, ...]]:
     """All maximal cliques with exactly ``k`` vertices, via anti-vertex.
 
@@ -86,28 +95,31 @@ def maximal_cliques_of_size(
     1-cliques and are handled directly (a 1-vertex pattern core needs no
     exploration).
     """
+    session = as_session(graph)
+    data = session.graph
     if k == 1:
-        return [(v,) for v in graph.vertices() if graph.degree(v) == 0]
+        return [(v,) for v in data.vertices() if data.degree(v) == 0]
     found: list[tuple[int, ...]] = []
 
     def on_match(m: Match) -> None:
         found.append(tuple(sorted(m.vertices())))
 
-    match(graph, maximal_clique_pattern(k), callback=on_match, engine=engine)
+    session.match(maximal_clique_pattern(k), on_match, engine=engine)
     return sorted(found)
 
 
 def maximal_clique_census(
-    graph: DataGraph, max_k: int, engine: str = "auto"
+    graph: DataGraph | MiningSession, max_k: int, engine: str | None = None
 ) -> dict[int, int]:
     """Count maximal cliques by size for sizes ``1..max_k``.
 
     The census over *all* sizes equals what :func:`bron_kerbosch` yields,
     grouped by clique size; this function computes it pattern-aware,
-    one anti-vertex query per size.
+    one anti-vertex query per size over one shared session.
     """
+    session = as_session(graph)
     return {
-        k: len(maximal_cliques_of_size(graph, k, engine=engine))
+        k: len(maximal_cliques_of_size(session, k, engine=engine))
         for k in range(1, max_k + 1)
     }
 
@@ -128,7 +140,9 @@ def _density_patterns(k: int, density: float):
     return out
 
 
-def pseudo_clique_count(graph: DataGraph, k: int, density: float) -> int:
+def pseudo_clique_count(
+    graph: DataGraph | MiningSession, k: int, density: float
+) -> int:
     """Number of k-vertex induced subgraphs with edge density >= ``density``.
 
     A pseudo-clique (§2.1) relaxes the fully-connected requirement to a
@@ -138,25 +152,27 @@ def pseudo_clique_count(graph: DataGraph, k: int, density: float) -> int:
     """
     if not 0.0 < density <= 1.0:
         raise ValueError(f"density must be in (0, 1], got {density}")
+    session = as_session(graph)
     return sum(
-        count(graph, p, edge_induced=False)
+        session.count(p, edge_induced=False)
         for p in _density_patterns(k, density)
     )
 
 
 def pseudo_cliques(
-    graph: DataGraph, k: int, density: float
+    graph: DataGraph | MiningSession, k: int, density: float
 ) -> list[tuple[int, ...]]:
     """List the vertex sets of k-pseudo-cliques (sorted tuples)."""
     if not 0.0 < density <= 1.0:
         raise ValueError(f"density must be in (0, 1], got {density}")
+    session = as_session(graph)
     found: list[tuple[int, ...]] = []
 
     def on_match(m: Match) -> None:
         found.append(tuple(sorted(m.vertices())))
 
     for p in _density_patterns(k, density):
-        match(graph, p, callback=on_match, edge_induced=False)
+        session.match(p, on_match, edge_induced=False)
     return sorted(found)
 
 
@@ -165,7 +181,9 @@ def pseudo_cliques(
 # ----------------------------------------------------------------------
 
 def frequent_clique_sizes(
-    graph: DataGraph, threshold: int, max_k: int | None = None
+    graph: DataGraph | MiningSession,
+    threshold: int,
+    max_k: int | None = None,
 ) -> dict[int, int]:
     """Map ``k -> MNI support`` for every clique size meeting ``threshold``.
 
@@ -175,6 +193,7 @@ def frequent_clique_sizes(
     support of K_k is simply the number of distinct data vertices
     participating in any k-clique.
     """
+    session = as_session(graph)
     out: dict[int, int] = {}
     k = 2
     while max_k is None or k <= max_k:
@@ -184,7 +203,7 @@ def frequent_clique_sizes(
         def on_match(m: Match, _domain=domain) -> None:
             _domain.update(m.mapping)
 
-        match(graph, pattern, callback=on_match)
+        session.match(pattern, on_match)
         support = domain.support()
         if support < threshold:
             break

@@ -6,6 +6,11 @@ means counting the vertex-induced matches of every connected pattern with
 motif pattern directly; there is no shared exploration, no isomorphism
 classification of explored subgraphs — each count is a plain ``count()``.
 
+Every entry point accepts either a :class:`~repro.graph.graph.DataGraph`
+or a :class:`~repro.core.session.MiningSession`; a motif census is the
+canonical multi-pattern workload, so all queries of one call run through
+one session (shared degree ordering, CSR view and plan cache).
+
 ``labeled_motif_counts`` additionally discovers labels: matches of each
 structural motif are grouped by the labels of their data vertices, the
 workload behind the paper's "labeled 3-/4-motifs" rows.
@@ -13,8 +18,8 @@ workload behind the paper's "labeled 3-/4-motifs" rows.
 
 from __future__ import annotations
 
-from ..core.api import count, match
 from ..core.callbacks import Match
+from ..core.session import MiningSession, as_session
 from ..graph.graph import DataGraph
 from ..pattern.canonical import automorphism_count, canonical_permutation
 from ..pattern.generators import generate_all_vertex_induced
@@ -24,22 +29,23 @@ __all__ = ["motif_counts", "labeled_motif_counts", "motif_census_table"]
 
 
 def motif_counts(
-    graph: DataGraph,
+    graph: DataGraph | MiningSession,
     size: int,
     symmetry_breaking: bool = True,
-    engine: str = "auto",
+    engine: str | None = None,
 ) -> dict[Pattern, int]:
     """Count vertex-induced matches of every motif with ``size`` vertices.
 
     With ``symmetry_breaking=False`` (the PRG-U ablation) the engine
     enumerates all automorphic copies; the counts are then corrected by
     dividing by |Aut(motif)| — the "multiplicity" post-processing systems
-    like AutoMine push onto the user (§2.2.2).
+    like AutoMine push onto the user (§2.2.2).  ``engine=None`` inherits
+    the session's default dispatch.
     """
+    session = as_session(graph)
     results: dict[Pattern, int] = {}
     for motif in generate_all_vertex_induced(size):
-        found = count(
-            graph,
+        found = session.count(
             motif,
             edge_induced=False,
             symmetry_breaking=symmetry_breaking,
@@ -52,7 +58,7 @@ def motif_counts(
 
 
 def labeled_motif_counts(
-    graph: DataGraph, size: int, engine: str = "auto"
+    graph: DataGraph | MiningSession, size: int, engine: str | None = None
 ) -> dict[tuple, int]:
     """Count vertex-induced motifs grouped by discovered vertex labels.
 
@@ -60,27 +66,30 @@ def labeled_motif_counts(
     the label tuple lists labels at the canonical ordering's positions.
     Requires a labeled data graph.
     """
+    session = as_session(graph)
+    data = session.graph
     results: dict[tuple, int] = {}
     for motif in generate_all_vertex_induced(size):
         code, order = canonical_permutation(motif)
 
         def on_match(m: Match, _code=code, _order=order) -> None:
-            labels = tuple(graph.label(m.mapping[u]) for u in _order)
+            labels = tuple(data.label(m.mapping[u]) for u in _order)
             key = (_code, labels)
             results[key] = results.get(key, 0) + 1
 
-        match(graph, motif, callback=on_match, edge_induced=False, engine=engine)
+        session.match(motif, on_match, edge_induced=False, engine=engine)
     return results
 
 
-def motif_census_table(graph: DataGraph, size: int) -> str:
+def motif_census_table(graph: DataGraph | MiningSession, size: int) -> str:
     """Human-readable motif census (used by the motif-census example)."""
+    session = as_session(graph)
     rows = []
     for motif, found in sorted(
-        motif_counts(graph, size).items(), key=lambda kv: -kv[1]
+        motif_counts(session, size).items(), key=lambda kv: -kv[1]
     ):
         rows.append(
             f"  {motif.num_edges:>2} edges  {found:>12,}  {motif!r}"
         )
-    header = f"{size}-motif census of {graph.name}:"
+    header = f"{size}-motif census of {session.graph.name}:"
     return "\n".join([header, *rows])

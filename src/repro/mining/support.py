@@ -8,7 +8,11 @@ what lets FSM prune extension candidates (§2.1).
 Peregrine implements domains as vectors of compressed (Roaring) bitmaps.
 Our :class:`Bitset` wraps an arbitrary-precision integer — CPython's
 fastest exact-set union primitive — with the same logical interface:
-set bit, or-merge, popcount.
+set bit, or-merge, popcount.  Domains are engine-agnostic sinks: FSM
+feeds them whole match arrays from
+:meth:`repro.core.session.MiningSession.match_batches` (vectorized
+:meth:`Domain.update_batch`) with the per-match :meth:`Domain.update`
+path as the numpy-free fallback.
 
 Symmetry breaking interaction (§6.6): with symmetry breaking, each
 automorphism class of matches is seen once, so the raw per-vertex domains

@@ -3,18 +3,24 @@
 ``parallel_match`` reproduces Peregrine's architecture faithfully: worker
 threads pull frontier chunks from a shared atomic-counter scheduler, run
 the engine with thread-local aggregators, and honor a shared
-early-termination control.  When a run qualifies (numpy present, no
-user control) the workers drive the frontier-batched engine over
-partitions of the level-0 frontier — numpy kernels release the GIL, so
-the thread pool gets real parallelism on the hot loop; runs that need
-stats, stage timers or early termination stay on the reference
-interpreter, where CPython's GIL serializes the list operations.
+early-termination control.  When a run qualifies (numpy present) the
+workers drive the frontier-batched engine over partitions of the level-0
+frontier — numpy kernels release the GIL, so the thread pool gets real
+parallelism on the hot loop, and each worker's engine polls the shared
+control between frontier blocks and per emitted match; runs that need
+stats or stage timers stay on the reference interpreter, where CPython's
+GIL serializes the list operations.
 Process-level scaling is ``process_count`` — a process pool that slices
 the level-0 frontier across workers, shares the CSR adjacency arrays of
 the accelerated view with every worker (fork-inherited copy-on-write
 pages or ``multiprocessing.shared_memory`` segments — never per-worker
 graph pickling), and sums counts — which the Figure 12 scalability
 benchmark uses.
+
+Both entry points accept a :class:`~repro.core.session.MiningSession` in
+place of the graph: the runtime then reuses the session's degree
+ordering, id translation, CSR view and plan cache instead of re-deriving
+them per call (plain graphs resolve to their shared default session).
 """
 
 from __future__ import annotations
@@ -25,11 +31,16 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable
 
-from ..core.api import accel_preferred, batch_preferred
 from ..errors import MatchingError
 from ..core.callbacks import Aggregator, ExplorationControl, Match
 from ..core.engine import EngineStats, run_tasks
 from ..core.plan import ExplorationPlan, generate_plan
+from ..core.session import (
+    MiningSession,
+    accel_preferred,
+    as_session,
+    batch_preferred,
+)
 from ..graph.graph import DataGraph
 from ..pattern.pattern import Pattern
 from .aggregation import AggregatorThread
@@ -86,39 +97,37 @@ class ParallelResult:
 def _thread_engine_mode(
     engine: str,
     accel,
-    control: ExplorationControl | None,
     ordered: DataGraph,
     plan,
 ) -> str:
     """Resolve the thread-pool engine: ``reference`` or ``accel-batch``.
 
-    Mirrors the :func:`repro.core.api` auto-dispatch, restricted to the
-    two engines that make sense under threads: the reference interpreter
-    (owns stats and honors a user control mid-run) and the
-    frontier-batched engine (numpy kernels drop the GIL, so workers
-    overlap).  A caller-supplied control forces the interpreter — the
-    batched engine only polls between frontier chunks.
+    Mirrors the :mod:`repro.core.session` auto-dispatch, restricted to
+    the two engines that make sense under threads: the reference
+    interpreter (owns stats) and the frontier-batched engine (numpy
+    kernels drop the GIL, so workers overlap).  Both honor a shared
+    early-termination control — the batched engine polls it between
+    frontier blocks and per emitted match.
     """
     choices = ("auto", "accel-batch", "reference")
     if engine not in choices:
         raise ValueError(f"engine must be one of {choices}, got {engine!r}")
     if engine == "reference":
         return "reference"
-    qualifies = accel is not None and control is None
     if engine == "accel-batch":
-        if not qualifies:
+        if accel is None:
             raise MatchingError(
-                "engine='accel-batch' under threads requires numpy and no "
-                "user control; use engine='auto' to fall back"
+                "engine='accel-batch' under threads requires numpy; "
+                "use engine='auto' to fall back"
             )
         return "accel-batch"
-    if qualifies and batch_preferred(ordered, plan):
+    if accel is not None and batch_preferred(ordered, plan):
         return "accel-batch"
     return "reference"
 
 
 def parallel_match(
-    graph: DataGraph,
+    graph: DataGraph | MiningSession,
     pattern: Pattern,
     num_threads: int = 4,
     callback: Callable[[Match, Aggregator], None] | None = None,
@@ -138,20 +147,26 @@ def parallel_match(
 
     With ``engine="auto"`` the workers drive the frontier-batched engine
     over partitions of the level-0 frontier whenever the run qualifies
-    (numpy importable, no user ``control``, graph above the batched
-    crossover): each chunk's numpy kernels run with the GIL released, so
-    worker threads overlap on the hot loop instead of serializing.
-    Reference-engine runs keep per-thread :class:`EngineStats`;
-    vectorized runs report zero stats (see :class:`ParallelResult`).
+    (numpy importable, graph above the batched crossover): each chunk's
+    numpy kernels run with the GIL released, so worker threads overlap on
+    the hot loop instead of serializing, and a user ``control`` is polled
+    between frontier blocks and per emitted match.  Reference-engine runs
+    keep per-thread :class:`EngineStats`; vectorized runs report zero
+    stats (see :class:`ParallelResult`).
+
+    ``graph`` may be a :class:`~repro.core.session.MiningSession`, in
+    which case its cached ordering, translation and plans are reused.
     """
-    plan = generate_plan(
+    session = as_session(graph)
+    plan = session.plan_for(
         pattern, edge_induced=edge_induced, symmetry_breaking=symmetry_breaking
     )
-    ordered, old_of_new = graph.degree_ordered()
+    ordered = session.ordered
+    old_of_new = session.translation
     accel = _accel()
-    mode = _thread_engine_mode(engine, accel, control, ordered, plan)
+    mode = _thread_engine_mode(engine, accel, ordered, plan)
     if mode == "accel-batch":
-        view = accel.shared_view(ordered)
+        view = session.view
         frontier = accel.frontier_start_order(
             view.labels, view.num_vertices, plan
         )
@@ -193,6 +208,7 @@ def parallel_match(
                     start_vertices=chunk,
                     on_match=on_match,
                     count_only=callback is None,
+                    control=shared_control,
                 )
             else:
                 total += run_tasks(
@@ -395,7 +411,7 @@ def _shm_segments(view):
 
 
 def process_count(
-    graph: DataGraph,
+    graph: DataGraph | MiningSession,
     pattern: Pattern,
     num_processes: int = 2,
     edge_induced: bool = True,
@@ -411,9 +427,11 @@ def process_count(
     applied to live tasks instead of raw id ranges.  The graph reaches
     workers via shared CSR arrays (see the ``share_mode`` modes above),
     so scaling ``num_processes`` does not multiply graph copies or
-    pickling time.
+    pickling time.  A :class:`~repro.core.session.MiningSession` may be
+    passed in place of the graph to reuse its cached ordering and plans.
     """
-    ordered, _ = graph.degree_ordered()
+    session = as_session(graph)
+    ordered = session.ordered
     accel = _accel()
     has_fork = "fork" in multiprocessing.get_all_start_methods()
     if share_mode is None:
@@ -428,10 +446,10 @@ def process_count(
     if share_mode in ("fork", "shm") and accel is None:
         raise RuntimeError(f"share_mode={share_mode!r} requires numpy")
 
-    plan = generate_plan(
+    plan = session.plan_for(
         pattern, edge_induced=edge_induced, symmetry_breaking=symmetry_breaking
     )
-    # Per-worker engine choice mirrors the api auto-dispatch tiers:
+    # Per-worker engine choice mirrors the session auto-dispatch tiers:
     # frontier-batched in its (wide) winning regime, per-match vectorized
     # in the dense multi-core regime, reference interpreter otherwise.
     # The pickle share mode has no CSR view to hand workers, so it always
@@ -449,11 +467,13 @@ def process_count(
     )
     if num_processes <= 1:
         if use_batch:
-            view = accel.shared_view(ordered)
-            return accel.FrontierBatchedEngine(view).run(plan, count_only=True)
+            return accel.FrontierBatchedEngine(session.view).run(
+                plan, count_only=True
+            )
         if use_accel:
-            view = accel.shared_view(ordered)
-            return accel.AcceleratedEngine(view).run(plan, count_only=True)
+            return accel.AcceleratedEngine(session.view).run(
+                plan, count_only=True
+            )
         return run_tasks(ordered, plan, count_only=True)
 
     slices = [(i, num_processes) for i in range(num_processes)]
@@ -468,7 +488,7 @@ def process_count(
         ctx = multiprocessing.get_context("fork")
         # The CSR view is only worth building (and caching on the graph)
         # when the workers will actually run a vectorized engine.
-        view = accel.shared_view(ordered) if (use_batch or use_accel) else None
+        view = session.view if (use_batch or use_accel) else None
         with ctx.Pool(
             processes=num_processes,
             initializer=_fork_init,
@@ -480,7 +500,7 @@ def process_count(
     ctx = multiprocessing.get_context("fork" if has_fork else "spawn")
 
     if share_mode == "shm":
-        view = accel.shared_view(ordered)
+        view = session.view
         segments, meta = _shm_segments(view)
         try:
             init_args = (

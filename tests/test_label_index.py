@@ -7,7 +7,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import EngineStats, count, match
-from repro.core.api import _label_filtered_starts
+from repro.core.session import _label_filtered_starts
 from repro.core.plan import generate_plan
 from repro.graph import erdos_renyi, with_random_labels
 from repro.pattern import Pattern, generate_chain, generate_clique

@@ -150,25 +150,35 @@ class TestParallelMatchEngines:
         assert result.engine == "accel-batch"
         assert result.aggregates.get("triangles") == expected
 
-    def test_user_control_falls_back_to_reference(self):
+    def test_user_control_stays_on_batched_engine(self):
+        # Since the batched engine polls controls between frontier blocks
+        # (and per emitted match), a user control no longer forces the
+        # interpreter under auto dispatch.
         g = erdos_renyi(50, 0.15, seed=11)
         result = parallel_match(
             g, generate_clique(3), num_threads=2, control=ExplorationControl()
         )
-        assert result.engine == "reference"
+        assert result.engine == "accel-batch"
+        assert result.matches == count(g, generate_clique(3), engine="reference")
 
-    def test_forced_batch_with_control_raises(self):
-        from repro.errors import MatchingError
+    def test_forced_batch_with_control_stops_early(self):
+        g = erdos_renyi(40, 0.3, seed=12)
+        control = ExplorationControl()
 
-        g = erdos_renyi(30, 0.2, seed=12)
-        with pytest.raises(MatchingError):
-            parallel_match(
-                g,
-                generate_clique(3),
-                num_threads=2,
-                control=ExplorationControl(),
-                engine="accel-batch",
-            )
+        def cb(m, agg):
+            control.stop()
+
+        result = parallel_match(
+            g,
+            generate_clique(3),
+            num_threads=2,
+            callback=cb,
+            control=control,
+            engine="accel-batch",
+        )
+        assert result.engine == "accel-batch"
+        assert control.stopped
+        assert result.matches < count(g, generate_clique(3), engine="reference")
 
     def test_unknown_engine_rejected(self):
         g = erdos_renyi(20, 0.3, seed=13)
