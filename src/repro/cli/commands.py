@@ -168,7 +168,8 @@ def cmd_motifs(args: argparse.Namespace, out: TextIO = sys.stdout) -> int:
     """Vertex-induced motif census of the selected size."""
     session = MiningSession(load_dataset(args))
     begin = _timed_header(out, f"{args.size}-motif census")
-    print(motif_census_table(session, args.size), file=out)
+    engine = getattr(args, "engine", None)
+    print(motif_census_table(session, args.size, engine=engine), file=out)
     _timed_footer(out, begin)
     return 0
 
@@ -207,7 +208,12 @@ def cmd_fsm(args: argparse.Namespace, out: TextIO = sys.stdout) -> int:
             "--dataset mico, or --graph/--labels)"
         )
     begin = time.perf_counter()
-    result = fsm_api(MiningSession(graph), args.edges, args.threshold)
+    result = fsm_api(
+        MiningSession(graph),
+        args.edges,
+        args.threshold,
+        engine=getattr(args, "engine", None),
+    )
     elapsed = time.perf_counter() - begin
     print(
         f"frequent {args.edges}-edge patterns at support >= {args.threshold}: "

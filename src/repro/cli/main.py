@@ -105,6 +105,13 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("motifs", help="vertex-induced motif census")
     add_dataset_arguments(p)
     p.add_argument("--size", type=int, default=3, help="motif size (vertices)")
+    p.add_argument(
+        "--engine",
+        choices=["auto", "fused", "accel", "accel-batch", "reference"],
+        default=None,
+        help="engine selection; 'fused' forces the multi-pattern runner, "
+        "'accel-batch' ablates it with sequential per-pattern execution",
+    )
     p.set_defaults(func=commands.cmd_motifs)
 
     p = sub.add_parser("cliques", help="k-clique counting and variants")
@@ -135,6 +142,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--verbose", action="store_true", help="print each frequent pattern"
+    )
+    p.add_argument(
+        "--engine",
+        choices=["auto", "fused", "accel", "accel-batch", "reference"],
+        default=None,
+        help="engine selection for each round's structural matches; "
+        "'fused' forces the round onto one shared frontier walk",
     )
     p.set_defaults(func=commands.cmd_fsm)
 

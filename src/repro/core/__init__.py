@@ -4,13 +4,21 @@ from .api import (
     match,
     count,
     count_many,
+    match_many,
     exists,
     match_batches,
+    match_batches_many,
     aggregate,
     accel_preferred,
     batch_preferred,
 )
-from .session import ExecOptions, MiningSession, as_session
+from .session import (
+    ExecOptions,
+    MiningSession,
+    MultiPatternPlan,
+    as_session,
+    FUSED_MIN_GROUP,
+)
 from .callbacks import Match, ExplorationControl, Aggregator, MatchCallback
 from .candidates import (
     bounded,
@@ -35,14 +43,18 @@ __all__ = [
     "match",
     "count",
     "count_many",
+    "match_many",
     "exists",
     "match_batches",
+    "match_batches_many",
     "aggregate",
     "accel_preferred",
     "batch_preferred",
     "ExecOptions",
     "MiningSession",
+    "MultiPatternPlan",
     "as_session",
+    "FUSED_MIN_GROUP",
     "Match",
     "ExplorationControl",
     "Aggregator",

@@ -55,11 +55,13 @@ __all__ = [
     "AcceleratedGraphView",
     "AcceleratedEngine",
     "FrontierBatchedEngine",
+    "SharedFrontierGathers",
     "ACCEL_FRONTIER_CHUNK",
     "frontier_start_order",
     "shared_view",
     "accelerated_count",
     "frontier_count",
+    "fused_run",
 ]
 
 # Frontier rows expanded per kernel dispatch.  Each expansion touches
@@ -68,6 +70,31 @@ __all__ = [
 # numpy call overhead across thousands of partial matches.  Tunable per
 # run via the ``frontier_chunk`` knob on :func:`repro.core.api.match`.
 ACCEL_FRONTIER_CHUNK = 16_384
+
+
+def _bounded_slices(weights: np.ndarray, cap: int):
+    """Consecutive slices of ``weights`` whose sums stay near ``cap``.
+
+    The chunking rule shared by :meth:`FrontierBatchedEngine._row_groups`
+    (candidate totals per gather) and :func:`_frontier_slices` (fused
+    frontier walks): a slice closes as soon as its cumulative weight
+    reaches ``cap``, and a lone over-cap element still forms a slice of
+    its own, so progress is guaranteed and the worst case is one
+    element's weight, not ``rows * max_weight``.
+    """
+    if weights.size == 0:
+        return
+    cum = np.cumsum(weights)
+    if int(cum[-1]) <= cap:
+        yield slice(0, weights.size)
+        return
+    start = 0
+    while start < weights.size:
+        base = int(cum[start - 1]) if start else 0
+        end = int(np.searchsorted(cum, base + cap, side="left")) + 1
+        end = min(max(end, start + 1), weights.size)
+        yield slice(start, end)
+        start = end
 
 
 def np_bounded(values: np.ndarray, lo: int, hi: int) -> np.ndarray:
@@ -131,6 +158,7 @@ class AcceleratedGraphView:
         "_labels",
         "_label_arrays",
         "_adj_keys",
+        "_degrees",
     )
 
     def __init__(self, graph: DataGraph):
@@ -148,6 +176,7 @@ class AcceleratedGraphView:
         )
         self._label_arrays: dict[int, np.ndarray] | None = None
         self._adj_keys: np.ndarray | None = None
+        self._degrees: np.ndarray | None = None
 
     @classmethod
     def from_csr(
@@ -165,6 +194,7 @@ class AcceleratedGraphView:
         view._labels = labels
         view._label_arrays = None
         view._adj_keys = None
+        view._degrees = None
         return view
 
     def csr(self) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
@@ -194,6 +224,18 @@ class AcceleratedGraphView:
                 for lab in np.unique(self._labels)
             }
         return self._label_arrays.get(label, np.empty(0, dtype=np.int64))
+
+    def degrees(self) -> np.ndarray:
+        """Per-vertex degree array (lazy ``diff(offsets)``, cached).
+
+        Every :class:`FrontierBatchedEngine` instance needs it for its
+        min-degree pivot picks; caching it on the view means multi-pattern
+        workloads (censuses, FSM rounds, fused runs) pay the O(E) diff
+        once per graph rather than once per engine construction.
+        """
+        if self._degrees is None:
+            self._degrees = np.diff(self._offsets)
+        return self._degrees
 
     def adjacency_keys(self) -> np.ndarray:
         """Globally sorted ``owner * (n + 1) + neighbor`` keys (lazy).
@@ -562,6 +604,7 @@ class FrontierBatchedEngine:
         "width",
         "total",
         "control",
+        "shared",
         "_cur_oc",
         "_cur_rank",
         "_pending",
@@ -575,9 +618,13 @@ class FrontierBatchedEngine:
         flat, offsets, _ = view.csr()
         self.flat = flat
         self.offsets = offsets
-        self.degrees = np.diff(offsets)
+        self.degrees = view.degrees()
         self.keys = view.adjacency_keys()
         self.stride = self.n + 1
+        # A fused multi-pattern run attaches a SharedFrontierGathers here
+        # so level-1 expansions reuse one neighbor gather across member
+        # patterns; standalone runs leave it None.
+        self.shared: SharedFrontierGathers | None = None
 
     # ------------------------------------------------------------------
     # Batched kernels over concatenated candidate segments
@@ -628,18 +675,7 @@ class FrontierBatchedEngine:
         whole (one segment is one gather), which bounds the worst case
         at ``O(max_segment)``, not ``O(rows * max_segment)``.
         """
-        total = int(lens.sum())
-        if total <= self.chunk:
-            yield slice(0, lens.size)
-            return
-        cum = np.cumsum(lens)
-        start = 0
-        while start < lens.size:
-            base = int(cum[start - 1]) if start else 0
-            end = int(np.searchsorted(cum, base + self.chunk, side="left")) + 1
-            end = min(max(end, start + 1), lens.size)
-            yield slice(start, end)
-            start = end
+        return _bounded_slices(lens, self.chunk)
 
     # ------------------------------------------------------------------
     # Entry point
@@ -787,6 +823,19 @@ class FrontierBatchedEngine:
         later = oc.later_neighbors(i)
         label = oc.labels[i]
         anti_later = [b for a, b in oc.anti_edges if a == i]
+        if (
+            level == 1
+            and later
+            and not anti_later
+            and self.shared is not None
+            and self.shared.matches(block[:, 0])
+        ):
+            # At level 1 the only later core position is the top, so the
+            # expansion is "neighbors of the start, strictly below it" —
+            # a pure variant of the slice's shared first-level expansion.
+            exp_block, rows = self.shared.expansion(False, True, label)
+            yield exp_block, self.shared.origin_rows(origin, rows)
+            return
         pick = None
         if later:
             owner_cols = block[:, [top - j for j in later]]
@@ -975,6 +1024,26 @@ class FrontierBatchedEngine:
         step, col_of, nbr_cols, _lo, _hi, pick, pivot, start_rank, lens = (
             self._step_context(block, step_index)
         )
+        if (
+            step_index == 0
+            and block.shape[1] == 1
+            and len(nbr_cols) == 1
+            and not step.anti_neighbors
+            and self.shared is not None
+            and self.shared.matches(block[:, 0])
+        ):
+            # Single-vertex-core first step: the only matched vertex is
+            # the start, so bounds can only clip to above/below it and
+            # the candidates are another variant of the slice's shared
+            # first-level expansion (injectivity is vacuous — a simple
+            # graph never lists a vertex among its own neighbors).
+            exp_block, rows = self.shared.expansion(
+                bool(step.lower_bounds),
+                bool(step.upper_bounds),
+                step.label,
+            )
+            yield exp_block, self.shared.origin_rows(origin, rows)
+            return
         seg_base = self.offsets[pivot] + start_rank
         for rows_slice in self._row_groups(lens):
             row_ids, local = self._gather(lens[rows_slice])
@@ -1088,6 +1157,209 @@ class FrontierBatchedEngine:
         # ordered-core rank; ties keep intra-core DFS emission order.
         order = np.lexsort((ranks, origins))
         self._emit_rows(mappings[order].tolist())
+
+
+class SharedFrontierGathers:
+    """One slice's first-level expansions, shared across fused members.
+
+    The fused multi-pattern runner walks the level-0 frontier in slices
+    and runs every member pattern over each slice.  A member's *first*
+    expansion — a multi-position core's level-1, or the first completion
+    step of a single-vertex-core plan — always extends the bare start
+    vertex by its own neighbors, so its output is fully determined by a
+    small *variant signature*: the symmetry bounds relative to the start
+    (none / below-start / above-start), the new vertex's label
+    constraint, and whether an anti-edge to the start applies.  (The
+    engine's injectivity mask is vacuous here: a simple graph never lists
+    a vertex among its own neighbors.)
+
+    This cache memoizes the fully expanded ``(block, rows)`` pair per
+    variant, computed exactly the way a standalone engine would (rank
+    queries + one CSR gather) — so the *first* member needing a variant
+    pays the sequential price and every further member gets it free.
+    Motif censuses and FSM rounds concentrate on a handful of variants,
+    which is where fusion's multiplicative saving comes from.
+
+    :meth:`expansion` only serves a request whose start array equals the
+    slice verbatim (label-filtered per-core subsets fall back to the
+    engine's own path), so correctness never depends on the cache: a
+    miss simply costs the un-fused expansion.
+    """
+
+    __slots__ = (
+        "flat",
+        "offsets",
+        "degrees",
+        "keys",
+        "stride",
+        "labels",
+        "_starts",
+        "_identity",
+        "_expansions",
+    )
+
+    def __init__(self, view: AcceleratedGraphView):
+        flat, offsets, labels = view.csr()
+        self.flat = flat
+        self.offsets = offsets
+        self.degrees = view.degrees()
+        self.keys = view.adjacency_keys()
+        self.stride = view.num_vertices + 1
+        self.labels = labels
+        self._starts: np.ndarray | None = None
+        self._identity: np.ndarray | None = None
+        self._expansions: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}
+
+    def reset(self, starts: np.ndarray) -> None:
+        """Begin a new frontier slice; previous expansions are dropped."""
+        self._starts = starts
+        self._identity = None
+        self._expansions = {}
+
+    def matches(self, starts: np.ndarray) -> bool:
+        """Whether ``starts`` is exactly the current slice."""
+        current = self._starts
+        return (
+            current is not None
+            and starts.size == current.size
+            and bool(np.array_equal(starts, current))
+        )
+
+    def origin_rows(self, origin: np.ndarray, rows: np.ndarray) -> np.ndarray:
+        """``origin[rows]``, skipping the gather for identity origins.
+
+        A cache hit implies the member's level-0 frontier is the whole
+        slice, so its origin array is almost always ``arange`` — one
+        cheap O(rows) equality check saves an O(candidates) gather.
+        """
+        if self._identity is None:
+            self._identity = np.arange(self._starts.size, dtype=np.int64)
+        if origin.size == self._identity.size and np.array_equal(
+            origin, self._identity
+        ):
+            return rows
+        return origin[rows]
+
+    def expansion(
+        self,
+        bounded_below: bool,
+        bounded_above: bool,
+        label: int | None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The slice's first-level expansion for one variant signature.
+
+        Returns ``(block, rows)``: ``block`` is the expanded
+        ``(n_partials, 2)`` frontier — column 0 the start vertex, column
+        1 its surviving neighbor — and ``rows`` the per-partial index
+        into the slice.  ``bounded_below``/``bounded_above`` clip each
+        start's neighbor segment to strictly above/below the start
+        itself (the only symmetry bounds expressible at the first
+        level); ``label`` keeps only candidates carrying it.  An
+        anti-edge to the start can never constrain a first-level
+        candidate (the candidate is a neighbor of the start, and a
+        vertex pair cannot carry both an edge and an anti-edge), so the
+        variant space is exactly these three axes.  Callers must not
+        mutate the returned arrays.
+        """
+        key = (bounded_below, bounded_above, label)
+        cached = self._expansions.get(key)
+        if cached is not None:
+            return cached
+        starts = self._starts
+        seg_base = self.offsets[starts]
+        if bounded_below:
+            queries = starts * self.stride + starts
+            start_rank = np.searchsorted(self.keys, queries, "right") - seg_base
+            seg_base = seg_base + start_rank
+        else:
+            start_rank = 0
+        if bounded_above:
+            queries = starts * self.stride + starts
+            end_rank = np.searchsorted(self.keys, queries, "left") - self.offsets[starts]
+        else:
+            end_rank = self.degrees[starts]
+        lens = np.maximum(end_rank - start_rank, 0)
+        rows, local = FrontierBatchedEngine._gather(lens)
+        cands = self.flat[seg_base[rows] + local]
+        if label is not None:
+            keep = self.labels[cands] == label
+            rows = rows[keep]
+            cands = cands[keep]
+        block = np.empty((cands.size, 2), dtype=np.int64)
+        block[:, 0] = starts[rows]
+        block[:, 1] = cands
+        cached = (block, rows)
+        self._expansions[key] = cached
+        return cached
+
+
+def _frontier_slices(weights: np.ndarray, cap: int):
+    """Slice the fused frontier so per-slice candidate totals stay near ``cap``.
+
+    The per-start weights are ``degree + 1``, so a slice never exceeds
+    ``cap`` rows and its shared gather never materializes much more than
+    ``cap`` candidates (one start's full adjacency list is the
+    irreducible worst case) — the same :func:`_bounded_slices` rule the
+    engine's own row grouping uses.
+    """
+    return _bounded_slices(weights, cap)
+
+
+def fused_run(
+    view: AcceleratedGraphView,
+    members: list[tuple[ExplorationPlan, Callable | None, Callable | None]],
+    start_vertices: Iterable[int] | None = None,
+    chunk: int | None = None,
+) -> list[int]:
+    """Run several plans over one shared frontier; return per-member counts.
+
+    ``members`` are ``(plan, on_match, on_batch)`` triples in reference
+    order (at most one of the callbacks each; both ``None`` counts
+    without enumerating).  All members must share the level-0 frontier:
+    ``start_vertices`` is that fused frontier (``None`` = every vertex,
+    hub-first), typically the union of the group's pinned start labels as
+    computed by :meth:`repro.core.session.MiningSession` grouping.
+
+    The frontier is walked once in degree-weighted slices; per slice,
+    each member's :class:`FrontierBatchedEngine` runs with the slice's
+    :class:`SharedFrontierGathers` attached, so first-level expansions
+    reuse one CSR gather across the whole group and only per-pattern
+    constraint masks diverge.  Per-member counts and callback order are
+    identical to running each member alone (slices partition the same
+    start order, and in-slice exploration is the engine's own DFS), which
+    ``tests/test_multipattern.py`` fuzz-enforces.
+    """
+    n = view.num_vertices
+    if start_vertices is None:
+        starts = np.arange(n - 1, -1, -1, dtype=np.int64)
+    elif isinstance(start_vertices, np.ndarray):
+        starts = start_vertices.astype(np.int64, copy=False)
+    else:
+        starts = np.fromiter(start_vertices, dtype=np.int64)
+    cap = ACCEL_FRONTIER_CHUNK if chunk is None else max(1, int(chunk))
+    engines = [FrontierBatchedEngine(view) for _ in members]
+    shared = SharedFrontierGathers(view)
+    totals = [0] * len(members)
+    # degree + 1 keeps zero-degree starts advancing and bounds slice rows.
+    weights = view.degrees()[starts] + 1
+    for sl in _frontier_slices(weights, cap):
+        sl_starts = starts[sl]
+        shared.reset(sl_starts)
+        for idx, (plan, on_match, on_batch) in enumerate(members):
+            engine = engines[idx]
+            engine.shared = shared
+            try:
+                totals[idx] += engine.run(
+                    plan,
+                    start_vertices=sl_starts,
+                    on_match=on_match,
+                    on_batch=on_batch,
+                    count_only=on_match is None and on_batch is None,
+                    chunk=cap,
+                )
+            finally:
+                engine.shared = None
+    return totals
 
 
 def frontier_count(

@@ -42,6 +42,19 @@ ablation and as the middle dispatch tier.  Benchmarks:
 ``engine="accel"`` / ``engine="accel-batch"`` force one engine
 unconditionally (ablations, debugging); forcing a vectorized engine
 raises when the run does not qualify.
+
+**Multi-pattern fusion.**  The multi-pattern verbs (``count_many``,
+``match_many``, ``match_batches_many``) additionally accept
+``engine="fused"``: patterns sharing a level-0 frontier signature are
+grouped by :class:`~repro.core.session.MultiPatternPlan` and run through
+:func:`repro.core.accel.fused_run` — one frontier walk, shared
+first-level gathers, per-pattern constraint masks — with count-only
+vertex-induced censuses additionally rewritten onto the shared
+non-induced basis (:mod:`repro.core.multipattern`).  ``engine="auto"``
+fuses automatically for groups of at least
+:data:`~repro.core.session.FUSED_MIN_GROUP` when the run qualifies;
+measured in ``benchmarks/bench_multipattern.py`` →
+``BENCH_multipattern.json``.
 """
 
 from __future__ import annotations
@@ -56,6 +69,7 @@ from .plan import ExplorationPlan
 from .session import (
     ACCEL_BATCH_MIN_AVG_DEGREE,
     ACCEL_MIN_AVG_DEGREE,
+    FUSED_MIN_GROUP,
     MiningSession,
     accel_preferred,
     batch_preferred,
@@ -65,8 +79,10 @@ __all__ = [
     "match",
     "count",
     "count_many",
+    "match_many",
     "exists",
     "match_batches",
+    "match_batches_many",
     "aggregate",
     "accel_preferred",
     "batch_preferred",
@@ -165,13 +181,66 @@ def count_many(
     This is the multi-pattern overload of the paper's ``count`` (used by
     motif counting, Fig 4e).  All patterns run through one shared
     session, so the degree ordering, CSR view and plan cache are derived
-    once, not once per pattern.
+    once, not once per pattern — and compatible patterns *fuse* onto one
+    shared frontier walk (``engine="auto"``/``"fused"``; see
+    :meth:`MiningSession.match_many` for the dispatch rules and
+    :data:`repro.core.session.FUSED_MIN_GROUP` for the group floor).
     """
     return MiningSession.for_graph(graph).count_many(
         patterns,
         edge_induced=edge_induced,
         symmetry_breaking=symmetry_breaking,
         engine=engine,
+    )
+
+
+def match_many(
+    graph: DataGraph,
+    patterns: Sequence[Pattern],
+    callbacks: Sequence[Callable[[Match], None] | None] | None = None,
+    edge_induced: bool = True,
+    symmetry_breaking: bool = True,
+    engine: str = "auto",
+    frontier_chunk: int | None = None,
+) -> list[int]:
+    """Match every pattern; per-pattern counts in input order.
+
+    One-shot convenience over :meth:`MiningSession.match_many`:
+    ``callbacks[i]`` fires per match of ``patterns[i]`` in exactly the
+    order a standalone ``match`` would produce, while compatible
+    patterns share one fused frontier walk.
+    """
+    return MiningSession.for_graph(graph).match_many(
+        patterns,
+        callbacks,
+        edge_induced=edge_induced,
+        symmetry_breaking=symmetry_breaking,
+        engine=engine,
+        frontier_chunk=frontier_chunk,
+    )
+
+
+def match_batches_many(
+    graph: DataGraph,
+    patterns: Sequence[Pattern],
+    on_batches: Sequence[Callable],
+    edge_induced: bool = True,
+    symmetry_breaking: bool = True,
+    engine: str = "auto",
+    frontier_chunk: int | None = None,
+) -> list[int]:
+    """Stream every pattern's matches as arrays; per-pattern counts.
+
+    One-shot convenience over :meth:`MiningSession.match_batches_many` —
+    the array-native multi-pattern verb FSM rounds are built on.
+    """
+    return MiningSession.for_graph(graph).match_batches_many(
+        patterns,
+        on_batches,
+        edge_induced=edge_induced,
+        symmetry_breaking=symmetry_breaking,
+        engine=engine,
+        frontier_chunk=frontier_chunk,
     )
 
 

@@ -1,0 +1,166 @@
+"""Census fusion: induced multi-pattern counts off one non-induced basis.
+
+Vertex-induced matching closes a pattern with anti-edges (Theorem 3.1)
+and pays for every one of them with per-candidate difference kernels —
+for a motif census that cost is multiplied across the member patterns.
+But induced and non-induced counts of same-size patterns are linearly
+related: every non-induced occurrence of ``P`` lives inside exactly one
+induced ``k``-vertex subgraph ``Q``, and the number of times it does is a
+pure pattern-level constant (the number of spanning subgraphs of ``Q``
+isomorphic to ``P``).  So
+
+    N_P  =  sum_Q  c_{P,Q} * I_Q
+
+over the connected ``k``-vertex patterns ``Q``, where ``N`` are
+non-induced (edge-induced, symmetry-broken) counts and ``I`` the induced
+ones — an upper-triangular system in decreasing edge count that inverts
+exactly over the integers (the classic Möbius inversion motif-counting
+systems like ORCA/ESCAPE exploit).
+
+The fused multi-pattern runner uses this as its census tier: count-only
+vertex-induced members without explicit anti-constraints are rewritten
+onto the shared edge-superset basis, the basis patterns are counted
+*non-induced* (anti-edge-free plans: arithmetic tail counts instead of
+membership kernels) through the same shared-frontier run, and the
+requested induced counts demultiplex by solving the system.  Everything
+here is exact integer pattern math — no data graph, no numpy — and
+parity with the per-pattern reference interpreter is fuzz-enforced in
+``tests/test_multipattern.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Mapping, Sequence
+
+from ..pattern.canonical import canonical_form, canonical_permutation
+from ..pattern.pattern import Pattern
+
+__all__ = ["CensusTransform", "census_transform", "census_eligible", "MAX_CENSUS_VERTICES"]
+
+# The edge-superset lattice of a k-vertex pattern has at most as many
+# members as there are connected k-vertex graphs; beyond 5 vertices that
+# (and the subset enumeration behind the coefficients) stops being a
+# fixed cost worth paying, so larger patterns take the direct path.
+MAX_CENSUS_VERTICES = 5
+
+
+def census_eligible(pattern: Pattern) -> bool:
+    """Whether the census tier may serve this vertex-induced pattern.
+
+    The non-induced basis rewrite assumes the anti-edges come *only*
+    from the Theorem 3.1 closure: explicitly anti-constrained, labeled
+    or anti-vertex patterns (and oversized ones) keep the direct path.
+    """
+    return (
+        not pattern.is_labeled
+        and pattern.num_anti_edges == 0
+        and not pattern.anti_vertices()
+        and 1 <= pattern.num_vertices <= MAX_CENSUS_VERTICES
+    )
+
+
+@dataclass(frozen=True)
+class CensusTransform:
+    """The basis and inversion data for one census-tier pattern group.
+
+    ``order`` holds ``(canonical code, canonical pattern)`` pairs for the
+    whole edge-superset closure of the targets, in decreasing edge count
+    — the order :meth:`induced_counts` solves in.  ``coefficients`` maps
+    a code to its strict-supergraph coefficients ``{supergraph code:
+    c_{P,Q}}``.  ``target_codes`` aligns one canonical code with each
+    input pattern, so callers demultiplex results positionally.
+    """
+
+    order: tuple[tuple[tuple, Pattern], ...]
+    coefficients: Mapping[tuple, Mapping[tuple, int]]
+    target_codes: tuple[tuple, ...]
+
+    @property
+    def basis(self) -> list[Pattern]:
+        """The non-induced patterns to count, aligned with ``order``."""
+        return [pattern for _, pattern in self.order]
+
+    def induced_counts(
+        self, noninduced: Mapping[tuple, int]
+    ) -> dict[tuple, int]:
+        """Solve ``N = C * I`` for the induced counts, by code.
+
+        ``noninduced[code]`` is the edge-induced (symmetry-broken) count
+        of the basis pattern with that code; the system is solved densest
+        pattern first, where ``I = N`` (the complete closure has no
+        strict supergraph).
+        """
+        induced: dict[tuple, int] = {}
+        for code, _ in self.order:
+            total = noninduced[code]
+            for supergraph_code, c in self.coefficients[code].items():
+                total -= c * induced[supergraph_code]
+            induced[code] = total
+        return induced
+
+
+def _spanning_code(edges: tuple, num_vertices: int) -> tuple | None:
+    """Canonical code of a spanning edge subset, or ``None`` if not one."""
+    sub = Pattern.from_edges(edges)
+    if sub.num_vertices != num_vertices or not sub.is_connected():
+        return None
+    return canonical_permutation(sub)[0]
+
+
+def census_transform(patterns: Sequence[Pattern]) -> CensusTransform:
+    """Build the census transform for ``patterns`` (all census-eligible).
+
+    The basis is the closure of the targets under single-edge addition
+    (every connected edge-supergraph on the same vertex set, up to the
+    complete graph); coefficients count, per basis pair, the spanning
+    subgraphs of the supergraph isomorphic to the subgraph.  Both are
+    pattern-level constants, independent of any data graph — sessions
+    cache the transform per requested code set.
+    """
+    basis: dict[tuple, Pattern] = {}
+    target_codes: list[tuple] = []
+    work: list[Pattern] = []
+    for pattern in patterns:
+        code, _ = canonical_permutation(pattern)
+        target_codes.append(code)
+        if code not in basis:
+            canonical = canonical_form(pattern)
+            basis[code] = canonical
+            work.append(canonical)
+    while work:
+        q = work.pop()
+        for u in range(q.num_vertices):
+            for v in range(u + 1, q.num_vertices):
+                if q.are_connected(u, v):
+                    continue
+                bigger = q.copy()
+                bigger.add_edge(u, v)
+                code, _ = canonical_permutation(bigger)
+                if code not in basis:
+                    canonical = canonical_form(bigger)
+                    basis[code] = canonical
+                    work.append(canonical)
+
+    coefficients: dict[tuple, dict[tuple, int]] = {code: {} for code in basis}
+    for qcode, q in basis.items():
+        edges = tuple(q.edges())
+        k = q.num_vertices
+        # Strict subsets only: equal edge count forces P == Q, whose
+        # (identity) coefficient the solver handles implicitly.
+        for size in range(max(k - 1, 1), len(edges)):
+            for subset in combinations(edges, size):
+                pcode = _spanning_code(subset, k)
+                if pcode is not None and pcode in coefficients:
+                    row = coefficients[pcode]
+                    row[qcode] = row.get(qcode, 0) + 1
+
+    order = tuple(
+        sorted(basis.items(), key=lambda item: -item[1].num_edges)
+    )
+    return CensusTransform(
+        order=order,
+        coefficients=coefficients,
+        target_codes=tuple(target_codes),
+    )

@@ -20,9 +20,16 @@ Execution knobs live in one frozen :class:`ExecOptions` value with a
 single resolution path: session defaults, overridden per call.  The
 session exposes the full verb set — :meth:`MiningSession.match`,
 :meth:`~MiningSession.count`, :meth:`~MiningSession.count_many`,
+:meth:`~MiningSession.match_many`,
+:meth:`~MiningSession.match_batches_many`,
 :meth:`~MiningSession.exists`, :meth:`~MiningSession.match_batches` and
 :meth:`~MiningSession.aggregate` (the paper's map/reduce aggregator
-idiom, §5.4).  The module-level functions in :mod:`repro.core.api` are
+idiom, §5.4).  Multi-pattern verbs fuse compatible patterns
+(:class:`MultiPatternPlan` grouping) onto one shared frontier walk
+through :func:`repro.core.accel.fused_run`, with count-only
+vertex-induced censuses demultiplexed off the shared non-induced basis
+(:mod:`repro.core.multipattern`).  The module-level functions in
+:mod:`repro.core.api` are
 one-shot shims over the per-graph shared session
 (:meth:`MiningSession.for_graph`), so legacy programs transparently get
 the same caches.
@@ -39,6 +46,7 @@ from ..graph.graph import DataGraph
 from ..pattern.pattern import Pattern
 from .callbacks import Aggregator, ExplorationControl, Match
 from .engine import EngineStats, run_tasks
+from .multipattern import CensusTransform, census_eligible, census_transform
 from .plan import ExplorationPlan, generate_plan
 
 try:  # numpy is an optional accelerator, not a hard dependency
@@ -49,14 +57,26 @@ except ImportError:  # pragma: no cover - exercised only without numpy
 __all__ = [
     "ExecOptions",
     "MiningSession",
+    "MultiPatternPlan",
     "as_session",
     "accel_preferred",
     "batch_preferred",
     "ACCEL_MIN_AVG_DEGREE",
     "ACCEL_BATCH_MIN_AVG_DEGREE",
+    "FUSED_MIN_GROUP",
 ]
 
 _ENGINE_CHOICES = ("auto", "accel", "accel-batch", "reference")
+
+# Engine choices for the multi-pattern verbs: everything a single-pattern
+# run accepts, plus "fused" to force the fused multi-pattern runner
+# (ablations; "auto" fuses whenever the run qualifies).
+_MULTI_ENGINE_CHOICES = ("fused",) + _ENGINE_CHOICES
+
+# Smallest fusable group worth routing through the fused runner under
+# engine="auto": a single-member group shares nothing, so it runs through
+# the ordinary per-pattern dispatch.  engine="fused" ignores the floor.
+FUSED_MIN_GROUP = 2
 
 # Measured crossover of the *per-match* vectorized engine
 # (bench_ablations.py::test_engine_dispatch): below this average degree
@@ -147,6 +167,19 @@ def _dispatch_engine(
     return "reference"
 
 
+def _starts_with_labels(ordered: DataGraph, labels) -> list[int]:
+    """Union of the labels' vertices, descending (hub-first issue order).
+
+    The one start-ordering rule shared by per-plan label filtering and
+    the fused runner's group frontiers — both must walk the same
+    hub-first order for fused and standalone runs to stay identical.
+    """
+    starts: set[int] = set()
+    for label in labels:
+        starts.update(ordered.vertices_with_label(label))
+    return sorted(starts, reverse=True)
+
+
 def _label_filtered_starts(ordered: DataGraph, plan: ExplorationPlan):
     """Start vertices restricted by the matching orders' top-position labels.
 
@@ -162,10 +195,64 @@ def _label_filtered_starts(ordered: DataGraph, plan: ExplorationPlan):
     top_labels = plan.pinned_start_labels()
     if top_labels is None:
         return None
-    starts: set[int] = set()
-    for label in top_labels:
-        starts.update(ordered.vertices_with_label(label))
-    return sorted(starts, reverse=True)  # preserve hub-first issue order
+    return _starts_with_labels(ordered, top_labels)
+
+
+@dataclass(frozen=True)
+class MultiPatternPlan:
+    """A multi-pattern workload grouped for fused frontier execution.
+
+    ``plans`` holds every member's exploration plan in reference order
+    (the order the patterns were supplied in — results always demultiplex
+    back to it).  Members are *compatible* when they share a level-0
+    frontier: the grouping key is the plan's pinned-start-label set
+    (:meth:`~repro.core.plan.ExplorationPlan.pinned_start_labels`), or
+    ``None`` when starts are unrestricted — so unlabeled censuses and FSM
+    structural rounds collapse into one group, while label-pinned
+    patterns group per distinct label set.  ``groups`` lists the fusable
+    groups (member indices, each at least ``min_group`` strong) and
+    ``singles`` the left-over indices that run through the ordinary
+    per-pattern dispatch.
+    """
+
+    plans: tuple[ExplorationPlan, ...]
+    groups: tuple[tuple[int, ...], ...]
+    group_keys: tuple[frozenset | None, ...]
+    singles: tuple[int, ...]
+
+    @classmethod
+    def build(
+        cls,
+        plans: Sequence[ExplorationPlan],
+        label_index: bool = True,
+        min_group: int = FUSED_MIN_GROUP,
+    ) -> "MultiPatternPlan":
+        """Group ``plans`` by shared frontier signature.
+
+        With ``label_index`` disabled every member seeds from the full
+        vertex set, so all plans share the unrestricted frontier and
+        collapse into one group regardless of label pins.
+        """
+        by_key: dict[frozenset | None, list[int]] = {}
+        for idx, plan in enumerate(plans):
+            pinned = plan.pinned_start_labels() if label_index else None
+            key = frozenset(pinned) if pinned is not None else None
+            by_key.setdefault(key, []).append(idx)
+        groups: list[tuple[int, ...]] = []
+        group_keys: list[frozenset | None] = []
+        singles: list[int] = []
+        for key, indices in by_key.items():
+            if len(indices) >= max(1, min_group):
+                groups.append(tuple(indices))
+                group_keys.append(key)
+            else:
+                singles.extend(indices)
+        return cls(
+            plans=tuple(plans),
+            groups=tuple(groups),
+            group_keys=tuple(group_keys),
+            singles=tuple(sorted(singles)),
+        )
 
 
 @dataclass(frozen=True)
@@ -300,6 +387,7 @@ class MiningSession:
         "_translation",
         "_plans",
         "_starts",
+        "_census",
         "plan_cache_hits",
         "plan_cache_misses",
     )
@@ -325,6 +413,7 @@ class MiningSession:
         self._translation = None  # numpy mirror of _old_of_new (lazy)
         self._plans: dict[tuple, ExplorationPlan] = {}
         self._starts: dict[tuple, list[int] | None] = {}
+        self._census: dict[tuple, CensusTransform] = {}
         self.plan_cache_hits = 0
         self.plan_cache_misses = 0
 
@@ -406,6 +495,7 @@ class MiningSession:
         """
         self._plans.clear()
         self._starts.clear()
+        self._census.clear()
 
     def cache_info(self) -> dict[str, Any]:
         """Cache occupancy/hit counters (tests, benchmarks, dashboards)."""
@@ -414,6 +504,7 @@ class MiningSession:
             "plan_hits": self.plan_cache_hits,
             "plan_misses": self.plan_cache_misses,
             "start_lists": len(self._starts),
+            "census_transforms": len(self._census),
             "ordered_built": self._ordered is not None,
             "view_built": (
                 self._ordered is not None
@@ -521,10 +612,65 @@ class MiningSession:
 
         The multi-pattern overload of the paper's ``count`` (motif
         counting, Fig 4e): the ordered graph, CSR view and plan cache are
-        reused across every pattern instead of being re-derived per call.
+        reused across every pattern instead of being re-derived per call,
+        and compatible patterns additionally *fuse* — one shared level-0
+        frontier walk with shared numpy gathers serves the whole group
+        (see :meth:`match_many` for the dispatch rules).
         """
+        patterns = list(patterns)
         opts = self.defaults.merged(options)
-        return {p: self._run_match(p, None, opts) for p in patterns}
+        totals = self._run_many(patterns, None, None, opts)
+        return dict(zip(patterns, totals))
+
+    def match_many(
+        self,
+        patterns: Sequence[Pattern],
+        callbacks: Sequence[Callable[[Match], None] | None] | None = None,
+        **options,
+    ) -> list[int]:
+        """Match every pattern; return per-pattern counts in input order.
+
+        ``callbacks[i]`` (if given) fires once per match of
+        ``patterns[i]``, in exactly the order a standalone
+        :meth:`match` of that pattern would produce — fusion never
+        reorders a member's own matches, only interleaves work *between*
+        members.
+
+        **Fused dispatch.**  With ``engine="auto"`` (and numpy, no
+        ``stats``/``timer``/``control``/``plan``/``start_vertices``
+        overrides, graph above the batched crossover), patterns sharing a
+        level-0 frontier signature are grouped by
+        :class:`MultiPatternPlan` and groups of at least
+        :data:`FUSED_MIN_GROUP` members run through
+        :func:`repro.core.accel.fused_run`: one frontier walk, shared
+        first-level gathers, per-pattern masks.  ``engine="fused"``
+        forces fusion for every group (raising when the run does not
+        qualify); any other engine runs the patterns sequentially on that
+        engine.
+        """
+        patterns = list(patterns)
+        opts = self.defaults.merged(options)
+        return self._run_many(patterns, callbacks, None, opts)
+
+    def match_batches_many(
+        self,
+        patterns: Sequence[Pattern],
+        on_batches: Sequence[Callable],
+        **options,
+    ) -> list[int]:
+        """Stream every pattern's matches as arrays; return per-pattern counts.
+
+        The multi-pattern overload of :meth:`match_batches`:
+        ``on_batches[i]`` receives ``patterns[i]``'s match rows (caller
+        vertex ids, ``-1`` for anti-vertices).  Fusion follows the
+        :meth:`match_many` dispatch rules — FSM rounds stream every
+        structural pattern of a round off one shared frontier walk.
+        """
+        if _accel is None:
+            raise MatchingError("match_batches_many requires numpy")
+        patterns = list(patterns)
+        opts = self.defaults.merged(options)
+        return self._run_many(patterns, None, list(on_batches), opts)
 
     def exists(self, pattern: Pattern, **options) -> bool:
         """Whether at least one match exists; stops at the first (§5.3).
@@ -567,9 +713,12 @@ class MiningSession:
         """
         if _accel is None:
             raise MatchingError("match_batches requires numpy")
-        np = _accel.np
         opts = self.defaults.merged(options)
-        plan, starts, selected = self._prepare(pattern, opts)
+        return self._run_batches(pattern, on_batch, opts)
+
+    def _batch_emitter(self, on_batch) -> Callable:
+        """Wrap ``on_batch`` to receive rows in the caller's vertex ids."""
+        np = _accel.np
         if self._translation is None:
             self._translation = np.asarray(self.translation, dtype=np.int64)
         translation = self._translation
@@ -579,6 +728,13 @@ class MiningSession:
             translated[mappings < 0] = -1
             on_batch(translated)
 
+        return emit
+
+    def _run_batches(self, pattern: Pattern, on_batch, opts: ExecOptions) -> int:
+        """Single-pattern batch streaming (shared by the *_many paths)."""
+        np = _accel.np
+        plan, starts, selected = self._prepare(pattern, opts)
+        emit = self._batch_emitter(on_batch)
         if selected == "accel-batch":
             batched = _accel.FrontierBatchedEngine(self.view)
             return batched.run(
@@ -624,6 +780,7 @@ class MiningSession:
         reduce: Callable[[Any, Any], Any] | None = None,
         on_update: Callable[[Aggregator], None] | None = None,
         interval: float = 0.005,
+        num_threads: int = 1,
         **options,
     ) -> dict[Any, Any]:
         """Map/reduce over the matches of one or more patterns (§5.4).
@@ -638,6 +795,17 @@ class MiningSession:
         ``on_update`` hook sees live aggregates — pair it with a
         ``control`` override to stop early once a threshold is met (the
         Fig 4b pattern).  Returns the final ``{key: value}`` map.
+
+        With ``num_threads > 1`` each pattern runs through
+        :func:`repro.runtime.parallel.parallel_match`: worker threads
+        keep thread-local aggregators that the aggregator thread drains
+        concurrently — the paper's end-to-end concurrent map/reduce.
+        ``reduce`` must then be order-insensitive (associative and
+        commutative), since workers fold values in a nondeterministic
+        interleaving; the default addition and reducers like ``max``
+        qualify.  Multiple patterns without a ``control`` (and a single
+        thread) route through :meth:`match_many`, so compatible patterns
+        fuse onto one frontier walk.
         """
         # Deferred import: repro.runtime imports repro.core at module
         # load; by the time a session aggregates, both are initialized.
@@ -645,7 +813,61 @@ class MiningSession:
 
         if isinstance(patterns, Pattern):
             patterns = [patterns]
+        patterns = list(patterns)
         opts = self.defaults.merged(options)
+
+        if num_threads > 1:
+            from ..runtime.parallel import parallel_match
+
+            # The thread pool has no hooks for these knobs; dropping them
+            # silently would return different results than the
+            # single-threaded path, so reject loudly instead.
+            unsupported = [
+                name
+                for name in ("stats", "timer", "plan", "start_vertices",
+                             "frontier_chunk")
+                if getattr(opts, name) is not None
+            ]
+            if unsupported:
+                raise MatchingError(
+                    f"aggregate(num_threads={num_threads}) does not support "
+                    f"the {sorted(unsupported)} option(s); drop them or use "
+                    "num_threads=1"
+                )
+            if opts.engine not in ("auto", "accel-batch", "reference"):
+                raise MatchingError(
+                    f"engine={opts.engine!r} is not available under threads; "
+                    "use 'auto', 'accel-batch' or 'reference'"
+                )
+
+            def thread_cb(m: Match, local_agg: Aggregator) -> None:
+                kv = map_fn(m)
+                if kv is not None:
+                    local_agg.map_pattern(kv[0], kv[1])
+
+            # One shared destination across every pattern's run, so
+            # on_update observes cumulative totals (the Fig 4b
+            # threshold-stop idiom keeps working across patterns).
+            total = Aggregator(combine=reduce)
+            for pattern in patterns:
+                parallel_match(
+                    self,
+                    pattern,
+                    num_threads=num_threads,
+                    callback=thread_cb,
+                    edge_induced=opts.edge_induced,
+                    symmetry_breaking=opts.symmetry_breaking,
+                    control=opts.control,
+                    aggregate_interval=interval,
+                    on_update=on_update,
+                    engine=opts.engine,
+                    combine=reduce,
+                    global_aggregator=total,
+                )
+                if opts.control is not None and opts.control.stopped:
+                    break
+            return total.result()
+
         total = Aggregator(combine=reduce)
         local = Aggregator(combine=reduce)
 
@@ -659,10 +881,15 @@ class MiningSession:
         with AggregatorThread(
             total, [local], interval=interval, on_update=on_update
         ):
-            for pattern in patterns:
-                self._run_match(pattern, on_match, opts)
-                if opts.control is not None and opts.control.stopped:
-                    break
+            if opts.control is None and len(patterns) > 1:
+                # No early-termination token: the multi-pattern runner can
+                # interleave members freely, so compatible patterns fuse.
+                self._run_many(patterns, [on_match] * len(patterns), None, opts)
+            else:
+                for pattern in patterns:
+                    self._run_match(pattern, on_match, opts)
+                    if opts.control is not None and opts.control.stopped:
+                        break
         return total.result()
 
     # ------------------------------------------------------------------
@@ -705,6 +932,198 @@ class MiningSession:
             timer=opts.timer,
             count_only=callback is None,
         )
+
+    def _split_census_tier(
+        self,
+        group: Sequence[int],
+        patterns: Sequence[Pattern],
+        callbacks: Sequence,
+        on_batches: Sequence,
+        key: frozenset | None,
+        opts: ExecOptions,
+    ) -> tuple[list[int], list[int]]:
+        """Partition one fused group into (direct, census-tier) members.
+
+        The census tier serves count-only vertex-induced members without
+        explicit anti-constraints (see
+        :func:`repro.core.multipattern.census_eligible`) by counting the
+        shared non-induced basis instead; it needs at least two such
+        members before the basis rewrite can amortize.  Everything else
+        — callback/batch consumers, labeled or anti-constrained patterns,
+        edge-induced runs — stays on the direct fused path.
+        """
+        if opts.edge_induced or not opts.symmetry_breaking or key is not None:
+            return list(group), []
+        direct: list[int] = []
+        census: list[int] = []
+        for idx in group:
+            if (
+                callbacks[idx] is None
+                and on_batches[idx] is None
+                and census_eligible(patterns[idx])
+            ):
+                census.append(idx)
+            else:
+                direct.append(idx)
+        if len(census) < 2:
+            return list(group), []
+        return direct, census
+
+    def _census_transform_for(
+        self, census_patterns: Sequence[Pattern]
+    ) -> tuple[CensusTransform, list[tuple]]:
+        """The (cached) census transform plus per-call target codes.
+
+        The transform depends only on the *set* of canonical codes, so it
+        is cached under that key; the returned code list is aligned with
+        ``census_patterns`` for positional demultiplexing.
+        """
+        from ..pattern.canonical import canonical_permutation
+
+        codes = [canonical_permutation(p)[0] for p in census_patterns]
+        cache_key = tuple(sorted(set(codes)))
+        transform = self._census.get(cache_key)
+        if transform is None:
+            transform = census_transform(census_patterns)
+            self._census[cache_key] = transform
+        return transform, codes
+
+    def _group_starts(self, key: frozenset | None):
+        """The fused level-0 frontier for one :class:`MultiPatternPlan` group.
+
+        ``None`` (unrestricted) lets the runner seed from every vertex,
+        hub-first; a label set restricts to its vertices in the same
+        hub-first order — exactly what each member's own
+        :func:`_label_filtered_starts` would produce, since members of a
+        group share the pinned-label signature.
+        """
+        if key is None:
+            return None
+        return _starts_with_labels(self.ordered, key)
+
+    def _run_many(
+        self,
+        patterns: Sequence[Pattern],
+        callbacks: Sequence[Callable[[Match], None] | None] | None,
+        on_batches: Sequence[Callable] | None,
+        opts: ExecOptions,
+    ) -> list[int]:
+        """Run a multi-pattern workload; per-pattern totals in input order.
+
+        Fusable members (see :meth:`match_many`) run through
+        :func:`repro.core.accel.fused_run`, everything else through the
+        ordinary single-pattern dispatch — the two partitions cover every
+        index exactly once, so results always demultiplex completely.
+        """
+        n = len(patterns)
+        callbacks = list(callbacks) if callbacks is not None else [None] * n
+        on_batches = list(on_batches) if on_batches is not None else [None] * n
+        if len(callbacks) != n or len(on_batches) != n:
+            raise ValueError(
+                "callbacks/on_batches must align one-to-one with patterns"
+            )
+        engine = opts.engine
+        if engine not in _MULTI_ENGINE_CHOICES:
+            raise ValueError(
+                f"engine must be one of {_MULTI_ENGINE_CHOICES}, got {engine!r}"
+            )
+        hooks_free = (
+            _accel is not None
+            and opts.stats is None
+            and opts.timer is None
+            and opts.control is None
+            and opts.plan is None
+            and opts.start_vertices is None
+        )
+        if engine == "fused" and not hooks_free:
+            raise MatchingError(
+                "engine='fused' requires numpy and no stats/timer/control/"
+                "plan/start_vertices overrides; use engine='auto' to fall "
+                "back to per-pattern dispatch"
+            )
+
+        multi = None
+        plans: list[ExplorationPlan] = []
+        if hooks_free and engine in ("auto", "fused"):
+            plans = [
+                self._cached_plan(p, opts.edge_induced, opts.symmetry_breaking)[0]
+                for p in patterns
+            ]
+            # batch_preferred depends only on the ordered graph, so one
+            # member answers for the whole workload.
+            if engine == "fused" or (
+                plans and batch_preferred(self.ordered, plans[0])
+            ):
+                labels = self.ordered.labels()
+                if any(pl.matched_pattern.is_labeled for pl in plans) and (
+                    labels is None
+                ):
+                    raise MatchingError(
+                        "pattern has label constraints but the data graph "
+                        "is unlabeled"
+                    )
+                multi = MultiPatternPlan.build(
+                    plans,
+                    label_index=opts.label_index and labels is not None,
+                    min_group=1 if engine == "fused" else FUSED_MIN_GROUP,
+                )
+
+        totals = [0] * n
+        if multi is not None:
+            for group, key in zip(multi.groups, multi.group_keys):
+                direct, census = self._split_census_tier(
+                    group, patterns, callbacks, on_batches, key, opts
+                )
+                members = []
+                for idx in direct:
+                    cb = callbacks[idx]
+                    ob = on_batches[idx]
+                    members.append((
+                        plans[idx],
+                        self._translated(cb) if cb is not None else None,
+                        self._batch_emitter(ob) if ob is not None else None,
+                    ))
+                transform = None
+                if census:
+                    transform, census_codes = self._census_transform_for(
+                        [patterns[idx] for idx in census]
+                    )
+                    members.extend(
+                        (self._cached_plan(basis_pattern, True, True)[0], None, None)
+                        for basis_pattern in transform.basis
+                    )
+                counts = _accel.fused_run(
+                    self.view,
+                    members,
+                    start_vertices=self._group_starts(key),
+                    chunk=opts.frontier_chunk,
+                )
+                for pos, idx in enumerate(direct):
+                    totals[idx] = counts[pos]
+                if transform is not None:
+                    noninduced = {
+                        code: counts[len(direct) + pos]
+                        for pos, (code, _) in enumerate(transform.order)
+                    }
+                    induced = transform.induced_counts(noninduced)
+                    for pos, idx in enumerate(census):
+                        totals[idx] = induced[census_codes[pos]]
+            remaining: Sequence[int] = multi.singles
+        else:
+            remaining = range(n)
+
+        # Per-pattern engines ("accel", "reference", ...) and non-fusable
+        # members keep the exact single-pattern semantics, hooks included.
+        for idx in remaining:
+            if on_batches[idx] is not None:
+                totals[idx] = self._run_batches(
+                    patterns[idx], on_batches[idx], opts
+                )
+            else:
+                totals[idx] = self._run_match(
+                    patterns[idx], callbacks[idx], opts
+                )
+        return totals
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         info = self.cache_info()

@@ -61,28 +61,10 @@ class FSMResult:
         return len(self.frequent)
 
 
-def _discover(
-    session: MiningSession,
-    structural: Pattern,
-    symmetry_breaking: bool,
-    bitset_factory=None,
-    engine: str | None = None,
-) -> dict[tuple, tuple[Pattern, Domain]]:
-    """Match one (partially labeled) pattern, grouping by discovered labels.
-
-    Returns ``{canonical code of labeled pattern: (pattern, domain)}``.
-    The labeled pattern's canonical permutation is computed lazily per
-    distinct labeling, and each match's vertices are written into the
-    domains in canonical coordinates.
-
-    With numpy available, matches arrive as whole arrays
-    (:func:`repro.core.api.match_batches`) and each batch is group-reduced
-    with a vectorized row-``unique`` over the matched label tuples, then
-    folded into the domains column-wise — one Python call per distinct
-    labeling per batch instead of one per match.  The per-match callback
-    path remains as the numpy-free fallback and computes identical tables.
-    """
-    graph = session.graph
+def _table_collector(
+    structural: Pattern, symmetry_breaking: bool, bitset_factory=None
+):
+    """Per-structural discovery state: the tables dict and its key fn."""
     tables: dict[tuple, tuple[Pattern, Domain]] = {}
     # Cache per distinct label tuple: (code, order) of the labeled pattern.
     labeling_cache: dict[tuple, tuple[tuple, tuple[int, ...]]] = {}
@@ -108,67 +90,140 @@ def _discover(
                 )
         return cached
 
+    return tables, table_key
+
+
+def _batch_discoverer(
+    graph: DataGraph,
+    structural: Pattern,
+    symmetry_breaking: bool,
+    bitset_factory=None,
+):
+    """``(tables, on_batch)`` for one structural pattern (numpy path).
+
+    Each batch is group-reduced with a vectorized row-``unique`` over the
+    matched label tuples, then folded into the domains column-wise — one
+    Python call per distinct labeling per batch instead of one per match.
+    """
+    tables, table_key = _table_collector(
+        structural, symmetry_breaking, bitset_factory
+    )
+    n = structural.num_vertices
+    graph_labels = _np.asarray(graph.labels(), dtype=_np.int64)
+    # Scalar keys for the row group-by: label tuples are mixed-radix
+    # encoded so the per-batch unique runs over 1D int64 (far cheaper
+    # than ``np.unique(axis=0)``'s structured sort).
+    radix = int(graph_labels.max()) + 1 if graph_labels.size else 1
+    # Huge label alphabets could overflow the scalar encoding; the
+    # structured-sort unique is the (slower) safe fallback there.
+    scalar_keys = (
+        radix > 1
+        and int(graph_labels.min()) >= 0
+        and n * (radix - 1).bit_length() < 62
+    )
+    powers = radix ** _np.arange(n, dtype=_np.int64) if scalar_keys else None
+
+    def on_batch(mappings) -> None:
+        # Group rows by their matched label tuple in one vectorized
+        # pass (unique + stable argsort, so each group is one slice),
+        # then write each group's columns (canonical order) into its
+        # domain table as a batch.
+        label_rows = graph_labels[mappings]
+        if scalar_keys:
+            _, first_row, inverse = _np.unique(
+                label_rows @ powers, return_index=True, return_inverse=True
+            )
+        else:
+            _, first_row, inverse = _np.unique(
+                label_rows, axis=0, return_index=True, return_inverse=True
+            )
+        by_group = mappings[_np.argsort(inverse, kind="stable")]
+        ends = _np.cumsum(_np.bincount(inverse, minlength=first_row.size))
+        start = 0
+        for gi, end in enumerate(ends.tolist()):
+            labels = tuple(int(lab) for lab in label_rows[first_row[gi]])
+            code, order = table_key(labels)
+            tables[code][1].update_batch(by_group[start:end, list(order)])
+            start = end
+
+    return tables, on_batch
+
+
+def _discover(
+    session: MiningSession,
+    structural: Pattern,
+    symmetry_breaking: bool,
+    bitset_factory=None,
+    engine: str | None = None,
+) -> dict[tuple, tuple[Pattern, Domain]]:
+    """Match one (partially labeled) pattern, grouping by discovered labels.
+
+    Returns ``{canonical code of labeled pattern: (pattern, domain)}``.
+    The labeled pattern's canonical permutation is computed lazily per
+    distinct labeling, and each match's vertices are written into the
+    domains in canonical coordinates.  This is the single-pattern path;
+    FSM rounds go through :func:`_discover_round`, which fuses all of a
+    round's structural patterns onto one frontier walk.
+    """
+    return _discover_round(
+        session, [structural], symmetry_breaking, bitset_factory, engine
+    )[0]
+
+
+def _discover_round(
+    session: MiningSession,
+    structurals: list[Pattern],
+    symmetry_breaking: bool,
+    bitset_factory=None,
+    engine: str | None = None,
+) -> list[dict[tuple, tuple[Pattern, Domain]]]:
+    """Discover labelings for every structural pattern of one FSM round.
+
+    With numpy available, the round issues a single
+    :meth:`~repro.core.session.MiningSession.match_batches_many`: the
+    structural patterns share one level-0 frontier walk (they are
+    unlabeled, so they always group) and every pattern's matches arrive
+    as arrays for the vectorized domain group-by.  The per-match callback
+    path remains as the numpy-free fallback and computes identical
+    tables.
+    """
+    graph = session.graph
     if _np is not None and graph.labels() is not None:
-        graph_labels = _np.asarray(graph.labels(), dtype=_np.int64)
-        # Scalar keys for the row group-by: label tuples are mixed-radix
-        # encoded so the per-batch unique runs over 1D int64 (far cheaper
-        # than ``np.unique(axis=0)``'s structured sort).
-        radix = int(graph_labels.max()) + 1 if graph_labels.size else 1
-        # Huge label alphabets could overflow the scalar encoding; the
-        # structured-sort unique is the (slower) safe fallback there.
-        scalar_keys = (
-            radix > 1
-            and int(graph_labels.min()) >= 0
-            and n * (radix - 1).bit_length() < 62
-        )
-        powers = radix ** _np.arange(n, dtype=_np.int64) if scalar_keys else None
-
-        def on_batch(mappings) -> None:
-            # Group rows by their matched label tuple in one vectorized
-            # pass (unique + stable argsort, so each group is one slice),
-            # then write each group's columns (canonical order) into its
-            # domain table as a batch.
-            label_rows = graph_labels[mappings]
-            if scalar_keys:
-                _, first_row, inverse = _np.unique(
-                    label_rows @ powers, return_index=True, return_inverse=True
-                )
-            else:
-                _, first_row, inverse = _np.unique(
-                    label_rows, axis=0, return_index=True, return_inverse=True
-                )
-            by_group = mappings[_np.argsort(inverse, kind="stable")]
-            ends = _np.cumsum(_np.bincount(inverse, minlength=first_row.size))
-            start = 0
-            for gi, end in enumerate(ends.tolist()):
-                labels = tuple(int(lab) for lab in label_rows[first_row[gi]])
-                code, order = table_key(labels)
-                tables[code][1].update_batch(by_group[start:end, list(order)])
-                start = end
-
-        session.match_batches(
-            structural,
-            on_batch,
+        pairs = [
+            _batch_discoverer(graph, s, symmetry_breaking, bitset_factory)
+            for s in structurals
+        ]
+        session.match_batches_many(
+            structurals,
+            [on_batch for _, on_batch in pairs],
             edge_induced=True,
             symmetry_breaking=symmetry_breaking,
             engine=engine,
         )
-        return tables
+        return [tables for tables, _ in pairs]
 
-    def on_match(m: Match) -> None:
-        labels = tuple(graph.label(m.mapping[u]) for u in range(n))
-        code, order = table_key(labels)
-        domain = tables[code][1]
-        domain.update([m.mapping[u] for u in order])
+    results: list[dict[tuple, tuple[Pattern, Domain]]] = []
+    for structural in structurals:
+        tables, table_key = _table_collector(
+            structural, symmetry_breaking, bitset_factory
+        )
+        n = structural.num_vertices
 
-    session.match(
-        structural,
-        on_match,
-        edge_induced=True,
-        symmetry_breaking=symmetry_breaking,
-        engine=engine,
-    )
-    return tables
+        def on_match(m: Match, _table_key=table_key, _tables=tables, _n=n) -> None:
+            labels = tuple(graph.label(m.mapping[u]) for u in range(_n))
+            code, order = _table_key(labels)
+            domain = _tables[code][1]
+            domain.update([m.mapping[u] for u in order])
+
+        session.match(
+            structural,
+            on_match,
+            edge_induced=True,
+            symmetry_breaking=symmetry_breaking,
+            engine=engine,
+        )
+        results.append(tables)
+    return results
 
 
 def fsm(
@@ -202,11 +257,11 @@ def fsm(
     for size in range(1, num_edges + 1):
         frequent_here: dict[Pattern, int] = {}
         merged: dict[tuple, tuple[Pattern, Domain]] = {}
-        for structural in frontier:
+        round_tables = _discover_round(
+            session, frontier, symmetry_breaking, bitset_factory, engine=engine
+        )
+        for tables in round_tables:
             result.patterns_explored += 1
-            tables = _discover(
-                session, structural, symmetry_breaking, bitset_factory, engine=engine
-            )
             for code, (labeled, domain) in tables.items():
                 if code in merged:
                     merged[code][1].merge_from(domain)

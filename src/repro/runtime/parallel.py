@@ -138,12 +138,24 @@ def parallel_match(
     aggregate_interval: float = 0.005,
     on_update: Callable[[Aggregator], None] | None = None,
     engine: str = "auto",
+    combine: Callable | None = None,
+    global_aggregator: Aggregator | None = None,
 ) -> ParallelResult:
     """Match a pattern with ``num_threads`` worker threads.
 
     ``callback(match, local_aggregator)`` runs on the worker thread that
     found the match; values it maps into the local aggregator surface in
     the global aggregate via the asynchronous aggregator thread.
+    ``combine`` is the aggregators' reduction function (default:
+    addition); because workers fold values in a nondeterministic
+    interleaving, it must be order-insensitive (associative and
+    commutative) for the aggregates to be deterministic —
+    :meth:`repro.core.session.MiningSession.aggregate` routes its
+    ``reduce`` through here when threaded.  ``global_aggregator``
+    optionally supplies the destination aggregator (it must share
+    ``combine``); callers spanning several runs — multi-pattern
+    aggregates — pass one so ``on_update`` observes the *cumulative*
+    totals rather than each run's private map.
 
     With ``engine="auto"`` the workers drive the frontier-batched engine
     over partitions of the level-0 frontier whenever the run qualifies
@@ -177,8 +189,12 @@ def parallel_match(
             ordered.num_vertices, chunk_size=chunk_size
         )
     shared_control = control if control is not None else ExplorationControl()
-    global_agg = Aggregator()
-    local_aggs = [Aggregator() for _ in range(num_threads)]
+    global_agg = (
+        global_aggregator
+        if global_aggregator is not None
+        else Aggregator(combine=combine)
+    )
+    local_aggs = [Aggregator(combine=combine) for _ in range(num_threads)]
     local_stats = [EngineStats() for _ in range(num_threads)]
     thread_matches = [0] * num_threads
     thread_cpu = [0.0] * num_threads

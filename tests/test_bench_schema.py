@@ -1,0 +1,83 @@
+"""Bench-artifact schema regression: the committed JSONs keep their keys.
+
+The repo-root ``BENCH_*.json`` files are the regression baselines future
+PRs compare against, and CI smoke only re-runs the cheap paths — so a
+bench refactor that silently renames or drops a top-level key would rot
+every downstream consumer without failing anything.  This suite pins the
+top-level schema (and the workload-entry schema where one exists) of
+each committed artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+# artifact -> (required top-level keys, expected "bench" tag)
+SCHEMAS = {
+    "BENCH_engine.json": (
+        {"bench", "n", "engines", "note", "results"},
+        "engine-frontier",
+    ),
+    "BENCH_session.json": (
+        {"bench", "rounds_per_workload", "note", "workloads"},
+        "session-reuse",
+    ),
+    "BENCH_multipattern.json": (
+        {"bench", "rounds_per_workload", "sequential_engine", "note", "workloads"},
+        "multipattern-fusion",
+    ),
+}
+
+# Per-workload keys for the workload-shaped artifacts.
+WORKLOAD_KEYS = {
+    "BENCH_session.json": {"n", "rounds", "best_warm_speedup_vs_cold"},
+    "BENCH_multipattern.json": {"n", "kind", "rounds", "best_fused_speedup"},
+}
+
+
+def _load(name: str) -> dict:
+    path = REPO_ROOT / name
+    assert path.exists(), f"{name} missing from the repo root"
+    return json.loads(path.read_text())
+
+
+@pytest.mark.parametrize("name", sorted(SCHEMAS))
+def test_top_level_keys_stable(name):
+    required, tag = SCHEMAS[name]
+    payload = _load(name)
+    missing = required - payload.keys()
+    assert not missing, f"{name} lost top-level key(s) {sorted(missing)}"
+    assert payload["bench"] == tag
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOAD_KEYS))
+def test_workload_entries_stable(name):
+    payload = _load(name)
+    assert payload["workloads"], f"{name} has no workloads"
+    for workload, entry in payload["workloads"].items():
+        missing = WORKLOAD_KEYS[name] - entry.keys()
+        assert not missing, (
+            f"{name} workload {workload!r} lost key(s) {sorted(missing)}"
+        )
+        assert entry["rounds"], f"{name} workload {workload!r} has no rounds"
+
+
+def test_engine_results_rows_stable():
+    payload = _load("BENCH_engine.json")
+    assert payload["results"], "BENCH_engine.json has no result rows"
+    row_keys = {"pattern", "avg_degree", "matches", "batch_speedup_vs_reference"}
+    for row in payload["results"]:
+        missing = row_keys - row.keys()
+        assert not missing, f"engine sweep row lost key(s) {sorted(missing)}"
+
+
+def test_multipattern_acceptance_recorded():
+    """The committed artifact records a census win, not just timings."""
+    payload = _load("BENCH_multipattern.json")
+    census = payload["workloads"]["3-motif-census"]
+    assert census["best_fused_speedup"] > 1.0

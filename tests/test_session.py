@@ -244,6 +244,59 @@ class TestExecOptions:
         with pytest.raises(ValueError):
             MiningSession(g).count(generate_clique(3), engine="warp-drive")
 
+    # Distinct-from-default sample values per overridable field, so a
+    # field-by-field check can tell "overridden" from "inherited".
+    _OVERRIDE_SAMPLES = {
+        "edge_induced": st.just(False),
+        "symmetry_breaking": st.just(False),
+        "engine": st.sampled_from(["reference", "accel", "accel-batch"]),
+        "frontier_chunk": st.integers(min_value=1, max_value=64),
+        "label_index": st.just(False),
+        "flush_size": st.integers(min_value=1, max_value=512),
+    }
+
+    @given(
+        overrides=st.fixed_dictionaries(
+            {}, optional=_OVERRIDE_SAMPLES
+        ),
+        base_engine=st.sampled_from(["auto", "reference"]),
+        base_flush=st.integers(min_value=1, max_value=9999),
+    )
+    @settings(max_examples=60)
+    def test_merged_resolves_field_by_field(
+        self, overrides, base_engine, base_flush
+    ):
+        """Random override subsets: overridden fields take the override,
+        every other field keeps the session default, and the defaults
+        object itself is never mutated."""
+        import dataclasses
+
+        defaults = ExecOptions(engine=base_engine, flush_size=base_flush)
+        snapshot = dataclasses.asdict(defaults)
+        merged = defaults.merged(overrides)
+        for field in dataclasses.fields(ExecOptions):
+            expected = overrides.get(field.name, getattr(defaults, field.name))
+            assert getattr(merged, field.name) == expected, field.name
+        assert dataclasses.asdict(defaults) == snapshot
+        if not overrides:
+            assert merged is defaults  # no-op merges don't copy
+
+    @given(
+        overrides=st.fixed_dictionaries({}, optional=_OVERRIDE_SAMPLES),
+        bogus=st.sampled_from(
+            ["frontier_chunks", "Engine", "chunk", "threads", ""]
+        ),
+    )
+    @settings(max_examples=30)
+    def test_merged_unknown_names_raise(self, overrides, bogus):
+        with pytest.raises(TypeError, match="unknown execution option"):
+            ExecOptions().merged({**overrides, bogus: 1})
+
+    def test_merged_engine_none_inherits(self):
+        defaults = ExecOptions(engine="reference")
+        assert defaults.merged({"engine": None}).engine == "reference"
+        assert defaults.merged({"engine": None, "flush_size": 7}).flush_size == 7
+
 
 # ----------------------------------------------------------------------
 # Cache behaviour: the whole point of a session
