@@ -1,0 +1,300 @@
+"""Parallel-schedule benchmark: work-stealing vs. static frontier slicing.
+
+The workload behind the Figure 12 scalability claim: ``process_count``'s
+workers consume the level-0 frontier, and this bench measures what the
+*schedule* — how starts are placed on workers — costs or saves across
+degree skew.  ``static`` is the legacy up-front stride slicing
+(``frontier[i::P]``); ``dynamic`` is the work-stealing queue of
+degree-weighted chunks from :mod:`repro.runtime.scheduler`.
+
+**Methodology.**  This repo's benchmark hosts are often single-core
+containers, where wall-clocking a process pool measures serialization,
+not scheduling.  Following the ``bench_fig12`` work-partition idiom, the
+schedule comparison is therefore *makespan-based and host-independent*:
+each worker's assignment is timed sequentially on one warm engine —
+whole stride slices for static, the ledger's chunks (greedily list-
+scheduled onto the earliest-free worker, exactly the shared-cursor
+claiming order) for dynamic — and the speedup is the ratio of the two
+makespans.  Real ``process_count`` pools are additionally run for count
+parity and informational wall clock (meaningful only when
+``host_cpus`` >= the process count).
+
+Three graphs sweep skew at fixed pattern (p1, the diamond):
+
+* ``uniform`` — G(n, p): every task costs the same; dynamic chunking
+  must be ~free (the 0.95x acceptance floor);
+* ``power-law`` — natural heavy tail (gamma 2.3): a few separated hubs
+  hold multi-ms tasks; static's straggler is whoever draws the top hub
+  plus a full 1/P share of everything else;
+* ``power-law-flash-crowd`` — truncated power-law body plus one
+  flash-crowd hub whose single task approaches a whole worker share:
+  the regime the work-stealing queue exists for (>= 1.5x acceptance).
+
+Run the full measurement (writes ``BENCH_parallel.json``)::
+
+    python -m pytest benchmarks/bench_parallel.py -q -s
+
+The ``fast``-marked smoke (real pools, tiny graph) is part of the CI
+benchmark matrix, so the harness cannot silently rot.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import os
+import random
+import time
+from pathlib import Path
+
+import pytest
+
+from benchmarks.common import timed
+
+from repro.core import MiningSession, count
+from repro.graph import DataGraph, erdos_renyi, from_edges, power_law
+from repro.pattern import generate_clique, pattern_p1
+from repro.runtime import ChunkLedger, process_count
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+OUTPUT_PATH = REPO_ROOT / "BENCH_parallel.json"
+
+ROUNDS = 3
+PROCESSES = (4, 8)
+
+
+def _flash_crowd(
+    n: int = 12_000,
+    fans: int = 3_000,
+    gamma: float = 2.8,
+    d_min: int = 4,
+    d_max: int = 40,
+    seed: int = 3,
+) -> DataGraph:
+    """A truncated power-law body plus one flash-crowd hub.
+
+    The body's tail is capped so no interior vertex carries a large
+    task; the appended hub (degree ``fans``) holds the single task that
+    approaches a full worker share — the straggler a static partition
+    cannot shed.
+    """
+    base = power_law(n, gamma=gamma, d_min=d_min, d_max=d_max, seed=seed)
+    edges = {
+        (u, v) for u in base.vertices() for v in base.neighbors(u) if u < v
+    }
+    rng = random.Random(seed + 7)
+    hub = n
+    for v in rng.sample(range(n), fans):
+        edges.add((v, hub))
+    return from_edges(
+        sorted(edges), num_vertices=n + 1, name="power-law-flash-crowd"
+    )
+
+
+# name -> (graph factory, skew kind)
+WORKLOADS = {
+    "uniform": (
+        lambda: erdos_renyi(12_000, 14 / 11_999, seed=3, name="uniform"),
+        "uniform",
+    ),
+    "power-law": (
+        lambda: power_law(9_000, gamma=2.3, seed=3, name="power-law"),
+        "power-law",
+    ),
+    "power-law-flash-crowd": (_flash_crowd, "power-law-flash-crowd"),
+}
+
+
+def _schedule_round(session, plan, num_workers: int) -> dict:
+    """One measured round: static slice times vs dynamic chunk makespan.
+
+    Static: each stride slice is one engine run — exactly a static
+    worker's whole assignment.  Dynamic: each ledger chunk is one engine
+    run, then chunks are greedily list-scheduled onto the earliest-free
+    worker in claiming order — exactly the shared-cursor protocol of
+    :func:`repro.runtime.parallel.process_count`.
+    """
+    from repro.core import accel
+
+    view = session.view
+    frontier = accel.frontier_start_order(
+        view.labels, view.num_vertices, plan
+    )
+    weights = view.degrees()[frontier] + 1
+    engine = accel.FrontierBatchedEngine(view)
+
+    slice_seconds = []
+    for offset in range(num_workers):
+        elapsed, _ = timed(
+            lambda s=frontier[offset::num_workers]: engine.run(
+                plan, start_vertices=s, count_only=True
+            )
+        )
+        slice_seconds.append(elapsed)
+
+    ledger = ChunkLedger.build(
+        frontier, weights=weights, num_workers=num_workers
+    )
+    chunk_seconds = []
+    for index in range(len(ledger)):
+        elapsed, _ = timed(
+            lambda c=ledger.chunk(index): engine.run(
+                plan, start_vertices=c, count_only=True
+            )
+        )
+        chunk_seconds.append(elapsed)
+    finish = [0.0] * num_workers
+    heapq.heapify(finish)
+    for elapsed in chunk_seconds:
+        heapq.heappush(finish, heapq.heappop(finish) + elapsed)
+
+    static_makespan = max(slice_seconds)
+    dynamic_makespan = max(finish)
+    return {
+        "processes": num_workers,
+        "sequential_seconds": sum(slice_seconds),
+        "static_makespan_seconds": static_makespan,
+        "dynamic_makespan_seconds": dynamic_makespan,
+        "speedup_vs_static": static_makespan / dynamic_makespan,
+        "chunks": len(ledger),
+    }
+
+
+@pytest.mark.fast
+@pytest.mark.paper_artifact("parallel-schedule")
+def test_parallel_schedule_smoke():
+    """CI smoke: real pools agree across schedules on both skew shapes."""
+    for graph in (
+        erdos_renyi(120, 0.12, seed=2),
+        _flash_crowd(n=150, fans=60, seed=2),
+    ):
+        expected = count(graph, generate_clique(3), engine="reference")
+        for schedule in ("dynamic", "static"):
+            got = process_count(
+                graph,
+                generate_clique(3),
+                num_processes=2,
+                schedule=schedule,
+            )
+            assert got == expected, (graph.name, schedule)
+    # The ledger partitions the frontier exactly once.
+    ledger = ChunkLedger.build(
+        list(range(50)), weights=[1] * 50, num_workers=2
+    )
+    flat = [v for i in range(len(ledger)) for v in ledger.chunk(i)]
+    assert flat == list(range(50))
+
+
+@pytest.mark.paper_artifact("parallel-schedule")
+def test_parallel_schedule_emits_json(capsys):
+    """Full skew sweep: dynamic >= static everywhere, >=1.5x at high skew."""
+    pattern = pattern_p1()
+    results = {}
+    for name, (factory, kind) in WORKLOADS.items():
+        graph = factory()
+        session = MiningSession(graph)
+        plan = session.plan_for(pattern)
+        # Warm: CSR view, adjacency keys, numpy dispatch caches — and the
+        # count doubles as the real-pool parity reference.
+        sequential_matches = count(graph, pattern)
+        degrees = sorted(
+            (graph.degree(v) for v in graph.vertices()), reverse=True
+        )
+        rounds = []
+        for _ in range(ROUNDS):
+            for num_workers in PROCESSES:
+                rounds.append(_schedule_round(session, plan, num_workers))
+        best = {
+            str(P): max(
+                r["speedup_vs_static"]
+                for r in rounds
+                if r["processes"] == P
+            )
+            for P in PROCESSES
+        }
+        # Real pools: counts pin the sequential reference under both
+        # schedules; wall clock recorded for multi-core hosts.
+        wall = {}
+        for schedule in ("dynamic", "static"):
+            elapsed, got = timed(
+                lambda s=schedule: process_count(
+                    session, pattern, num_processes=4, schedule=s
+                )
+            )
+            assert got == sequential_matches, schedule
+            wall[schedule] = elapsed
+        results[name] = {
+            "n": graph.num_vertices,
+            "edges": graph.num_edges,
+            "kind": kind,
+            "pattern": "p1",
+            "matches": sequential_matches,
+            "max_degree": degrees[0],
+            "top_degrees": degrees[:4],
+            "avg_degree": round(graph.avg_degree(), 2),
+            "rounds": rounds,
+            "best_speedup_vs_static": best,
+            "wall_clock_4procs_seconds": wall,
+        }
+
+    payload = {
+        "bench": "parallel-schedule",
+        "host_cpus": os.cpu_count(),
+        "processes": list(PROCESSES),
+        "rounds_per_workload": ROUNDS,
+        "note": (
+            "Dynamic (work-stealing queue of degree-weighted frontier "
+            "chunks, repro.runtime.scheduler) vs static (up-front stride "
+            "slices) work placement for process_count, pattern p1.  "
+            "Makespans are host-independent: each worker's assignment "
+            "is timed sequentially on one warm FrontierBatchedEngine "
+            "(whole stride slices for static; ledger chunks greedily "
+            "list-scheduled in cursor-claiming order for dynamic), the "
+            "bench_fig12 work-partition idiom.  speedup_vs_static = "
+            "static_makespan / dynamic_makespan; best_speedup_vs_static "
+            "is the max over rounds per process count.  Real pools are "
+            "run for count parity; their wall clock is informational "
+            "only when host_cpus < processes.  Uniform graphs pay only "
+            "chunk-dispatch overhead (>= 0.95x); the power-law tiers "
+            "show the straggler gap a static partition cannot shed — "
+            "the flash-crowd hub task approaches a full worker share, "
+            "where stealing wins >= 1.5x."
+        ),
+        "workloads": results,
+    }
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    with capsys.disabled():
+        print("\n=== parallel schedule: dynamic vs static makespans ===")
+        print(f"host cpus: {os.cpu_count()} (makespans are host-independent)")
+        print(
+            f"{'workload':<24} {'P':>2} {'round':>5} {'static':>9}"
+            f" {'dynamic':>9} {'speedup':>8}"
+        )
+        for name, entry in results.items():
+            for i, row in enumerate(entry["rounds"]):
+                print(
+                    f"{name:<24} {row['processes']:>2} {i:>5}"
+                    f" {row['static_makespan_seconds']:>9.4f}"
+                    f" {row['dynamic_makespan_seconds']:>9.4f}"
+                    f" {row['speedup_vs_static']:>7.2f}x"
+                )
+        print(f"wrote {OUTPUT_PATH}")
+
+    # Acceptance: dynamic never loses on uniform graphs...
+    for P in PROCESSES:
+        assert results["uniform"]["best_speedup_vs_static"][str(P)] >= 0.95, (
+            f"dynamic scheduling regressed on the uniform graph at {P} procs"
+        )
+        for name in ("power-law", "power-law-flash-crowd"):
+            assert results[name]["best_speedup_vs_static"][str(P)] >= 0.95, (
+                f"dynamic scheduling lost to static on {name} at {P} procs"
+            )
+    # ...and clearly wins the high-skew straggler regime.
+    flash_best = max(
+        results["power-law-flash-crowd"]["best_speedup_vs_static"].values()
+    )
+    assert flash_best >= 1.5, (
+        "work stealing no longer absorbs the flash-crowd straggler "
+        f"(best {flash_best:.2f}x)"
+    )

@@ -99,21 +99,41 @@ def cmd_plan(args: argparse.Namespace, out: TextIO = sys.stdout) -> int:
 
 
 def cmd_count(args: argparse.Namespace, out: TextIO = sys.stdout) -> int:
-    """Count matches of one pattern."""
+    """Count matches of one pattern (optionally across worker processes)."""
     session = MiningSession(load_dataset(args))
     pattern = parse_pattern_spec(args.pattern)
+    processes = getattr(args, "processes", 1)
     stats = EngineStats() if args.profile else None
     # Profiling counters live in the reference engine only; forcing a
     # vectorized engine alongside --profile would raise at dispatch.
     engine = "reference" if args.profile else getattr(args, "engine", "auto")
+    if processes > 1 and args.profile:
+        raise SystemExit("error: --profile needs the in-process engine; "
+                         "drop --processes")
+    if processes > 1 and engine != "auto":
+        raise SystemExit("error: --processes picks engines per worker; "
+                         "drop --engine")
     begin = time.perf_counter()
-    n = session.count(
-        pattern,
-        edge_induced=not args.vertex_induced,
-        symmetry_breaking=not args.no_symmetry_breaking,
-        stats=stats,
-        engine=engine,
-    )
+    if processes > 1:
+        from ..runtime.parallel import process_count
+
+        n = process_count(
+            session,
+            pattern,
+            num_processes=processes,
+            edge_induced=not args.vertex_induced,
+            symmetry_breaking=not args.no_symmetry_breaking,
+            schedule=getattr(args, "schedule", None),
+            chunk_hint=getattr(args, "chunk_hint", None),
+        )
+    else:
+        n = session.count(
+            pattern,
+            edge_induced=not args.vertex_induced,
+            symmetry_breaking=not args.no_symmetry_breaking,
+            stats=stats,
+            engine=engine,
+        )
     elapsed = time.perf_counter() - begin
     print(f"matches: {n}", file=out)
     print(f"elapsed: {elapsed:.3f}s", file=out)
@@ -169,7 +189,21 @@ def cmd_motifs(args: argparse.Namespace, out: TextIO = sys.stdout) -> int:
     session = MiningSession(load_dataset(args))
     begin = _timed_header(out, f"{args.size}-motif census")
     engine = getattr(args, "engine", None)
-    print(motif_census_table(session, args.size, engine=engine), file=out)
+    processes = getattr(args, "processes", 1)
+    if processes > 1 and engine not in (None, "auto", "fused"):
+        raise SystemExit("error: --processes runs the fused worker path; "
+                         "use --engine auto/fused or drop --processes")
+    print(
+        motif_census_table(
+            session,
+            args.size,
+            engine=engine,
+            num_processes=processes,
+            schedule=getattr(args, "schedule", None),
+            chunk_hint=getattr(args, "chunk_hint", None),
+        ),
+        file=out,
+    )
     _timed_footer(out, begin)
     return 0
 

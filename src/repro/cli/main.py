@@ -26,6 +26,31 @@ def _add_pattern_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--processes",
+        type=int,
+        default=1,
+        help="worker processes (shared-CSR pool; 1 = in-process)",
+    )
+    parser.add_argument(
+        "--schedule",
+        choices=["dynamic", "static"],
+        default=None,
+        help="work placement across workers: 'dynamic' pulls "
+        "degree-weighted frontier chunks from a shared queue (absorbs "
+        "stragglers on skewed graphs), 'static' pre-assigns stride "
+        "slices (the ablation baseline)",
+    )
+    parser.add_argument(
+        "--chunk-hint",
+        type=int,
+        default=None,
+        help="target start-vertices per dynamic chunk (uniform-frontier "
+        "equivalent; default sizes chunks automatically)",
+    )
+
+
 def _add_matching_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--vertex-induced",
@@ -80,6 +105,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="engine selection (auto dispatches by graph density; "
         "--profile forces the reference engine)",
     )
+    _add_parallel_flags(p)
     p.set_defaults(func=commands.cmd_count)
 
     p = sub.add_parser("match", help="enumerate matches of a pattern")
@@ -112,6 +138,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="engine selection; 'fused' forces the multi-pattern runner, "
         "'accel-batch' ablates it with sequential per-pattern execution",
     )
+    _add_parallel_flags(p)
     p.set_defaults(func=commands.cmd_motifs)
 
     p = sub.add_parser("cliques", help="k-clique counting and variants")

@@ -48,6 +48,7 @@ from .matching_order import OrderedCore
 from .plan import ExplorationPlan, NonCoreStep, generate_plan
 
 __all__ = [
+    "bounded_slices",
     "np_bounded",
     "np_intersect",
     "np_intersect_many",
@@ -72,15 +73,17 @@ __all__ = [
 ACCEL_FRONTIER_CHUNK = 16_384
 
 
-def _bounded_slices(weights: np.ndarray, cap: int):
+def bounded_slices(weights: np.ndarray, cap: int):
     """Consecutive slices of ``weights`` whose sums stay near ``cap``.
 
     The chunking rule shared by :meth:`FrontierBatchedEngine._row_groups`
-    (candidate totals per gather) and :func:`_frontier_slices` (fused
-    frontier walks): a slice closes as soon as its cumulative weight
-    reaches ``cap``, and a lone over-cap element still forms a slice of
-    its own, so progress is guaranteed and the worst case is one
-    element's weight, not ``rows * max_weight``.
+    (candidate totals per gather), :func:`_frontier_slices` (fused
+    frontier walks) and — in its pure-Python mirror
+    :func:`repro.runtime.scheduler.weighted_boundaries` — the concurrent
+    runtimes' degree-weighted work chunks: a slice closes as soon as its
+    cumulative weight reaches ``cap``, and a lone over-cap element still
+    forms a slice of its own, so progress is guaranteed and the worst
+    case is one element's weight, not ``rows * max_weight``.
     """
     if weights.size == 0:
         return
@@ -675,7 +678,7 @@ class FrontierBatchedEngine:
         whole (one segment is one gather), which bounds the worst case
         at ``O(max_segment)``, not ``O(rows * max_segment)``.
         """
-        return _bounded_slices(lens, self.chunk)
+        return bounded_slices(lens, self.chunk)
 
     # ------------------------------------------------------------------
     # Entry point
@@ -1299,10 +1302,10 @@ def _frontier_slices(weights: np.ndarray, cap: int):
     The per-start weights are ``degree + 1``, so a slice never exceeds
     ``cap`` rows and its shared gather never materializes much more than
     ``cap`` candidates (one start's full adjacency list is the
-    irreducible worst case) — the same :func:`_bounded_slices` rule the
+    irreducible worst case) — the same :func:`bounded_slices` rule the
     engine's own row grouping uses.
     """
-    return _bounded_slices(weights, cap)
+    return bounded_slices(weights, cap)
 
 
 def fused_run(

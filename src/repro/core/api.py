@@ -55,6 +55,16 @@ fuses automatically for groups of at least
 :data:`~repro.core.session.FUSED_MIN_GROUP` when the run qualifies;
 measured in ``benchmarks/bench_multipattern.py`` →
 ``BENCH_multipattern.json``.
+
+**Process scaling.**  These shims are single-process by design (their
+signatures are frozen).  To scale across cores, hold a session and pass
+``num_processes`` to :meth:`MiningSession.count_many`, or use the
+runtimes directly — :func:`repro.runtime.parallel.process_count` /
+:func:`~repro.runtime.parallel.process_count_many` — which place work
+through the shared chunk scheduler (``schedule="dynamic"`` work
+stealing by default, ``"static"`` stride slices as the ablation;
+``chunk_hint`` tunes granularity; measured in
+``benchmarks/bench_parallel.py`` → ``BENCH_parallel.json``).
 """
 
 from __future__ import annotations

@@ -61,6 +61,7 @@ __all__ = [
     "as_session",
     "accel_preferred",
     "batch_preferred",
+    "group_start_vertices",
     "ACCEL_MIN_AVG_DEGREE",
     "ACCEL_BATCH_MIN_AVG_DEGREE",
     "FUSED_MIN_GROUP",
@@ -198,6 +199,22 @@ def _label_filtered_starts(ordered: DataGraph, plan: ExplorationPlan):
     return _starts_with_labels(ordered, top_labels)
 
 
+def group_start_vertices(ordered: DataGraph, key: frozenset | None):
+    """The fused level-0 frontier for one :class:`MultiPatternPlan` group.
+
+    ``None`` (unrestricted) means "seed from every vertex, hub-first" —
+    callers pass ``None`` through to the runner; a label-set key
+    restricts to its vertices in the same hub-first order, exactly what
+    each member's own :func:`_label_filtered_starts` would produce.
+    Shared with the process runtime
+    (:func:`repro.runtime.parallel.process_count_many`), which chunks
+    this frontier across workers.
+    """
+    if key is None:
+        return None
+    return _starts_with_labels(ordered, key)
+
+
 @dataclass(frozen=True)
 class MultiPatternPlan:
     """A multi-pattern workload grouped for fused frontier execution.
@@ -282,6 +299,16 @@ class ExecOptions:
     ``plan``
         a precomputed :class:`~repro.core.plan.ExplorationPlan`,
         bypassing the session plan cache; per-call only.
+    ``schedule`` / ``chunk_hint``
+        concurrent-runtime work placement (§5.2, §5.5):
+        ``schedule="dynamic"`` (default) has workers pull
+        degree-weighted frontier chunks from a shared cursor until the
+        queue drains (work stealing — stragglers on skewed graphs are
+        absorbed by whoever is free), ``"static"`` pre-assigns each
+        worker a stride slice of the frontier (the ablation baseline).
+        ``chunk_hint`` sets the target tasks-per-chunk on a uniform
+        frontier (weight-normalized on skewed ones); ``None`` sizes
+        chunks automatically.  Single-worker runs ignore both.
     """
 
     edge_induced: bool = True
@@ -295,6 +322,8 @@ class ExecOptions:
     stats: EngineStats | None = None
     timer: Any = None
     plan: ExplorationPlan | None = None
+    schedule: str = "dynamic"
+    chunk_hint: int | None = None
 
     def merged(self, overrides: Mapping[str, Any]) -> "ExecOptions":
         """Resolve per-call ``overrides`` against these defaults.
@@ -606,7 +635,7 @@ class MiningSession:
         return self._run_match(pattern, None, opts)
 
     def count_many(
-        self, patterns: Sequence[Pattern], **options
+        self, patterns: Sequence[Pattern], num_processes: int = 1, **options
     ) -> dict[Pattern, int]:
         """Count each pattern over the shared session state.
 
@@ -616,9 +645,50 @@ class MiningSession:
         and compatible patterns additionally *fuse* — one shared level-0
         frontier walk with shared numpy gathers serves the whole group
         (see :meth:`match_many` for the dispatch rules).
+
+        With ``num_processes > 1`` the workload runs through
+        :func:`repro.runtime.parallel.process_count_many`: the fused
+        frontier is cut into degree-weighted chunks that worker
+        processes pull from a shared queue (``schedule``/``chunk_hint``
+        apply), each chunk served by the same fused runner — true
+        parallel speedup for motif censuses.  The process path counts
+        only (``engine`` must be ``"auto"`` or ``"fused"``; hook options
+        raise), and falls back to the sequential path when numpy is
+        unavailable.
         """
         patterns = list(patterns)
         opts = self.defaults.merged(options)
+        if num_processes > 1 and _accel is not None:
+            from ..runtime.parallel import process_count_many
+
+            unsupported = [
+                name
+                for name in ("stats", "timer", "control", "plan",
+                             "start_vertices")
+                if getattr(opts, name) is not None
+            ]
+            if unsupported:
+                raise MatchingError(
+                    f"count_many(num_processes={num_processes}) does not "
+                    f"support the {sorted(unsupported)} option(s); drop "
+                    "them or use num_processes=1"
+                )
+            if opts.engine not in ("auto", "fused"):
+                raise MatchingError(
+                    f"engine={opts.engine!r} is not available under "
+                    "processes; use 'auto' or 'fused'"
+                )
+            return process_count_many(
+                self,
+                patterns,
+                num_processes=num_processes,
+                edge_induced=opts.edge_induced,
+                symmetry_breaking=opts.symmetry_breaking,
+                label_index=opts.label_index,
+                schedule=opts.schedule,
+                chunk_hint=opts.chunk_hint,
+                frontier_chunk=opts.frontier_chunk,
+            )
         totals = self._run_many(patterns, None, None, opts)
         return dict(zip(patterns, totals))
 
@@ -997,9 +1067,7 @@ class MiningSession:
         :func:`_label_filtered_starts` would produce, since members of a
         group share the pinned-label signature.
         """
-        if key is None:
-            return None
-        return _starts_with_labels(self.ordered, key)
+        return group_start_vertices(self.ordered, key)
 
     def _run_many(
         self,

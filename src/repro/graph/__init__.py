@@ -13,6 +13,7 @@ from .binary_io import save_npz, load_npz
 from .generators import (
     erdos_renyi,
     barabasi_albert,
+    power_law,
     random_regular,
     complete_graph,
     star_graph,
@@ -42,6 +43,7 @@ __all__ = [
     "load_npz",
     "erdos_renyi",
     "barabasi_albert",
+    "power_law",
     "random_regular",
     "complete_graph",
     "star_graph",

@@ -27,6 +27,7 @@ from .graph import DataGraph
 __all__ = [
     "erdos_renyi",
     "barabasi_albert",
+    "power_law",
     "random_regular",
     "complete_graph",
     "star_graph",
@@ -81,6 +82,55 @@ def barabasi_albert(n: int, m: int, seed: int = 0, name: str = "barabasi-albert"
             edges.append((u, v))
             repeated.extend((u, v))
     return from_edges(edges, num_vertices=n, name=name)
+
+
+def power_law(
+    n: int,
+    gamma: float = 2.5,
+    d_min: int = 2,
+    d_max: int | None = None,
+    seed: int = 0,
+    name: str = "power-law",
+) -> DataGraph:
+    """Configuration-model graph with a tunable power-law degree tail.
+
+    Degrees are drawn from ``P(d) ∝ d^-gamma`` on ``[d_min, d_max]``
+    (default cap ``n - 1``) and wired by uniform stub pairing;
+    self-loops and duplicate edges are dropped, so realized degrees can
+    undershoot slightly.  Unlike :func:`barabasi_albert` (whose exponent
+    is pinned at 3), ``gamma`` directly controls skew: values toward 2
+    put a growing share of all edges on a handful of hubs — the regime
+    where static work partitions straggle and dynamic (work-stealing)
+    scheduling earns its keep (``benchmarks/bench_parallel.py``).
+    """
+    if n < 2:
+        raise GraphError(f"need at least 2 vertices, got {n}")
+    if gamma <= 1.0:
+        raise GraphError(f"need gamma > 1 for a normalizable tail, got {gamma}")
+    if d_min < 1:
+        raise GraphError(f"need d_min >= 1, got {d_min}")
+    cap = n - 1 if d_max is None else min(d_max, n - 1)
+    if cap < d_min:
+        raise GraphError(f"degree cap {cap} below d_min {d_min}")
+    rng = random.Random(seed)
+    # Inverse-CDF sampling of the continuous Pareto tail, clamped to the
+    # integer range: deterministic, no numpy needed.
+    inv_exp = 1.0 / (gamma - 1.0)
+    degrees = []
+    for _ in range(n):
+        u = 1.0 - rng.random()  # (0, 1]
+        d = int(d_min * u ** -inv_exp)
+        degrees.append(min(max(d, d_min), cap))
+    if sum(degrees) % 2:
+        degrees[rng.randrange(n)] += 1
+    stubs = [v for v, d in enumerate(degrees) for _ in range(d)]
+    rng.shuffle(stubs)
+    edges = {
+        (min(u, v), max(u, v))
+        for u, v in zip(stubs[::2], stubs[1::2])
+        if u != v
+    }
+    return from_edges(sorted(edges), num_vertices=n, name=name)
 
 
 def random_regular(n: int, d: int, seed: int = 0, name: str = "random-regular") -> DataGraph:

@@ -41,6 +41,9 @@ def motif_counts(
     size: int,
     symmetry_breaking: bool = True,
     engine: str | None = None,
+    num_processes: int = 1,
+    schedule: str | None = None,
+    chunk_hint: int | None = None,
 ) -> dict[Pattern, int]:
     """Count vertex-induced matches of every motif with ``size`` vertices.
 
@@ -53,14 +56,27 @@ def motif_counts(
     dividing by |Aut(motif)| — the "multiplicity" post-processing systems
     like AutoMine push onto the user (§2.2.2).  ``engine=None`` inherits
     the session's default dispatch.
+
+    ``num_processes > 1`` scales the census across worker processes:
+    the fused frontier walk is cut into degree-weighted chunks pulled
+    from a shared work queue
+    (:func:`repro.runtime.parallel.process_count_many`;
+    ``schedule``/``chunk_hint`` tune the placement).
     """
     session = as_session(graph)
     motifs = generate_all_vertex_induced(size)
+    options = {}
+    if schedule is not None:
+        options["schedule"] = schedule
+    if chunk_hint is not None:
+        options["chunk_hint"] = chunk_hint
     found = session.count_many(
         motifs,
         edge_induced=False,
         symmetry_breaking=symmetry_breaking,
         engine=engine,
+        num_processes=num_processes,
+        **options,
     )
     results: dict[Pattern, int] = {}
     for motif in motifs:
@@ -101,13 +117,26 @@ def labeled_motif_counts(
 
 
 def motif_census_table(
-    graph: DataGraph | MiningSession, size: int, engine: str | None = None
+    graph: DataGraph | MiningSession,
+    size: int,
+    engine: str | None = None,
+    num_processes: int = 1,
+    schedule: str | None = None,
+    chunk_hint: int | None = None,
 ) -> str:
     """Human-readable motif census (used by the motif-census example)."""
     session = as_session(graph)
     rows = []
     for motif, found in sorted(
-        motif_counts(session, size, engine=engine).items(), key=lambda kv: -kv[1]
+        motif_counts(
+            session,
+            size,
+            engine=engine,
+            num_processes=num_processes,
+            schedule=schedule,
+            chunk_hint=chunk_hint,
+        ).items(),
+        key=lambda kv: -kv[1],
     ):
         rows.append(
             f"  {motif.num_edges:>2} edges  {found:>12,}  {motif!r}"

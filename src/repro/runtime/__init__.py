@@ -1,8 +1,19 @@
 """Concurrent runtime: scheduling, thread/process pools, aggregation."""
 
-from .scheduler import TaskScheduler
+from .scheduler import (
+    ChunkLedger,
+    ProcessCursor,
+    TaskScheduler,
+    static_slices,
+    weighted_boundaries,
+)
 from .aggregation import AggregatorThread
-from .parallel import ParallelResult, parallel_match, process_count
+from .parallel import (
+    ParallelResult,
+    parallel_match,
+    process_count,
+    process_count_many,
+)
 from .termination import (
     stop_after_n_matches,
     stop_when_aggregate,
@@ -10,11 +21,16 @@ from .termination import (
 )
 
 __all__ = [
+    "ChunkLedger",
+    "ProcessCursor",
     "TaskScheduler",
+    "static_slices",
+    "weighted_boundaries",
     "AggregatorThread",
     "ParallelResult",
     "parallel_match",
     "process_count",
+    "process_count_many",
     "stop_after_n_matches",
     "stop_when_aggregate",
     "DeadlineControl",

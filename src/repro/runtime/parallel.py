@@ -1,21 +1,36 @@
 """Concurrent matching runtime: thread pool + process pool (§5, Fig 12).
 
 ``parallel_match`` reproduces Peregrine's architecture faithfully: worker
-threads pull frontier chunks from a shared atomic-counter scheduler, run
-the engine with thread-local aggregators, and honor a shared
-early-termination control.  When a run qualifies (numpy present) the
-workers drive the frontier-batched engine over partitions of the level-0
+threads pull degree-weighted frontier chunks from a shared atomic-counter
+scheduler, run the engine with thread-local aggregators, and honor a
+shared early-termination control.  When a run qualifies (numpy present)
+the workers drive the frontier-batched engine over chunks of the level-0
 frontier — numpy kernels release the GIL, so the thread pool gets real
 parallelism on the hot loop, and each worker's engine polls the shared
 control between frontier blocks and per emitted match; runs that need
 stats or stage timers stay on the reference interpreter, where CPython's
 GIL serializes the list operations.
-Process-level scaling is ``process_count`` — a process pool that slices
-the level-0 frontier across workers, shares the CSR adjacency arrays of
-the accelerated view with every worker (fork-inherited copy-on-write
-pages or ``multiprocessing.shared_memory`` segments — never per-worker
-graph pickling), and sums counts — which the Figure 12 scalability
-benchmark uses.
+
+Process-level scaling is ``process_count`` — a process pool that shares
+the CSR adjacency arrays of the accelerated view with every worker
+(fork-inherited copy-on-write pages or ``multiprocessing.shared_memory``
+segments — never per-worker graph pickling) and sums counts — which the
+Figure 12 scalability benchmark uses.  ``process_count_many`` is its
+multi-pattern overload: whole fused groups (motif censuses, FSM rounds)
+run their shared frontier walk chunk-by-chunk across processes.
+
+**Work placement** is one layer, :mod:`repro.runtime.scheduler`, shared
+by threads and processes: the frontier is cut into degree-weighted
+chunks (:class:`~repro.runtime.scheduler.ChunkLedger`, same closing rule
+as the engines' :func:`~repro.core.accel.bounded_slices`) and workers
+*pull* chunk indices from a shared cursor until the queue drains —
+``threading.Lock`` under threads, a ``multiprocessing.Value`` under
+processes.  This dynamic schedule (``schedule="dynamic"``, the default)
+absorbs stragglers on skewed graphs: whoever finishes early keeps
+pulling, so one mega-hub task never holds the whole run the way a fixed
+partition does.  ``schedule="static"`` keeps the historical up-front
+stride slicing as the ablation baseline (``benchmarks/bench_parallel.py``
+measures the gap; ``chunk_hint`` tunes chunk granularity).
 
 Both entry points accept a :class:`~repro.core.session.MiningSession` in
 place of the graph: the runtime then reuses the session's degree
@@ -28,25 +43,51 @@ from __future__ import annotations
 import multiprocessing
 import threading
 import time
+from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Sequence
 
 from ..errors import MatchingError
 from ..core.callbacks import Aggregator, ExplorationControl, Match
 from ..core.engine import EngineStats, run_tasks
-from ..core.plan import ExplorationPlan, generate_plan
+from ..core.plan import generate_plan
 from ..core.session import (
     MiningSession,
+    MultiPatternPlan,
     accel_preferred,
     as_session,
     batch_preferred,
+    group_start_vertices,
 )
 from ..graph.graph import DataGraph
 from ..pattern.pattern import Pattern
 from .aggregation import AggregatorThread
-from .scheduler import TaskScheduler
+from .scheduler import ChunkLedger, ProcessCursor, TaskScheduler, static_slices
 
-__all__ = ["ParallelResult", "parallel_match", "process_count"]
+__all__ = [
+    "ParallelResult",
+    "parallel_match",
+    "process_count",
+    "process_count_many",
+]
+
+_SCHEDULE_CHOICES = ("dynamic", "static")
+
+
+def _resolve_scheduling(session, schedule, chunk_hint):
+    """Fill ``schedule``/``chunk_hint`` from session defaults; validate."""
+    defaults = session.defaults
+    if schedule is None:
+        schedule = defaults.schedule
+    if chunk_hint is None:
+        chunk_hint = defaults.chunk_hint
+    if schedule not in _SCHEDULE_CHOICES:
+        raise ValueError(
+            f"schedule must be one of {_SCHEDULE_CHOICES}, got {schedule!r}"
+        )
+    if chunk_hint is not None and chunk_hint < 1:
+        raise ValueError(f"chunk_hint must be >= 1, got {chunk_hint}")
+    return schedule, chunk_hint
 
 
 @dataclass
@@ -56,7 +97,8 @@ class ParallelResult:
     ``engine`` records which engine the workers drove
     (``"reference"`` or ``"accel-batch"``); engine stats are a
     reference-engine feature, so ``stats`` counters are zero for
-    vectorized runs.
+    vectorized runs.  ``schedule`` records the work placement used
+    (``"dynamic"`` chunk pulling vs. ``"static"`` stride slices).
     """
 
     matches: int
@@ -66,6 +108,7 @@ class ParallelResult:
     per_thread_matches: list[int] = field(default_factory=list)
     per_thread_cpu: list[float] = field(default_factory=list)
     engine: str = "reference"
+    schedule: str = "dynamic"
 
     def load_imbalance(self) -> float:
         """Max-minus-min share of matches across threads (0 = perfect).
@@ -134,12 +177,14 @@ def parallel_match(
     edge_induced: bool = True,
     symmetry_breaking: bool = True,
     control: ExplorationControl | None = None,
-    chunk_size: int = 64,
+    chunk_size: int | None = None,
     aggregate_interval: float = 0.005,
     on_update: Callable[[Aggregator], None] | None = None,
     engine: str = "auto",
     combine: Callable | None = None,
     global_aggregator: Aggregator | None = None,
+    schedule: str | None = None,
+    chunk_hint: int | None = None,
 ) -> ParallelResult:
     """Match a pattern with ``num_threads`` worker threads.
 
@@ -158,7 +203,7 @@ def parallel_match(
     totals rather than each run's private map.
 
     With ``engine="auto"`` the workers drive the frontier-batched engine
-    over partitions of the level-0 frontier whenever the run qualifies
+    over chunks of the level-0 frontier whenever the run qualifies
     (numpy importable, graph above the batched crossover): each chunk's
     numpy kernels run with the GIL released, so worker threads overlap on
     the hot loop instead of serializing, and a user ``control`` is polled
@@ -166,10 +211,26 @@ def parallel_match(
     keep per-thread :class:`EngineStats`; vectorized runs report zero
     stats (see :class:`ParallelResult`).
 
+    ``schedule``/``chunk_hint`` pick the work placement (see the module
+    docstring): ``"dynamic"`` (default) pulls degree-weighted chunks
+    from the shared scheduler, ``"static"`` hands each thread one stride
+    slice up front.  With no hint, chunks are sized automatically for
+    ``num_threads`` (:data:`~repro.runtime.scheduler.CHUNKS_PER_WORKER`
+    per thread); ``chunk_size`` is the legacy spelling of the same hint
+    (an explicit ``chunk_hint`` beats it, and either explicit value
+    beats the session default).  ``None`` values inherit the session's
+    :class:`~repro.core.session.ExecOptions` defaults.
+
     ``graph`` may be a :class:`~repro.core.session.MiningSession`, in
     which case its cached ordering, translation and plans are reused.
     """
     session = as_session(graph)
+    # Per-call knobs win over session defaults: an explicit chunk_hint
+    # beats the legacy chunk_size spelling, which in turn beats the
+    # session's ExecOptions default; only then does auto sizing apply.
+    if chunk_hint is None and chunk_size is not None:
+        chunk_hint = chunk_size
+    schedule, chunk_hint = _resolve_scheduling(session, schedule, chunk_hint)
     plan = session.plan_for(
         pattern, edge_induced=edge_induced, symmetry_breaking=symmetry_breaking
     )
@@ -177,17 +238,25 @@ def parallel_match(
     old_of_new = session.translation
     accel = _accel()
     mode = _thread_engine_mode(engine, accel, ordered, plan)
-    if mode == "accel-batch":
-        view = session.view
-        frontier = accel.frontier_start_order(
-            view.labels, view.num_vertices, plan
+    view = session.view if mode == "accel-batch" else None
+    frontier, weights = _count_frontier(
+        session,
+        plan,
+        "batch" if mode == "accel-batch" else "reference",
+        accel,
+        need_weights=schedule == "dynamic",
+    )
+    if schedule == "dynamic":
+        scheduler = TaskScheduler(
+            frontier,
+            chunk_size=chunk_hint,
+            weights=weights,
+            num_workers=num_threads,
         )
-        scheduler = TaskScheduler(frontier, chunk_size=chunk_size)
+        slices = None
     else:
-        view = None
-        scheduler = TaskScheduler.degree_descending(
-            ordered.num_vertices, chunk_size=chunk_size
-        )
+        scheduler = None
+        slices = static_slices(frontier, num_threads)
     shared_control = control if control is not None else ExplorationControl()
     global_agg = (
         global_aggregator
@@ -198,6 +267,17 @@ def parallel_match(
     local_stats = [EngineStats() for _ in range(num_threads)]
     thread_matches = [0] * num_threads
     thread_cpu = [0.0] * num_threads
+
+    def chunks_for(tid: int):
+        """This worker's chunk stream under the selected schedule."""
+        if slices is not None:
+            yield slices[tid]
+            return
+        while True:
+            chunk = scheduler.next_chunk()
+            if len(chunk) == 0:
+                return
+            yield chunk
 
     def worker(tid: int) -> None:
         local = local_aggs[tid]
@@ -214,9 +294,8 @@ def parallel_match(
         )
         total = 0
         cpu_begin = time.thread_time()
-        while not shared_control.stopped:
-            chunk = scheduler.next_chunk()
-            if len(chunk) == 0:
+        for chunk in chunks_for(tid):
+            if shared_control.stopped:
                 break
             if batched is not None:
                 total += batched.run(
@@ -264,6 +343,7 @@ def parallel_match(
         per_thread_matches=thread_matches,
         per_thread_cpu=thread_cpu,
         engine=mode,
+        schedule=schedule,
     )
 
 
@@ -282,6 +362,11 @@ def parallel_match(
 #   method;
 # * ``share_mode="pickle"`` is the legacy per-worker adjacency pickling
 #   (kept as the numpy-free fallback; it drives the reference engine).
+#
+# Work placement is orthogonal: ``schedule="dynamic"`` (default) has
+# workers pull degree-weighted frontier chunks from a shared
+# ``ProcessCursor`` until drained; ``schedule="static"`` keeps the
+# legacy up-front stride slices.
 # ----------------------------------------------------------------------
 
 _WORKER_STATE: dict = {}
@@ -306,7 +391,15 @@ def _pattern_from_signature(signature) -> Pattern:
     )
 
 
-def _init_worker(adjacency, labels, signature, edge_induced, symmetry_breaking):
+def _init_worker(
+    adjacency,
+    labels,
+    signature,
+    edge_induced,
+    symmetry_breaking,
+    ledger=None,
+    cursor=None,
+):
     """Legacy pickling initializer (numpy-free fallback)."""
     _WORKER_STATE["graph"] = DataGraph(adjacency, labels, validate=False)
     _WORKER_STATE["plan"] = generate_plan(
@@ -314,6 +407,9 @@ def _init_worker(adjacency, labels, signature, edge_induced, symmetry_breaking):
         edge_induced=edge_induced,
         symmetry_breaking=symmetry_breaking,
     )
+    _WORKER_STATE["mode"] = "reference"
+    _WORKER_STATE["ledger"] = ledger
+    _WORKER_STATE["cursor"] = cursor
 
 
 def _count_slice(args: tuple[int, int]) -> int:
@@ -324,7 +420,7 @@ def _count_slice(args: tuple[int, int]) -> int:
     return run_tasks(graph, plan, start_vertices=starts, count_only=True)
 
 
-def _fork_init(view, graph, plan):
+def _fork_init(view, graph, plan, mode="batch", ledger=None, cursor=None):
     """Fork-pool initializer: state arrives fork-inherited, not pickled.
 
     Under the fork start method ``initargs`` are plain references the
@@ -336,6 +432,9 @@ def _fork_init(view, graph, plan):
     _WORKER_STATE["view"] = view
     _WORKER_STATE["graph"] = graph
     _WORKER_STATE["plan"] = plan
+    _WORKER_STATE["mode"] = mode
+    _WORKER_STATE["ledger"] = ledger
+    _WORKER_STATE["cursor"] = cursor
 
 
 def _accel_count_slice(args: tuple[int, int]) -> int:
@@ -367,7 +466,56 @@ def _batch_count_slice(args: tuple[int, int]) -> int:
     )
 
 
-def _shm_init(segment_meta, signature, edge_induced, symmetry_breaking, vectorized):
+def _chunk_runner():
+    """One engine instance + chunk-count closure for this worker's mode."""
+    mode = _WORKER_STATE["mode"]
+    plan = _WORKER_STATE["plan"]
+    if mode == "batch":
+        engine = _accel().FrontierBatchedEngine(_WORKER_STATE["view"])
+        return lambda chunk: engine.run(
+            plan, start_vertices=chunk, count_only=True
+        )
+    if mode == "accel":
+        engine = _accel().AcceleratedEngine(_WORKER_STATE["view"])
+        return lambda chunk: engine.run(
+            plan, start_vertices=chunk, count_only=True
+        )
+    graph = _WORKER_STATE["graph"]
+    return lambda chunk: run_tasks(
+        graph, plan, start_vertices=chunk, count_only=True
+    )
+
+
+def _drain_chunks(_worker_id: int) -> int:
+    """Work-stealing drain loop: pull chunks off the shared cursor.
+
+    The whole dynamic protocol: claim a chunk index, count its starts,
+    repeat until the cursor runs past the ledger.  One engine instance
+    serves every chunk this worker claims, so per-chunk overhead is one
+    cursor increment and one ``run`` call.
+    """
+    ledger: ChunkLedger = _WORKER_STATE["ledger"]
+    cursor: ProcessCursor = _WORKER_STATE["cursor"]
+    run_chunk = _chunk_runner()
+    num_chunks = len(ledger)
+    total = 0
+    while True:
+        index = cursor.claim()
+        if index >= num_chunks:
+            return total
+        total += run_chunk(ledger.chunk(index))
+
+
+def _shm_init(
+    segment_meta,
+    signature,
+    edge_induced,
+    symmetry_breaking,
+    vectorized,
+    mode="batch",
+    ledger=None,
+    cursor=None,
+):
     """Re-wrap shared-memory CSR segments as a view (no graph pickling)."""
     import numpy as np
     from multiprocessing import shared_memory
@@ -394,6 +542,9 @@ def _shm_init(segment_meta, signature, edge_induced, symmetry_breaking, vectoriz
         edge_induced=edge_induced,
         symmetry_breaking=symmetry_breaking,
     )
+    _WORKER_STATE["mode"] = mode
+    _WORKER_STATE["ledger"] = ledger
+    _WORKER_STATE["cursor"] = cursor
     if not vectorized:
         # Reference engine in this worker: materialize adjacency lists
         # from the shared CSR buffers (still no pickling).
@@ -426,6 +577,32 @@ def _shm_segments(view):
     return segments, meta
 
 
+def _count_frontier(session, plan, mode, accel, need_weights=True):
+    """The level-0 frontier (and per-start weights) for one engine mode.
+
+    Vectorized modes slice the hub-first, label-filtered frontier of the
+    shared CSR view; the reference engine does its own per-start label
+    checks, so its frontier is the plain hub-first id order.  Weights are
+    ``degree + 1`` — the same rule the fused runner uses to bound slice
+    work — so chunk extents track expected per-start cost.  Static
+    schedules never read the weights, so callers skip the (reference
+    mode: O(n) Python) derivation with ``need_weights=False``.
+    """
+    if mode in ("batch", "accel"):
+        view = session.view
+        frontier = accel.frontier_start_order(
+            view.labels, view.num_vertices, plan
+        )
+        weights = view.degrees()[frontier] + 1 if need_weights else None
+        return frontier, weights
+    ordered = session.ordered
+    frontier = range(ordered.num_vertices - 1, -1, -1)
+    weights = (
+        [ordered.degree(v) + 1 for v in frontier] if need_weights else None
+    )
+    return frontier, weights
+
+
 def process_count(
     graph: DataGraph | MiningSession,
     pattern: Pattern,
@@ -433,20 +610,32 @@ def process_count(
     edge_induced: bool = True,
     symmetry_breaking: bool = True,
     share_mode: str | None = None,
+    schedule: str | None = None,
+    chunk_hint: int | None = None,
 ) -> int:
     """Count matches with a process pool (true parallel speedup).
 
-    Vectorized workers slice the level-0 *frontier* (hub-first,
-    label-filtered start tasks) stride-wise, so every process gets an
-    interleaved mix of hub and leaf tasks and label-pruned vertices never
-    skew the partition — the same load-balancing intuition as §5.2,
-    applied to live tasks instead of raw id ranges.  The graph reaches
-    workers via shared CSR arrays (see the ``share_mode`` modes above),
-    so scaling ``num_processes`` does not multiply graph copies or
-    pickling time.  A :class:`~repro.core.session.MiningSession` may be
-    passed in place of the graph to reuse its cached ordering and plans.
+    Workers consume the level-0 *frontier* (hub-first, label-filtered
+    start tasks).  Under ``schedule="dynamic"`` (default) the frontier
+    is cut into degree-weighted chunks that workers pull from a shared
+    cursor until drained — the work-stealing schedule that absorbs
+    stragglers on skewed (power-law) graphs, where a fixed partition
+    leaves one process holding the heaviest hub *and* its full share of
+    everything else.  ``schedule="static"`` keeps the legacy up-front
+    stride slices (the §5.2 interleaving without stealing), and
+    ``chunk_hint`` tunes dynamic chunk granularity (target starts per
+    chunk on a uniform frontier; default sizes chunks automatically).
+    ``None`` values inherit the session's
+    :class:`~repro.core.session.ExecOptions` defaults.
+
+    The graph reaches workers via shared CSR arrays (see the
+    ``share_mode`` modes above), so scaling ``num_processes`` does not
+    multiply graph copies or pickling time.  A
+    :class:`~repro.core.session.MiningSession` may be passed in place of
+    the graph to reuse its cached ordering and plans.
     """
     session = as_session(graph)
+    schedule, chunk_hint = _resolve_scheduling(session, schedule, chunk_hint)
     ordered = session.ordered
     accel = _accel()
     has_fork = "fork" in multiprocessing.get_all_start_methods()
@@ -492,25 +681,42 @@ def process_count(
             )
         return run_tasks(ordered, plan, count_only=True)
 
-    slices = [(i, num_processes) for i in range(num_processes)]
-    if use_batch:
-        slice_fn = _batch_count_slice
-    elif use_accel:
-        slice_fn = _accel_count_slice
+    mode = "batch" if use_batch else ("accel" if use_accel else "reference")
+
+    if schedule == "dynamic":
+        frontier, weights = _count_frontier(session, plan, mode, accel)
+        ledger = ChunkLedger.build(
+            frontier,
+            weights=weights,
+            chunk_hint=chunk_hint,
+            num_workers=num_processes,
+        )
+        workers = list(range(num_processes))
     else:
-        slice_fn = _count_slice
+        ledger = None
+        slices = [(i, num_processes) for i in range(num_processes)]
+        if use_batch:
+            slice_fn = _batch_count_slice
+        elif use_accel:
+            slice_fn = _accel_count_slice
+        else:
+            slice_fn = _count_slice
 
     if share_mode == "fork":
         ctx = multiprocessing.get_context("fork")
         # The CSR view is only worth building (and caching on the graph)
         # when the workers will actually run a vectorized engine.
         view = session.view if (use_batch or use_accel) else None
+        cursor = ProcessCursor(ctx) if schedule == "dynamic" else None
         with ctx.Pool(
             processes=num_processes,
             initializer=_fork_init,
-            initargs=(view, ordered, plan),
+            initargs=(view, ordered, plan, mode, ledger, cursor),
         ) as pool:
-            counts = pool.map(slice_fn, slices)
+            if schedule == "dynamic":
+                counts = pool.map(_drain_chunks, workers, chunksize=1)
+            else:
+                counts = pool.map(slice_fn, slices)
         return sum(counts)
 
     ctx = multiprocessing.get_context("fork" if has_fork else "spawn")
@@ -519,33 +725,290 @@ def process_count(
         view = session.view
         segments, meta = _shm_segments(view)
         try:
+            cursor = ProcessCursor(ctx) if schedule == "dynamic" else None
             init_args = (
                 meta,
                 pattern.signature(),
                 edge_induced,
                 symmetry_breaking,
                 use_batch or use_accel,
+                mode,
+                ledger,
+                cursor,
             )
             with ctx.Pool(
                 processes=num_processes, initializer=_shm_init, initargs=init_args
             ) as pool:
-                counts = pool.map(slice_fn, slices)
+                if schedule == "dynamic":
+                    counts = pool.map(_drain_chunks, workers, chunksize=1)
+                else:
+                    counts = pool.map(slice_fn, slices)
         finally:
+            # Worker failures surface as pool.map raising; the segments
+            # are parent-owned, so unlink here no matter what — a leaked
+            # segment outlives the run (and, on tmpfs, holds its bytes).
             for seg in segments:
                 seg.close()
                 seg.unlink()
         return sum(counts)
 
     adjacency = [ordered.neighbors(v) for v in ordered.vertices()]
+    cursor = ProcessCursor(ctx) if schedule == "dynamic" else None
     init_args = (
         adjacency,
         ordered.labels(),
         pattern.signature(),
         edge_induced,
         symmetry_breaking,
+        ledger,
+        cursor,
     )
     with ctx.Pool(
         processes=num_processes, initializer=_init_worker, initargs=init_args
     ) as pool:
-        counts = pool.map(_count_slice, slices)
+        if schedule == "dynamic":
+            counts = pool.map(_drain_chunks, workers, chunksize=1)
+        else:
+            counts = pool.map(_count_slice, slices)
     return sum(counts)
+
+
+# ----------------------------------------------------------------------
+# Multi-pattern process scaling: fused groups over shared frontier chunks
+# ----------------------------------------------------------------------
+
+
+def _many_fork_init(
+    view, plans, groups, ledgers, offsets, cursor, workers, frontier_chunk
+):
+    """Fork initializer for the multi-pattern drain (references only)."""
+    _WORKER_STATE["view"] = view
+    _WORKER_STATE["many_plans"] = plans
+    _WORKER_STATE["many_groups"] = groups
+    _WORKER_STATE["many_ledgers"] = ledgers
+    _WORKER_STATE["many_offsets"] = offsets
+    _WORKER_STATE["cursor"] = cursor
+    _WORKER_STATE["many_workers"] = workers
+    _WORKER_STATE["many_frontier_chunk"] = frontier_chunk
+
+
+def _many_shm_init(
+    segment_meta,
+    signatures,
+    flags,
+    groups,
+    ledgers,
+    offsets,
+    cursor,
+    workers,
+    frontier_chunk,
+):
+    """Shared-memory initializer: rebuild the view, regenerate the plans."""
+    _shm_init(segment_meta, signatures[0], flags[0], flags[1], True)
+    edge_induced, symmetry_breaking = flags
+    _WORKER_STATE["many_plans"] = [
+        generate_plan(
+            _pattern_from_signature(sig),
+            edge_induced=edge_induced,
+            symmetry_breaking=symmetry_breaking,
+        )
+        for sig in signatures
+    ]
+    _WORKER_STATE["many_groups"] = groups
+    _WORKER_STATE["many_ledgers"] = ledgers
+    _WORKER_STATE["many_offsets"] = offsets
+    _WORKER_STATE["cursor"] = cursor
+    _WORKER_STATE["many_workers"] = workers
+    _WORKER_STATE["many_frontier_chunk"] = frontier_chunk
+
+
+def _drain_many(worker_id: int) -> list[int]:
+    """Drain fused-group frontier chunks; return per-pattern totals.
+
+    Chunk indices are global across groups (``many_offsets`` maps an
+    index to its group); each claimed chunk runs *every* member of its
+    group through one :func:`repro.core.accel.fused_run` call, so the
+    shared first-level gathers keep amortizing inside a chunk exactly as
+    they do in the sequential fused walk.  Under ``schedule="static"``
+    (``cursor is None``) the worker instead takes its stride slice of
+    every group's frontier up front.
+    """
+    accel = _accel()
+    view = _WORKER_STATE["view"]
+    plans = _WORKER_STATE["many_plans"]
+    groups = _WORKER_STATE["many_groups"]
+    ledgers = _WORKER_STATE["many_ledgers"]
+    offsets = _WORKER_STATE["many_offsets"]
+    cursor = _WORKER_STATE["cursor"]
+    num_workers = _WORKER_STATE["many_workers"]
+    frontier_chunk = _WORKER_STATE["many_frontier_chunk"]
+    totals = [0] * len(plans)
+    members_of = [
+        [(plans[idx], None, None) for idx in group] for group in groups
+    ]
+
+    def add(group_index: int, counts: Sequence[int]) -> None:
+        for pos, idx in enumerate(groups[group_index]):
+            totals[idx] += counts[pos]
+
+    if cursor is None:
+        for gi, ledger in enumerate(ledgers):
+            starts = ledger.order[worker_id::num_workers]
+            if len(starts) == 0:
+                continue
+            add(gi, accel.fused_run(
+                view, members_of[gi], start_vertices=starts,
+                chunk=frontier_chunk,
+            ))
+        return totals
+
+    num_chunks = offsets[-1]
+    while True:
+        index = cursor.claim()
+        if index >= num_chunks:
+            return totals
+        gi = bisect_right(offsets, index) - 1
+        chunk = ledgers[gi].chunk(index - offsets[gi])
+        add(gi, accel.fused_run(
+            view, members_of[gi], start_vertices=chunk, chunk=frontier_chunk,
+        ))
+
+
+def process_count_many(
+    graph: DataGraph | MiningSession,
+    patterns: Sequence[Pattern],
+    num_processes: int = 2,
+    edge_induced: bool = True,
+    symmetry_breaking: bool = True,
+    label_index: bool = True,
+    share_mode: str | None = None,
+    schedule: str | None = None,
+    chunk_hint: int | None = None,
+    frontier_chunk: int | None = None,
+) -> dict[Pattern, int]:
+    """Count every pattern with a process pool over fused frontier chunks.
+
+    The multi-pattern overload of :func:`process_count` — and the
+    process-level face of the fused runner: patterns are grouped by
+    shared level-0 frontier signature
+    (:class:`~repro.core.session.MultiPatternPlan`, group floor 1), each
+    group's frontier is cut into degree-weighted chunks, and worker
+    processes pull chunks from one shared queue spanning *all* groups —
+    every chunk runs the whole group through
+    :func:`repro.core.accel.fused_run`, so motif censuses and FSM-style
+    pattern sets scale across cores without giving up the shared
+    first-level gathers.  ``schedule="static"`` pre-assigns stride
+    slices instead (the ablation baseline).
+
+    Counts are pinned to the sequential ``count_many`` (the census/Möbius
+    rewrite is a sequential-only optimization; the process path counts
+    every requested plan directly).  ``frontier_chunk`` bounds each
+    worker engine's per-dispatch frontier exactly as in sequential runs.
+    Requires numpy; without it (or with ``num_processes <= 1``) the
+    call falls back to the sequential session path.  ``share_mode``
+    supports ``"fork"`` and ``"shm"``.
+    """
+    session = as_session(graph)
+    schedule, chunk_hint = _resolve_scheduling(session, schedule, chunk_hint)
+    patterns = list(patterns)
+    accel = _accel()
+    if accel is None or num_processes <= 1 or not patterns:
+        return session.count_many(
+            patterns,
+            edge_induced=edge_induced,
+            symmetry_breaking=symmetry_breaking,
+            label_index=label_index,
+            frontier_chunk=frontier_chunk,
+        )
+    has_fork = "fork" in multiprocessing.get_all_start_methods()
+    if share_mode is None:
+        share_mode = "fork" if has_fork else "shm"
+    if share_mode not in ("fork", "shm"):
+        raise ValueError(
+            f"process_count_many supports share_mode 'fork' or 'shm', "
+            f"got {share_mode!r}"
+        )
+
+    ordered = session.ordered
+    labels = ordered.labels()
+    plans = [
+        session.plan_for(
+            p, edge_induced=edge_induced, symmetry_breaking=symmetry_breaking
+        )
+        for p in patterns
+    ]
+    if labels is None and any(pl.matched_pattern.is_labeled for pl in plans):
+        raise MatchingError(
+            "pattern has label constraints but the data graph is unlabeled"
+        )
+    multi = MultiPatternPlan.build(
+        plans, label_index=label_index and labels is not None, min_group=1
+    )
+    view = session.view
+    degrees = view.degrees()
+    np = accel.np
+
+    groups: list[tuple[int, ...]] = []
+    ledgers: list[ChunkLedger] = []
+    offsets = [0]
+    for group, key in zip(multi.groups, multi.group_keys):
+        starts = group_start_vertices(ordered, key)
+        if starts is None:
+            frontier = np.arange(view.num_vertices - 1, -1, -1, dtype=np.int64)
+        else:
+            frontier = np.asarray(starts, dtype=np.int64)
+        ledger = ChunkLedger.build(
+            frontier,
+            weights=degrees[frontier] + 1,
+            chunk_hint=chunk_hint,
+            num_workers=num_processes,
+        )
+        groups.append(tuple(group))
+        ledgers.append(ledger)
+        offsets.append(offsets[-1] + len(ledger))
+
+    worker_ids = list(range(num_processes))
+    if share_mode == "fork":
+        ctx = multiprocessing.get_context("fork")
+        cursor = ProcessCursor(ctx) if schedule == "dynamic" else None
+        with ctx.Pool(
+            processes=num_processes,
+            initializer=_many_fork_init,
+            initargs=(
+                view, plans, groups, ledgers, offsets, cursor,
+                num_processes, frontier_chunk,
+            ),
+        ) as pool:
+            per_worker = pool.map(_drain_many, worker_ids, chunksize=1)
+    else:
+        ctx = multiprocessing.get_context("fork" if has_fork else "spawn")
+        segments, meta = _shm_segments(view)
+        try:
+            cursor = ProcessCursor(ctx) if schedule == "dynamic" else None
+            init_args = (
+                meta,
+                [p.signature() for p in patterns],
+                (edge_induced, symmetry_breaking),
+                groups,
+                ledgers,
+                offsets,
+                cursor,
+                num_processes,
+                frontier_chunk,
+            )
+            with ctx.Pool(
+                processes=num_processes,
+                initializer=_many_shm_init,
+                initargs=init_args,
+            ) as pool:
+                per_worker = pool.map(_drain_many, worker_ids, chunksize=1)
+        finally:
+            for seg in segments:
+                seg.close()
+                seg.unlink()
+
+    totals = [0] * len(patterns)
+    for worker_totals in per_worker:
+        for idx, value in enumerate(worker_totals):
+            totals[idx] += value
+    return dict(zip(patterns, totals))

@@ -1,10 +1,30 @@
-"""Dynamic task scheduling (§5.2, §5.5).
+"""Dynamic task scheduling (§5.2, §5.5): the shared chunking layer.
 
 A task is the data vertex an exploration starts from.  Tasks are handed
-out through a shared atomic counter over the degree-descending vertex
-order — highest-degree (largest-id) vertices first, so the heaviest tasks
-start early and stragglers are short.  Workers pull chunks to amortize
-counter contention.
+out hub-first (highest-degree vertices lead the frontier, so the
+heaviest tasks start early and stragglers are short) in *chunks*, and a
+chunk's extent is **degree-weighted**: boundaries close once a chunk's
+cumulative weight reaches a cap, so a chunk holding a mega-hub carries
+few starts while leaf-only chunks carry many.  That one rule — the same
+closing rule :func:`repro.core.accel.bounded_slices` applies to frontier
+memory — keeps per-chunk work roughly even regardless of degree skew.
+
+Both concurrent runtimes consume this layer:
+
+* :func:`repro.runtime.parallel.parallel_match` worker *threads* pull
+  chunks from a :class:`TaskScheduler` (an atomic-counter cursor guarded
+  by a ``threading.Lock``);
+* :func:`repro.runtime.parallel.process_count` /
+  :func:`~repro.runtime.parallel.process_count_many` worker *processes*
+  share a :class:`ProcessCursor` (a ``multiprocessing.Value`` counter)
+  over the same :class:`ChunkLedger` — the ledger is immutable and
+  reaches workers fork-inherited or pickled once, so only the cursor is
+  ever contended.
+
+``schedule="static"`` bypasses the cursor entirely:
+:func:`static_slices` hands each worker a stride slice of the frontier
+up front (the pre-work-stealing behaviour, kept as the ablation
+baseline the scalability benchmark measures against).
 """
 
 from __future__ import annotations
@@ -12,18 +32,192 @@ from __future__ import annotations
 import threading
 from typing import Sequence
 
-__all__ = ["TaskScheduler"]
+__all__ = [
+    "ChunkLedger",
+    "ProcessCursor",
+    "TaskScheduler",
+    "CHUNKS_PER_WORKER",
+    "static_slices",
+    "weighted_boundaries",
+]
+
+# Auto chunk sizing: target this many chunks per worker when no
+# ``chunk_hint`` is given.  Enough granularity that one straggler chunk
+# costs ~1/8 of a worker's share, few enough that per-chunk dispatch
+# overhead (one engine call, one cursor claim) stays negligible.
+CHUNKS_PER_WORKER = 8
+
+
+def weighted_boundaries(weights: Sequence[float], cap: float) -> list[int]:
+    """Chunk boundaries over ``weights`` whose sums stay near ``cap``.
+
+    Returns ``[0, b1, ..., len(weights)]``: chunk ``i`` spans
+    ``weights[b_i:b_{i+1}]``.  A chunk closes as soon as its cumulative
+    weight reaches ``cap``; a lone over-cap element still forms a chunk
+    of its own, so progress is guaranteed and the heaviest chunk is one
+    element's weight, not ``cap + max_weight``.  This is the pure-Python
+    mirror of :func:`repro.core.accel.bounded_slices` (the rule the
+    engines use to bound frontier memory), so scheduling chunks and
+    engine-internal chunks agree on what "near the cap" means.
+    """
+    n = len(weights)
+    if hasattr(weights, "cumsum") and hasattr(weights, "searchsorted"):
+        # numpy (or array-API) weights: O(chunks log n) via prefix sums,
+        # same closing rule as the scalar loop below.
+        cum = weights.cumsum()
+        boundaries = [0]
+        start = 0
+        while start < n:
+            base = cum[start - 1] if start else 0
+            end = int(cum.searchsorted(base + cap, "left")) + 1
+            end = min(max(end, start + 1), n)
+            boundaries.append(end)
+            start = end
+        return boundaries
+    boundaries = [0]
+    acc = 0.0
+    for i, w in enumerate(weights):
+        acc += w
+        if acc >= cap:
+            boundaries.append(i + 1)
+            acc = 0.0
+    if boundaries[-1] != n:
+        boundaries.append(n)
+    return boundaries
+
+
+class ChunkLedger:
+    """An immutable chunk table: a task order plus chunk boundaries.
+
+    The ledger is the *shared* half of a work queue: every worker —
+    thread or process — holds the same ledger and claims chunk *indices*
+    from a cursor, then reads its chunk locally.  Nothing in the ledger
+    is ever mutated, so it is safe fork-inherited, pickled to spawn
+    workers, or referenced from any number of threads.
+    """
+
+    __slots__ = ("order", "boundaries")
+
+    def __init__(self, order: Sequence[int], boundaries: Sequence[int]):
+        self.order = order
+        self.boundaries = boundaries
+
+    @classmethod
+    def build(
+        cls,
+        order: Sequence[int],
+        weights: Sequence[float] | None = None,
+        chunk_hint: int | None = None,
+        num_workers: int = 1,
+    ) -> "ChunkLedger":
+        """Chunk ``order`` by weight (degree) or uniformly.
+
+        ``weights`` aligns one-to-one with ``order`` (typically
+        ``degree + 1`` per start vertex); ``None`` means uniform tasks.
+        ``chunk_hint`` is the target number of *tasks* per chunk on a
+        uniform frontier — internally a weight cap of ``chunk_hint *
+        mean_weight``, so on skewed frontiers a hub chunk carries fewer
+        starts.  Without a hint the cap targets
+        :data:`CHUNKS_PER_WORKER` chunks per worker.
+        """
+        n = len(order)
+        if n == 0:
+            return cls(order, [0])
+        if weights is None:
+            # Uniform weights: boundaries are arithmetic, skip the scan.
+            if chunk_hint is not None:
+                if chunk_hint < 1:
+                    raise ValueError(
+                        f"chunk_hint must be >= 1, got {chunk_hint}"
+                    )
+                step = int(chunk_hint)
+            else:
+                step = max(
+                    1, n // (max(1, num_workers) * CHUNKS_PER_WORKER)
+                )
+            boundaries = list(range(0, n, step))
+            boundaries.append(n)
+            return cls(order, boundaries)
+        total = (
+            float(weights.sum()) if hasattr(weights, "sum")
+            else float(sum(weights))
+        )
+        mean = total / n if n else 1.0
+        if chunk_hint is not None:
+            if chunk_hint < 1:
+                raise ValueError(f"chunk_hint must be >= 1, got {chunk_hint}")
+            cap = chunk_hint * max(mean, 1e-12)
+        else:
+            cap = max(
+                max(mean, 1e-12),
+                total / (max(1, num_workers) * CHUNKS_PER_WORKER),
+            )
+        return cls(order, weighted_boundaries(weights, cap))
+
+    def __len__(self) -> int:
+        return len(self.boundaries) - 1
+
+    @property
+    def num_tasks(self) -> int:
+        return self.boundaries[-1]
+
+    def chunk(self, index: int) -> Sequence[int]:
+        """The ``index``-th chunk of the task order."""
+        return self.order[self.boundaries[index]: self.boundaries[index + 1]]
+
+
+class ProcessCursor:
+    """A chunk-index cursor shared across a process pool.
+
+    Wraps a ``multiprocessing.Value`` counter (with its built-in lock)
+    created from the pool's own context, so it reaches workers through
+    fork inheritance or spawn initargs alike.  Workers call
+    :meth:`claim` until it runs past the ledger — the entire dynamic
+    scheduling protocol is this one fetch-and-increment.
+    """
+
+    __slots__ = ("_value",)
+
+    def __init__(self, ctx):
+        self._value = ctx.Value("l", 0)
+
+    def claim(self) -> int:
+        """Atomically claim and return the next chunk index."""
+        with self._value.get_lock():
+            index = self._value.value
+            self._value.value = index + 1
+        return index
 
 
 class TaskScheduler:
-    """Chunked atomic-counter scheduler over a fixed task order."""
+    """Chunked atomic-counter scheduler over a fixed task order (threads).
 
-    __slots__ = ("_order", "_next", "_lock", "chunk_size")
+    The thread-side face of the shared layer: a :class:`ChunkLedger`
+    plus a lock-guarded cursor.  ``chunk_size`` is the chunk hint —
+    tasks per chunk on a uniform frontier (``None`` sizes chunks
+    automatically for ``num_workers``, targeting
+    :data:`CHUNKS_PER_WORKER` each); pass ``weights`` (typically
+    ``degree + 1`` per task) to get degree-weighted chunks, where a hub
+    chunk carries fewer starts than a leaf chunk.
+    """
 
-    def __init__(self, order: Sequence[int], chunk_size: int = 64):
-        if chunk_size < 1:
+    __slots__ = ("_ledger", "_next", "_lock", "chunk_size")
+
+    def __init__(
+        self,
+        order: Sequence[int],
+        chunk_size: int | None = 64,
+        weights: Sequence[float] | None = None,
+        num_workers: int = 1,
+    ):
+        if chunk_size is not None and chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
-        self._order = order
+        self._ledger = ChunkLedger.build(
+            order,
+            weights=weights,
+            chunk_hint=chunk_size,
+            num_workers=num_workers,
+        )
         self._next = 0
         self._lock = threading.Lock()
         self.chunk_size = chunk_size
@@ -33,20 +227,38 @@ class TaskScheduler:
         """Scheduler over a degree-ordered graph: ids n-1 .. 0 (§5.2)."""
         return cls(range(num_vertices - 1, -1, -1), chunk_size=chunk_size)
 
+    @property
+    def ledger(self) -> ChunkLedger:
+        return self._ledger
+
     def next_chunk(self) -> Sequence[int]:
         """Claim the next chunk of start vertices; empty when exhausted."""
         with self._lock:
-            start = self._next
-            if start >= len(self._order):
+            index = self._next
+            if index >= len(self._ledger):
                 return ()
-            end = min(start + self.chunk_size, len(self._order))
-            self._next = end
-        return self._order[start:end]
+            self._next = index + 1
+        return self._ledger.chunk(index)
 
     def remaining(self) -> int:
+        """Number of tasks not yet claimed (chunk-granular)."""
         with self._lock:
-            return max(0, len(self._order) - self._next)
+            index = min(self._next, len(self._ledger))
+        return self._ledger.num_tasks - self._ledger.boundaries[index]
 
     def reset(self) -> None:
         with self._lock:
             self._next = 0
+
+
+def static_slices(order: Sequence[int], num_workers: int) -> list[Sequence[int]]:
+    """Stride-partition ``order`` into one up-front slice per worker.
+
+    The pre-work-stealing decomposition (and the benchmark baseline):
+    worker ``i`` gets ``order[i::num_workers]``, fixed before any work
+    runs.  On a hub-first frontier this interleaves hubs and leaves, but
+    per-task cost skew still lands unevenly — whichever worker draws the
+    heaviest hub keeps its full 1/P share of everything else too, which
+    is exactly the straggler dynamic chunks absorb.
+    """
+    return [order[i::num_workers] for i in range(num_workers)]

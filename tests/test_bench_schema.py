@@ -31,12 +31,31 @@ SCHEMAS = {
         {"bench", "rounds_per_workload", "sequential_engine", "note", "workloads"},
         "multipattern-fusion",
     ),
+    "BENCH_parallel.json": (
+        {
+            "bench",
+            "host_cpus",
+            "processes",
+            "rounds_per_workload",
+            "note",
+            "workloads",
+        },
+        "parallel-schedule",
+    ),
 }
 
 # Per-workload keys for the workload-shaped artifacts.
 WORKLOAD_KEYS = {
     "BENCH_session.json": {"n", "rounds", "best_warm_speedup_vs_cold"},
     "BENCH_multipattern.json": {"n", "kind", "rounds", "best_fused_speedup"},
+    "BENCH_parallel.json": {
+        "n",
+        "kind",
+        "pattern",
+        "matches",
+        "rounds",
+        "best_speedup_vs_static",
+    },
 }
 
 
@@ -81,3 +100,23 @@ def test_multipattern_acceptance_recorded():
     payload = _load("BENCH_multipattern.json")
     census = payload["workloads"]["3-motif-census"]
     assert census["best_fused_speedup"] > 1.0
+
+
+def test_parallel_acceptance_recorded():
+    """Work stealing: never loses on uniform, wins the straggler regime."""
+    payload = _load("BENCH_parallel.json")
+    workloads = payload["workloads"]
+    for name, entry in workloads.items():
+        for P, speedup in entry["best_speedup_vs_static"].items():
+            assert speedup >= 0.95, (
+                f"{name}: dynamic lost to static at {P} processes"
+            )
+        for row in entry["rounds"]:
+            assert {
+                "processes",
+                "static_makespan_seconds",
+                "dynamic_makespan_seconds",
+                "speedup_vs_static",
+            } <= row.keys()
+    flash = workloads["power-law-flash-crowd"]
+    assert max(flash["best_speedup_vs_static"].values()) >= 1.5

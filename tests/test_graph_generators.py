@@ -14,10 +14,48 @@ from repro.graph import (
     mico_like,
     orkut_like,
     patents_like,
+    power_law,
     random_regular,
     star_graph,
     with_random_labels,
 )
+
+
+class TestPowerLaw:
+    def test_deterministic(self):
+        a = power_law(200, gamma=2.2, seed=4)
+        b = power_law(200, gamma=2.2, seed=4)
+        assert [a.neighbors(v) for v in a.vertices()] == [
+            b.neighbors(v) for v in b.vertices()
+        ]
+
+    def test_simple_graph_invariants(self):
+        g = power_law(300, gamma=2.0, seed=1)
+        for v in g.vertices():
+            nbrs = g.neighbors(v)
+            assert v not in nbrs  # no self-loops
+            assert len(nbrs) == len(set(nbrs))  # no multi-edges
+
+    def test_gamma_controls_skew(self):
+        heavy = power_law(2000, gamma=2.0, seed=3)
+        tame = power_law(2000, gamma=3.5, seed=3)
+        assert heavy.max_degree() > 4 * tame.max_degree()
+
+    def test_degree_bounds_respected(self):
+        g = power_law(500, gamma=2.0, d_min=3, d_max=40, seed=2)
+        # Stub-conflict dropping may undershoot d_min, but the cap (+1
+        # for the possible parity fix-up) is hard.
+        assert g.max_degree() <= 41
+
+    def test_invalid_parameters(self):
+        with pytest.raises(GraphError):
+            power_law(1)
+        with pytest.raises(GraphError):
+            power_law(100, gamma=1.0)
+        with pytest.raises(GraphError):
+            power_law(100, d_min=0)
+        with pytest.raises(GraphError):
+            power_law(100, d_min=10, d_max=5)
 
 
 class TestBasicGenerators:

@@ -5,18 +5,29 @@ import time
 
 import pytest
 
-from repro.core import Aggregator, ExplorationControl, count
-from repro.graph import erdos_renyi
-from repro.pattern import generate_clique, pattern_p1
+from repro.core import Aggregator, ExplorationControl, MiningSession, count
+from repro.graph import erdos_renyi, with_random_labels
+from repro.pattern import (
+    Pattern,
+    generate_all_vertex_induced,
+    generate_clique,
+    pattern_p1,
+)
 from repro.runtime import (
     AggregatorThread,
     DeadlineControl,
     TaskScheduler,
     parallel_match,
     process_count,
+    process_count_many,
     stop_after_n_matches,
     stop_when_aggregate,
 )
+
+
+def _boom(_args):
+    """A picklable stand-in worker that fails mid-run."""
+    raise RuntimeError("worker exploded")
 
 
 class TestTaskScheduler:
@@ -320,6 +331,208 @@ class TestProcessCount:
         with pytest.raises(ValueError):
             process_count(
                 g, generate_clique(3), num_processes=2, share_mode="carrier-pigeon"
+            )
+
+    @pytest.mark.parametrize("schedule", ["dynamic", "static"])
+    def test_pickle_fallback_counts_identical(self, schedule):
+        """The numpy-free pickle mode must agree with the CSR modes.
+
+        Regression guard for the share-mode matrix: a labeled pattern
+        with an anti-edge exercises label filtering, the anti-edge
+        kernels and the reference-engine worker path all at once.
+        """
+        g = with_random_labels(erdos_renyi(50, 0.18, seed=12), 3, seed=7)
+        p = Pattern.from_edges([(0, 1), (1, 2)], anti_edges=[(0, 2)])
+        p.set_label(1, 1)
+        expected = count(g, p, engine="reference")
+        for mode in ("pickle", "fork", "shm"):
+            got = process_count(
+                g, p, num_processes=3, share_mode=mode, schedule=schedule
+            )
+            assert got == expected, (mode, schedule)
+
+
+class TestProcessCountFailurePaths:
+    """Workers dying mid-run must not leak shared-memory segments."""
+
+    @pytest.mark.parametrize("schedule", ["dynamic", "static"])
+    def test_shm_segments_unlinked_when_worker_raises(
+        self, monkeypatch, schedule
+    ):
+        from multiprocessing import shared_memory
+
+        from repro.runtime import parallel as parallel_module
+
+        g = erdos_renyi(40, 0.2, seed=3)
+        recorded: list[str] = []
+        original = parallel_module._shm_segments
+
+        def recording(view):
+            segments, meta = original(view)
+            recorded.extend(name for name, _ in meta.values() if name)
+            return segments, meta
+
+        monkeypatch.setattr(parallel_module, "_shm_segments", recording)
+        # Both schedules' worker entry points fail identically; under
+        # the fork start method the children inherit the patched module.
+        monkeypatch.setattr(parallel_module, "_drain_chunks", _boom)
+        monkeypatch.setattr(parallel_module, "_batch_count_slice", _boom)
+        with pytest.raises(RuntimeError, match="worker exploded"):
+            process_count(
+                g,
+                generate_clique(3),
+                num_processes=2,
+                share_mode="shm",
+                schedule=schedule,
+            )
+        assert recorded, "shm mode allocated no segments"
+        for name in recorded:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_shm_segments_unlinked_on_success_too(self, monkeypatch):
+        from multiprocessing import shared_memory
+
+        from repro.runtime import parallel as parallel_module
+
+        g = erdos_renyi(40, 0.2, seed=4)
+        recorded: list[str] = []
+        original = parallel_module._shm_segments
+
+        def recording(view):
+            segments, meta = original(view)
+            recorded.extend(name for name, _ in meta.values() if name)
+            return segments, meta
+
+        monkeypatch.setattr(parallel_module, "_shm_segments", recording)
+        expected = count(g, generate_clique(3))
+        assert process_count(
+            g, generate_clique(3), num_processes=2, share_mode="shm"
+        ) == expected
+        assert recorded
+        for name in recorded:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_many_shm_segments_unlinked_when_worker_raises(self, monkeypatch):
+        from multiprocessing import shared_memory
+
+        from repro.runtime import parallel as parallel_module
+
+        g = erdos_renyi(40, 0.2, seed=5)
+        recorded: list[str] = []
+        original = parallel_module._shm_segments
+
+        def recording(view):
+            segments, meta = original(view)
+            recorded.extend(name for name, _ in meta.values() if name)
+            return segments, meta
+
+        monkeypatch.setattr(parallel_module, "_shm_segments", recording)
+        monkeypatch.setattr(parallel_module, "_drain_many", _boom)
+        with pytest.raises(RuntimeError, match="worker exploded"):
+            process_count_many(
+                g,
+                generate_all_vertex_induced(3),
+                num_processes=2,
+                edge_induced=False,
+                share_mode="shm",
+            )
+        assert recorded
+        for name in recorded:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+
+class TestProcessCountMany:
+    @pytest.mark.parametrize("schedule", ["dynamic", "static"])
+    @pytest.mark.parametrize("share_mode", ["fork", "shm"])
+    def test_census_pins_sequential(self, schedule, share_mode):
+        g = erdos_renyi(70, 0.12, seed=8)
+        motifs = generate_all_vertex_induced(3)
+        expected = MiningSession(g).count_many(motifs, edge_induced=False)
+        got = process_count_many(
+            g,
+            motifs,
+            num_processes=3,
+            edge_induced=False,
+            share_mode=share_mode,
+            schedule=schedule,
+        )
+        assert got == expected
+
+    def test_label_pinned_groups_partition_correctly(self):
+        """Patterns with distinct pinned start labels form distinct
+        frontier groups; chunked workers must still demultiplex each
+        pattern's count exactly."""
+        from repro.pattern import generate_chain
+
+        g = with_random_labels(erdos_renyi(60, 0.15, seed=9), 3, seed=2)
+        patterns = []
+        for lab in range(3):
+            p = generate_chain(3)
+            p.set_label(0, lab)
+            p.set_label(1, (lab + 1) % 3)
+            p.set_label(2, (lab + 2) % 3)
+            patterns.append(p)
+        patterns.append(generate_clique(3))  # unlabeled group
+        session = MiningSession(g)
+        expected = session.count_many(patterns)
+        for schedule in ("dynamic", "static"):
+            got = process_count_many(
+                g, patterns, num_processes=2, schedule=schedule, chunk_hint=2
+            )
+            assert got == expected, schedule
+
+    def test_session_verb_routes_processes(self):
+        g = erdos_renyi(60, 0.12, seed=11)
+        motifs = generate_all_vertex_induced(3)
+        session = MiningSession(g)
+        expected = session.count_many(motifs, edge_induced=False)
+        got = session.count_many(
+            motifs, edge_induced=False, num_processes=2
+        )
+        assert got == expected
+
+    def test_frontier_chunk_forwarded_to_workers(self):
+        # A pathological chunk bound must change nothing but memory use.
+        g = erdos_renyi(50, 0.15, seed=15)
+        motifs = generate_all_vertex_induced(3)
+        session = MiningSession(g)
+        expected = session.count_many(motifs, edge_induced=False)
+        got = session.count_many(
+            motifs, edge_induced=False, num_processes=2, frontier_chunk=2
+        )
+        assert got == expected
+
+    def test_session_verb_rejects_hooks_under_processes(self):
+        from repro.errors import MatchingError
+
+        g = erdos_renyi(30, 0.2, seed=12)
+        session = MiningSession(g)
+        with pytest.raises(MatchingError):
+            session.count_many(
+                [generate_clique(3)],
+                num_processes=2,
+                control=ExplorationControl(),
+            )
+        with pytest.raises(MatchingError):
+            session.count_many(
+                [generate_clique(3)], num_processes=2, engine="reference"
+            )
+
+    def test_single_process_falls_back_to_sequential(self):
+        g = erdos_renyi(40, 0.15, seed=13)
+        motifs = generate_all_vertex_induced(3)
+        assert process_count_many(
+            g, motifs, num_processes=1, edge_induced=False
+        ) == MiningSession(g).count_many(motifs, edge_induced=False)
+
+    def test_unsupported_share_mode_rejected(self):
+        g = erdos_renyi(20, 0.3, seed=14)
+        with pytest.raises(ValueError):
+            process_count_many(
+                g, [generate_clique(3)], num_processes=2, share_mode="pickle"
             )
 
 

@@ -1,0 +1,277 @@
+"""Scheduler-layer tests: chunk ledgers + dynamic-vs-static parity.
+
+The work-stealing runtime must be invisible in results: counts, callback
+multisets and early-termination accounting have to match the sequential
+reference no matter how the frontier is chunked or which worker claims
+which chunk.  This suite fuzz-pins that across schedules
+(``dynamic``/``static``), chunk hints (1 / 2 / default) and the pattern
+feature matrix, and unit-tests the shared chunking layer itself
+(:mod:`repro.runtime.scheduler`).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ExplorationControl, count, match
+from repro.graph import barabasi_albert, erdos_renyi, power_law, with_random_labels
+from repro.pattern import (
+    Pattern,
+    generate_chain,
+    generate_clique,
+    generate_star,
+)
+from repro.runtime import (
+    ChunkLedger,
+    parallel_match,
+    process_count,
+    static_slices,
+    weighted_boundaries,
+)
+
+CHUNK_HINTS = (1, 2, None)  # None = the auto default
+SCHEDULES = ("dynamic", "static")
+
+weights_lists = st.lists(
+    st.integers(min_value=0, max_value=50), min_size=0, max_size=60
+)
+caps = st.integers(min_value=1, max_value=80)
+
+
+# ----------------------------------------------------------------------
+# The shared chunking layer
+# ----------------------------------------------------------------------
+
+
+class TestWeightedBoundaries:
+    @given(weights_lists, caps)
+    def test_boundaries_partition_and_respect_cap(self, weights, cap):
+        bounds = weighted_boundaries(weights, cap)
+        assert bounds[0] == 0
+        assert bounds[-1] == len(weights)
+        assert bounds == sorted(set(bounds))
+        for lo, hi in zip(bounds, bounds[1:]):
+            total = sum(weights[lo:hi])
+            # Every chunk except the last reached the cap; any chunk is
+            # minimal — dropping its last element falls below the cap.
+            if hi != len(weights):
+                assert total >= cap
+            if hi - lo > 1:
+                assert total - weights[hi - 1] < cap
+
+    @given(weights_lists, caps)
+    def test_numpy_path_matches_pure_python(self, weights, cap):
+        np = pytest.importorskip("numpy")
+        got = weighted_boundaries(np.asarray(weights, dtype=np.int64), cap)
+        assert got == weighted_boundaries(weights, cap)
+
+    def test_lone_overweight_element_forms_own_chunk(self):
+        assert weighted_boundaries([1, 100, 1, 1], 3) == [0, 2, 4]
+        assert weighted_boundaries([100, 1, 1, 1], 3) == [0, 1, 4]
+
+
+class TestChunkLedger:
+    def test_uniform_chunks_cover_everything_once(self):
+        ledger = ChunkLedger.build(list(range(100)), chunk_hint=7)
+        seen = []
+        for i in range(len(ledger)):
+            seen.extend(ledger.chunk(i))
+        assert seen == list(range(100))
+        assert ledger.num_tasks == 100
+
+    def test_weighted_chunks_shrink_around_hubs(self):
+        # A mega-hub up front: its chunk must carry few tasks while the
+        # uniform tail packs many per chunk.
+        weights = [1000] + [1] * 99
+        ledger = ChunkLedger.build(
+            list(range(100)), weights=weights, chunk_hint=4
+        )
+        first = ledger.chunk(0)
+        assert len(first) == 1  # the hub rides alone
+        flat = [v for i in range(len(ledger)) for v in ledger.chunk(i)]
+        assert flat == list(range(100))
+
+    def test_auto_cap_targets_chunks_per_worker(self):
+        from repro.runtime.scheduler import CHUNKS_PER_WORKER
+
+        ledger = ChunkLedger.build(
+            list(range(1024)), weights=[1] * 1024, num_workers=4
+        )
+        assert len(ledger) == 4 * CHUNKS_PER_WORKER
+
+    def test_bad_chunk_hint_rejected(self):
+        with pytest.raises(ValueError):
+            ChunkLedger.build(range(10), chunk_hint=0)
+        with pytest.raises(ValueError):
+            ChunkLedger.build(range(10), weights=[1] * 10, chunk_hint=0)
+
+    def test_empty_order(self):
+        ledger = ChunkLedger.build([], weights=[])
+        assert len(ledger) == 0
+        assert ledger.num_tasks == 0
+
+
+def test_static_slices_cover_everything_once():
+    slices = static_slices(list(range(103)), 4)
+    assert len(slices) == 4
+    assert sorted(v for s in slices for v in s) == list(range(103))
+
+
+# ----------------------------------------------------------------------
+# Thread-pool parity: dynamic vs static vs sequential reference
+# ----------------------------------------------------------------------
+
+seeds = st.integers(min_value=0, max_value=30)
+
+
+def _fuzz_graph_and_pattern(seed: int):
+    """A (graph, pattern, edge_induced) triple sweeping the feature matrix."""
+    kind = seed % 6
+    if kind == 0:
+        return erdos_renyi(50 + seed, 0.12, seed=seed), generate_clique(3), True
+    if kind == 1:
+        g = with_random_labels(erdos_renyi(45, 0.15, seed=seed), 3, seed=seed)
+        p = generate_chain(3)
+        p.set_label(0, seed % 3)
+        p.set_label(2, (seed + 1) % 3)
+        return g, p, True
+    if kind == 2:
+        # Anti-edge: a path whose endpoints must NOT be adjacent.
+        p = Pattern.from_edges([(0, 1), (1, 2)], anti_edges=[(0, 2)])
+        return barabasi_albert(40 + seed, 3, seed=seed), p, True
+    if kind == 3:
+        # Vertex-induced matching (anti-edge completion, Theorem 3.1).
+        return erdos_renyi(40 + seed, 0.18, seed=seed), generate_star(3), False
+    if kind == 4:
+        # Anti-vertex: triangles in no 4-clique (maximal-clique query).
+        from repro.mining.cliques import maximal_clique_pattern
+
+        return erdos_renyi(35 + seed, 0.25, seed=seed), maximal_clique_pattern(3), True
+    return power_law(60 + seed, gamma=2.0, seed=seed), generate_star(3), True
+
+
+class TestThreadScheduleParity:
+    @given(seeds)
+    @settings(max_examples=12, deadline=None)
+    def test_counts_pin_sequential_reference(self, seed):
+        g, p, edge_induced = _fuzz_graph_and_pattern(seed)
+        expected = count(g, p, edge_induced=edge_induced, engine="reference")
+        for schedule in SCHEDULES:
+            for hint in CHUNK_HINTS:
+                result = parallel_match(
+                    g, p, num_threads=3, edge_induced=edge_induced,
+                    schedule=schedule, chunk_hint=hint,
+                )
+                assert result.matches == expected, (schedule, hint)
+                assert result.schedule == schedule
+
+    @given(seeds)
+    @settings(max_examples=8, deadline=None)
+    def test_callback_multisets_pin_sequential(self, seed):
+        g, p, edge_induced = _fuzz_graph_and_pattern(seed)
+        sequential: Counter = Counter()
+        match(g, p, lambda m: sequential.update([m.mapping]),
+              edge_induced=edge_induced, engine="reference")
+        for schedule in SCHEDULES:
+            for hint in CHUNK_HINTS:
+                found: Counter = Counter()
+
+                def cb(m, agg):
+                    found.update([m.mapping])
+
+                result = parallel_match(
+                    g, p, num_threads=3, callback=cb,
+                    edge_induced=edge_induced,
+                    schedule=schedule, chunk_hint=hint,
+                )
+                assert found == sequential, (schedule, hint)
+                assert result.matches == sum(found.values())
+
+    @given(seeds, st.sampled_from(SCHEDULES))
+    @settings(max_examples=8, deadline=None)
+    def test_control_stops_early_and_counts_callbacks(self, seed, schedule):
+        g = erdos_renyi(50 + seed, 0.2, seed=seed)
+        p = generate_clique(3)
+        total = count(g, p, engine="reference")
+        if total < 8:
+            return
+        for hint in CHUNK_HINTS:
+            control = ExplorationControl()
+            fired = [0]
+
+            def cb(m, agg):
+                fired[0] += 1
+                if fired[0] >= 3:
+                    control.stop()
+
+            result = parallel_match(
+                g, p, num_threads=2, callback=cb, control=control,
+                schedule=schedule, chunk_hint=hint,
+            )
+            assert control.stopped
+            # The returned count is exactly the callbacks that fired,
+            # and the stop landed before full enumeration.
+            assert result.matches == fired[0]
+            assert result.matches < total
+
+    def test_static_schedule_skips_the_shared_queue(self):
+        # Static pre-assignment must still produce per-thread accounting
+        # that sums to the total.
+        g = erdos_renyi(60, 0.15, seed=5)
+        result = parallel_match(
+            g, generate_clique(3), num_threads=3, schedule="static"
+        )
+        assert sum(result.per_thread_matches) == result.matches
+        assert result.schedule == "static"
+
+    def test_unknown_schedule_rejected(self):
+        g = erdos_renyi(20, 0.3, seed=1)
+        with pytest.raises(ValueError):
+            parallel_match(g, generate_clique(3), schedule="wishful")
+        with pytest.raises(ValueError):
+            process_count(g, generate_clique(3), schedule="wishful")
+        with pytest.raises(ValueError):
+            parallel_match(g, generate_clique(3), chunk_hint=0)
+
+    def test_session_defaults_steer_the_runtime(self):
+        from repro.core import MiningSession
+
+        g = erdos_renyi(50, 0.15, seed=9)
+        session = MiningSession(g, schedule="static", chunk_hint=2)
+        result = parallel_match(session, generate_clique(3), num_threads=2)
+        assert result.schedule == "static"
+        assert result.matches == count(g, generate_clique(3),
+                                       engine="reference")
+
+
+# ----------------------------------------------------------------------
+# Process-pool parity (slower: real pools — a few pinned cases only)
+# ----------------------------------------------------------------------
+
+
+class TestProcessScheduleParity:
+    @pytest.mark.parametrize("schedule", SCHEDULES)
+    @pytest.mark.parametrize("hint", [1, None])
+    def test_counts_pin_sequential(self, schedule, hint):
+        g = power_law(150, gamma=2.0, seed=4)
+        p = generate_clique(3)
+        expected = count(g, p, engine="reference")
+        got = process_count(
+            g, p, num_processes=3, schedule=schedule, chunk_hint=hint
+        )
+        assert got == expected
+
+    def test_labeled_dynamic_pins_sequential(self):
+        g = with_random_labels(erdos_renyi(70, 0.12, seed=23), 3, seed=5)
+        p = generate_chain(3)
+        p.set_label(0, 1)
+        p.set_label(2, 2)
+        expected = count(g, p, engine="reference")
+        for schedule in SCHEDULES:
+            assert process_count(
+                g, p, num_processes=2, schedule=schedule, chunk_hint=2
+            ) == expected
