@@ -16,13 +16,16 @@ from typing import Iterable, Iterator
 
 from .containers import (
     ArrayContainer,
+    BitmapContainer,
     CHUNK_BITS,
+    CHUNK_SIZE,
     container_from_values,
 )
 
 __all__ = ["RoaringBitmap"]
 
 _LOW_MASK = (1 << CHUNK_BITS) - 1
+_CHUNK_BYTES = CHUNK_SIZE // 8
 
 
 class RoaringBitmap:
@@ -63,6 +66,38 @@ class RoaringBitmap:
         if chunk.kind == "array" and chunk.memory_bytes() > 1 << 13:
             self._chunks[key] = container_from_values(chunk.values())
 
+    @classmethod
+    def from_sorted(cls, values: Iterable[int]) -> "RoaringBitmap":
+        """Bulk-build from a sorted, duplicate-free iterable.
+
+        The fast path for compiling CSR adjacency rows into membership
+        bitmaps: consecutive values sharing a high-16-bit key are grouped
+        in one pass and each chunk goes straight through
+        :func:`container_from_values`, which picks the cheapest
+        representation — no per-value ``add`` churn or array-to-bitmap
+        upgrades along the way.
+        """
+        out = cls()
+        chunks = out._chunks
+        cur_key = -1
+        cur: list[int] = []
+        for v in values:
+            v = int(v)
+            if v < 0:
+                raise ValueError(
+                    "RoaringBitmap holds non-negative integers only"
+                )
+            key = v >> CHUNK_BITS
+            if key != cur_key:
+                if cur:
+                    chunks[cur_key] = container_from_values(cur)
+                cur_key = key
+                cur = []
+            cur.append(v & _LOW_MASK)
+        if cur:
+            chunks[cur_key] = container_from_values(cur)
+        return out
+
     def optimize(self) -> "RoaringBitmap":
         """Re-pick the cheapest container per chunk (``runOptimize``)."""
         for key, chunk in list(self._chunks.items()):
@@ -91,6 +126,35 @@ class RoaringBitmap:
     def to_list(self) -> list[int]:
         """Sorted member list (tests / small domains only)."""
         return list(self)
+
+    def to_dense_bytes(self, num_bits: int) -> bytes:
+        """Flatten to ``ceil(num_bits / 8)`` little-endian packed bytes.
+
+        Bit ``v`` of the result is set iff ``v in self``; members at or
+        beyond ``num_bits`` are ignored.  Chunk boundaries are byte
+        aligned (the chunk size is a multiple of 8), so bitmap containers
+        splice their payload in directly and sparse containers build one
+        chunk-local integer first — this is how the accelerated engines
+        compile hub neighborhoods into numpy bit rows.
+        """
+        nbytes = (num_bits + 7) >> 3
+        buf = bytearray(nbytes)
+        for key, chunk in self._chunks.items():
+            base = (key << CHUNK_BITS) >> 3
+            if base >= nbytes:
+                continue
+            if isinstance(chunk, BitmapContainer):
+                bits = chunk._bits
+            else:
+                bits = 0
+                for low in chunk.values():
+                    bits |= 1 << low
+            payload = bits.to_bytes(_CHUNK_BYTES, "little")
+            end = min(base + _CHUNK_BYTES, nbytes)
+            buf[base:end] = payload[: end - base]
+        if nbytes and num_bits & 7:
+            buf[-1] &= (1 << (num_bits & 7)) - 1
+        return bytes(buf)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, RoaringBitmap):

@@ -179,6 +179,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=commands.cmd_fsm)
 
+    p = sub.add_parser("graph", help="on-disk graph store tooling")
+    gsub = p.add_subparsers(dest="graph_command", required=True)
+    c = gsub.add_parser(
+        "convert",
+        help="convert between graph formats "
+        "(.rgx mmap store, .npz, edge list — by extension)",
+    )
+    c.add_argument("input", help="source graph (.rgx, .npz, or edge list)")
+    c.add_argument(
+        "output", help="destination (.rgx, .npz, or edge list by extension)"
+    )
+    c.add_argument(
+        "--labels",
+        metavar="FILE",
+        help="vertex-label file accompanying an edge-list input",
+    )
+    c.add_argument(
+        "--degree-order",
+        action="store_true",
+        help="degree-order vertices before writing, so mining reloads "
+        "skip the ordering pass entirely",
+    )
+    c.set_defaults(func=commands.cmd_graph_convert)
+    i = gsub.add_parser("info", help="print an .rgx store's header")
+    i.add_argument("path", help=".rgx file to inspect")
+    i.set_defaults(func=commands.cmd_graph_info)
+
     p = sub.add_parser("approx", help="approximate counting (ASAP-style)")
     add_dataset_arguments(p)
     _add_pattern_argument(p)

@@ -16,7 +16,7 @@ from ..graph.generators import (
     orkut_like,
     patents_like,
 )
-from ..graph.binary_io import load_npz
+from ..graph.binary_io import open_graph
 from ..graph.graph import DataGraph
 from ..graph.io import load_edge_list, load_labeled
 from ..pattern.evaluation import (
@@ -80,7 +80,7 @@ def add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
         "--graph",
         metavar="FILE",
         help="graph file to load instead of a synthetic dataset "
-        "(.npz binary or whitespace edge list)",
+        "(.rgx mmap store, .npz binary, or whitespace edge list)",
     )
     group.add_argument(
         "--labels",
@@ -106,13 +106,13 @@ def add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
 def load_dataset(args: argparse.Namespace) -> DataGraph:
     """Materialize the graph selected by parsed dataset arguments."""
     if args.graph:
-        if str(args.graph).endswith(".npz"):
+        if str(args.graph).endswith((".npz", ".rgx")):
             if args.labels:
                 raise SystemExit(
-                    "error: .npz archives embed labels; --labels applies "
-                    "to edge-list graphs only"
+                    "error: binary graph formats embed labels; --labels "
+                    "applies to edge-list graphs only"
                 )
-            return load_npz(args.graph)
+            return open_graph(args.graph)
         if args.labels:
             return load_labeled(args.graph, args.labels)
         return load_edge_list(args.graph)

@@ -56,6 +56,9 @@ __all__ = [
     "AcceleratedGraphView",
     "AcceleratedEngine",
     "FrontierBatchedEngine",
+    "HubMembershipIndex",
+    "ROARING_HUB_MIN_DEGREE",
+    "hub_degree_threshold",
     "SharedFrontierGathers",
     "ACCEL_FRONTIER_CHUNK",
     "frontier_start_order",
@@ -71,6 +74,19 @@ __all__ = [
 # numpy call overhead across thousands of partial matches.  Tunable per
 # run via the ``frontier_chunk`` knob on :func:`repro.core.api.match`.
 ACCEL_FRONTIER_CHUNK = 16_384
+
+# Hub membership (the roaring second tier): a vertex qualifies for a
+# packed dense bit row when its degree reaches both this floor and
+# n / 64.  The floor keeps tiny graphs on pure searchsorted (row builds
+# are not free); the density cut bounds the index at 8x the hubs' own
+# adjacency bytes (a row costs n/8 bytes vs >= 8 * n/64 adjacency).
+# ``benchmarks/bench_storage.py`` measures the membership crossover.
+ROARING_HUB_MIN_DEGREE = 128
+
+
+def hub_degree_threshold(num_vertices: int) -> int:
+    """Minimum degree for a vertex to earn a dense membership row."""
+    return max(ROARING_HUB_MIN_DEGREE, num_vertices >> 6)
 
 
 def bounded_slices(weights: np.ndarray, cap: int):
@@ -162,24 +178,36 @@ class AcceleratedGraphView:
         "_label_arrays",
         "_adj_keys",
         "_degrees",
+        "_hub_index",
     )
 
     def __init__(self, graph: DataGraph):
         self.graph = graph
-        degrees = [graph.degree(v) for v in graph.vertices()]
-        self._offsets = np.zeros(graph.num_vertices + 1, dtype=np.int64)
-        np.cumsum(degrees, out=self._offsets[1:])
-        self._flat = np.empty(int(self._offsets[-1]), dtype=np.int64)
-        for v in graph.vertices():
-            lo, hi = self._offsets[v], self._offsets[v + 1]
-            self._flat[lo:hi] = graph.neighbors(v)
-        labels = graph.labels()
-        self._labels = (
-            np.asarray(labels, dtype=np.int64) if labels is not None else None
-        )
+        arrays = graph.csr_arrays()
+        if arrays is not None:
+            # Array-backed graph (mmap store / .npz load): alias its CSR
+            # sections zero-copy — cold start is the mmap call the loader
+            # already made, not an O(E) rebuild.
+            offsets, flat, labels = arrays
+            self._offsets = offsets
+            self._flat = flat
+            self._labels = labels
+        else:
+            degrees = [graph.degree(v) for v in graph.vertices()]
+            self._offsets = np.zeros(graph.num_vertices + 1, dtype=np.int64)
+            np.cumsum(degrees, out=self._offsets[1:])
+            self._flat = np.empty(int(self._offsets[-1]), dtype=np.int64)
+            for v in graph.vertices():
+                lo, hi = self._offsets[v], self._offsets[v + 1]
+                self._flat[lo:hi] = graph.neighbors(v)
+            labels = graph.labels()
+            self._labels = (
+                np.asarray(labels, dtype=np.int64) if labels is not None else None
+            )
         self._label_arrays: dict[int, np.ndarray] | None = None
         self._adj_keys: np.ndarray | None = None
         self._degrees: np.ndarray | None = None
+        self._hub_index = None
 
     @classmethod
     def from_csr(
@@ -198,6 +226,7 @@ class AcceleratedGraphView:
         view._label_arrays = None
         view._adj_keys = None
         view._degrees = None
+        view._hub_index = None
         return view
 
     def csr(self) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
@@ -259,11 +288,111 @@ class AcceleratedGraphView:
             self._adj_keys = owners * (n + 1) + self._flat
         return self._adj_keys
 
+    def hub_index(self, min_degree: int | None = None):
+        """The view's :class:`HubMembershipIndex`, or ``None``.
+
+        Built lazily at first request (i.e. at view-build time of the
+        first batched engine) and cached; ``None`` when no vertex clears
+        the degree threshold, so sparse graphs pay one ``max`` on the
+        cached degree array and nothing else.
+        """
+        if self._hub_index is None:
+            threshold = (
+                hub_degree_threshold(self.num_vertices)
+                if min_degree is None
+                else min_degree
+            )
+            degrees = self.degrees()
+            if degrees.size and int(degrees.max()) >= threshold:
+                self._hub_index = HubMembershipIndex(self, threshold)
+            else:
+                self._hub_index = False  # checked: no hubs
+        return self._hub_index or None
+
     def memory_bytes(self) -> int:
         total = self._flat.nbytes + self._offsets.nbytes
         if self._labels is not None:
             total += self._labels.nbytes
         return total
+
+
+class HubMembershipIndex:
+    """Roaring-compiled dense membership rows for hub neighborhoods.
+
+    ``searchsorted`` over the global adjacency keys answers a membership
+    query in O(log E) — unbeatable for sparse rows, but on power-law
+    hubs the same dense row is probed over and over and every probe
+    repays the full binary search.  This index gives each vertex whose
+    degree clears the threshold a packed bit row: its CSR row is
+    bulk-compiled into a :class:`~repro.bitmap.roaring.RoaringBitmap`
+    (array/bitmap/run containers chosen per 65536-value chunk) and
+    flattened into one ``(num_hubs, ceil(n / 8))`` uint8 matrix, so a
+    batched query against hub owners is two vectorized lookups —
+    ``bits[row, v >> 3] >> (v & 7)`` — with no search at all.  Non-hub
+    owners fall through to the caller's searchsorted kernel; the split
+    is decided per *vertex* at build time, per *query element* at run
+    time.
+    """
+
+    __slots__ = ("num_vertices", "hubs", "row_of", "bits", "bitmaps")
+
+    def __init__(self, view: "AcceleratedGraphView", min_degree: int):
+        from ..bitmap.roaring import RoaringBitmap
+
+        n = view.num_vertices
+        self.num_vertices = n
+        self.hubs = np.flatnonzero(view.degrees() >= min_degree).astype(
+            np.int64
+        )
+        self.row_of = np.full(n, -1, dtype=np.int64)
+        self.row_of[self.hubs] = np.arange(self.hubs.size, dtype=np.int64)
+        row_bytes = (n + 7) >> 3
+        self.bits = np.zeros((self.hubs.size, row_bytes), dtype=np.uint8)
+        self.bitmaps: list = []
+        for row, hub in enumerate(self.hubs):
+            bitmap = RoaringBitmap.from_sorted(view.neighbors(int(hub)))
+            self.bitmaps.append(bitmap)
+            self.bits[row] = np.frombuffer(
+                bitmap.to_dense_bytes(n), dtype=np.uint8
+            )
+
+    def member(
+        self,
+        owners: np.ndarray,
+        values: np.ndarray,
+        fallback: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    ) -> np.ndarray:
+        """Elementwise membership, hub rows via bits, the rest via ``fallback``."""
+        rows = self.row_of[owners]
+        on_hub = rows >= 0
+        if not on_hub.any():
+            return fallback(owners, values)
+        if on_hub.all():
+            return (
+                self.bits[rows, values >> 3] >> (values & 7) & 1
+            ).astype(bool)
+        out = np.empty(owners.size, dtype=bool)
+        hub_values = values[on_hub]
+        out[on_hub] = (
+            self.bits[rows[on_hub], hub_values >> 3] >> (hub_values & 7) & 1
+        ).astype(bool)
+        rest = ~on_hub
+        out[rest] = fallback(owners[rest], values[rest])
+        return out
+
+    def memory_bytes(self) -> int:
+        """Roaring payloads + the packed matrix + the row map."""
+        return (
+            sum(b.memory_bytes() for b in self.bitmaps)
+            + self.bits.nbytes
+            + self.row_of.nbytes
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"HubMembershipIndex({self.hubs.size} hubs, "
+            f"{self.memory_bytes()} bytes)"
+        )
 
 
 def shared_view(ordered: DataGraph) -> AcceleratedGraphView:
@@ -597,6 +726,7 @@ class FrontierBatchedEngine:
         "degrees",
         "keys",
         "stride",
+        "hubs",
         "plan",
         "steps",
         "on_match",
@@ -624,6 +754,7 @@ class FrontierBatchedEngine:
         self.degrees = view.degrees()
         self.keys = view.adjacency_keys()
         self.stride = self.n + 1
+        self.hubs = view.hub_index()
         # A fused multi-pattern run attaches a SharedFrontierGathers here
         # so level-1 expansions reuse one neighbor gather across member
         # patterns; standalone runs leave it None.
@@ -634,9 +765,24 @@ class FrontierBatchedEngine:
     # ------------------------------------------------------------------
 
     def _member(self, owners: np.ndarray, values: np.ndarray) -> np.ndarray:
-        """Elementwise ``values[k] in neighbors(owners[k])``."""
+        """Elementwise ``values[k] in neighbors(owners[k])``.
+
+        Queries whose owner is a hub route through the view's packed
+        roaring rows (two array lookups); the rest binary-search the
+        global adjacency keys.  Anti-edge checks and injectivity masks
+        — the dense-row-heavy membership consumers — all flow through
+        here.
+        """
         if self.keys.size == 0 or owners.size == 0:
             return np.zeros(owners.size, dtype=bool)
+        if self.hubs is not None:
+            return self.hubs.member(owners, values, self._member_sorted)
+        return self._member_sorted(owners, values)
+
+    def _member_sorted(
+        self, owners: np.ndarray, values: np.ndarray
+    ) -> np.ndarray:
+        """The searchsorted membership kernel (non-hub / fallback path)."""
         queries = owners * self.stride + values
         pos = np.searchsorted(self.keys, queries)
         pos[pos == self.keys.size] = 0

@@ -42,7 +42,9 @@ def intersect(a: Sequence[int], b: Sequence[int]) -> list[int]:
     """
     if len(a) > len(b):
         a, b = b, a
-    if not a or not b:
+    # len() checks, not truthiness: array-backed graphs hand us numpy
+    # slices, whose bool() is ambiguous beyond one element.
+    if len(a) == 0 or len(b) == 0:
         return []
     out = []
     nb = len(b)
@@ -59,7 +61,7 @@ def intersect(a: Sequence[int], b: Sequence[int]) -> list[int]:
 
 def intersect_many(lists: Sequence[Sequence[int]]) -> list[int]:
     """Intersection of any number of sorted lists (smallest-first order)."""
-    if not lists:
+    if len(lists) == 0:
         return []
     ordered = sorted(lists, key=len)
     result: list[int] = list(ordered[0])
@@ -72,9 +74,9 @@ def intersect_many(lists: Sequence[Sequence[int]]) -> list[int]:
 
 def difference(a: Sequence[int], b: Sequence[int]) -> list[int]:
     """Sorted list difference ``a \\ b``."""
-    if not a:
+    if len(a) == 0:
         return []
-    if not b:
+    if len(b) == 0:
         return list(a)
     out = []
     nb = len(b)

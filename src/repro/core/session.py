@@ -38,8 +38,9 @@ the same caches.
 from __future__ import annotations
 
 import dataclasses
+import os
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Mapping, Sequence
+from typing import Any, Callable, Iterable, Mapping, Sequence, Union
 
 from ..errors import MatchingError
 from ..graph.graph import DataGraph
@@ -68,6 +69,35 @@ __all__ = [
 ]
 
 _ENGINE_CHOICES = ("auto", "accel", "accel-batch", "reference")
+
+# What a session accepts as its graph: the graph itself, an opened .rgx
+# GraphStore, or a filesystem path routed through open_graph.
+GraphSource = Union[DataGraph, str, os.PathLike, "GraphStore"]
+
+
+def _coerce_graph(source) -> DataGraph:
+    """Resolve a session graph source to a :class:`DataGraph`.
+
+    Accepts a graph directly, a filesystem path (``str``/``os.PathLike``
+    — ``.rgx`` stores open zero-copy via
+    :func:`~repro.graph.binary_io.open_graph`), or an already-opened
+    :class:`~repro.graph.binary_io.GraphStore`.  Imports lazily so the
+    numpy-free reference tier keeps working with in-memory graphs.
+    """
+    if isinstance(source, DataGraph):
+        return source
+    if isinstance(source, (str, os.PathLike)):
+        from ..graph.binary_io import open_graph
+
+        return open_graph(source)
+    from ..graph.binary_io import GraphStore
+
+    if isinstance(source, GraphStore):
+        return source.graph()
+    raise TypeError(
+        "expected DataGraph, GraphStore or a graph path, got "
+        f"{type(source).__name__}"
+    )
 
 # Engine choices for the multi-pattern verbs: everything a single-pattern
 # run accepts, plus "fused" to force the fused multi-pattern runner
@@ -392,7 +422,10 @@ class MiningSession:
     Parameters
     ----------
     graph:
-        the data graph every query of this session runs against.
+        the data graph every query of this session runs against — a
+        :class:`DataGraph`, an opened
+        :class:`~repro.graph.binary_io.GraphStore`, or a filesystem path
+        (``.rgx`` stores open zero-copy; ``.npz`` and edge lists parse).
     defaults:
         an :class:`ExecOptions` to use as the session defaults, or
         ``None`` for the standard defaults.
@@ -423,7 +456,7 @@ class MiningSession:
 
     def __init__(
         self,
-        graph: DataGraph,
+        graph: GraphSource,
         defaults: ExecOptions | None = None,
         **options,
     ):
@@ -435,7 +468,7 @@ class MiningSession:
                 raise ValueError(
                     f"{name!r} is a per-call option, not a session default"
                 )
-        self.graph = graph
+        self.graph = _coerce_graph(graph)
         self.defaults = base
         self._ordered: DataGraph | None = None
         self._old_of_new: list[int] | None = None
@@ -447,14 +480,19 @@ class MiningSession:
         self.plan_cache_misses = 0
 
     @classmethod
-    def for_graph(cls, graph: DataGraph) -> "MiningSession":
+    def for_graph(cls, graph: GraphSource) -> "MiningSession":
         """The graph's shared default session (created on first use).
 
         This is what the legacy :mod:`repro.core.api` shims run on, so
         plain ``count(graph, p)`` calls share one plan cache per graph.
         The shared session always carries pristine defaults; shims pass
-        every knob explicitly.
+        every knob explicitly.  Paths and
+        :class:`~repro.graph.binary_io.GraphStore` instances are accepted
+        too; the shared session then lives on the loaded graph (and on
+        the store's cached graph, so repeated ``for_graph(store)`` calls
+        reuse one session).
         """
+        graph = _coerce_graph(graph)
         session = graph._session_cache
         if session is None:
             session = cls(graph)
@@ -1201,18 +1239,24 @@ class MiningSession:
         )
 
 
-def as_session(graph_or_session: DataGraph | MiningSession) -> MiningSession:
-    """Coerce a graph or session to a session.
+def as_session(
+    graph_or_session: Union[GraphSource, MiningSession],
+) -> MiningSession:
+    """Coerce a graph, graph source or session to a session.
 
-    Sessions pass through untouched; a bare :class:`DataGraph` resolves
-    to its shared default session (:meth:`MiningSession.for_graph`), so
-    library code written against sessions keeps amortizing state even
-    when callers hand it plain graphs.
+    Sessions pass through untouched; a bare :class:`DataGraph` — or a
+    path / :class:`~repro.graph.binary_io.GraphStore`, which loads first
+    — resolves to its shared default session
+    (:meth:`MiningSession.for_graph`), so library code written against
+    sessions keeps amortizing state even when callers hand it plain
+    graphs.
     """
     if isinstance(graph_or_session, MiningSession):
         return graph_or_session
-    if isinstance(graph_or_session, DataGraph):
+    try:
         return MiningSession.for_graph(graph_or_session)
-    raise TypeError(
-        f"expected DataGraph or MiningSession, got {type(graph_or_session).__name__}"
-    )
+    except TypeError:
+        raise TypeError(
+            "expected DataGraph, GraphStore, graph path or MiningSession, "
+            f"got {type(graph_or_session).__name__}"
+        ) from None

@@ -9,7 +9,14 @@ from .io import (
     save_labels,
     load_labeled,
 )
-from .binary_io import save_npz, load_npz
+from .binary_io import (
+    GraphStore,
+    load_mmap,
+    load_npz,
+    open_graph,
+    save_mmap,
+    save_npz,
+)
 from .generators import (
     erdos_renyi,
     barabasi_albert,
@@ -41,6 +48,10 @@ __all__ = [
     "load_labeled",
     "save_npz",
     "load_npz",
+    "GraphStore",
+    "save_mmap",
+    "load_mmap",
+    "open_graph",
     "erdos_renyi",
     "barabasi_albert",
     "power_law",

@@ -10,6 +10,17 @@ dense integers ``0..n-1``.  Two properties matter for the matching engine:
 * vertices are (optionally) *degree-ordered* — renamed so that
   ``u < v  iff  degree(u) <= degree(v)`` (ties broken by original id), the
   ordering §5.2 uses for early pruning and load balancing.
+
+Two backings share the same interface:
+
+* **list** — per-vertex Python lists, built by the constructor.  The
+  default for generated and hand-built graphs.
+* **array** — a CSR pair (``offsets``/``neighbors`` int64 arrays, plus an
+  optional label array) wrapped zero-copy, built by
+  :meth:`DataGraph.from_csr`.  This is how graphs loaded from the mmap
+  ``.rgx`` store (:mod:`repro.graph.binary_io`) avoid exploding into
+  Python lists: ``neighbors()`` returns array slices, and the engines'
+  CSR views alias the same memory.
 """
 
 from __future__ import annotations
@@ -26,8 +37,8 @@ class DataGraph:
     """Undirected data graph with sorted adjacency lists and optional labels.
 
     Instances are immutable once constructed; build them with
-    :func:`repro.graph.builder.from_edges` or the loaders in
-    :mod:`repro.graph.io`.
+    :func:`repro.graph.builder.from_edges`, the loaders in
+    :mod:`repro.graph.io`, or :meth:`from_csr` for array-backed graphs.
 
     Parameters
     ----------
@@ -52,6 +63,10 @@ class DataGraph:
         "_ordered_cache",
         "_accel_view",
         "_session_cache",
+        "_offsets",
+        "_flat",
+        "_degree_sorted",
+        "_store",
     )
 
     def __init__(
@@ -61,11 +76,11 @@ class DataGraph:
         name: str = "graph",
         validate: bool = True,
     ):
-        self._adj: list[list[int]] = [list(nbrs) for nbrs in adjacency]
-        self._labels: list[int] | None = list(labels) if labels is not None else None
+        self._adj: list[list[int]] | None = [list(nbrs) for nbrs in adjacency]
+        self._labels = list(labels) if labels is not None else None
         self.name = name
         self._label_index: dict[int, list[int]] | None = None
-        self._ordered_cache: tuple["DataGraph", list[int]] | None = None
+        self._ordered_cache: tuple["DataGraph", Sequence[int]] | None = None
         # Cached CSR view for the vectorized engine; owned and populated
         # by repro.core.accel.shared_view (graphs are immutable, so the
         # cache can never go stale).
@@ -74,6 +89,11 @@ class DataGraph:
         # repro.core.session.MiningSession.for_graph so one-shot api
         # calls share plan/start caches across queries.
         self._session_cache = None
+        # Array-backing state; unused in list mode.
+        self._offsets = None
+        self._flat = None
+        self._degree_sorted: bool | None = None
+        self._store = None
 
         if self._labels is not None and len(self._labels) != len(self._adj):
             raise GraphError(
@@ -82,6 +102,59 @@ class DataGraph:
         if validate:
             self._validate()
         self._num_edges = sum(len(nbrs) for nbrs in self._adj) // 2
+
+    @classmethod
+    def from_csr(
+        cls,
+        offsets,
+        neighbors,
+        labels=None,
+        name: str = "graph",
+        validate: bool = False,
+        degree_sorted: bool | None = None,
+        store=None,
+    ) -> "DataGraph":
+        """Wrap CSR arrays zero-copy as an **array-backed** graph.
+
+        ``offsets`` has ``n + 1`` entries with ``offsets[0] == 0``;
+        ``neighbors`` concatenates the sorted per-vertex rows.  The
+        arrays (numpy ``int64``, possibly memory-mapped) are aliased,
+        not copied, so a graph loaded from the ``.rgx`` store does only
+        O(1) Python work here.  ``degree_sorted`` records whether ids
+        already increase with degree (``None`` = unknown, checked
+        lazily); ``store`` optionally pins the backing
+        :class:`~repro.graph.binary_io.GraphStore` so the parallel
+        runtime can re-open the same file in workers.
+        """
+        import numpy as np
+
+        offsets = np.asarray(offsets, dtype=np.int64)
+        neighbors = np.asarray(neighbors, dtype=np.int64)
+        if labels is not None:
+            labels = np.asarray(labels, dtype=np.int64)
+        if offsets.ndim != 1 or offsets.size < 1:
+            raise GraphError("offsets must be a 1-d array with >= 1 entry")
+        n = offsets.size - 1
+        if labels is not None and labels.size != n:
+            raise GraphError(
+                f"labels length {labels.size} != vertex count {n}"
+            )
+        obj = cls.__new__(cls)
+        obj._adj = None
+        obj._labels = labels
+        obj.name = name
+        obj._label_index = None
+        obj._ordered_cache = None
+        obj._accel_view = None
+        obj._session_cache = None
+        obj._offsets = offsets
+        obj._flat = neighbors
+        obj._degree_sorted = degree_sorted
+        obj._store = store
+        obj._num_edges = int(neighbors.size) // 2
+        if validate:
+            obj._validate_csr()
+        return obj
 
     def _validate(self) -> None:
         n = len(self._adj)
@@ -101,6 +174,62 @@ class DataGraph:
             if (v, u) not in edge_set:
                 raise GraphError(f"edge ({u},{v}) missing reverse direction")
 
+    def _validate_csr(self) -> None:
+        """Vectorized structural checks for array-backed graphs."""
+        import numpy as np
+
+        offsets, flat = self._offsets, self._flat
+        n = offsets.size - 1
+        if offsets[0] != 0 or offsets[-1] != flat.size:
+            raise GraphError("offsets do not span the neighbor array")
+        degrees = np.diff(offsets)
+        if degrees.size and int(degrees.min()) < 0:
+            raise GraphError("offsets are not non-decreasing")
+        if flat.size:
+            if int(flat.min()) < 0 or int(flat.max()) >= n:
+                raise GraphError("neighbor id out of range")
+        owners = np.repeat(np.arange(n, dtype=np.int64), degrees)
+        if np.any(owners == flat):
+            raise GraphError("self-loop in neighbor array")
+        # Strictly increasing inside each row: every in-row step rises.
+        inc = np.diff(flat) > 0
+        row_start = np.zeros(flat.size, dtype=bool)
+        starts = offsets[1:-1]
+        row_start[starts[starts < flat.size]] = True
+        if flat.size > 1 and not np.all(inc | row_start[1:]):
+            raise GraphError("adjacency rows are not sorted/unique")
+        # Symmetry: the multiset of (u, v) keys equals its transpose.
+        stride = np.int64(max(n, 1))
+        keys = owners * stride + flat
+        if not np.array_equal(np.sort(flat * stride + owners), keys):
+            raise GraphError("edge missing reverse direction")
+
+    # ------------------------------------------------------------------
+    # Backing introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def backing(self) -> str:
+        """``"list"`` or ``"array"`` — which storage backs this graph."""
+        return "list" if self._adj is not None else "array"
+
+    @property
+    def backing_store(self):
+        """The :class:`GraphStore` this graph maps, or ``None``."""
+        return self._store
+
+    def csr_arrays(self):
+        """``(offsets, neighbors, labels)`` for array-backed graphs.
+
+        Returns ``None`` in list mode; callers that need CSR for a
+        list-backed graph derive it themselves (see
+        :func:`repro.graph.binary_io.graph_csr` and
+        :class:`repro.core.accel.AcceleratedGraphView`).
+        """
+        if self._adj is not None:
+            return None
+        return self._offsets, self._flat, self._labels
+
     # ------------------------------------------------------------------
     # Basic accessors
     # ------------------------------------------------------------------
@@ -108,7 +237,9 @@ class DataGraph:
     @property
     def num_vertices(self) -> int:
         """Number of vertices |V(G)|."""
-        return len(self._adj)
+        if self._adj is not None:
+            return len(self._adj)
+        return self._offsets.size - 1
 
     @property
     def num_edges(self) -> int:
@@ -122,73 +253,87 @@ class DataGraph:
 
     def vertices(self) -> range:
         """All vertex ids as a range."""
-        return range(len(self._adj))
+        return range(self.num_vertices)
 
-    def neighbors(self, u: int) -> list[int]:
-        """Sorted neighbor list of ``u`` (do not mutate)."""
-        return self._adj[u]
+    def neighbors(self, u: int) -> Sequence[int]:
+        """Sorted neighbors of ``u`` (list or array slice; do not mutate)."""
+        if self._adj is not None:
+            return self._adj[u]
+        return self._flat[self._offsets[u]:self._offsets[u + 1]]
 
     def degree(self, u: int) -> int:
         """Degree of vertex ``u``."""
-        return len(self._adj[u])
+        if self._adj is not None:
+            return len(self._adj[u])
+        return int(self._offsets[u + 1] - self._offsets[u])
 
     def label(self, u: int) -> int | None:
         """Label of vertex ``u`` (``None`` when unlabeled)."""
-        return self._labels[u] if self._labels is not None else None
+        return int(self._labels[u]) if self._labels is not None else None
 
-    def labels(self) -> list[int] | None:
-        """The full label list, or ``None`` for unlabeled graphs."""
+    def labels(self):
+        """The full label sequence, or ``None`` for unlabeled graphs."""
         return self._labels
 
     def num_labels(self) -> int:
         """Number of distinct labels |L(G)| (0 for unlabeled graphs)."""
-        return len(set(self._labels)) if self._labels is not None else 0
+        if self._labels is None:
+            return 0
+        return len(set(int(lab) for lab in self._labels))
 
     def has_edge(self, u: int, v: int) -> bool:
         """Whether the undirected edge (u, v) exists, via binary search."""
         if u == v:
             return False
-        nbrs = self._adj[u]
+        nbrs = self.neighbors(u)
         i = bisect_left(nbrs, v)
         return i < len(nbrs) and nbrs[i] == v
 
     def edges(self) -> Iterator[tuple[int, int]]:
         """Iterate undirected edges as (u, v) pairs with u < v."""
-        for u, nbrs in enumerate(self._adj):
+        for u in range(self.num_vertices):
+            nbrs = self.neighbors(u)
             lo = bisect_right(nbrs, u)
             for v in nbrs[lo:]:
-                yield (u, v)
+                yield (u, int(v))
 
     def max_degree(self) -> int:
         """Maximum vertex degree (0 for the empty graph)."""
-        return max((len(nbrs) for nbrs in self._adj), default=0)
+        if self._adj is not None:
+            return max((len(nbrs) for nbrs in self._adj), default=0)
+        import numpy as np
+
+        if self._offsets.size <= 1:
+            return 0
+        return int(np.diff(self._offsets).max())
 
     def avg_degree(self) -> float:
         """Average vertex degree (0.0 for the empty graph)."""
-        if not self._adj:
+        n = self.num_vertices
+        if not n:
             return 0.0
-        return 2.0 * self._num_edges / len(self._adj)
+        return 2.0 * self._num_edges / n
 
     # ------------------------------------------------------------------
     # Range-restricted access (partial-order support, §5.1 'PO' stage)
     # ------------------------------------------------------------------
 
-    def neighbors_above(self, u: int, bound: int) -> list[int]:
+    def neighbors_above(self, u: int, bound: int) -> Sequence[int]:
         """Neighbors of ``u`` with id strictly greater than ``bound``."""
-        nbrs = self._adj[u]
+        nbrs = self.neighbors(u)
         return nbrs[bisect_right(nbrs, bound):]
 
-    def neighbors_below(self, u: int, bound: int) -> list[int]:
+    def neighbors_below(self, u: int, bound: int) -> Sequence[int]:
         """Neighbors of ``u`` with id strictly less than ``bound``."""
-        nbrs = self._adj[u]
+        nbrs = self.neighbors(u)
         return nbrs[: bisect_left(nbrs, bound)]
 
-    def neighbors_between(self, u: int, lo: int, hi: int) -> list[int]:
+    def neighbors_between(self, u: int, lo: int, hi: int) -> Sequence[int]:
         """Neighbors v of ``u`` with ``lo < v < hi`` (exclusive bounds).
 
         ``lo=-1`` / ``hi=num_vertices`` express one-sided or absent bounds.
         """
-        nbrs = self._adj[u]
+        nbrs = self.neighbors(u)
         return nbrs[bisect_right(nbrs, lo): bisect_left(nbrs, hi)]
 
     # ------------------------------------------------------------------
@@ -198,30 +343,51 @@ class DataGraph:
     def vertices_with_label(self, label: int) -> list[int]:
         """Sorted vertex ids carrying ``label`` (empty for unlabeled graphs).
 
-        The index is built lazily on first use and cached.
+        The index is built lazily on first use and cached — fully in
+        list mode, per queried label in array mode (one vectorized scan
+        each, so an mmap-backed load never pays for labels it does not
+        filter on).
         """
         if self._labels is None:
             return []
+        if self._adj is not None:
+            if self._label_index is None:
+                index: dict[int, list[int]] = {}
+                for v, lab in enumerate(self._labels):
+                    index.setdefault(lab, []).append(v)
+                self._label_index = index
+            return self._label_index.get(label, [])
         if self._label_index is None:
-            index: dict[int, list[int]] = {}
-            for v, lab in enumerate(self._labels):
-                index.setdefault(lab, []).append(v)
-            self._label_index = index
-        return self._label_index.get(label, [])
+            self._label_index = {}
+        cached = self._label_index.get(label)
+        if cached is None:
+            import numpy as np
+
+            cached = np.flatnonzero(self._labels == label).tolist()
+            self._label_index[label] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Degree ordering (§5.2)
     # ------------------------------------------------------------------
 
-    def degree_ordered(self) -> tuple["DataGraph", list[int]]:
+    def degree_ordered(self) -> tuple["DataGraph", Sequence[int]]:
         """Return a copy renamed so ids increase with degree, plus the map.
 
         In the renamed graph ``u < v`` implies ``degree(u) <= degree(v)``.
         Returns ``(graph, old_of_new)`` where ``old_of_new[new_id]`` is the
         original id, so callers can translate matches back.  The result is
         cached: repeated calls return the same objects.
+
+        Array-backed graphs take a vectorized path, and a graph whose
+        backing store already recorded the degree-sorted flag returns
+        *itself* with an identity map — the zero-copy fast path that
+        makes reopening a converted ``.rgx`` file O(1).
         """
         if self._ordered_cache is not None:
+            return self._ordered_cache
+        if self._adj is None:
+            self._ordered_cache = self._degree_ordered_csr()
             return self._ordered_cache
         n = len(self._adj)
         order = sorted(range(n), key=lambda v: (len(self._adj[v]), v))
@@ -240,10 +406,50 @@ class DataGraph:
         self._ordered_cache = (renamed, order)
         return renamed, order
 
+    def _degree_ordered_csr(self) -> tuple["DataGraph", Sequence[int]]:
+        """Vectorized degree ordering over the CSR backing."""
+        import numpy as np
+
+        offsets, flat = self._offsets, self._flat
+        n = offsets.size - 1
+        degrees = np.diff(offsets)
+        if self.is_degree_ordered():
+            return self, range(n)
+        order = np.argsort(degrees, kind="stable")
+        new_of_old = np.empty(n, dtype=np.int64)
+        new_of_old[order] = np.arange(n, dtype=np.int64)
+        new_degrees = degrees[order]
+        new_offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(new_degrees, out=new_offsets[1:])
+        # Gather each new row from its old position, rename the values,
+        # then re-sort rows in one pass via globally ordered (row, value)
+        # keys — no per-vertex Python loop anywhere.
+        row_ids = np.repeat(np.arange(n, dtype=np.int64), new_degrees)
+        local = np.arange(flat.size, dtype=np.int64) - np.repeat(
+            new_offsets[:-1], new_degrees
+        )
+        gathered = flat[offsets[order][row_ids] + local]
+        stride = np.int64(max(n, 1))
+        keys = row_ids * stride + new_of_old[gathered]
+        keys.sort()
+        new_flat = keys - row_ids * stride
+        new_labels = self._labels[order] if self._labels is not None else None
+        renamed = DataGraph.from_csr(
+            new_offsets, new_flat, new_labels, name=self.name, degree_sorted=True
+        )
+        return renamed, order.tolist()
+
     def is_degree_ordered(self) -> bool:
         """Whether vertex ids already increase with degree."""
-        degs = [len(nbrs) for nbrs in self._adj]
-        return all(degs[i] <= degs[i + 1] for i in range(len(degs) - 1))
+        if self._adj is not None:
+            degs = [len(nbrs) for nbrs in self._adj]
+            return all(degs[i] <= degs[i + 1] for i in range(len(degs) - 1))
+        if self._degree_sorted is None:
+            import numpy as np
+
+            degrees = np.diff(self._offsets)
+            self._degree_sorted = bool(np.all(degrees[:-1] <= degrees[1:]))
+        return self._degree_sorted
 
     # ------------------------------------------------------------------
     # Conversions & misc
@@ -268,7 +474,7 @@ class DataGraph:
         g.add_edges_from(self.edges())
         if self._labels is not None:
             nx.set_node_attributes(
-                g, {v: lab for v, lab in enumerate(self._labels)}, "label"
+                g, {v: int(lab) for v, lab in enumerate(self._labels)}, "label"
             )
         return g
 
@@ -279,9 +485,13 @@ class DataGraph:
         *logical* CSR size rather than CPython object overhead so numbers
         are comparable with the baselines' embedding stores.
         """
-        entries = sum(len(nbrs) for nbrs in self._adj) + len(self._adj)
+        n = self.num_vertices
+        if self._adj is not None:
+            entries = sum(len(nbrs) for nbrs in self._adj) + n
+        else:
+            entries = int(self._flat.size) + n
         if self._labels is not None:
-            entries += len(self._labels)
+            entries += n
         return 8 * entries
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -294,7 +504,23 @@ class DataGraph:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, DataGraph):
             return NotImplemented
-        return self._adj == other._adj and self._labels == other._labels
+        if self._adj is not None and other._adj is not None:
+            return self._adj == other._adj and self._labels == other._labels
+        if (
+            self.num_vertices != other.num_vertices
+            or self.num_edges != other.num_edges
+        ):
+            return False
+        mine, theirs = self.labels(), other.labels()
+        if (mine is None) != (theirs is None):
+            return False
+        if mine is not None and [int(x) for x in mine] != [int(x) for x in theirs]:
+            return False
+        return all(
+            [int(x) for x in self.neighbors(u)]
+            == [int(x) for x in other.neighbors(u)]
+            for u in range(self.num_vertices)
+        )
 
     def __hash__(self):  # graphs are mutable-free but big; identity hash
         return id(self)
@@ -302,7 +528,13 @@ class DataGraph:
     def label_histogram(self) -> Mapping[int, int]:
         """Histogram of label frequencies (empty for unlabeled graphs)."""
         hist: dict[int, int] = {}
-        if self._labels is not None:
+        if self._labels is None:
+            return hist
+        if self._adj is not None:
             for lab in self._labels:
                 hist[lab] = hist.get(lab, 0) + 1
-        return hist
+            return hist
+        import numpy as np
+
+        values, counts = np.unique(self._labels, return_counts=True)
+        return {int(v): int(c) for v, c in zip(values, counts)}

@@ -92,9 +92,9 @@ def _sample_once(
         nbr_depths = schedule.earlier_neighbors[i]
         lists = [graph.neighbors(assignment[j]) for j in nbr_depths]
         cands = intersect_many(lists) if len(lists) > 1 else lists[0]
-        if not cands:
+        if len(cands) == 0:
             return 0.0
-        v = cands[rng.randrange(len(cands))]
+        v = int(cands[rng.randrange(len(cands))])
         # Rejected candidates keep the estimator unbiased: the trial
         # sampled them with probability 1/|cands| and they contribute 0.
         if v in assignment:

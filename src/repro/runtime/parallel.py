@@ -41,6 +41,7 @@ them per call (plain graphs resolve to their shared default session).
 from __future__ import annotations
 
 import multiprocessing
+import os
 import threading
 import time
 from bisect import bisect_right
@@ -360,6 +361,13 @@ def parallel_match(
 #   ``multiprocessing.shared_memory`` segments once and has each worker
 #   re-wrap them as arrays — one graph copy total, works under any start
 #   method;
+# * ``share_mode="mmap"`` points every worker at an on-disk ``.rgx``
+#   store (the graph's own backing file when it is already
+#   degree-sorted on disk, otherwise a temporary spill): workers re-open
+#   and map the file, so all processes share one set of physical pages
+#   through the OS page cache — zero copies, zero shm segments, works
+#   under any start method.  shm stays as the ablation and the fallback
+#   for graphs that only exist in memory;
 # * ``share_mode="pickle"`` is the legacy per-worker adjacency pickling
 #   (kept as the numpy-free fallback; it drives the reference engine).
 #
@@ -577,6 +585,64 @@ def _shm_segments(view):
     return segments, meta
 
 
+def _mmap_store(session):
+    """An on-disk degree-ordered ``.rgx`` path for the session's graph.
+
+    Returns ``(path, is_temp)``.  When the session's ordered graph is
+    already array-backed by an on-disk store (a converted ``.rgx`` file
+    whose ids are degree-sorted) the workers re-open that file directly
+    and nothing is written.  Anything else — generated graphs, unsorted
+    stores — is spilled to a temporary ``.rgx`` once; the caller must
+    unlink it (workers keep their mappings alive across the unlink, so
+    cleanup in a ``finally`` is safe even mid-run).
+    """
+    import tempfile
+
+    from ..graph.binary_io import save_mmap
+
+    ordered = session.ordered
+    store = ordered.backing_store
+    if store is not None and ordered.is_degree_ordered():
+        return store.path, False
+    fd, path = tempfile.mkstemp(prefix="repro-graph-", suffix=".rgx")
+    os.close(fd)
+    save_mmap(ordered, path)
+    return path, True
+
+
+def _mmap_init(
+    path,
+    signature,
+    edge_induced,
+    symmetry_breaking,
+    mode="batch",
+    ledger=None,
+    cursor=None,
+):
+    """Re-open the on-disk ``.rgx`` store in this worker.
+
+    Nothing is copied or pickled: the worker maps the same file the
+    parent resolved, so every process shares one set of physical pages
+    through the OS page cache.  The view and the (array-backed) graph
+    both alias the mapped sections, so this works for every engine mode.
+    """
+    from ..graph.binary_io import GraphStore
+
+    store = GraphStore(path)
+    graph = store.graph()
+    _WORKER_STATE["store"] = store  # keep the mappings alive
+    _WORKER_STATE["graph"] = graph
+    _WORKER_STATE["view"] = _accel().shared_view(graph)
+    _WORKER_STATE["plan"] = generate_plan(
+        _pattern_from_signature(signature),
+        edge_induced=edge_induced,
+        symmetry_breaking=symmetry_breaking,
+    )
+    _WORKER_STATE["mode"] = mode
+    _WORKER_STATE["ledger"] = ledger
+    _WORKER_STATE["cursor"] = cursor
+
+
 def _count_frontier(session, plan, mode, accel, need_weights=True):
     """The level-0 frontier (and per-start weights) for one engine mode.
 
@@ -646,9 +712,9 @@ def process_count(
             share_mode = "fork"
         else:  # pragma: no cover - non-posix platforms
             share_mode = "shm"
-    if share_mode not in ("fork", "shm", "pickle"):
+    if share_mode not in ("fork", "shm", "mmap", "pickle"):
         raise ValueError(f"unknown share_mode {share_mode!r}")
-    if share_mode in ("fork", "shm") and accel is None:
+    if share_mode in ("fork", "shm", "mmap") and accel is None:
         raise RuntimeError(f"share_mode={share_mode!r} requires numpy")
 
     plan = session.plan_for(
@@ -721,6 +787,40 @@ def process_count(
 
     ctx = multiprocessing.get_context("fork" if has_fork else "spawn")
 
+    if share_mode == "mmap":
+        path, is_temp = _mmap_store(session)
+        try:
+            cursor = ProcessCursor(ctx) if schedule == "dynamic" else None
+            init_args = (
+                path,
+                pattern.signature(),
+                edge_induced,
+                symmetry_breaking,
+                mode,
+                ledger,
+                cursor,
+            )
+            with ctx.Pool(
+                processes=num_processes,
+                initializer=_mmap_init,
+                initargs=init_args,
+            ) as pool:
+                if schedule == "dynamic":
+                    counts = pool.map(_drain_chunks, workers, chunksize=1)
+                else:
+                    counts = pool.map(slice_fn, slices)
+        finally:
+            # The spill file is parent-owned: unlink it no matter how the
+            # pool exits.  Workers that already mapped it keep their pages
+            # (POSIX unlink-while-mapped), so a mid-run failure cannot
+            # leak the file.
+            if is_temp:
+                try:
+                    os.unlink(path)
+                except OSError:  # pragma: no cover - already gone
+                    pass
+        return sum(counts)
+
     if share_mode == "shm":
         view = session.view
         segments, meta = _shm_segments(view)
@@ -752,11 +852,19 @@ def process_count(
                 seg.unlink()
         return sum(counts)
 
-    adjacency = [ordered.neighbors(v) for v in ordered.vertices()]
+    if ordered.backing == "array":
+        # Pickling memmap slices would serialize (and copy) numpy arrays
+        # per vertex; plain lists keep the fallback numpy-agnostic.
+        adjacency = [ordered.neighbors(v).tolist() for v in ordered.vertices()]
+        labels = ordered.labels()
+        labels = labels.tolist() if labels is not None else None
+    else:
+        adjacency = [ordered.neighbors(v) for v in ordered.vertices()]
+        labels = ordered.labels()
     cursor = ProcessCursor(ctx) if schedule == "dynamic" else None
     init_args = (
         adjacency,
-        ordered.labels(),
+        labels,
         pattern.signature(),
         edge_induced,
         symmetry_breaking,
@@ -792,19 +900,10 @@ def _many_fork_init(
     _WORKER_STATE["many_frontier_chunk"] = frontier_chunk
 
 
-def _many_shm_init(
-    segment_meta,
-    signatures,
-    flags,
-    groups,
-    ledgers,
-    offsets,
-    cursor,
-    workers,
-    frontier_chunk,
+def _bind_many_state(
+    signatures, flags, groups, ledgers, offsets, cursor, workers, frontier_chunk
 ):
-    """Shared-memory initializer: rebuild the view, regenerate the plans."""
-    _shm_init(segment_meta, signatures[0], flags[0], flags[1], True)
+    """Regenerate the per-pattern plans and bind the fused-drain state."""
     edge_induced, symmetry_breaking = flags
     _WORKER_STATE["many_plans"] = [
         generate_plan(
@@ -820,6 +919,44 @@ def _many_shm_init(
     _WORKER_STATE["cursor"] = cursor
     _WORKER_STATE["many_workers"] = workers
     _WORKER_STATE["many_frontier_chunk"] = frontier_chunk
+
+
+def _many_shm_init(
+    segment_meta,
+    signatures,
+    flags,
+    groups,
+    ledgers,
+    offsets,
+    cursor,
+    workers,
+    frontier_chunk,
+):
+    """Shared-memory initializer: rebuild the view, regenerate the plans."""
+    _shm_init(segment_meta, signatures[0], flags[0], flags[1], True)
+    _bind_many_state(
+        signatures, flags, groups, ledgers, offsets, cursor, workers,
+        frontier_chunk,
+    )
+
+
+def _many_mmap_init(
+    path,
+    signatures,
+    flags,
+    groups,
+    ledgers,
+    offsets,
+    cursor,
+    workers,
+    frontier_chunk,
+):
+    """Mmap initializer: re-open the store, regenerate the plans."""
+    _mmap_init(path, signatures[0], flags[0], flags[1])
+    _bind_many_state(
+        signatures, flags, groups, ledgers, offsets, cursor, workers,
+        frontier_chunk,
+    )
 
 
 def _drain_many(worker_id: int) -> list[int]:
@@ -906,7 +1043,8 @@ def process_count_many(
     worker engine's per-dispatch frontier exactly as in sequential runs.
     Requires numpy; without it (or with ``num_processes <= 1``) the
     call falls back to the sequential session path.  ``share_mode``
-    supports ``"fork"`` and ``"shm"``.
+    supports ``"fork"``, ``"shm"`` and ``"mmap"`` (workers re-open the
+    on-disk ``.rgx`` store and share pages through the OS page cache).
     """
     session = as_session(graph)
     schedule, chunk_hint = _resolve_scheduling(session, schedule, chunk_hint)
@@ -923,10 +1061,10 @@ def process_count_many(
     has_fork = "fork" in multiprocessing.get_all_start_methods()
     if share_mode is None:
         share_mode = "fork" if has_fork else "shm"
-    if share_mode not in ("fork", "shm"):
+    if share_mode not in ("fork", "shm", "mmap"):
         raise ValueError(
-            f"process_count_many supports share_mode 'fork' or 'shm', "
-            f"got {share_mode!r}"
+            f"process_count_many supports share_mode 'fork', 'shm' or "
+            f"'mmap', got {share_mode!r}"
         )
 
     ordered = session.ordered
@@ -980,7 +1118,7 @@ def process_count_many(
             ),
         ) as pool:
             per_worker = pool.map(_drain_many, worker_ids, chunksize=1)
-    else:
+    elif share_mode == "shm":
         ctx = multiprocessing.get_context("fork" if has_fork else "spawn")
         segments, meta = _shm_segments(view)
         try:
@@ -1006,6 +1144,34 @@ def process_count_many(
             for seg in segments:
                 seg.close()
                 seg.unlink()
+    else:  # share_mode == "mmap"
+        ctx = multiprocessing.get_context("fork" if has_fork else "spawn")
+        path, is_temp = _mmap_store(session)
+        try:
+            cursor = ProcessCursor(ctx) if schedule == "dynamic" else None
+            init_args = (
+                path,
+                [p.signature() for p in patterns],
+                (edge_induced, symmetry_breaking),
+                groups,
+                ledgers,
+                offsets,
+                cursor,
+                num_processes,
+                frontier_chunk,
+            )
+            with ctx.Pool(
+                processes=num_processes,
+                initializer=_many_mmap_init,
+                initargs=init_args,
+            ) as pool:
+                per_worker = pool.map(_drain_many, worker_ids, chunksize=1)
+        finally:
+            if is_temp:
+                try:
+                    os.unlink(path)
+                except OSError:  # pragma: no cover - already gone
+                    pass
 
     totals = [0] * len(patterns)
     for worker_totals in per_worker:

@@ -42,6 +42,10 @@ SCHEMAS = {
         },
         "parallel-schedule",
     ),
+    "BENCH_storage.json": (
+        {"bench", "n", "edges", "note", "cold_start", "fanout_rss", "membership"},
+        "storage",
+    ),
 }
 
 # Per-workload keys for the workload-shaped artifacts.
@@ -120,3 +124,25 @@ def test_parallel_acceptance_recorded():
             } <= row.keys()
     flash = workloads["power-law-flash-crowd"]
     assert max(flash["best_speedup_vs_static"].values()) >= 1.5
+
+
+def test_storage_acceptance_recorded():
+    """The mmap tier's cold-start win and the membership kernels held."""
+    payload = _load("BENCH_storage.json")
+    cold = payload["cold_start"]
+    assert {"best_seconds", "file_bytes", "mmap_speedup_vs_text"} <= cold.keys()
+    assert cold["mmap_speedup_vs_text"] >= 5.0
+    fanout = payload["fanout_rss"]
+    assert fanout["shm"]["parent_tmpfs_copy_bytes"] > 0
+    assert fanout["mmap"]["parent_extra_bytes"] == 0
+    row_keys = {
+        "queries",
+        "num_hubs",
+        "searchsorted_seconds",
+        "roaring_seconds",
+        "roaring_speedup",
+    }
+    assert payload["membership"], "no membership rounds recorded"
+    for row in payload["membership"]:
+        assert row_keys <= row.keys()
+        assert row["num_hubs"] > 0

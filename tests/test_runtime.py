@@ -226,7 +226,7 @@ class TestProcessCount:
         )
         assert got == expected
 
-    @pytest.mark.parametrize("share_mode", ["fork", "shm", "pickle"])
+    @pytest.mark.parametrize("share_mode", ["fork", "shm", "mmap", "pickle"])
     def test_share_modes_agree(self, share_mode):
         if share_mode == "fork":
             import multiprocessing
@@ -251,7 +251,7 @@ class TestProcessCount:
         expected = count(g, p)
         assert process_count(g, p, num_processes=2) == expected
 
-    @pytest.mark.parametrize("share_mode", ["fork", "shm"])
+    @pytest.mark.parametrize("share_mode", ["fork", "shm", "mmap"])
     def test_dense_graph_uses_accelerated_workers(self, share_mode):
         """Dense regime: workers must run the vectorized engine path."""
         import multiprocessing
@@ -272,7 +272,7 @@ class TestProcessCount:
         )
         assert got == expected
 
-    @pytest.mark.parametrize("share_mode", ["fork", "shm"])
+    @pytest.mark.parametrize("share_mode", ["fork", "shm", "mmap"])
     def test_dense_labeled_graph_shares_label_arrays(self, share_mode):
         """Labels must survive CSR sharing into accelerated workers."""
         import multiprocessing
@@ -292,7 +292,7 @@ class TestProcessCount:
         got = process_count(g, p, num_processes=2, share_mode=share_mode)
         assert got == expected
 
-    @pytest.mark.parametrize("share_mode", ["fork", "shm"])
+    @pytest.mark.parametrize("share_mode", ["fork", "shm", "mmap"])
     def test_moderate_density_uses_batched_workers(self, share_mode):
         """The batched tier engages far below the old 128 crossover."""
         import multiprocessing
@@ -345,7 +345,7 @@ class TestProcessCount:
         p = Pattern.from_edges([(0, 1), (1, 2)], anti_edges=[(0, 2)])
         p.set_label(1, 1)
         expected = count(g, p, engine="reference")
-        for mode in ("pickle", "fork", "shm"):
+        for mode in ("pickle", "fork", "shm", "mmap"):
             got = process_count(
                 g, p, num_processes=3, share_mode=mode, schedule=schedule
             )
@@ -414,6 +414,84 @@ class TestProcessCountFailurePaths:
             with pytest.raises(FileNotFoundError):
                 shared_memory.SharedMemory(name=name)
 
+    @pytest.mark.parametrize("schedule", ["dynamic", "static"])
+    def test_mmap_spill_unlinked_when_worker_raises(
+        self, monkeypatch, schedule
+    ):
+        import os
+
+        from repro.runtime import parallel as parallel_module
+
+        g = erdos_renyi(40, 0.2, seed=3)
+        recorded: list[str] = []
+        original = parallel_module._mmap_store
+
+        def recording(session):
+            path, is_temp = original(session)
+            assert is_temp  # generated graph: must spill, not reuse
+            recorded.append(path)
+            return path, is_temp
+
+        monkeypatch.setattr(parallel_module, "_mmap_store", recording)
+        monkeypatch.setattr(parallel_module, "_drain_chunks", _boom)
+        monkeypatch.setattr(parallel_module, "_batch_count_slice", _boom)
+        with pytest.raises(RuntimeError, match="worker exploded"):
+            process_count(
+                g,
+                generate_clique(3),
+                num_processes=2,
+                share_mode="mmap",
+                schedule=schedule,
+            )
+        assert recorded, "mmap mode spilled no store"
+        for path in recorded:
+            assert not os.path.exists(path)
+
+    def test_mmap_spill_unlinked_on_success_too(self, monkeypatch):
+        import os
+
+        from repro.runtime import parallel as parallel_module
+
+        g = erdos_renyi(40, 0.2, seed=4)
+        recorded: list[str] = []
+        original = parallel_module._mmap_store
+
+        def recording(session):
+            path, is_temp = original(session)
+            recorded.append(path)
+            return path, is_temp
+
+        monkeypatch.setattr(parallel_module, "_mmap_store", recording)
+        expected = count(g, generate_clique(3))
+        assert process_count(
+            g, generate_clique(3), num_processes=2, share_mode="mmap"
+        ) == expected
+        assert recorded
+        for path in recorded:
+            assert not os.path.exists(path)
+
+    def test_mmap_reuses_degree_sorted_store_file(self, tmp_path):
+        """A degree-ordered .rgx-backed session shares its own file with
+        workers instead of spilling a copy."""
+        from repro.core import MiningSession
+        from repro.graph import save_mmap
+        from repro.graph.binary_io import GraphStore
+        from repro.runtime.parallel import _mmap_store
+
+        g = erdos_renyi(50, 0.2, seed=6)
+        ordered, _ = g.degree_ordered()
+        path = tmp_path / "ordered.rgx"
+        save_mmap(ordered, path)
+        session = MiningSession(GraphStore(path))
+        got_path, is_temp = _mmap_store(session)
+        assert not is_temp
+        assert got_path == str(path)
+        expected = count(g, generate_clique(3))
+        assert process_count(
+            session, generate_clique(3), num_processes=2, share_mode="mmap"
+        ) == expected
+        assert path.exists()  # reused files are never unlinked
+
     def test_many_shm_segments_unlinked_when_worker_raises(self, monkeypatch):
         from multiprocessing import shared_memory
 
@@ -446,7 +524,7 @@ class TestProcessCountFailurePaths:
 
 class TestProcessCountMany:
     @pytest.mark.parametrize("schedule", ["dynamic", "static"])
-    @pytest.mark.parametrize("share_mode", ["fork", "shm"])
+    @pytest.mark.parametrize("share_mode", ["fork", "shm", "mmap"])
     def test_census_pins_sequential(self, schedule, share_mode):
         g = erdos_renyi(70, 0.12, seed=8)
         motifs = generate_all_vertex_induced(3)

@@ -249,6 +249,46 @@ class TestThreadScheduleParity:
 
 
 # ----------------------------------------------------------------------
+# Backing-agnostic scheduling: mmap-backed graphs pin the same results
+# ----------------------------------------------------------------------
+
+
+class TestMmapBackedScheduleParity:
+    """The work-stealing runtime must be storage-agnostic: a graph
+    re-opened from an ``.rgx`` mmap store pins the list-backed
+    sequential reference across schedules, engines and share modes."""
+
+    @given(seeds)
+    @settings(max_examples=6, deadline=None)
+    def test_counts_pin_sequential_reference(self, seed):
+        pytest.importorskip("numpy")
+        import os
+        import tempfile
+
+        from repro.graph import load_mmap, save_mmap
+
+        g, p, edge_induced = _fuzz_graph_and_pattern(seed)
+        expected = count(g, p, edge_induced=edge_induced, engine="reference")
+        fd, path = tempfile.mkstemp(suffix=".rgx")
+        os.close(fd)
+        try:
+            save_mmap(g, path)
+            h = load_mmap(path)
+            for schedule in SCHEDULES:
+                result = parallel_match(
+                    h, p, num_threads=3, edge_induced=edge_induced,
+                    schedule=schedule,
+                )
+                assert result.matches == expected, schedule
+            assert process_count(
+                h, p, num_processes=2, edge_induced=edge_induced,
+                share_mode="mmap",
+            ) == expected
+        finally:
+            os.unlink(path)
+
+
+# ----------------------------------------------------------------------
 # Process-pool parity (slower: real pools — a few pinned cases only)
 # ----------------------------------------------------------------------
 
