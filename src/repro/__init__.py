@@ -41,7 +41,13 @@ from .errors import (
     MatchingError,
     BudgetExceeded,
     MemoryBudgetExceeded,
+    PartialResult,
+    BudgetExceededError,
+    QueryRefusedError,
+    QueryCancelledError,
+    WorkerCrashError,
 )
+from .core import Budget
 
 __version__ = "1.0.0"
 
@@ -64,5 +70,11 @@ __all__ = [
     "MatchingError",
     "BudgetExceeded",
     "MemoryBudgetExceeded",
+    "PartialResult",
+    "BudgetExceededError",
+    "QueryRefusedError",
+    "QueryCancelledError",
+    "WorkerCrashError",
+    "Budget",
     "__version__",
 ]

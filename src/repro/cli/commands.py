@@ -17,8 +17,15 @@ import sys
 import time
 from typing import TextIO
 
+from ..core.callbacks import Budget
 from ..core.engine import EngineStats
 from ..core.session import MiningSession
+from ..errors import (
+    BudgetExceededError,
+    PartialResult,
+    QueryCancelledError,
+    QueryRefusedError,
+)
 from ..core.plan import generate_plan
 from ..graph.binary_io import GraphStore, open_graph, save_mmap, save_npz
 from ..graph.io import load_edge_list, load_labeled, save_edge_list, save_labels
@@ -49,6 +56,25 @@ __all__ = [
     "cmd_graph_convert",
     "cmd_graph_info",
 ]
+
+
+# Exit code for queries the admission guard refused up front — distinct
+# from argparse errors (2) and success-with-truncation (0).
+EXIT_REFUSED = 3
+
+
+def _build_budget(args: argparse.Namespace) -> Budget | None:
+    """The ``Budget`` described by ``--deadline`` / ``--max-matches``."""
+    deadline = getattr(args, "deadline", None)
+    max_matches = getattr(args, "max_matches", None)
+    if deadline is None and max_matches is None:
+        return None
+    return Budget(deadline=deadline, max_matches=max_matches)
+
+
+def _report_refused(err: QueryRefusedError, out: TextIO) -> int:
+    print(f"refused: {err}", file=out)
+    return EXIT_REFUSED
 
 
 def _timed_header(out: TextIO, title: str) -> float:
@@ -116,29 +142,60 @@ def cmd_count(args: argparse.Namespace, out: TextIO = sys.stdout) -> int:
     if processes > 1 and engine != "auto":
         raise SystemExit("error: --processes picks engines per worker; "
                          "drop --engine")
+    guard = getattr(args, "guard", "off")
+    budget = _build_budget(args)
     begin = time.perf_counter()
     if processes > 1:
         from ..runtime.parallel import process_count
 
-        n = process_count(
-            session,
-            pattern,
-            num_processes=processes,
-            edge_induced=not args.vertex_induced,
-            symmetry_breaking=not args.no_symmetry_breaking,
-            schedule=getattr(args, "schedule", None),
-            chunk_hint=getattr(args, "chunk_hint", None),
-        )
+        # Match caps are polled by the in-process engines; the pool's
+        # budget story is deadline-as-cancellation (the shared token the
+        # workers poll between and inside chunks).
+        if getattr(args, "max_matches", None) is not None:
+            raise SystemExit("error: --max-matches needs the in-process "
+                             "engines; drop --processes or use --deadline")
+        cancel = None
+        if getattr(args, "deadline", None) is not None:
+            from ..runtime.termination import DeadlineControl
+
+            if getattr(args, "schedule", None) == "static":
+                raise SystemExit("error: --deadline needs the dynamic "
+                                 "schedule under --processes")
+            cancel = DeadlineControl(args.deadline)
+        try:
+            n = process_count(
+                session,
+                pattern,
+                num_processes=processes,
+                edge_induced=not args.vertex_induced,
+                symmetry_breaking=not args.no_symmetry_breaking,
+                schedule=getattr(args, "schedule", None),
+                chunk_hint=getattr(args, "chunk_hint", None),
+                cancel=cancel,
+                guard=guard,
+            )
+        except QueryRefusedError as err:
+            return _report_refused(err, out)
+        except QueryCancelledError as err:
+            n = err.partial
     else:
-        n = session.count(
-            pattern,
-            edge_induced=not args.vertex_induced,
-            symmetry_breaking=not args.no_symmetry_breaking,
-            stats=stats,
-            engine=engine,
-        )
+        try:
+            n = session.count(
+                pattern,
+                edge_induced=not args.vertex_induced,
+                symmetry_breaking=not args.no_symmetry_breaking,
+                stats=stats,
+                engine=engine,
+                budget=budget,
+                on_budget="partial",
+                guard=guard,
+            )
+        except QueryRefusedError as err:
+            return _report_refused(err, out)
     elapsed = time.perf_counter() - begin
-    print(f"matches: {n}", file=out)
+    print(f"matches: {int(n)}", file=out)
+    if isinstance(n, PartialResult) and n.truncated:
+        print(f"truncated: {n.reason}", file=out)
     print(f"elapsed: {elapsed:.3f}s", file=out)
     if stats is not None:
         for key, value in stats.as_dict().items():
@@ -189,24 +246,38 @@ def cmd_exists(args: argparse.Namespace, out: TextIO = sys.stdout) -> int:
 
 def cmd_motifs(args: argparse.Namespace, out: TextIO = sys.stdout) -> int:
     """Vertex-induced motif census of the selected size."""
-    session = MiningSession(load_dataset(args))
+    budget = _build_budget(args)
+    processes = getattr(args, "processes", 1)
+    if processes > 1 and budget is not None:
+        raise SystemExit("error: --deadline/--max-matches need the "
+                         "in-process engines; drop --processes")
+    session = MiningSession(
+        load_dataset(args),
+        budget=budget,
+        guard=getattr(args, "guard", "off"),
+    )
     begin = _timed_header(out, f"{args.size}-motif census")
     engine = getattr(args, "engine", None)
-    processes = getattr(args, "processes", 1)
     if processes > 1 and engine not in (None, "auto", "fused"):
         raise SystemExit("error: --processes runs the fused worker path; "
                          "use --engine auto/fused or drop --processes")
-    print(
-        motif_census_table(
+    try:
+        table = motif_census_table(
             session,
             args.size,
             engine=engine,
             num_processes=processes,
             schedule=getattr(args, "schedule", None),
             chunk_hint=getattr(args, "chunk_hint", None),
-        ),
-        file=out,
-    )
+        )
+    except QueryRefusedError as err:
+        return _report_refused(err, out)
+    except BudgetExceededError as err:
+        print(f"truncated: {err.partial.reason}", file=out)
+        print(f"matches before stop: {err.partial.matches}", file=out)
+        _timed_footer(out, begin)
+        return 0
+    print(table, file=out)
     _timed_footer(out, begin)
     return 0
 
@@ -244,13 +315,27 @@ def cmd_fsm(args: argparse.Namespace, out: TextIO = sys.stdout) -> int:
             "error: FSM needs a labeled graph (--dataset patents --labeled, "
             "--dataset mico, or --graph/--labels)"
         )
-    begin = time.perf_counter()
-    result = fsm_api(
-        MiningSession(graph),
-        args.edges,
-        args.threshold,
-        engine=getattr(args, "engine", None),
+    session = MiningSession(
+        graph,
+        budget=_build_budget(args),
+        guard=getattr(args, "guard", "off"),
     )
+    begin = time.perf_counter()
+    try:
+        result = fsm_api(
+            session,
+            args.edges,
+            args.threshold,
+            engine=getattr(args, "engine", None),
+        )
+    except QueryRefusedError as err:
+        return _report_refused(err, out)
+    except BudgetExceededError as err:
+        # Session-default budgets arm per query, so the failing round's
+        # partial is all we can report.
+        print(f"truncated: {err.partial.reason}", file=out)
+        print(f"matches before stop: {err.partial.matches}", file=out)
+        return 0
     elapsed = time.perf_counter() - begin
     print(
         f"frequent {args.edges}-edge patterns at support >= {args.threshold}: "

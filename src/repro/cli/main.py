@@ -51,6 +51,32 @@ def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_guard_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per query; runs past it stop "
+        "cooperatively and are reported as truncated",
+    )
+    parser.add_argument(
+        "--max-matches",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after roughly N matches (cooperative; in-process "
+        "engines only)",
+    )
+    parser.add_argument(
+        "--guard",
+        choices=["off", "refuse", "downgrade"],
+        default="off",
+        help="admission guard: probe the query's frontier up front and "
+        "refuse (exit 3) or downgrade predicted-explosive runs",
+    )
+
+
 def _add_matching_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--vertex-induced",
@@ -106,6 +132,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile forces the reference engine)",
     )
     _add_parallel_flags(p)
+    _add_guard_flags(p)
     p.set_defaults(func=commands.cmd_count)
 
     p = sub.add_parser("match", help="enumerate matches of a pattern")
@@ -139,6 +166,7 @@ def build_parser() -> argparse.ArgumentParser:
         "'accel-batch' ablates it with sequential per-pattern execution",
     )
     _add_parallel_flags(p)
+    _add_guard_flags(p)
     p.set_defaults(func=commands.cmd_motifs)
 
     p = sub.add_parser("cliques", help="k-clique counting and variants")
@@ -177,6 +205,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="engine selection for each round's structural matches; "
         "'fused' forces the round onto one shared frontier walk",
     )
+    _add_guard_flags(p)
     p.set_defaults(func=commands.cmd_fsm)
 
     p = sub.add_parser("graph", help="on-disk graph store tooling")

@@ -19,7 +19,14 @@ from .session import (
     as_session,
     FUSED_MIN_GROUP,
 )
-from .callbacks import Match, ExplorationControl, Aggregator, MatchCallback
+from .callbacks import (
+    Match,
+    ExplorationControl,
+    Aggregator,
+    MatchCallback,
+    Budget,
+    BudgetMeter,
+)
 from .candidates import (
     bounded,
     contains,
@@ -59,6 +66,8 @@ __all__ = [
     "ExplorationControl",
     "Aggregator",
     "MatchCallback",
+    "Budget",
+    "BudgetMeter",
     "bounded",
     "contains",
     "intersect",

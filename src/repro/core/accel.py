@@ -40,7 +40,7 @@ from typing import Callable, Iterable
 
 import numpy as np
 
-from ..errors import MatchingError
+from ..errors import BudgetExceededError, MatchingError, PartialResult
 from ..graph.graph import DataGraph
 from ..pattern.pattern import Pattern
 from .callbacks import ExplorationControl, Match
@@ -432,12 +432,16 @@ class AcceleratedEngine:
         "mapping",
         "used",
         "total",
+        "control",
+        "budget",
     )
 
     def __init__(self, view: AcceleratedGraphView):
         self.view = view
         self.labels = view.labels
         self.n = view.num_vertices
+        self.control = None
+        self.budget = None
 
     # ------------------------------------------------------------------
     # Entry point
@@ -449,11 +453,18 @@ class AcceleratedEngine:
         start_vertices: Iterable[int] | None = None,
         on_match: Callable[[Match], None] | None = None,
         count_only: bool = False,
+        control=None,
+        budget=None,
     ) -> int:
         """Run matching tasks over ``start_vertices``; return the count.
 
         Vertex ids (tasks, matches) are in the degree-ordered graph's
         numbering, exactly like :func:`repro.core.engine.run_tasks`.
+        ``control`` is polled once per start task and inside
+        ``_core_matched`` (reference parity: a stop mid-task skips
+        remaining completions but finishes nothing extra); ``budget`` is
+        an armed :class:`~repro.core.callbacks.BudgetMeter` polled once
+        per start task.
         """
         pattern = plan.matched_pattern
         if pattern.is_labeled and self.labels is None:
@@ -468,10 +479,17 @@ class AcceleratedEngine:
         self.mapping = [-1] * pattern.num_vertices
         self.used = set()
         self.total = 0
+        self.control = control
+        self.budget = budget
         if start_vertices is None:
             start_vertices = range(self.n - 1, -1, -1)
         labels = self.labels
         for start in start_vertices:
+            if control is not None and control.stopped:
+                break
+            if budget is not None:
+                budget.charge_rows(1)
+                budget.check(self.total)
             for oc in plan.ordered_cores:
                 top = oc.size - 1
                 label = oc.labels[top]
@@ -483,6 +501,8 @@ class AcceleratedEngine:
                     self._core_matched(oc, pos_map)
                 else:
                     self._match_core(oc, pos_map, top - 1)
+            if budget is not None:
+                budget.levels_completed += 1
         return self.total
 
     # ------------------------------------------------------------------
@@ -530,6 +550,8 @@ class AcceleratedEngine:
 
     def _core_matched(self, oc: OrderedCore, pos_map: list[int]) -> None:
         """Remap a fully-assigned ordered core through each sequence."""
+        if self.control is not None and self.control.stopped:
+            return
         mapping = self.mapping
         used = self.used
         for seq in oc.sequences:
@@ -737,6 +759,7 @@ class FrontierBatchedEngine:
         "width",
         "total",
         "control",
+        "budget",
         "shared",
         "_cur_oc",
         "_cur_rank",
@@ -839,6 +862,7 @@ class FrontierBatchedEngine:
         count_only: bool = False,
         chunk: int | None = None,
         control: ExplorationControl | None = None,
+        budget=None,
     ) -> int:
         """Run matching tasks over ``start_vertices``; return the count.
 
@@ -859,6 +883,12 @@ class FrontierBatchedEngine:
         With ``on_match``, the returned count equals the callbacks
         actually fired; batch/count-only runs wind down at block
         granularity and may include the stopping block in full.
+
+        ``budget`` is an armed :class:`~repro.core.callbacks.BudgetMeter`
+        polled at the same block boundaries the control is (one cheap
+        check per frontier chunk); exhaustion raises
+        :class:`~repro.errors.BudgetExceededError` carrying the count
+        accumulated so far.
         """
         pattern = plan.matched_pattern
         if pattern.is_labeled and self.labels is None:
@@ -877,6 +907,7 @@ class FrontierBatchedEngine:
         self.width = pattern.num_vertices
         self.total = 0
         self.control = control
+        self.budget = budget
         if start_vertices is None:
             starts = np.arange(self.n - 1, -1, -1, dtype=np.int64)
         elif isinstance(start_vertices, np.ndarray):
@@ -907,7 +938,13 @@ class FrontierBatchedEngine:
         for lo in range(0, starts.size, max(1, slice_size)):
             if self._stopped():
                 break
-            self._run_cores(starts[lo: lo + max(1, slice_size)])
+            sl = starts[lo: lo + max(1, slice_size)]
+            if budget is not None:
+                budget.charge_rows(int(sl.size))
+                budget.check(self.total)
+            self._run_cores(sl)
+            if budget is not None:
+                budget.levels_completed += 1
             if self._ordered_emit:
                 self._emit_pending()
                 self._pending = []
@@ -952,6 +989,9 @@ class FrontierBatchedEngine:
                 hi = lo + self.chunk
                 self._process_core(block[lo:hi], origin[lo:hi], level)
             return
+        if self.budget is not None:
+            self.budget.charge_partials(block.shape[0])
+            self.budget.check(self.total)
         for nxt, nxt_origin in self._expand_core(oc, block, origin, level):
             self._process_core(nxt, nxt_origin, level + 1)
 
@@ -1080,6 +1120,9 @@ class FrontierBatchedEngine:
                 hi = lo + self.chunk
                 self._process_steps(block[lo:hi], origin[lo:hi], step_index)
             return
+        if self.budget is not None:
+            self.budget.charge_partials(block.shape[0])
+            self.budget.check(self.total)
         if step_index + 1 == len(steps) and self.can_count_tail:
             self.total += self._count_tail_step(block, step_index)
             return
@@ -1459,6 +1502,8 @@ def fused_run(
     members: list[tuple[ExplorationPlan, Callable | None, Callable | None]],
     start_vertices: Iterable[int] | None = None,
     chunk: int | None = None,
+    control: ExplorationControl | None = None,
+    budget=None,
 ) -> list[int]:
     """Run several plans over one shared frontier; return per-member counts.
 
@@ -1477,6 +1522,15 @@ def fused_run(
     identical to running each member alone (slices partition the same
     start order, and in-slice exploration is the engine's own DFS), which
     ``tests/test_multipattern.py`` fuzz-enforces.
+
+    ``control`` is polled between frontier slices and threaded into each
+    member engine (which polls it between blocks and per emitted match),
+    so a stop lands within one slice of one member's work.  ``budget``
+    is one armed :class:`~repro.core.callbacks.BudgetMeter` shared by
+    every member — the deadline and row caps bound the whole fused call.
+    On exhaustion the raised
+    :class:`~repro.errors.BudgetExceededError` carries the *summed*
+    partial with per-member counts in ``partial.detail["totals"]``.
     """
     n = view.num_vertices
     if start_vertices is None:
@@ -1492,6 +1546,8 @@ def fused_run(
     # degree + 1 keeps zero-degree starts advancing and bounds slice rows.
     weights = view.degrees()[starts] + 1
     for sl in _frontier_slices(weights, cap):
+        if control is not None and control.stopped:
+            break
         sl_starts = starts[sl]
         shared.reset(sl_starts)
         for idx, (plan, on_match, on_batch) in enumerate(members):
@@ -1505,7 +1561,19 @@ def fused_run(
                     on_batch=on_batch,
                     count_only=on_match is None and on_batch is None,
                     chunk=cap,
+                    control=control,
+                    budget=budget,
                 )
+            except BudgetExceededError as err:
+                totals[idx] += int(err.partial)
+                partial = PartialResult(
+                    sum(totals),
+                    levels_completed=err.partial.levels_completed,
+                    truncated=True,
+                    reason=err.partial.reason,
+                    detail={"totals": list(totals)},
+                )
+                raise BudgetExceededError(str(err), partial) from None
             finally:
                 engine.shared = None
     return totals

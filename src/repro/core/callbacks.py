@@ -11,11 +11,21 @@ User callbacks receive :class:`Match` instances and may:
 from __future__ import annotations
 
 import threading
+import time
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable
 
+from ..errors import BudgetExceededError, PartialResult
 from ..pattern.pattern import Pattern
 
-__all__ = ["Match", "ExplorationControl", "Aggregator", "MatchCallback"]
+__all__ = [
+    "Match",
+    "ExplorationControl",
+    "Aggregator",
+    "MatchCallback",
+    "Budget",
+    "BudgetMeter",
+]
 
 
 class Match:
@@ -82,6 +92,121 @@ class ExplorationControl:
     def reset(self) -> None:
         """Re-arm the control for a fresh exploration."""
         self._event.clear()
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Declarative work budget for one query (all limits optional).
+
+    A budget is a frozen spec; each run arms it into a private
+    :class:`BudgetMeter` (so a session-default deadline restarts per
+    call).  Engines poll the meter cooperatively — once per frontier
+    chunk in the batched engines, once per start task in the per-match
+    engines — so an armed deadline costs one ``perf_counter`` comparison
+    per chunk and a disarmed budget costs one ``is None`` check.
+
+    Limits are *cooperative*: a run stops at the first poll after a
+    limit trips, so counts may overshoot by up to one chunk.  For an
+    exact match cap use
+    :func:`repro.runtime.termination.stop_after_n_matches`.
+    """
+
+    deadline: float | None = None
+    max_matches: int | None = None
+    max_frontier_rows: int | None = None
+    max_expanded_partials: int | None = None
+
+    def __post_init__(self):
+        for name in (
+            "deadline",
+            "max_matches",
+            "max_frontier_rows",
+            "max_expanded_partials",
+        ):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"Budget.{name} must be positive, got {value!r}")
+
+    def meter(self) -> "BudgetMeter":
+        """Arm this budget for one run (starts the deadline clock)."""
+        return BudgetMeter(self)
+
+
+class BudgetMeter:
+    """Mutable per-run state for an armed :class:`Budget`.
+
+    One meter spans one logical query — a fused multi-pattern walk
+    shares a single meter across all member engines, so the deadline and
+    row caps bound the whole call, not each member.
+    """
+
+    __slots__ = (
+        "budget",
+        "deadline_at",
+        "frontier_rows",
+        "expanded_partials",
+        "levels_completed",
+    )
+
+    def __init__(self, budget: Budget):
+        self.budget = budget
+        self.deadline_at = (
+            None
+            if budget.deadline is None
+            else time.perf_counter() + budget.deadline
+        )
+        self.frontier_rows = 0
+        self.expanded_partials = 0
+        self.levels_completed = 0
+
+    def charge_rows(self, n: int) -> None:
+        """Account ``n`` level-0 frontier rows entering exploration."""
+        self.frontier_rows += n
+
+    def charge_partials(self, n: int) -> None:
+        """Account ``n`` expanded partial matches (frontier block rows)."""
+        self.expanded_partials += n
+
+    def exhausted_reason(self) -> str | None:
+        """The first tripped limit among the non-match limits, if any."""
+        b = self.budget
+        if self.deadline_at is not None and time.perf_counter() >= self.deadline_at:
+            return f"deadline of {b.deadline}s elapsed"
+        if (
+            b.max_frontier_rows is not None
+            and self.frontier_rows >= b.max_frontier_rows
+        ):
+            return (
+                f"frontier rows {self.frontier_rows} >= cap {b.max_frontier_rows}"
+            )
+        if (
+            b.max_expanded_partials is not None
+            and self.expanded_partials >= b.max_expanded_partials
+        ):
+            return (
+                f"expanded partials {self.expanded_partials}"
+                f" >= cap {b.max_expanded_partials}"
+            )
+        return None
+
+    def check(self, matches: int) -> None:
+        """Poll every limit; raise with the partial-so-far on a trip."""
+        b = self.budget
+        reason = None
+        if b.max_matches is not None and matches >= b.max_matches:
+            reason = f"matches {matches} >= cap {b.max_matches}"
+        else:
+            reason = self.exhausted_reason()
+        if reason is not None:
+            raise BudgetExceededError(
+                f"budget exceeded: {reason}",
+                PartialResult(
+                    matches,
+                    levels_completed=self.levels_completed,
+                    truncated=True,
+                    reason=reason,
+                ),
+            )
 
 
 class Aggregator:

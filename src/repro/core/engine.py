@@ -332,6 +332,7 @@ def run_tasks(
     stats: EngineStats | None = None,
     timer=None,
     count_only: bool = False,
+    budget=None,
 ) -> int:
     """Run matching tasks over ``start_vertices``; return the match count.
 
@@ -340,7 +341,10 @@ def run_tasks(
     that graph's numbering.  ``start_vertices`` defaults to all vertices,
     highest degree first.  With ``count_only`` (and no callback, no
     anti-vertices) the engine counts final-step candidates without
-    enumerating them.
+    enumerating them.  ``budget`` is an armed
+    :class:`~repro.core.callbacks.BudgetMeter`, polled once per start
+    task; exhaustion raises
+    :class:`~repro.errors.BudgetExceededError` with the count so far.
     """
     run = _Run(graph, plan, on_match, control, stats, timer, count_only)
     if start_vertices is None:
@@ -351,7 +355,12 @@ def run_tasks(
         for start in start_vertices:
             if control is not None and control.stopped:
                 break
+            if budget is not None:
+                budget.charge_rows(1)
+                budget.check(run.matches)
             run.run_task(start)
+            if budget is not None:
+                budget.levels_completed += 1
     finally:
         if timer is not None:
             timer.stop("other")

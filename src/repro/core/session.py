@@ -42,10 +42,10 @@ import os
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Mapping, Sequence, Union
 
-from ..errors import MatchingError
+from ..errors import BudgetExceededError, MatchingError, PartialResult
 from ..graph.graph import DataGraph
 from ..pattern.pattern import Pattern
-from .callbacks import Aggregator, ExplorationControl, Match
+from .callbacks import Aggregator, Budget, ExplorationControl, Match
 from .engine import EngineStats, run_tasks
 from .multipattern import CensusTransform, census_eligible, census_transform
 from .plan import ExplorationPlan, generate_plan
@@ -69,6 +69,10 @@ __all__ = [
 ]
 
 _ENGINE_CHOICES = ("auto", "accel", "accel-batch", "reference")
+
+# Guardrail knob values (see ExecOptions.on_budget / ExecOptions.guard).
+_ON_BUDGET_CHOICES = ("raise", "partial")
+_GUARD_CHOICES = ("off", "refuse", "downgrade")
 
 # What a session accepts as its graph: the graph itself, an opened .rgx
 # GraphStore, or a filesystem path routed through open_graph.
@@ -162,11 +166,12 @@ def _dispatch_engine(
     """Resolve the engine choice to ``reference``/``accel``/``accel-batch``.
 
     ``stats`` and ``timer`` are reference-engine instruments, so they pin
-    the interpreter.  An :class:`ExplorationControl` no longer does: the
-    frontier-batched engine polls it between frontier blocks and per
-    emitted match, so early-terminating runs (``exists``, capped
-    enumerations) qualify for batched dispatch.  Only the per-match
-    ``accel`` engine still has no termination hook.
+    the interpreter.  An :class:`ExplorationControl` no longer excludes
+    anything: the frontier-batched engine polls it between frontier
+    blocks and per emitted match, and the per-match ``accel`` engine
+    polls it per start task and per core match, so early-terminating
+    runs (``exists``, capped enumerations, deadlines) dispatch exactly
+    like uncontrolled ones.
     """
     if engine not in _ENGINE_CHOICES:
         raise ValueError(f"engine must be one of {_ENGINE_CHOICES}, got {engine!r}")
@@ -181,9 +186,9 @@ def _dispatch_engine(
             )
         return "accel-batch"
     if engine == "accel":
-        if not hooks_free or control is not None:
+        if not hooks_free:
             raise MatchingError(
-                "engine='accel' requires numpy and no stats/timer/control "
+                "engine='accel' requires numpy and no stats/timer "
                 "hooks; use engine='auto' to fall back to the reference engine"
             )
         return "accel"
@@ -191,8 +196,6 @@ def _dispatch_engine(
         return "reference"
     if batch_preferred(ordered, plan):
         return "accel-batch"
-    if control is not None:
-        return "reference"
     if accel_preferred(ordered, plan):
         return "accel"
     return "reference"
@@ -339,6 +342,23 @@ class ExecOptions:
         ``chunk_hint`` sets the target tasks-per-chunk on a uniform
         frontier (weight-normalized on skewed ones); ``None`` sizes
         chunks automatically.  Single-worker runs ignore both.
+    ``budget`` / ``on_budget``
+        execution guardrails: ``budget`` is a frozen
+        :class:`~repro.core.callbacks.Budget` (wall-clock deadline,
+        match / frontier-row / expanded-partial caps), armed per run and
+        polled cooperatively between frontier chunks by every engine.
+        Exhaustion raises :class:`~repro.errors.BudgetExceededError`
+        carrying the partial count so far, or — with
+        ``on_budget="partial"`` — returns that
+        :class:`~repro.errors.PartialResult` (an ``int`` subclass with
+        ``truncated=True``) instead of raising.
+    ``guard``
+        admission control: ``"refuse"`` probes the query's level-0
+        frontier up front (:func:`repro.runtime.guards.estimate_cost`)
+        and raises :class:`~repro.errors.QueryRefusedError` when the
+        predicted expansion is explosive; ``"downgrade"`` instead
+        tightens ``frontier_chunk`` (and the process runtimes cap
+        workers); ``"off"`` (default) skips the probe entirely.
     """
 
     edge_induced: bool = True
@@ -354,6 +374,9 @@ class ExecOptions:
     plan: ExplorationPlan | None = None
     schedule: str = "dynamic"
     chunk_hint: int | None = None
+    budget: Budget | None = None
+    on_budget: str = "raise"
+    guard: str = "off"
 
     def merged(self, overrides: Mapping[str, Any]) -> "ExecOptions":
         """Resolve per-call ``overrides`` against these defaults.
@@ -450,6 +473,7 @@ class MiningSession:
         "_plans",
         "_starts",
         "_census",
+        "_guard_cache",
         "plan_cache_hits",
         "plan_cache_misses",
     )
@@ -476,6 +500,7 @@ class MiningSession:
         self._plans: dict[tuple, ExplorationPlan] = {}
         self._starts: dict[tuple, list[int] | None] = {}
         self._census: dict[tuple, CensusTransform] = {}
+        self._guard_cache: dict[tuple, Any] = {}
         self.plan_cache_hits = 0
         self.plan_cache_misses = 0
 
@@ -702,7 +727,7 @@ class MiningSession:
             unsupported = [
                 name
                 for name in ("stats", "timer", "control", "plan",
-                             "start_vertices")
+                             "start_vertices", "budget")
                 if getattr(opts, name) is not None
             ]
             if unsupported:
@@ -726,6 +751,7 @@ class MiningSession:
                 schedule=opts.schedule,
                 chunk_hint=opts.chunk_hint,
                 frontier_chunk=opts.frontier_chunk,
+                guard=opts.guard,
             )
         totals = self._run_many(patterns, None, None, opts)
         return dict(zip(patterns, totals))
@@ -838,8 +864,24 @@ class MiningSession:
 
         return emit
 
-    def _run_batches(self, pattern: Pattern, on_batch, opts: ExecOptions) -> int:
+    def _run_batches(
+        self, pattern: Pattern, on_batch, opts: ExecOptions, meter=None
+    ) -> int:
         """Single-pattern batch streaming (shared by the *_many paths)."""
+        self._check_guardrail_opts(opts)
+        opts = self._apply_guard(pattern, opts)
+        if meter is None and opts.budget is not None:
+            meter = opts.budget.meter()
+        try:
+            return self._run_batches_engines(pattern, on_batch, opts, meter)
+        except BudgetExceededError as err:
+            if opts.on_budget == "partial":
+                return err.partial
+            raise
+
+    def _run_batches_engines(
+        self, pattern: Pattern, on_batch, opts: ExecOptions, meter
+    ) -> int:
         np = _accel.np
         plan, starts, selected = self._prepare(pattern, opts)
         emit = self._batch_emitter(on_batch)
@@ -851,6 +893,7 @@ class MiningSession:
                 on_batch=emit,
                 chunk=opts.frontier_chunk,
                 control=opts.control,
+                budget=meter,
             )
 
         buffer: list[tuple[int, ...]] = []
@@ -867,7 +910,13 @@ class MiningSession:
 
         if selected == "accel":
             engine_obj = _accel.AcceleratedEngine(self.view)
-            total = engine_obj.run(plan, start_vertices=starts, on_match=collect)
+            total = engine_obj.run(
+                plan,
+                start_vertices=starts,
+                on_match=collect,
+                control=opts.control,
+                budget=meter,
+            )
         else:
             total = run_tasks(
                 self.ordered,
@@ -877,6 +926,7 @@ class MiningSession:
                 control=opts.control,
                 stats=opts.stats,
                 timer=opts.timer,
+                budget=meter,
             )
         flush()
         return total
@@ -1004,11 +1054,79 @@ class MiningSession:
     # Execution core (shared by every verb)
     # ------------------------------------------------------------------
 
+    def _check_guardrail_opts(self, opts: ExecOptions) -> None:
+        """Validate the guardrail knob values before any work happens."""
+        if opts.on_budget not in _ON_BUDGET_CHOICES:
+            raise ValueError(
+                f"on_budget must be one of {_ON_BUDGET_CHOICES}, "
+                f"got {opts.on_budget!r}"
+            )
+        if opts.guard not in _GUARD_CHOICES:
+            raise ValueError(
+                f"guard must be one of {_GUARD_CHOICES}, got {opts.guard!r}"
+            )
+
+    def _apply_guard(self, pattern: Pattern, opts: ExecOptions) -> ExecOptions:
+        """Admission control for one pattern (``opts.guard`` != "off").
+
+        Probes the level-0 frontier via
+        :func:`repro.runtime.guards.estimate_cost` (cached per plan key)
+        and either raises :class:`~repro.errors.QueryRefusedError`
+        (``guard="refuse"``) or returns options with a tightened
+        ``frontier_chunk`` (``guard="downgrade"``) when the estimate
+        predicts explosive expansion; benign queries pass unchanged.
+        """
+        if opts.guard == "off":
+            return opts
+        # Deferred import: repro.runtime imports repro.core at module
+        # load; by the time a session applies a guard, both exist.
+        from ..runtime import guards
+
+        estimate = self._guard_estimate(pattern, opts)
+        return guards.admit(estimate, opts)
+
+    def _guard_estimate(self, pattern: Pattern, opts: ExecOptions):
+        """The (cached) probe-walk cost estimate for one pattern."""
+        from ..runtime import guards
+
+        key = (pattern.signature(), opts.edge_induced, opts.symmetry_breaking)
+        estimate = self._guard_cache.get(key)
+        if estimate is None:
+            estimate = guards.estimate_cost(
+                self,
+                pattern,
+                edge_induced=opts.edge_induced,
+                symmetry_breaking=opts.symmetry_breaking,
+            )
+            self._guard_cache[key] = estimate
+            if len(self._guard_cache) > PLAN_CACHE_LIMIT:
+                self._guard_cache.pop(next(iter(self._guard_cache)))
+        return estimate
+
     def _run_match(
         self,
         pattern: Pattern,
         callback: Callable[[Match], None] | None,
         opts: ExecOptions,
+        meter=None,
+    ) -> int:
+        self._check_guardrail_opts(opts)
+        opts = self._apply_guard(pattern, opts)
+        if meter is None and opts.budget is not None:
+            meter = opts.budget.meter()
+        try:
+            return self._run_match_engines(pattern, callback, opts, meter)
+        except BudgetExceededError as err:
+            if opts.on_budget == "partial":
+                return err.partial
+            raise
+
+    def _run_match_engines(
+        self,
+        pattern: Pattern,
+        callback: Callable[[Match], None] | None,
+        opts: ExecOptions,
+        meter,
     ) -> int:
         plan, starts, selected = self._prepare(pattern, opts)
         wrapped = self._translated(callback) if callback is not None else None
@@ -1021,6 +1139,7 @@ class MiningSession:
                 count_only=callback is None,
                 chunk=opts.frontier_chunk,
                 control=opts.control,
+                budget=meter,
             )
         if selected == "accel":
             accelerated = _accel.AcceleratedEngine(self.view)
@@ -1029,6 +1148,8 @@ class MiningSession:
                 start_vertices=starts,
                 on_match=wrapped,
                 count_only=callback is None,
+                control=opts.control,
+                budget=meter,
             )
         return run_tasks(
             self.ordered,
@@ -1039,6 +1160,7 @@ class MiningSession:
             stats=opts.stats,
             timer=opts.timer,
             count_only=callback is None,
+            budget=meter,
         )
 
     def _split_census_tier(
@@ -1061,6 +1183,12 @@ class MiningSession:
         edge-induced runs — stays on the direct fused path.
         """
         if opts.edge_induced or not opts.symmetry_breaking or key is not None:
+            return list(group), []
+        if opts.control is not None or opts.budget is not None:
+            # The census tier demultiplexes by Möbius inversion over
+            # *complete* basis counts; early-terminated partials would
+            # invert into garbage, so controlled/budgeted runs stay on
+            # the direct fused path (still one shared frontier walk).
             return list(group), []
         direct: list[int] = []
         census: list[int] = []
@@ -1133,17 +1261,26 @@ class MiningSession:
             raise ValueError(
                 f"engine must be one of {_MULTI_ENGINE_CHOICES}, got {engine!r}"
             )
+        self._check_guardrail_opts(opts)
+        if opts.guard != "off":
+            # Guard once per distinct pattern; "downgrade" tightens the
+            # shared frontier_chunk to the smallest any member needs.
+            for p in patterns:
+                opts = self._apply_guard(p, opts)
+        meter = opts.budget.meter() if opts.budget is not None else None
+        # A control no longer pins per-pattern dispatch: fused_run polls
+        # it between frontier slices and threads it into every member
+        # engine, so deadline/stop tokens ride the fused walk too.
         hooks_free = (
             _accel is not None
             and opts.stats is None
             and opts.timer is None
-            and opts.control is None
             and opts.plan is None
             and opts.start_vertices is None
         )
         if engine == "fused" and not hooks_free:
             raise MatchingError(
-                "engine='fused' requires numpy and no stats/timer/control/"
+                "engine='fused' requires numpy and no stats/timer/"
                 "plan/start_vertices overrides; use engine='auto' to fall "
                 "back to per-pattern dispatch"
             )
@@ -1198,12 +1335,24 @@ class MiningSession:
                         (self._cached_plan(basis_pattern, True, True)[0], None, None)
                         for basis_pattern in transform.basis
                     )
-                counts = _accel.fused_run(
-                    self.view,
-                    members,
-                    start_vertices=self._group_starts(key),
-                    chunk=opts.frontier_chunk,
-                )
+                try:
+                    counts = _accel.fused_run(
+                        self.view,
+                        members,
+                        start_vertices=self._group_starts(key),
+                        chunk=opts.frontier_chunk,
+                        control=opts.control,
+                        budget=meter,
+                    )
+                except BudgetExceededError as err:
+                    if opts.on_budget != "partial":
+                        raise
+                    partial_totals = err.partial.detail.get("totals")
+                    counts = (
+                        list(partial_totals)
+                        if partial_totals is not None
+                        else [0] * len(members)
+                    )
                 for pos, idx in enumerate(direct):
                     totals[idx] = counts[pos]
                 if transform is not None:
@@ -1223,11 +1372,11 @@ class MiningSession:
         for idx in remaining:
             if on_batches[idx] is not None:
                 totals[idx] = self._run_batches(
-                    patterns[idx], on_batches[idx], opts
+                    patterns[idx], on_batches[idx], opts, meter=meter
                 )
             else:
                 totals[idx] = self._run_match(
-                    patterns[idx], callbacks[idx], opts
+                    patterns[idx], callbacks[idx], opts, meter=meter
                 )
         return totals
 

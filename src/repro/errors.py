@@ -60,3 +60,118 @@ class MemoryBudgetExceeded(ReproError):
         )
         self.used_bytes = used_bytes
         self.budget_bytes = budget_bytes
+
+
+class PartialResult(int):
+    """A truncated count: an ``int`` plus how far the run got.
+
+    Guardrail errors carry one of these, and verbs called with
+    ``on_budget="partial"`` return one in place of the full count, so
+    existing arithmetic on counts keeps working while callers that care
+    can check ``truncated`` / ``reason``.
+
+    ``levels_completed`` counts the units of cooperative progress the
+    engine finished before stopping: start-vertex tasks for the
+    per-match engines, top-level frontier blocks for the batched engine,
+    completed chunks for a process pool.  ``detail`` is an optional dict
+    of extra structured context (per-member totals for fused runs,
+    failed chunk indices for a crashed pool, ...).
+    """
+
+    # No __slots__: variable-length builtins (int) do not support them.
+
+    def __new__(
+        cls,
+        matches: int = 0,
+        levels_completed: int = 0,
+        truncated: bool = True,
+        reason: str = "",
+        detail: dict | None = None,
+    ):
+        self = super().__new__(cls, matches)
+        self.levels_completed = levels_completed
+        self.truncated = truncated
+        self.reason = reason
+        self.detail = {} if detail is None else detail
+        return self
+
+    @property
+    def matches(self) -> int:
+        return int(self)
+
+    def as_dict(self) -> dict:
+        return {
+            "matches": int(self),
+            "levels_completed": self.levels_completed,
+            "truncated": self.truncated,
+            "reason": self.reason,
+            "detail": dict(self.detail),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PartialResult(matches={int(self)}, "
+            f"levels_completed={self.levels_completed}, "
+            f"truncated={self.truncated}, reason={self.reason!r})"
+        )
+
+
+class _GuardrailError(ReproError):
+    """Base for execution-guardrail errors: always carries the partial.
+
+    ``partial`` is the :class:`PartialResult` describing how far the run
+    got before the guardrail fired (zero for errors raised up front,
+    e.g. admission refusal).
+    """
+
+    def __init__(self, message: str, partial: "PartialResult | None" = None):
+        super().__init__(message)
+        self.partial = partial if partial is not None else PartialResult(0)
+
+
+class BudgetExceededError(_GuardrailError):
+    """A cooperative :class:`~repro.core.callbacks.Budget` ran out.
+
+    Raised between frontier chunks / start tasks when the wall-clock
+    deadline, match cap, frontier-row cap or expanded-partial cap of the
+    active budget is hit.  ``partial`` holds the counts accumulated so
+    far with ``truncated=True``; calls made with ``on_budget="partial"``
+    receive that payload as the return value instead of this error.
+    """
+
+
+class QueryRefusedError(_GuardrailError):
+    """Admission control refused a predicted-explosive query up front.
+
+    Raised by ``guard="refuse"`` when the bounded probe walk
+    (:func:`repro.runtime.guards.estimate_cost`) predicts the query
+    would expand past the explosive-work threshold.  ``estimate`` holds
+    the probe's cost estimate; ``partial`` is always zero matches.
+    """
+
+    def __init__(self, message: str, estimate=None):
+        super().__init__(message, PartialResult(0, reason="refused"))
+        self.estimate = estimate
+
+
+class QueryCancelledError(_GuardrailError):
+    """A run was cancelled by an external token before completing.
+
+    Raised by the process runtimes when the shared cancellation token
+    (``process_count(..., cancel=control)``) is set mid-run; workers
+    observe it between — and, through the engines' control polling,
+    inside — chunks.  ``partial`` holds the counts of chunks completed
+    before the stop.
+    """
+
+
+class WorkerCrashError(_GuardrailError):
+    """A process pool lost chunks to crashed workers beyond retry.
+
+    Dead workers' leased-but-unacknowledged chunks are requeued onto
+    fresh workers a bounded number of times; if chunks still cannot be
+    completed (and the in-process fallback is unavailable), the run
+    aborts with this error.  ``partial`` carries the exact counts of all
+    completed chunks and ``partial.detail["failed_chunks"]`` names the
+    chunk indices lost.
+    """

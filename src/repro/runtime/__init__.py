@@ -2,13 +2,17 @@
 
 from .scheduler import (
     ChunkLedger,
+    LeaseBoard,
     ProcessCursor,
     TaskScheduler,
     static_slices,
     weighted_boundaries,
 )
 from .aggregation import AggregatorThread
+from .guards import CostEstimate, admit, cap_workers, estimate_cost
 from .parallel import (
+    FAULT_ENV,
+    MAX_CHUNK_RETRIES,
     ParallelResult,
     parallel_match,
     process_count,
@@ -22,11 +26,18 @@ from .termination import (
 
 __all__ = [
     "ChunkLedger",
+    "LeaseBoard",
     "ProcessCursor",
     "TaskScheduler",
     "static_slices",
     "weighted_boundaries",
     "AggregatorThread",
+    "CostEstimate",
+    "admit",
+    "cap_workers",
+    "estimate_cost",
+    "FAULT_ENV",
+    "MAX_CHUNK_RETRIES",
     "ParallelResult",
     "parallel_match",
     "process_count",

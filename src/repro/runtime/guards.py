@@ -1,0 +1,263 @@
+"""Admission guards: bounded probe walks that predict query cost.
+
+The service tier (ROADMAP items 1–2) needs to know *before* running a
+query whether it will explode — a 5-clique census on a power-law graph
+can expand many orders of magnitude past its frontier size, and by the
+time a deadline fires the box has already paid the memory bill.  This
+module implements the probe half of the virt-graph ``estimator`` /
+``guards`` idiom: :func:`estimate_cost` samples the query's level-0
+frontier (a bounded walk — cost is ``O(sample)`` adjacency probes, never
+proportional to the graph), measures first-level expansion and the
+second-level growth trend, detects hubs, and extrapolates a predicted
+partial-match volume.  :func:`admit` turns the estimate into a decision
+for ``ExecOptions.guard``:
+
+``"refuse"``
+    raise :class:`~repro.errors.QueryRefusedError` up front when the
+    prediction crosses :data:`EXPLOSIVE_PARTIALS` — admission control
+    for the future service front-end.
+``"downgrade"``
+    run anyway, but tighten ``frontier_chunk`` to
+    :data:`DOWNGRADE_FRONTIER_CHUNK` (bounding peak frontier memory) —
+    and the process runtimes additionally cap workers at
+    :data:`DOWNGRADE_MAX_WORKERS` via :func:`cap_workers`.
+``"off"``
+    never probe (the default; the unguarded hot path stays unchanged).
+
+The estimator is deliberately simple and deterministic — evenly-spaced
+sampling over the hub-first frontier, pure-Python adjacency probes (no
+numpy requirement), geometric extrapolation — because its job is
+triage, not planning.  Cost-model-driven *engine selection* (choosing
+engine/schedule/chunk per query from the same probe) is the remaining
+half of ROADMAP item 2.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from ..errors import QueryRefusedError
+from ..pattern.pattern import Pattern
+
+__all__ = [
+    "CostEstimate",
+    "estimate_cost",
+    "admit",
+    "refusal",
+    "cap_workers",
+    "GUARD_CHOICES",
+    "EXPLOSIVE_PARTIALS",
+    "DOWNGRADE_FRONTIER_CHUNK",
+    "DOWNGRADE_MAX_WORKERS",
+    "PROBE_SAMPLE",
+]
+
+GUARD_CHOICES = ("off", "refuse", "downgrade")
+
+# Starts sampled from the level-0 frontier per probe, and how many
+# first-level candidates per start feed the second-level growth trend.
+PROBE_SAMPLE = 64
+PROBE_FANOUT_SAMPLE = 8
+
+# Hub-prefix scan bound: the frontier is hub-first, so hubs form a
+# prefix; scanning at most this many entries finds them all (or enough).
+PROBE_HUB_SCAN = 4096
+
+# Predicted partial matches above this are "explosive".  ~5e7 rows is
+# minutes of batched-engine work and tens of GB of transient frontier on
+# wide patterns — past any interactive budget.
+EXPLOSIVE_PARTIALS = 5e7
+
+# What "downgrade" does: frontier chunks shrink to this cap (bounding
+# peak frontier memory at ~O(chunk) rows per level) and process pools
+# cap their worker count (bounding memory multiplication across forks).
+DOWNGRADE_FRONTIER_CHUNK = 2048
+DOWNGRADE_MAX_WORKERS = 2
+
+
+def _hub_degree_floor(n: int) -> int:
+    """The accel tier's hub threshold, numpy-free (max(128, n / 64))."""
+    return max(128, n // 64)
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """What a bounded probe walk learned about one query.
+
+    ``predicted_partials`` is the geometric extrapolation
+    ``frontier_size * avg_expansion * growth^(levels beyond the first)``
+    — the volume of partial matches the batched engine would
+    materialize, which is the quantity that actually explodes (§5.1
+    exploration is output-sensitive; partials are the work *and* the
+    memory).
+    """
+
+    frontier_size: int
+    sampled: int
+    pattern_vertices: int
+    avg_expansion: float
+    max_expansion: int
+    growth: float
+    hub_count: int
+    hub_degree_floor: int
+    predicted_partials: float
+    threshold: float
+
+    @property
+    def explosive(self) -> bool:
+        return self.predicted_partials > self.threshold
+
+    def as_dict(self) -> dict:
+        payload = dataclasses.asdict(self)
+        payload["explosive"] = self.explosive
+        return payload
+
+
+def estimate_cost(
+    graph_or_session,
+    pattern: Pattern,
+    edge_induced: bool = True,
+    symmetry_breaking: bool = True,
+    sample: int = PROBE_SAMPLE,
+    threshold: float | None = None,
+) -> CostEstimate:
+    """Probe one query's frontier; return a :class:`CostEstimate`.
+
+    The probe is a bounded level-0 walk: up to ``sample`` starts,
+    evenly spaced over the hub-first (label-filtered) frontier so the
+    hubs at the front are always represented, each charged its
+    first-level candidate count (neighbors below the start under
+    symmetry breaking — the engines' level-1 expansion); the
+    second-level growth trend averages the same measure over a few
+    candidates of each sampled start.  Hubs are counted by scanning the
+    frontier's hub prefix.  Work is ``O(sample * fanout-sample)``
+    adjacency probes regardless of graph size.
+    """
+    # Deferred import: repro.runtime is imported by repro/__init__ after
+    # repro.core, and guards must not force the cycle at module load.
+    from ..core.session import as_session
+
+    if threshold is None:
+        # Resolved at call time so tests (and deployments) can retune the
+        # module-level threshold.
+        threshold = EXPLOSIVE_PARTIALS
+    session = as_session(graph_or_session)
+    plan, key = session._cached_plan(pattern, edge_induced, symmetry_breaking)
+    starts = session._starts_for(plan, key)
+    ordered = session.ordered
+    n = ordered.num_vertices
+    if starts is None:
+        frontier = range(n - 1, -1, -1)
+        frontier_size = n
+    else:
+        frontier = starts
+        frontier_size = len(starts)
+    width = pattern.num_vertices
+    if frontier_size == 0 or width <= 1:
+        return CostEstimate(
+            frontier_size=frontier_size,
+            sampled=0,
+            pattern_vertices=width,
+            avg_expansion=0.0,
+            max_expansion=0,
+            growth=0.0,
+            hub_count=0,
+            hub_degree_floor=_hub_degree_floor(n),
+            predicted_partials=float(frontier_size),
+            threshold=threshold,
+        )
+
+    def fanout(v: int) -> int:
+        # The engines' first-level expansion: candidates strictly below
+        # the start under symmetry breaking; the full adjacency without.
+        if symmetry_breaking:
+            return len(ordered.neighbors_below(v, v))
+        return ordered.degree(v)
+
+    k = min(max(1, sample), frontier_size)
+    step = max(1, frontier_size // k)
+    probe = [frontier[i] for i in range(0, frontier_size, step)][:k]
+
+    expansions = [fanout(v) for v in probe]
+    avg_expansion = sum(expansions) / len(probe)
+    max_expansion = max(expansions)
+
+    # Second-level growth: per-partial fanout averaged over a few
+    # first-level candidates of each sampled start.
+    growth_total = 0
+    growth_count = 0
+    for v in probe:
+        below = ordered.neighbors_below(v, v)
+        for w in below[:PROBE_FANOUT_SAMPLE]:
+            growth_total += fanout(w)
+            growth_count += 1
+    growth = (growth_total / growth_count) if growth_count else 0.0
+
+    hub_floor = _hub_degree_floor(n)
+    hub_count = 0
+    for i in range(min(frontier_size, PROBE_HUB_SCAN)):
+        if ordered.degree(frontier[i]) >= hub_floor:
+            hub_count += 1
+        else:
+            break  # hub-first order: the hubs are a prefix
+
+    level1_total = avg_expansion * frontier_size
+    deeper_levels = max(0, width - 2)
+    predicted = level1_total
+    for _ in range(deeper_levels):
+        predicted *= max(growth, 1.0) if growth > 0 else 1.0
+    return CostEstimate(
+        frontier_size=frontier_size,
+        sampled=len(probe),
+        pattern_vertices=width,
+        avg_expansion=avg_expansion,
+        max_expansion=max_expansion,
+        growth=growth,
+        hub_count=hub_count,
+        hub_degree_floor=hub_floor,
+        predicted_partials=predicted,
+        threshold=threshold,
+    )
+
+
+def refusal(estimate: CostEstimate) -> QueryRefusedError:
+    """The refusal error for an explosive estimate (raised by callers)."""
+    return QueryRefusedError(
+        "query refused by admission guard: predicted "
+        f"~{estimate.predicted_partials:.3g} partial matches "
+        f"(threshold {estimate.threshold:.3g}; frontier "
+        f"{estimate.frontier_size}, avg level-1 expansion "
+        f"{estimate.avg_expansion:.1f}, growth {estimate.growth:.1f}, "
+        f"{estimate.hub_count} hub starts)",
+        estimate,
+    )
+
+
+def admit(estimate: CostEstimate, opts):
+    """Apply one guard decision to a run's options.
+
+    Benign estimates pass ``opts`` through unchanged.  Explosive ones
+    raise :class:`~repro.errors.QueryRefusedError` under
+    ``guard="refuse"`` or return options with ``frontier_chunk``
+    tightened to :data:`DOWNGRADE_FRONTIER_CHUNK` under
+    ``guard="downgrade"``.
+    """
+    if opts.guard == "off" or not estimate.explosive:
+        return opts
+    if opts.guard == "refuse":
+        raise refusal(estimate)
+    chunk = opts.frontier_chunk
+    tightened = (
+        DOWNGRADE_FRONTIER_CHUNK
+        if chunk is None
+        else min(chunk, DOWNGRADE_FRONTIER_CHUNK)
+    )
+    return dataclasses.replace(opts, frontier_chunk=tightened)
+
+
+def cap_workers(estimate: CostEstimate | None, num_processes: int) -> int:
+    """The downgraded worker count for an explosive estimate."""
+    if estimate is None or not estimate.explosive:
+        return num_processes
+    return min(num_processes, DOWNGRADE_MAX_WORKERS)

@@ -48,7 +48,12 @@ from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
-from ..errors import MatchingError
+from ..errors import (
+    MatchingError,
+    PartialResult,
+    QueryCancelledError,
+    WorkerCrashError,
+)
 from ..core.callbacks import Aggregator, ExplorationControl, Match
 from ..core.engine import EngineStats, run_tasks
 from ..core.plan import generate_plan
@@ -63,16 +68,34 @@ from ..core.session import (
 from ..graph.graph import DataGraph
 from ..pattern.pattern import Pattern
 from .aggregation import AggregatorThread
-from .scheduler import ChunkLedger, ProcessCursor, TaskScheduler, static_slices
+from .scheduler import (
+    ChunkLedger,
+    LeaseBoard,
+    ProcessCursor,
+    TaskScheduler,
+    static_slices,
+)
 
 __all__ = [
     "ParallelResult",
     "parallel_match",
     "process_count",
     "process_count_many",
+    "FAULT_ENV",
+    "MAX_CHUNK_RETRIES",
 ]
 
 _SCHEDULE_CHOICES = ("dynamic", "static")
+
+# Crash-tolerance knobs.  A chunk whose worker dies is requeued up to
+# MAX_CHUNK_RETRIES times before the run gives up with WorkerCrashError
+# (a chunk that kills every worker that touches it is a poison pill, not
+# a transient crash).  FAULT_ENV is the deterministic fault-injection
+# knob: "worker:chunk" (either side may be "*") makes the matching
+# worker exit hard — os._exit, no cleanup, exactly like an OOM kill —
+# immediately after leasing the matching chunk.
+FAULT_ENV = "REPRO_FAULT_WORKER_DIE"
+MAX_CHUNK_RETRIES = 2
 
 
 def _resolve_scheduling(session, schedule, chunk_hint):
@@ -474,44 +497,409 @@ def _batch_count_slice(args: tuple[int, int]) -> int:
     )
 
 
-def _chunk_runner():
-    """One engine instance + chunk-count closure for this worker's mode."""
+def _chunk_runner(control=None):
+    """One engine instance + chunk-count closure for this worker's mode.
+
+    ``control`` (when given) reaches the engine of every chunk run, so a
+    shared cancellation token stops workers *inside* a chunk — between
+    frontier blocks or start tasks — not just between chunks.
+    """
     mode = _WORKER_STATE["mode"]
     plan = _WORKER_STATE["plan"]
     if mode == "batch":
         engine = _accel().FrontierBatchedEngine(_WORKER_STATE["view"])
         return lambda chunk: engine.run(
-            plan, start_vertices=chunk, count_only=True
+            plan, start_vertices=chunk, count_only=True, control=control
         )
     if mode == "accel":
         engine = _accel().AcceleratedEngine(_WORKER_STATE["view"])
         return lambda chunk: engine.run(
-            plan, start_vertices=chunk, count_only=True
+            plan, start_vertices=chunk, count_only=True, control=control
         )
     graph = _WORKER_STATE["graph"]
     return lambda chunk: run_tasks(
-        graph, plan, start_vertices=chunk, count_only=True
+        graph, plan, start_vertices=chunk, count_only=True, control=control
     )
 
 
-def _drain_chunks(_worker_id: int) -> int:
-    """Work-stealing drain loop: pull chunks off the shared cursor.
+# ----------------------------------------------------------------------
+# Crash-tolerant dynamic draining: chunk leases + requeue rounds.
+#
+# ``multiprocessing.Pool`` is the wrong substrate for fault tolerance —
+# a worker that dies abruptly mid-task leaves ``pool.map`` hung (or, on
+# newer CPythons, kills the whole map with no record of which inputs
+# finished).  The dynamic schedules therefore run raw ``ctx.Process``
+# workers over a :class:`~repro.runtime.scheduler.LeaseBoard`: a worker
+# *leases* a chunk before running it and lands the chunk's counts
+# atomically with its done-mark, so after every worker exits the parent
+# knows exactly which chunks never completed.  Those are requeued into a
+# fresh round of workers (bounded by :data:`MAX_CHUNK_RETRIES` per
+# chunk); when even respawning fails (fork/spawn returning ``OSError``
+# under resource exhaustion) the parent degrades to running the
+# remaining chunks in-process.  Exact counts survive any single- or
+# multi-worker crash because a chunk's count lands exactly once.
+#
+# Cancellation rides the same machinery: a shared one-way flag that
+# workers poll between chunks and engines poll inside a chunk (via
+# :class:`_SharedCancel`), bridged from the caller's
+# ``ExplorationControl`` by a parent-side thread.
+# ----------------------------------------------------------------------
 
-    The whole dynamic protocol: claim a chunk index, count its starts,
-    repeat until the cursor runs past the ledger.  One engine instance
-    serves every chunk this worker claims, so per-chunk overhead is one
-    cursor increment and one ``run`` call.
+
+def _parse_fault(spec: str | None):
+    """Parse a ``"worker:chunk"`` fault spec (either side ``"*"``)."""
+    if not spec:
+        return None
+    worker, sep, chunk = spec.partition(":")
+    if not sep:
+        raise ValueError(
+            f"{FAULT_ENV} must be 'worker:chunk' (either side '*'), "
+            f"got {spec!r}"
+        )
+    return (worker.strip(), chunk.strip())
+
+
+def _fault(worker_id: int, chunk_index: int, spec) -> None:
+    """Deterministic fault-injection seam: die hard when the spec matches.
+
+    ``os._exit`` skips every handler and ``finally`` — the closest
+    user-space stand-in for an OOM kill or segfault.  Runs right after a
+    chunk lease so the death window the requeue protocol must cover
+    (leased, not done) is always exercised.
     """
+    if spec is None:
+        return
+    worker, chunk = spec
+    if (worker == "*" or worker == str(worker_id)) and (
+        chunk == "*" or chunk == str(chunk_index)
+    ):
+        os._exit(1)
+
+
+class _SharedCancel:
+    """ExplorationControl facade over a shared one-way cancel flag.
+
+    Engines only read ``.stopped``; backing it with a
+    ``multiprocessing.Value`` makes one parent-side ``stop()`` visible
+    inside every worker's engine loop, so cancellation lands mid-chunk.
+    """
+
+    __slots__ = ("_flag",)
+
+    def __init__(self, flag):
+        self._flag = flag
+
+    @property
+    def stopped(self) -> bool:
+        return bool(self._flag.value)
+
+    def stop(self) -> None:
+        self._flag.value = 1
+
+
+def _tolerant_worker(
+    worker_id, board, cursor, active, cancel_flag, fault_spec, init, init_args
+):
+    """One crash-tolerant worker: claim, lease, run, land — repeat.
+
+    ``active`` is this round's list of still-pending chunk indices; the
+    cursor claims positions into it, so requeued rounds reuse the same
+    protocol over a shrinking list.  A chunk interrupted by cancellation
+    is deliberately *not* completed — its count is partial — so the
+    parent's partial total only ever sums fully-counted chunks.
+    """
+    init(*init_args)
     ledger: ChunkLedger = _WORKER_STATE["ledger"]
-    cursor: ProcessCursor = _WORKER_STATE["cursor"]
-    run_chunk = _chunk_runner()
-    num_chunks = len(ledger)
-    total = 0
+    run_chunk = _chunk_runner(control=_SharedCancel(cancel_flag))
     while True:
-        index = cursor.claim()
-        if index >= num_chunks:
-            return total
-        total += run_chunk(ledger.chunk(index))
+        if cancel_flag.value:
+            return
+        pos = cursor.claim()
+        if pos >= len(active):
+            return
+        index = active[pos]
+        board.lease(index, worker_id)
+        _fault(worker_id, index, fault_spec)
+        count = run_chunk(ledger.chunk(index))
+        if cancel_flag.value:
+            return
+        board.complete(index, (count,))
+
+
+def _tolerant_worker_many(
+    worker_id, board, cursor, active, cancel_flag, fault_spec, init, init_args
+):
+    """Multi-pattern tolerant worker: each chunk runs its whole fused group."""
+    init(*init_args)
+    accel = _accel()
+    view = _WORKER_STATE["view"]
+    plans = _WORKER_STATE["many_plans"]
+    groups = _WORKER_STATE["many_groups"]
+    ledgers = _WORKER_STATE["many_ledgers"]
+    offsets = _WORKER_STATE["many_offsets"]
+    frontier_chunk = _WORKER_STATE["many_frontier_chunk"]
+    members_of = [
+        [(plans[idx], None, None) for idx in group] for group in groups
+    ]
+    control = _SharedCancel(cancel_flag)
+    while True:
+        if cancel_flag.value:
+            return
+        pos = cursor.claim()
+        if pos >= len(active):
+            return
+        index = active[pos]
+        board.lease(index, worker_id)
+        _fault(worker_id, index, fault_spec)
+        gi = bisect_right(offsets, index) - 1
+        chunk = ledgers[gi].chunk(index - offsets[gi])
+        counts = accel.fused_run(
+            view,
+            members_of[gi],
+            start_vertices=chunk,
+            chunk=frontier_chunk,
+            control=control,
+        )
+        if cancel_flag.value:
+            return
+        board.complete(index, counts)
+
+
+def _tolerant_rounds(
+    ctx,
+    num_workers,
+    worker_fn,
+    board,
+    num_chunks,
+    cancel,
+    fault_spec,
+    partial_fn,
+    init,
+    init_args,
+):
+    """Drive lease/requeue rounds until every chunk's count has landed.
+
+    Raises :class:`~repro.errors.WorkerCrashError` when a chunk exhausts
+    its retries and :class:`~repro.errors.QueryCancelledError` when
+    ``cancel`` fires with chunks outstanding — both carrying
+    ``partial_fn(reason, detail)`` as the structured partial.
+    """
+    cancel_flag = ctx.Value("b", 0)
+    pending = list(range(num_chunks))
+    retries = [0] * num_chunks
+    next_worker = 0
+    bridge_stop = threading.Event()
+    bridge = None
+    if cancel is not None:
+        # Callers hand in plain ExplorationControl/DeadlineControl
+        # objects, which workers cannot see — this thread bridges the
+        # caller-side token into the shared flag the workers poll.
+        def poll_cancel():
+            while not bridge_stop.is_set():
+                if cancel.stopped:
+                    cancel_flag.value = 1
+                    return
+                bridge_stop.wait(0.002)
+
+        bridge = threading.Thread(
+            target=poll_cancel, name="cancel-bridge", daemon=True
+        )
+        bridge.start()
+    try:
+        while pending:
+            if cancel is not None and cancel.stopped:
+                cancel_flag.value = 1
+            if cancel_flag.value:
+                break
+            active = pending
+            cursor = ProcessCursor(ctx)
+            procs = []
+            for _ in range(min(num_workers, len(active))):
+                worker_id = next_worker
+                next_worker += 1
+                proc = ctx.Process(
+                    target=worker_fn,
+                    args=(
+                        worker_id, board, cursor, active, cancel_flag,
+                        fault_spec, init, init_args,
+                    ),
+                    name=f"tolerant-{worker_id}",
+                )
+                try:
+                    proc.start()
+                except OSError:
+                    break
+                procs.append(proc)
+            if not procs:
+                # Respawn failed outright (fd/pid exhaustion): degrade to
+                # in-process draining.  Fault injection is disabled here —
+                # os._exit in the caller's process is not a recovery.
+                worker_fn(
+                    next_worker, board, cursor, active, cancel_flag,
+                    None, init, init_args,
+                )
+                next_worker += 1
+            else:
+                for proc in procs:
+                    proc.join()
+            remaining = board.pending(active)
+            if cancel_flag.value:
+                pending = remaining
+                break
+            failed = []
+            for index in remaining:
+                retries[index] += 1
+                if retries[index] > MAX_CHUNK_RETRIES:
+                    failed.append(index)
+            if failed:
+                raise WorkerCrashError(
+                    f"{len(failed)} chunk(s) still incomplete after "
+                    f"{MAX_CHUNK_RETRIES} requeue(s): workers keep dying "
+                    f"on chunk(s) {failed[:8]}",
+                    partial_fn(
+                        "worker crash",
+                        {
+                            "failed_chunks": failed,
+                            "retries": MAX_CHUNK_RETRIES,
+                            "num_chunks": num_chunks,
+                        },
+                    ),
+                )
+            pending = remaining
+    finally:
+        bridge_stop.set()
+        if bridge is not None:
+            bridge.join()
+    if pending:
+        raise QueryCancelledError(
+            f"query cancelled with {len(pending)} of {num_chunks} "
+            f"chunk(s) incomplete",
+            partial_fn(
+                "cancelled",
+                {"pending_chunks": len(pending), "num_chunks": num_chunks},
+            ),
+        )
+
+
+def _tolerant_count(ctx, num_workers, init, init_args, ledger, cancel):
+    """Crash-tolerant dynamic drain for ``process_count``; exact total."""
+    num_chunks = len(ledger)
+    if num_chunks == 0:
+        return 0
+    board = LeaseBoard(ctx, num_chunks)
+    fault_spec = _parse_fault(os.environ.get(FAULT_ENV))
+
+    def partial_fn(reason, detail):
+        done = board.done_indices(num_chunks)
+        return PartialResult(
+            sum(board.values(i)[0] for i in done),
+            levels_completed=len(done),
+            truncated=True,
+            reason=reason,
+            detail=detail,
+        )
+
+    _tolerant_rounds(
+        ctx, num_workers, _tolerant_worker, board, num_chunks, cancel,
+        fault_spec, partial_fn, init, init_args,
+    )
+    return sum(board.values(i)[0] for i in range(num_chunks))
+
+
+def _apply_guard_mode(
+    session,
+    patterns,
+    guard,
+    num_processes,
+    frontier_chunk,
+    edge_induced,
+    symmetry_breaking,
+):
+    """Process-runtime admission guard: probe, then refuse or downgrade.
+
+    Returns the (possibly downgraded) ``(num_processes, frontier_chunk)``
+    pair — an explosive estimate under ``guard="downgrade"`` caps the
+    worker count (bounding fork-side memory multiplication) and tightens
+    the per-engine frontier chunk.  ``guard="refuse"`` raises
+    :class:`~repro.errors.QueryRefusedError` on the first pattern
+    predicted explosive.
+    """
+    if guard in (None, "off"):
+        return num_processes, frontier_chunk
+    from . import guards
+
+    if guard not in guards.GUARD_CHOICES:
+        raise ValueError(
+            f"guard must be one of {guards.GUARD_CHOICES}, got {guard!r}"
+        )
+    for pattern in patterns:
+        estimate = guards.estimate_cost(
+            session,
+            pattern,
+            edge_induced=edge_induced,
+            symmetry_breaking=symmetry_breaking,
+        )
+        if not estimate.explosive:
+            continue
+        if guard == "refuse":
+            raise guards.refusal(estimate)
+        num_processes = guards.cap_workers(estimate, num_processes)
+        frontier_chunk = (
+            guards.DOWNGRADE_FRONTIER_CHUNK
+            if frontier_chunk is None
+            else min(frontier_chunk, guards.DOWNGRADE_FRONTIER_CHUNK)
+        )
+    return num_processes, frontier_chunk
+
+
+def _tolerant_count_many(
+    ctx, num_workers, init, init_args, groups, ledgers, offsets, cancel,
+    num_patterns,
+):
+    """Crash-tolerant dynamic drain for ``process_count_many``.
+
+    Returns exact per-pattern totals; chunk indices are global across
+    groups (``offsets`` maps an index to its group) and each chunk's
+    count slots hold one value per fused-group member.
+    """
+    num_chunks = offsets[-1]
+    if num_chunks == 0:
+        return [0] * num_patterns
+    slot_offsets = [0]
+    for gi, ledger in enumerate(ledgers):
+        width = len(groups[gi])
+        for _ in range(len(ledger)):
+            slot_offsets.append(slot_offsets[-1] + width)
+    board = LeaseBoard(ctx, num_chunks, slot_offsets)
+    fault_spec = _parse_fault(os.environ.get(FAULT_ENV))
+
+    def totals_of(indices):
+        totals = [0] * num_patterns
+        for index in indices:
+            gi = bisect_right(offsets, index) - 1
+            values = board.values(index)
+            for pos, pattern_index in enumerate(groups[gi]):
+                totals[pattern_index] += values[pos]
+        return totals
+
+    def partial_fn(reason, detail):
+        done = board.done_indices(num_chunks)
+        totals = totals_of(done)
+        merged = dict(detail)
+        merged["totals"] = totals
+        return PartialResult(
+            sum(totals),
+            levels_completed=len(done),
+            truncated=True,
+            reason=reason,
+            detail=merged,
+        )
+
+    _tolerant_rounds(
+        ctx, num_workers, _tolerant_worker_many, board, num_chunks, cancel,
+        fault_spec, partial_fn, init, init_args,
+    )
+    return totals_of(range(num_chunks))
 
 
 def _shm_init(
@@ -678,6 +1066,8 @@ def process_count(
     share_mode: str | None = None,
     schedule: str | None = None,
     chunk_hint: int | None = None,
+    cancel: ExplorationControl | None = None,
+    guard: str | None = None,
 ) -> int:
     """Count matches with a process pool (true parallel speedup).
 
@@ -699,9 +1089,29 @@ def process_count(
     multiply graph copies or pickling time.  A
     :class:`~repro.core.session.MiningSession` may be passed in place of
     the graph to reuse its cached ordering and plans.
+
+    Dynamic schedules are **crash-tolerant**: chunk leases over a shared
+    :class:`~repro.runtime.scheduler.LeaseBoard` let the parent requeue
+    any chunk whose worker died before its count landed (bounded
+    retries, then :class:`~repro.errors.WorkerCrashError` carrying the
+    partial), so a mid-run worker death still yields the exact count.
+    ``cancel`` (any :class:`~repro.core.callbacks.ExplorationControl`,
+    e.g. a :class:`~repro.runtime.termination.DeadlineControl`) is
+    bridged into a shared flag workers honor *mid-chunk*; firing it with
+    chunks outstanding raises
+    :class:`~repro.errors.QueryCancelledError` with the partial count.
+    ``guard`` ("refuse" or "downgrade") runs the
+    :mod:`~repro.runtime.guards` admission probe first — refusing
+    predicted-explosive queries or capping the worker count.
     """
     session = as_session(graph)
     schedule, chunk_hint = _resolve_scheduling(session, schedule, chunk_hint)
+    if cancel is not None and schedule != "dynamic":
+        raise ValueError("cancel requires schedule='dynamic'")
+    num_processes, _ = _apply_guard_mode(
+        session, [pattern], guard, num_processes, None, edge_induced,
+        symmetry_breaking,
+    )
     ordered = session.ordered
     accel = _accel()
     has_fork = "fork" in multiprocessing.get_all_start_methods()
@@ -757,7 +1167,6 @@ def process_count(
             chunk_hint=chunk_hint,
             num_workers=num_processes,
         )
-        workers = list(range(num_processes))
     else:
         ledger = None
         slices = [(i, num_processes) for i in range(num_processes)]
@@ -773,16 +1182,17 @@ def process_count(
         # The CSR view is only worth building (and caching on the graph)
         # when the workers will actually run a vectorized engine.
         view = session.view if (use_batch or use_accel) else None
-        cursor = ProcessCursor(ctx) if schedule == "dynamic" else None
+        if schedule == "dynamic":
+            return _tolerant_count(
+                ctx, num_processes, _fork_init,
+                (view, ordered, plan, mode, ledger, None), ledger, cancel,
+            )
         with ctx.Pool(
             processes=num_processes,
             initializer=_fork_init,
-            initargs=(view, ordered, plan, mode, ledger, cursor),
+            initargs=(view, ordered, plan, mode, None, None),
         ) as pool:
-            if schedule == "dynamic":
-                counts = pool.map(_drain_chunks, workers, chunksize=1)
-            else:
-                counts = pool.map(slice_fn, slices)
+            counts = pool.map(slice_fn, slices)
         return sum(counts)
 
     ctx = multiprocessing.get_context("fork" if has_fork else "spawn")
@@ -790,7 +1200,6 @@ def process_count(
     if share_mode == "mmap":
         path, is_temp = _mmap_store(session)
         try:
-            cursor = ProcessCursor(ctx) if schedule == "dynamic" else None
             init_args = (
                 path,
                 pattern.signature(),
@@ -798,34 +1207,35 @@ def process_count(
                 symmetry_breaking,
                 mode,
                 ledger,
-                cursor,
+                None,
             )
+            if schedule == "dynamic":
+                return _tolerant_count(
+                    ctx, num_processes, _mmap_init, init_args, ledger, cancel,
+                )
             with ctx.Pool(
                 processes=num_processes,
                 initializer=_mmap_init,
                 initargs=init_args,
             ) as pool:
-                if schedule == "dynamic":
-                    counts = pool.map(_drain_chunks, workers, chunksize=1)
-                else:
-                    counts = pool.map(slice_fn, slices)
+                counts = pool.map(slice_fn, slices)
+            return sum(counts)
         finally:
             # The spill file is parent-owned: unlink it no matter how the
-            # pool exits.  Workers that already mapped it keep their pages
-            # (POSIX unlink-while-mapped), so a mid-run failure cannot
-            # leak the file.
+            # pool exits — including crash/cancel errors propagating out
+            # of the tolerant drain.  Workers that already mapped it keep
+            # their pages (POSIX unlink-while-mapped), so a mid-run
+            # failure cannot leak the file.
             if is_temp:
                 try:
                     os.unlink(path)
                 except OSError:  # pragma: no cover - already gone
                     pass
-        return sum(counts)
 
     if share_mode == "shm":
         view = session.view
         segments, meta = _shm_segments(view)
         try:
-            cursor = ProcessCursor(ctx) if schedule == "dynamic" else None
             init_args = (
                 meta,
                 pattern.signature(),
@@ -834,23 +1244,25 @@ def process_count(
                 use_batch or use_accel,
                 mode,
                 ledger,
-                cursor,
+                None,
             )
+            if schedule == "dynamic":
+                return _tolerant_count(
+                    ctx, num_processes, _shm_init, init_args, ledger, cancel,
+                )
             with ctx.Pool(
                 processes=num_processes, initializer=_shm_init, initargs=init_args
             ) as pool:
-                if schedule == "dynamic":
-                    counts = pool.map(_drain_chunks, workers, chunksize=1)
-                else:
-                    counts = pool.map(slice_fn, slices)
+                counts = pool.map(slice_fn, slices)
+            return sum(counts)
         finally:
-            # Worker failures surface as pool.map raising; the segments
-            # are parent-owned, so unlink here no matter what — a leaked
-            # segment outlives the run (and, on tmpfs, holds its bytes).
+            # Worker failures surface as errors raised above; the
+            # segments are parent-owned, so unlink here no matter what —
+            # a leaked segment outlives the run (and, on tmpfs, holds its
+            # bytes).
             for seg in segments:
                 seg.close()
                 seg.unlink()
-        return sum(counts)
 
     if ordered.backing == "array":
         # Pickling memmap slices would serialize (and copy) numpy arrays
@@ -861,7 +1273,6 @@ def process_count(
     else:
         adjacency = [ordered.neighbors(v) for v in ordered.vertices()]
         labels = ordered.labels()
-    cursor = ProcessCursor(ctx) if schedule == "dynamic" else None
     init_args = (
         adjacency,
         labels,
@@ -869,15 +1280,16 @@ def process_count(
         edge_induced,
         symmetry_breaking,
         ledger,
-        cursor,
+        None,
     )
+    if schedule == "dynamic":
+        return _tolerant_count(
+            ctx, num_processes, _init_worker, init_args, ledger, cancel,
+        )
     with ctx.Pool(
         processes=num_processes, initializer=_init_worker, initargs=init_args
     ) as pool:
-        if schedule == "dynamic":
-            counts = pool.map(_drain_chunks, workers, chunksize=1)
-        else:
-            counts = pool.map(_count_slice, slices)
+        counts = pool.map(_count_slice, slices)
     return sum(counts)
 
 
@@ -1022,6 +1434,8 @@ def process_count_many(
     schedule: str | None = None,
     chunk_hint: int | None = None,
     frontier_chunk: int | None = None,
+    cancel: ExplorationControl | None = None,
+    guard: str | None = None,
 ) -> dict[Pattern, int]:
     """Count every pattern with a process pool over fused frontier chunks.
 
@@ -1045,10 +1459,24 @@ def process_count_many(
     call falls back to the sequential session path.  ``share_mode``
     supports ``"fork"``, ``"shm"`` and ``"mmap"`` (workers re-open the
     on-disk ``.rgx`` store and share pages through the OS page cache).
+
+    ``cancel`` and ``guard`` behave exactly as in :func:`process_count`
+    — dynamic schedules get crash-tolerant chunk leases (mid-run worker
+    deaths are requeued for exact counts, poison chunks raise
+    :class:`~repro.errors.WorkerCrashError`), shared-flag cancellation
+    raises :class:`~repro.errors.QueryCancelledError` with per-pattern
+    partial totals in ``partial.detail["totals"]``, and the admission
+    guard refuses or downgrades predicted-explosive pattern sets.
     """
     session = as_session(graph)
     schedule, chunk_hint = _resolve_scheduling(session, schedule, chunk_hint)
+    if cancel is not None and schedule != "dynamic":
+        raise ValueError("cancel requires schedule='dynamic'")
     patterns = list(patterns)
+    num_processes, frontier_chunk = _apply_guard_mode(
+        session, patterns, guard, num_processes, frontier_chunk,
+        edge_induced, symmetry_breaking,
+    )
     accel = _accel()
     if accel is None or num_processes <= 1 or not patterns:
         return session.count_many(
@@ -1106,23 +1534,29 @@ def process_count_many(
         offsets.append(offsets[-1] + len(ledger))
 
     worker_ids = list(range(num_processes))
+    dynamic = schedule == "dynamic"
     if share_mode == "fork":
         ctx = multiprocessing.get_context("fork")
-        cursor = ProcessCursor(ctx) if schedule == "dynamic" else None
+        init_args = (
+            view, plans, groups, ledgers, offsets, None,
+            num_processes, frontier_chunk,
+        )
+        if dynamic:
+            totals = _tolerant_count_many(
+                ctx, num_processes, _many_fork_init, init_args, groups,
+                ledgers, offsets, cancel, len(patterns),
+            )
+            return dict(zip(patterns, totals))
         with ctx.Pool(
             processes=num_processes,
             initializer=_many_fork_init,
-            initargs=(
-                view, plans, groups, ledgers, offsets, cursor,
-                num_processes, frontier_chunk,
-            ),
+            initargs=init_args,
         ) as pool:
             per_worker = pool.map(_drain_many, worker_ids, chunksize=1)
     elif share_mode == "shm":
         ctx = multiprocessing.get_context("fork" if has_fork else "spawn")
         segments, meta = _shm_segments(view)
         try:
-            cursor = ProcessCursor(ctx) if schedule == "dynamic" else None
             init_args = (
                 meta,
                 [p.signature() for p in patterns],
@@ -1130,10 +1564,16 @@ def process_count_many(
                 groups,
                 ledgers,
                 offsets,
-                cursor,
+                None,
                 num_processes,
                 frontier_chunk,
             )
+            if dynamic:
+                totals = _tolerant_count_many(
+                    ctx, num_processes, _many_shm_init, init_args, groups,
+                    ledgers, offsets, cancel, len(patterns),
+                )
+                return dict(zip(patterns, totals))
             with ctx.Pool(
                 processes=num_processes,
                 initializer=_many_shm_init,
@@ -1148,7 +1588,6 @@ def process_count_many(
         ctx = multiprocessing.get_context("fork" if has_fork else "spawn")
         path, is_temp = _mmap_store(session)
         try:
-            cursor = ProcessCursor(ctx) if schedule == "dynamic" else None
             init_args = (
                 path,
                 [p.signature() for p in patterns],
@@ -1156,10 +1595,16 @@ def process_count_many(
                 groups,
                 ledgers,
                 offsets,
-                cursor,
+                None,
                 num_processes,
                 frontier_chunk,
             )
+            if dynamic:
+                totals = _tolerant_count_many(
+                    ctx, num_processes, _many_mmap_init, init_args, groups,
+                    ledgers, offsets, cancel, len(patterns),
+                )
+                return dict(zip(patterns, totals))
             with ctx.Pool(
                 processes=num_processes,
                 initializer=_many_mmap_init,

@@ -34,6 +34,7 @@ from typing import Sequence
 
 __all__ = [
     "ChunkLedger",
+    "LeaseBoard",
     "ProcessCursor",
     "TaskScheduler",
     "CHUNKS_PER_WORKER",
@@ -187,6 +188,79 @@ class ProcessCursor:
             index = self._value.value
             self._value.value = index + 1
         return index
+
+
+class LeaseBoard:
+    """Shared per-chunk lease and result state for crash-tolerant drains.
+
+    The ledger says *what* the chunks are; the board says *how far* each
+    chunk got.  Every chunk has one status slot (``0`` pending,
+    ``worker_id + 1`` leased, ``-1`` done) and one or more count slots
+    (one per fused-group member for multi-pattern runs, selected by
+    ``slot_offsets``).  Workers lease a chunk *before* running it and
+    write its counts *before* marking it done — both under the board's
+    lock — so a worker that dies at any point leaves the chunk either
+    untouched or leased-but-not-done, and the parent can requeue exactly
+    the chunks whose results never landed.  A chunk's counts are written
+    at most once (write-then-mark-done is atomic under the lock), so a
+    requeued chunk can never be double-counted.
+
+    Both arrays are ``multiprocessing`` shared ctypes from the pool's own
+    context, so the board reaches workers fork-inherited or pickled into
+    spawn args alike.
+    """
+
+    DONE = -1
+    PENDING = 0
+
+    __slots__ = ("_status", "_counts", "_offsets")
+
+    def __init__(self, ctx, num_chunks: int, slot_offsets: Sequence[int] | None = None):
+        if slot_offsets is None:
+            slot_offsets = list(range(num_chunks + 1))
+        if len(slot_offsets) != num_chunks + 1:
+            raise ValueError(
+                f"slot_offsets must have {num_chunks + 1} entries, "
+                f"got {len(slot_offsets)}"
+            )
+        self._offsets = list(slot_offsets)
+        self._status = ctx.Array("l", max(1, num_chunks))
+        self._counts = ctx.Array("l", max(1, self._offsets[-1]))
+
+    def lease(self, index: int, worker_id: int) -> None:
+        """Record that ``worker_id`` is about to run chunk ``index``."""
+        with self._status.get_lock():
+            self._status[index] = worker_id + 1
+
+    def complete(self, index: int, values: Sequence[int]) -> None:
+        """Land chunk ``index``'s counts and mark it done (atomically)."""
+        lo = self._offsets[index]
+        hi = self._offsets[index + 1]
+        if len(values) != hi - lo:
+            raise ValueError(
+                f"chunk {index} has {hi - lo} count slots, "
+                f"got {len(values)} values"
+            )
+        with self._status.get_lock():
+            for k, value in enumerate(values):
+                self._counts[lo + k] = int(value)
+            self._status[index] = self.DONE
+
+    def is_done(self, index: int) -> bool:
+        return self._status[index] == self.DONE
+
+    def pending(self, indices: Sequence[int]) -> list[int]:
+        """The subset of ``indices`` whose results never landed."""
+        with self._status.get_lock():
+            return [i for i in indices if self._status[i] != self.DONE]
+
+    def done_indices(self, num_chunks: int) -> list[int]:
+        with self._status.get_lock():
+            return [i for i in range(num_chunks) if self._status[i] == self.DONE]
+
+    def values(self, index: int) -> list[int]:
+        """The landed counts for a done chunk."""
+        return list(self._counts[self._offsets[index]: self._offsets[index + 1]])
 
 
 class TaskScheduler:

@@ -3,6 +3,15 @@
 The core :class:`~repro.core.callbacks.ExplorationControl` is a bare stop
 token; this module adds the common monitoring patterns: stop after N
 matches, stop when an aggregate crosses a threshold, stop on a deadline.
+
+:class:`~repro.core.callbacks.Budget` (re-exported here) is the
+declarative face of the same family: instead of wiring a control +
+callback by hand, a budget on
+:class:`~repro.core.session.ExecOptions` has the engines themselves
+poll deadlines and work caps between frontier chunks, raising
+:class:`~repro.errors.BudgetExceededError` with a structured partial.
+Use a control for *exact* thresholds observed per match; use a budget
+for cooperative chunk-granular limits that work on every engine tier.
 """
 
 from __future__ import annotations
@@ -10,9 +19,15 @@ from __future__ import annotations
 import time
 from typing import Any, Callable
 
-from ..core.callbacks import Aggregator, ExplorationControl, Match
+from ..core.callbacks import Aggregator, Budget, BudgetMeter, ExplorationControl, Match
 
-__all__ = ["stop_after_n_matches", "stop_when_aggregate", "DeadlineControl"]
+__all__ = [
+    "stop_after_n_matches",
+    "stop_when_aggregate",
+    "DeadlineControl",
+    "Budget",
+    "BudgetMeter",
+]
 
 
 def stop_after_n_matches(

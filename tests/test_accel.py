@@ -15,6 +15,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import count, generate_plan, match, match_batches
+from repro.core.callbacks import ExplorationControl
 from repro.core.accel import (
     AcceleratedEngine,
     AcceleratedGraphView,
@@ -649,6 +650,67 @@ class TestDispatch:
         g = erdos_renyi(25, 0.3, seed=43)
         p = generate_chain(3)
         assert count(g, p, engine="accel-batch") == nx_count_edge_induced(g, p)
+
+
+# ----------------------------------------------------------------------
+# Controls on the vectorized engines (guardrail dispatch parity)
+# ----------------------------------------------------------------------
+
+
+class TestControlDispatch:
+    """Control-bearing calls qualify for the vectorized engines.
+
+    The engines poll the control cooperatively (per start / per core
+    match in ``accel``, per frontier block and emitted match in
+    ``accel-batch``), so a control must change neither dispatch nor —
+    while it stays un-stopped — the matches or their order.
+    """
+
+    def test_control_does_not_change_dispatch(self):
+        from repro.core.session import _dispatch_engine
+
+        g, _ = erdos_renyi(300, 0.05, seed=51).degree_ordered()
+        for plan in (generate_plan(generate_clique(3)),
+                     generate_plan(generate_chain(3))):
+            bare = _dispatch_engine("auto", None, None, None, g, plan)
+            controlled = _dispatch_engine(
+                "auto", ExplorationControl(), None, None, g, plan
+            )
+            assert controlled == bare
+
+    @pytest.mark.parametrize("engine", ["accel", "accel-batch"])
+    def test_forced_engine_accepts_control(self, engine):
+        from repro.core.session import MiningSession
+
+        g = erdos_renyi(30, 0.25, seed=23)
+        p = generate_clique(3)
+        session = MiningSession(g)
+        n = session.count(p, engine=engine, control=ExplorationControl())
+        assert n == session.count(p, engine="reference")
+
+    def test_callback_order_parity_with_control(self):
+        g = erdos_renyi(30, 0.25, seed=23)
+        p = generate_clique(3)
+        ref = _collect_matches(g, p, "reference")
+        accel = _collect_matches(
+            g, p, "accel", control=ExplorationControl()
+        )
+        assert accel == ref
+
+    def test_stopped_control_terminates_accel_early(self):
+        g = erdos_renyi(30, 0.25, seed=23)
+        p = generate_clique(3)
+        full = count(g, p, engine="reference")
+        assert full > 1
+        control = ExplorationControl()
+        seen = []
+
+        def stop_now(m):
+            seen.append(m.mapping)
+            control.stop()
+
+        match(g, p, stop_now, control=control, engine="accel")
+        assert 1 <= len(seen) < full
 
 
 # ----------------------------------------------------------------------

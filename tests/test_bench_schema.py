@@ -46,6 +46,10 @@ SCHEMAS = {
         {"bench", "n", "edges", "note", "cold_start", "fanout_rss", "membership"},
         "storage",
     ),
+    "BENCH_guards.json": (
+        {"bench", "n", "note", "overhead", "probe", "recovery"},
+        "guards",
+    ),
 }
 
 # Per-workload keys for the workload-shaped artifacts.
@@ -124,6 +128,35 @@ def test_parallel_acceptance_recorded():
             } <= row.keys()
     flash = workloads["power-law-flash-crowd"]
     assert max(flash["best_speedup_vs_static"].values()) >= 1.5
+
+
+def test_guards_acceptance_recorded():
+    """Disarmed guardrails are free; a lost worker costs a round, not a rerun."""
+    payload = _load("BENCH_guards.json")
+    overhead = payload["overhead"]
+    assert {
+        "unguarded_seconds",
+        "guard_off_seconds",
+        "guarded_seconds",
+        "guard_off_ratio",
+        "guarded_ratio",
+    } <= overhead.keys()
+    assert overhead["guard_off_ratio"] <= 1.02, (
+        "disarmed guardrail path exceeded the 2% overhead bar"
+    )
+    probe = payload["probe"]
+    assert {"probe_seconds", "predicted_partials", "hub_count",
+            "threshold", "explosive"} <= probe.keys()
+    recovery = payload["recovery"]
+    assert {
+        "clean_seconds",
+        "crash_seconds",
+        "overhead_ratio",
+        "death_chunk",
+        "num_chunks",
+    } <= recovery.keys()
+    assert recovery["num_chunks"] > 0
+    assert recovery["overhead_ratio"] >= 1.0
 
 
 def test_storage_acceptance_recorded():

@@ -266,3 +266,97 @@ class TestNpzIntegration:
             run_cli(
                 ["stats", "--graph", str(path), "--labels", "whatever.txt"]
             )
+
+
+class TestGuardFlags:
+    """--deadline / --max-matches / --guard on count, motifs and fsm."""
+
+    def test_roomy_deadline_is_a_no_op(self):
+        expected = count(mico_like(0.05), generate_clique(3))
+        code, out = run_cli(
+            ["count", *MICO, "--pattern", "clique:3", "--deadline", "3600"]
+        )
+        assert code == 0
+        assert f"matches: {expected}" in out
+        assert "truncated" not in out
+
+    def test_elapsed_deadline_reports_truncated(self):
+        code, out = run_cli(
+            ["count", *MICO, "--pattern", "clique:4",
+             "--deadline", "0.000001"]
+        )
+        assert code == 0
+        assert "truncated: deadline" in out
+
+    def test_max_matches_reports_truncated(self):
+        expected = count(mico_like(0.05), generate_clique(3))
+        code, out = run_cli(
+            ["count", *MICO, "--pattern", "clique:3", "--engine",
+             "reference", "--max-matches", "1"]
+        )
+        assert code == 0
+        assert "truncated: matches" in out
+        reported = int(out.splitlines()[0].split()[-1])
+        assert reported < expected
+
+    def test_refused_query_exits_nonzero(self, monkeypatch):
+        from repro.runtime import guards
+
+        monkeypatch.setattr(guards, "EXPLOSIVE_PARTIALS", 1.0)
+        code, out = run_cli(
+            ["count", *MICO, "--pattern", "clique:3", "--guard", "refuse"]
+        )
+        assert code == 3
+        assert out.startswith("refused:")
+        assert "matches:" not in out
+
+    def test_downgraded_query_still_exact(self, monkeypatch):
+        from repro.runtime import guards
+
+        expected = count(mico_like(0.05), generate_clique(3))
+        monkeypatch.setattr(guards, "EXPLOSIVE_PARTIALS", 1.0)
+        code, out = run_cli(
+            ["count", *MICO, "--pattern", "clique:3", "--guard", "downgrade"]
+        )
+        assert code == 0
+        assert f"matches: {expected}" in out
+
+    def test_max_matches_with_processes_rejected(self):
+        with pytest.raises(SystemExit, match="max-matches"):
+            run_cli(
+                ["count", *MICO, "--pattern", "clique:3",
+                 "--processes", "2", "--max-matches", "5"]
+            )
+
+    def test_deadline_with_static_schedule_rejected(self):
+        with pytest.raises(SystemExit, match="dynamic"):
+            run_cli(
+                ["count", *MICO, "--pattern", "clique:3", "--processes",
+                 "2", "--schedule", "static", "--deadline", "1"]
+            )
+
+    def test_motifs_refused_exits_nonzero(self, monkeypatch):
+        from repro.runtime import guards
+
+        monkeypatch.setattr(guards, "EXPLOSIVE_PARTIALS", 1.0)
+        code, out = run_cli(["motifs", *MICO, "--size", "3",
+                             "--guard", "refuse"])
+        assert code == 3
+        assert "refused:" in out
+
+    def test_motifs_elapsed_deadline_reports_truncated(self):
+        code, out = run_cli(
+            ["motifs", *MICO, "--size", "3", "--deadline", "0.000001"]
+        )
+        assert code == 0
+        assert "truncated: deadline" in out
+
+    def test_fsm_refused_exits_nonzero(self, monkeypatch):
+        from repro.runtime import guards
+
+        monkeypatch.setattr(guards, "EXPLOSIVE_PARTIALS", 1.0)
+        code, out = run_cli(
+            ["fsm", *MICO, "--threshold", "5", "--guard", "refuse"]
+        )
+        assert code == 3
+        assert "refused:" in out

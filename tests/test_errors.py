@@ -4,14 +4,19 @@ import pytest
 
 from repro.errors import (
     BudgetExceeded,
+    BudgetExceededError,
     GraphError,
     GraphFormatError,
     MatchingError,
     MemoryBudgetExceeded,
+    PartialResult,
     PatternError,
     PatternFormatError,
     PlanError,
+    QueryCancelledError,
+    QueryRefusedError,
     ReproError,
+    WorkerCrashError,
 )
 
 
@@ -48,3 +53,76 @@ class TestHierarchy:
     def test_catchable_as_repro_error(self):
         with pytest.raises(ReproError):
             raise BudgetExceeded(2, 1)
+
+
+class TestPartialResult:
+    def test_behaves_like_the_count(self):
+        p = PartialResult(42, levels_completed=3, reason="deadline")
+        assert p == 42
+        assert p + 1 == 43
+        assert p.matches == 42
+        assert p.truncated
+        assert p.levels_completed == 3
+
+    def test_default_detail_is_private_dict(self):
+        a, b = PartialResult(0), PartialResult(0)
+        a.detail["x"] = 1
+        assert b.detail == {}
+
+    def test_as_dict_round_trips_payload(self):
+        p = PartialResult(7, levels_completed=2, reason="cap",
+                          detail={"totals": [3, 4]})
+        d = p.as_dict()
+        assert d == {
+            "matches": 7,
+            "levels_completed": 2,
+            "truncated": True,
+            "reason": "cap",
+            "detail": {"totals": [3, 4]},
+        }
+
+
+class TestGuardrailErrors:
+    @pytest.mark.parametrize(
+        "exc",
+        [BudgetExceededError, QueryRefusedError, QueryCancelledError,
+         WorkerCrashError],
+    )
+    def test_guardrail_errors_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    @pytest.mark.parametrize(
+        "exc", [BudgetExceededError, QueryCancelledError, WorkerCrashError]
+    )
+    def test_partial_defaults_to_zero(self, exc):
+        e = exc("stopped")
+        assert isinstance(e.partial, PartialResult)
+        assert e.partial == 0
+
+    def test_budget_exceeded_carries_partial(self):
+        partial = PartialResult(11, levels_completed=4, reason="deadline")
+        e = BudgetExceededError("deadline elapsed", partial)
+        assert e.partial is partial
+        assert e.partial.matches == 11
+
+    def test_refusal_carries_estimate_and_zero_partial(self):
+        e = QueryRefusedError("too big", estimate={"predicted": 1e9})
+        assert e.estimate == {"predicted": 1e9}
+        assert e.partial == 0
+        assert e.partial.reason == "refused"
+
+    def test_worker_crash_names_failed_chunks(self):
+        partial = PartialResult(
+            5, levels_completed=2, reason="worker crash",
+            detail={"failed_chunks": [3]},
+        )
+        e = WorkerCrashError("chunk 3 lost", partial)
+        assert e.partial.detail["failed_chunks"] == [3]
+
+    def test_exported_from_package_root(self):
+        import repro
+
+        for name in ("PartialResult", "BudgetExceededError",
+                     "QueryRefusedError", "QueryCancelledError",
+                     "WorkerCrashError", "Budget"):
+            assert hasattr(repro, name)

@@ -1,0 +1,260 @@
+"""Tests for execution guardrails: budgets, meters and admission guards.
+
+Covers the :class:`repro.core.callbacks.Budget` spec and its armed
+:class:`~repro.core.callbacks.BudgetMeter`, the bounded probe walk in
+:mod:`repro.runtime.guards`, the session-level ``guard=`` admission
+modes, and the acceptance scenario — a short deadline on a power-law
+census returning a truncated partial through the frontier-batched
+engine (asserted structurally via engine dispatch, never via timing).
+"""
+
+import time
+
+import pytest
+
+from repro.core.callbacks import Budget, BudgetMeter
+from repro.core.session import ExecOptions, MiningSession
+from repro.errors import (
+    BudgetExceededError,
+    PartialResult,
+    QueryRefusedError,
+)
+from repro.graph.generators import erdos_renyi, power_law, star_graph
+from repro.pattern.generators import generate_clique
+from repro.pattern.pattern import Pattern
+from repro.runtime import guards
+
+
+class TestBudgetSpec:
+    def test_defaults_are_unlimited(self):
+        b = Budget()
+        assert b.deadline is None and b.max_matches is None
+        assert b.max_frontier_rows is None
+        assert b.max_expanded_partials is None
+
+    @pytest.mark.parametrize(
+        "field",
+        ["deadline", "max_matches", "max_frontier_rows",
+         "max_expanded_partials"],
+    )
+    def test_limits_must_be_positive(self, field):
+        with pytest.raises(ValueError, match="must be positive"):
+            Budget(**{field: 0})
+
+    def test_meter_arms_a_fresh_clock_per_run(self):
+        b = Budget(deadline=60.0)
+        first = b.meter()
+        time.sleep(0.002)
+        second = b.meter()
+        assert second.deadline_at > first.deadline_at
+
+
+class TestBudgetMeter:
+    def test_match_cap_trips_with_partial(self):
+        meter = Budget(max_matches=10).meter()
+        meter.check(9)  # below the cap: no trip
+        meter.levels_completed = 4
+        with pytest.raises(BudgetExceededError) as info:
+            meter.check(10)
+        partial = info.value.partial
+        assert isinstance(partial, PartialResult)
+        assert partial == 10
+        assert partial.levels_completed == 4
+        assert "cap 10" in partial.reason
+
+    def test_frontier_row_cap_trips_even_with_zero_matches(self):
+        meter = Budget(max_frontier_rows=100).meter()
+        meter.charge_rows(64)
+        meter.check(0)
+        meter.charge_rows(64)
+        with pytest.raises(BudgetExceededError) as info:
+            meter.check(0)
+        assert info.value.partial == 0
+        assert "frontier rows" in info.value.partial.reason
+
+    def test_expanded_partial_cap_trips(self):
+        meter = Budget(max_expanded_partials=1000).meter()
+        meter.charge_partials(1000)
+        with pytest.raises(BudgetExceededError, match="expanded partials"):
+            meter.check(0)
+
+    def test_elapsed_deadline_trips(self):
+        meter = Budget(deadline=1e-9).meter()
+        time.sleep(0.001)
+        with pytest.raises(BudgetExceededError, match="deadline"):
+            meter.check(0)
+
+    def test_unarmed_limits_never_trip(self):
+        meter = Budget(deadline=3600.0).meter()
+        meter.charge_rows(10**9)
+        meter.charge_partials(10**9)
+        meter.check(10**9)
+
+
+class TestEstimateCost:
+    def test_probe_is_bounded(self):
+        g = erdos_renyi(2000, 0.01, seed=3)
+        est = guards.estimate_cost(g, generate_clique(3))
+        assert est.sampled <= guards.PROBE_SAMPLE
+        assert est.frontier_size <= 2000
+        assert est.predicted_partials > 0
+
+    def test_probe_distinguishes_power_law_from_uniform(self):
+        # Same vertex count and matched average degree: on the skewed
+        # graph the hub prefix must be detected and its worst-case
+        # expansion must dwarf anything the uniform frontier shows.
+        skewed = power_law(1500, gamma=2.1, d_min=4, seed=7)
+        avg_degree = 2 * skewed.num_edges / skewed.num_vertices
+        uniform = erdos_renyi(1500, avg_degree / 1499, seed=7)
+        pattern = generate_clique(4)
+        est_skewed = guards.estimate_cost(skewed, pattern)
+        est_uniform = guards.estimate_cost(uniform, pattern)
+        assert est_skewed.hub_count > 0
+        assert est_uniform.hub_count == 0
+        assert est_skewed.max_expansion > est_uniform.max_expansion
+
+    def test_trivial_pattern_short_circuits(self):
+        est = guards.estimate_cost(star_graph(5), Pattern(num_vertices=1))
+        assert est.sampled == 0
+        assert est.predicted_partials == est.frontier_size
+
+    def test_threshold_resolved_at_call_time(self, monkeypatch):
+        g = erdos_renyi(60, 0.2, seed=1)
+        monkeypatch.setattr(guards, "EXPLOSIVE_PARTIALS", 1.0)
+        est = guards.estimate_cost(g, generate_clique(3))
+        assert est.threshold == 1.0
+        assert est.explosive
+
+    def test_as_dict_reports_verdict(self):
+        g = erdos_renyi(60, 0.2, seed=1)
+        d = guards.estimate_cost(g, generate_clique(3)).as_dict()
+        assert set(d) >= {"frontier_size", "predicted_partials",
+                          "threshold", "explosive", "hub_count"}
+
+
+class TestAdmissionModes:
+    @pytest.fixture()
+    def session(self):
+        return MiningSession(erdos_renyi(80, 0.2, seed=9))
+
+    def test_invalid_guard_value_rejected(self, session):
+        with pytest.raises(ValueError, match="guard must be one of"):
+            session.count(generate_clique(3), guard="maybe")
+        with pytest.raises(ValueError, match="on_budget must be one of"):
+            session.count(generate_clique(3), on_budget="ignore")
+
+    def test_guard_off_is_inert(self, session, monkeypatch):
+        monkeypatch.setattr(guards, "EXPLOSIVE_PARTIALS", 1.0)
+        expected = session.count(generate_clique(3))
+        assert session.count(generate_clique(3), guard="off") == expected
+
+    def test_refuse_raises_up_front(self, session, monkeypatch):
+        monkeypatch.setattr(guards, "EXPLOSIVE_PARTIALS", 1.0)
+        with pytest.raises(QueryRefusedError) as info:
+            session.count(generate_clique(3), guard="refuse")
+        err = info.value
+        assert err.estimate is not None and err.estimate.explosive
+        assert err.partial == 0
+        assert "refused" in str(err)
+
+    def test_downgrade_still_returns_exact_count(self, session, monkeypatch):
+        expected = session.count(generate_clique(3))
+        monkeypatch.setattr(guards, "EXPLOSIVE_PARTIALS", 1.0)
+        assert session.count(generate_clique(3), guard="downgrade") == expected
+
+    def test_downgrade_tightens_frontier_chunk(self, monkeypatch):
+        monkeypatch.setattr(guards, "EXPLOSIVE_PARTIALS", 1.0)
+        est = guards.estimate_cost(erdos_renyi(80, 0.2, seed=9),
+                                   generate_clique(3))
+        opts = guards.admit(est, ExecOptions(guard="downgrade"))
+        assert opts.frontier_chunk == guards.DOWNGRADE_FRONTIER_CHUNK
+        kept = guards.admit(
+            est, ExecOptions(guard="downgrade", frontier_chunk=64)
+        )
+        assert kept.frontier_chunk == 64  # never loosened
+
+    def test_cap_workers_only_when_explosive(self, monkeypatch):
+        g = erdos_renyi(80, 0.2, seed=9)
+        benign = guards.estimate_cost(g, generate_clique(3))
+        assert guards.cap_workers(benign, 8) == 8
+        monkeypatch.setattr(guards, "EXPLOSIVE_PARTIALS", 1.0)
+        explosive = guards.estimate_cost(g, generate_clique(3))
+        assert guards.cap_workers(explosive, 8) == guards.DOWNGRADE_MAX_WORKERS
+        assert guards.cap_workers(None, 8) == 8
+
+
+class TestBudgetedVerbs:
+    def test_reference_engine_trips_match_cap(self):
+        g = erdos_renyi(60, 0.3, seed=4)
+        session = MiningSession(g)
+        full = session.count(generate_clique(3), engine="reference")
+        assert full > 5
+        result = session.count(
+            generate_clique(3),
+            engine="reference",
+            budget=Budget(max_matches=5),
+            on_budget="partial",
+        )
+        assert isinstance(result, PartialResult)
+        assert result.truncated
+        # The reference engine polls per start task, so the run stops at
+        # the first poll after the cap — cooperative overshoot is
+        # bounded by one task's matches, never the rest of the graph.
+        assert 5 <= result < full
+        assert "cap 5" in result.reason
+
+    def test_on_budget_raise_is_the_default(self):
+        g = erdos_renyi(60, 0.3, seed=4)
+        with pytest.raises(BudgetExceededError):
+            MiningSession(g).count(
+                generate_clique(3),
+                engine="reference",
+                budget=Budget(max_matches=1),
+            )
+
+    def test_batched_engine_trips_frontier_row_cap(self):
+        g = erdos_renyi(200, 0.1, seed=5)
+        result = MiningSession(g).count(
+            generate_clique(3),
+            engine="accel-batch",
+            budget=Budget(max_frontier_rows=10),
+            on_budget="partial",
+        )
+        assert isinstance(result, PartialResult)
+        assert result.truncated
+        assert "frontier rows" in result.reason
+
+    def test_deadline_on_power_law_census_via_batched_engine(self):
+        """Acceptance: a 50ms deadline on a power-law census returns a
+        truncated partial through the BATCHED engine.
+
+        The engine claim is structural — ``_prepare`` must dispatch this
+        exact call shape to ``accel-batch`` — and the truncation is
+        forced by an already-elapsed meter, never by racing wall-clock.
+        """
+        g = power_law(3000, gamma=2.0, d_min=6, seed=11)
+        session = MiningSession(g)
+        pattern = generate_clique(3)
+        budget = Budget(deadline=0.05)
+        opts = session.defaults.merged(
+            {"engine": "auto", "budget": budget, "on_budget": "partial"}
+        )
+        _, _, selected = session._prepare(pattern, opts)
+        assert selected == "accel-batch"  # budgets do not demote dispatch
+
+        meter = budget.meter()
+        meter.deadline_at = time.perf_counter() - 1.0  # deadline elapsed
+        result = session._run_match(pattern, None, opts, meter=meter)
+        assert isinstance(result, PartialResult)
+        assert result.truncated
+        assert "deadline" in result.reason
+        # Sanity: the same call with a roomy deadline completes exactly.
+        full = session.count(pattern, engine="auto")
+        roomy = session.count(
+            pattern,
+            engine="auto",
+            budget=Budget(deadline=3600.0),
+            on_budget="partial",
+        )
+        assert roomy == full
+        assert not getattr(roomy, "truncated", False)

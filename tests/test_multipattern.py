@@ -313,16 +313,24 @@ class TestFusedDispatchErrors:
                 stats=EngineStats(),
             )
 
-    def test_fused_requires_no_control(self):
+    def test_fused_honors_control(self):
+        # Control no longer pins the reference interpreter: the fused
+        # walker polls it per slice (and members poll it per block).
         from repro.core.callbacks import ExplorationControl
 
         g = erdos_renyi(20, 0.3, seed=5)
-        with pytest.raises(MatchingError):
-            MiningSession(g).count_many(
-                [generate_clique(3), generate_chain(3)],
-                engine="fused",
-                control=ExplorationControl(),
-            )
+        patterns = [generate_clique(3), generate_chain(3)]
+        expected = _reference_counts(g, patterns)
+        control = ExplorationControl()
+        got = MiningSession(g).count_many(
+            patterns, engine="fused", control=control
+        )
+        assert got == expected
+        control.stop()  # a pre-stopped control short-circuits every slice
+        got = MiningSession(g).count_many(
+            patterns, engine="fused", control=control
+        )
+        assert all(v == 0 for v in got.values())
 
     def test_unknown_engine_rejected(self):
         g = erdos_renyi(20, 0.3, seed=5)

@@ -1,11 +1,14 @@
 """Tests for the concurrent runtime: scheduler, threads, aggregation."""
 
+import os
 import threading
 import time
 
 import pytest
 
 from repro.core import Aggregator, ExplorationControl, MiningSession, count
+from repro.errors import QueryCancelledError, WorkerCrashError
+from repro.runtime import parallel
 from repro.graph import erdos_renyi, with_random_labels
 from repro.pattern import (
     Pattern,
@@ -27,6 +30,16 @@ from repro.runtime import (
 
 def _boom(_args):
     """A picklable stand-in worker that fails mid-run."""
+    raise RuntimeError("worker exploded")
+
+
+def _boom_worker(*_args):
+    """Tolerant-worker stand-in: dies in every spawned child.
+
+    The parent sees a nonzero exit, requeues the leased chunks, and —
+    once retries are exhausted — reports WorkerCrashError; patching the
+    module works because fork children inherit the patched module.
+    """
     raise RuntimeError("worker exploded")
 
 
@@ -373,11 +386,21 @@ class TestProcessCountFailurePaths:
             return segments, meta
 
         monkeypatch.setattr(parallel_module, "_shm_segments", recording)
-        # Both schedules' worker entry points fail identically; under
-        # the fork start method the children inherit the patched module.
-        monkeypatch.setattr(parallel_module, "_drain_chunks", _boom)
-        monkeypatch.setattr(parallel_module, "_batch_count_slice", _boom)
-        with pytest.raises(RuntimeError, match="worker exploded"):
+        # Under the fork start method the children inherit the patched
+        # module.  Dynamic workers dying surfaces as WorkerCrashError
+        # after the requeue retries run dry; static pool workers raising
+        # propagates the exception itself.
+        if schedule == "dynamic":
+            from repro.errors import WorkerCrashError
+
+            monkeypatch.setattr(
+                parallel_module, "_tolerant_worker", _boom_worker
+            )
+            expectation = pytest.raises(WorkerCrashError)
+        else:
+            monkeypatch.setattr(parallel_module, "_batch_count_slice", _boom)
+            expectation = pytest.raises(RuntimeError, match="worker exploded")
+        with expectation:
             process_count(
                 g,
                 generate_clique(3),
@@ -433,9 +456,17 @@ class TestProcessCountFailurePaths:
             return path, is_temp
 
         monkeypatch.setattr(parallel_module, "_mmap_store", recording)
-        monkeypatch.setattr(parallel_module, "_drain_chunks", _boom)
-        monkeypatch.setattr(parallel_module, "_batch_count_slice", _boom)
-        with pytest.raises(RuntimeError, match="worker exploded"):
+        if schedule == "dynamic":
+            from repro.errors import WorkerCrashError
+
+            monkeypatch.setattr(
+                parallel_module, "_tolerant_worker", _boom_worker
+            )
+            expectation = pytest.raises(WorkerCrashError)
+        else:
+            monkeypatch.setattr(parallel_module, "_batch_count_slice", _boom)
+            expectation = pytest.raises(RuntimeError, match="worker exploded")
+        with expectation:
             process_count(
                 g,
                 generate_clique(3),
@@ -507,8 +538,12 @@ class TestProcessCountFailurePaths:
             return segments, meta
 
         monkeypatch.setattr(parallel_module, "_shm_segments", recording)
-        monkeypatch.setattr(parallel_module, "_drain_many", _boom)
-        with pytest.raises(RuntimeError, match="worker exploded"):
+        from repro.errors import WorkerCrashError
+
+        monkeypatch.setattr(
+            parallel_module, "_tolerant_worker_many", _boom_worker
+        )
+        with pytest.raises(WorkerCrashError):
             process_count_many(
                 g,
                 generate_all_vertex_induced(3),
@@ -611,6 +646,152 @@ class TestProcessCountMany:
         with pytest.raises(ValueError):
             process_count_many(
                 g, [generate_clique(3)], num_processes=2, share_mode="pickle"
+            )
+
+
+def _skip_unless_fork_available(share_mode):
+    if share_mode == "fork":
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("fork start method unavailable")
+
+
+class TestFaultInjection:
+    """Deterministic crash tolerance via the REPRO_FAULT_WORKER_DIE knob.
+
+    The spec is ``worker:chunk`` (either side ``"*"``): the matching
+    worker calls ``os._exit(1)`` right after leasing the matching chunk,
+    before running it.  Worker ids increment across respawn rounds, so a
+    pinned-worker spec ("0:0") fires once and the requeued chunk lands
+    on a fresh id — the recovery path — while a pinned-chunk spec
+    ("*:1") kills every worker that ever leases chunk 1 and exhausts
+    the retry budget — the poison path.
+    """
+
+    PATTERN_KW = dict(num_processes=2, schedule="dynamic", chunk_hint=4)
+
+    def _graph_and_expected(self):
+        g = erdos_renyi(60, 0.15, seed=6)
+        return g, count(g, generate_clique(3))
+
+    @pytest.mark.parametrize("share_mode", ["fork", "shm", "mmap", "pickle"])
+    def test_worker_death_recovers_to_exact_count(
+        self, share_mode, monkeypatch
+    ):
+        _skip_unless_fork_available(share_mode)
+        g, expected = self._graph_and_expected()
+        monkeypatch.setenv(parallel.FAULT_ENV, "0:0")
+        got = process_count(
+            g, generate_clique(3), share_mode=share_mode, **self.PATTERN_KW
+        )
+        assert got == expected
+
+    def test_always_dying_worker_id_still_recovers(self, monkeypatch):
+        # "0:*" kills worker id 0 on its first lease; every later spawn
+        # gets a fresh id, so the whole frontier still completes exactly.
+        g, expected = self._graph_and_expected()
+        monkeypatch.setenv(parallel.FAULT_ENV, "0:*")
+        got = process_count(g, generate_clique(3), **self.PATTERN_KW)
+        assert got == expected
+
+    def test_poison_chunk_exhausts_retries(self, monkeypatch):
+        g, expected = self._graph_and_expected()
+        monkeypatch.setenv(parallel.FAULT_ENV, "*:1")
+        with pytest.raises(WorkerCrashError) as info:
+            process_count(g, generate_clique(3), **self.PATTERN_KW)
+        partial = info.value.partial
+        assert partial.truncated
+        assert partial.detail["failed_chunks"] == [1]
+        # Every chunk except the poisoned one was still counted exactly.
+        assert 0 < partial < expected
+
+    def test_mmap_spill_cleaned_up_after_recovery(self, monkeypatch, tmp_path):
+        from repro.runtime import parallel as parallel_module
+
+        g, expected = self._graph_and_expected()
+        recorded: list[str] = []
+        original = parallel_module._mmap_store
+
+        def recording(session):
+            path, is_temp = original(session)
+            if is_temp:
+                recorded.append(path)
+            return path, is_temp
+
+        monkeypatch.setattr(parallel_module, "_mmap_store", recording)
+        monkeypatch.setenv(parallel.FAULT_ENV, "0:0")
+        got = process_count(
+            g, generate_clique(3), share_mode="mmap", **self.PATTERN_KW
+        )
+        assert got == expected
+        assert recorded  # a temp spill happened...
+        for path in recorded:
+            assert not os.path.exists(path)  # ...and was unlinked
+
+    def test_count_many_recovers_to_exact_totals(self, monkeypatch):
+        g = erdos_renyi(40, 0.2, seed=5)
+        patterns = generate_all_vertex_induced(3)
+        expected = {
+            p: count(g, p, edge_induced=False) for p in patterns
+        }
+        monkeypatch.setenv(parallel.FAULT_ENV, "0:0")
+        got = process_count_many(
+            g,
+            patterns,
+            num_processes=2,
+            edge_induced=False,
+            schedule="dynamic",
+            chunk_hint=4,
+        )
+        assert got == expected
+
+    def test_malformed_fault_spec_rejected(self, monkeypatch):
+        g, _ = self._graph_and_expected()
+        monkeypatch.setenv(parallel.FAULT_ENV, "nonsense")
+        with pytest.raises(ValueError, match="worker:chunk"):
+            process_count(g, generate_clique(3), **self.PATTERN_KW)
+
+
+class TestCancellation:
+    def test_pre_stopped_cancel_raises_with_all_chunks_pending(self):
+        g = erdos_renyi(60, 0.15, seed=6)
+        with pytest.raises(QueryCancelledError) as info:
+            process_count(
+                g,
+                generate_clique(3),
+                num_processes=2,
+                schedule="dynamic",
+                chunk_hint=4,
+                cancel=DeadlineControl(0.0),
+            )
+        partial = info.value.partial
+        assert partial == 0
+        assert partial.truncated
+        assert partial.detail["pending_chunks"] > 0
+        assert partial.detail["pending_chunks"] == partial.detail["num_chunks"]
+
+    def test_unstopped_cancel_changes_nothing(self):
+        g = erdos_renyi(60, 0.15, seed=6)
+        expected = count(g, generate_clique(3))
+        got = process_count(
+            g,
+            generate_clique(3),
+            num_processes=2,
+            schedule="dynamic",
+            cancel=ExplorationControl(),
+        )
+        assert got == expected
+
+    def test_cancel_requires_dynamic_schedule(self):
+        g = erdos_renyi(30, 0.2, seed=6)
+        with pytest.raises(ValueError, match="dynamic"):
+            process_count(
+                g,
+                generate_clique(3),
+                num_processes=2,
+                schedule="static",
+                cancel=ExplorationControl(),
             )
 
 

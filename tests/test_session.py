@@ -391,15 +391,36 @@ class TestSessionEarlyTermination:
         # The batched engine's count equals the callbacks actually fired.
         assert total == 4
 
-    def test_forced_per_match_engine_with_control_raises(self):
+    def test_forced_per_match_engine_honors_control(self):
+        # Control-bearing calls now qualify for the vectorized engines:
+        # the per-match engine polls the control per start vertex and per
+        # core match, so a stop from the callback lands promptly.
         g = erdos_renyi(30, 0.3, seed=12)
-        with pytest.raises(MatchingError):
-            MiningSession(g).match(
-                generate_clique(3),
-                lambda m: None,
-                control=ExplorationControl(),
-                engine="accel",
-            )
+        session = MiningSession(g)
+        expected = session.count(generate_clique(3), engine="reference")
+        assert expected > 1
+        seen: list = []
+        session.match(
+            generate_clique(3),
+            seen.append,
+            control=ExplorationControl(),
+            engine="accel",
+        )
+        assert len(seen) == expected  # un-stopped control changes nothing
+        control = ExplorationControl()
+        stopped: list = []
+
+        def stop_immediately(m):
+            stopped.append(m)
+            control.stop()
+
+        session.match(
+            generate_clique(3),
+            stop_immediately,
+            control=control,
+            engine="accel",
+        )
+        assert 1 <= len(stopped) < expected
 
     def test_multi_core_control_stops_at_limit(self):
         # Vertex-induced 4-chains have 3 ordered cores, the order-merged
