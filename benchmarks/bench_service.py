@@ -1,0 +1,243 @@
+"""Closed-loop load benchmark for the async mining service.
+
+The service tier's claim is operational: under concurrent load on one
+shared graph, cross-request fused batching buys real throughput, not
+just architecture.  This bench drives the in-process
+:class:`~repro.service.MiningService` (no HTTP socket — what's measured
+is the batching and the mining, not ``urllib``) with **closed-loop**
+asyncio clients: each client issues its next request only after the
+previous one answers, the standard way to measure a latency/throughput
+trade-off without open-loop backlog artifacts.
+
+For each concurrency level (1 / 4 / 16 / 64 clients) the same workload
+— clients cycling a fixed mix of count patterns over one shared
+power-law graph — runs twice:
+
+* **batched** — the default service: concurrent compatible requests
+  coalesce into one fused ``match_many`` walk per flush window;
+* **unbatched** — ``ServiceConfig(batching=False)``: every request runs
+  solo on the same worker pool (the ablation).
+
+Per level the artifact records client-observed p50/p99 latency,
+throughput, and the service's own fusion gauges.  The acceptance bar
+(pinned in ``tests/test_bench_schema.py``): batched throughput at 16
+clients >= 1.3x unbatched, with a nonzero fusion batch rate.
+
+Run the full measurement (writes ``BENCH_service.json``)::
+
+    python -m pytest benchmarks/bench_service.py -q -s
+
+The ``fast``-marked smoke is part of the CI benchmark matrix.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core import MiningSession
+from repro.cli.parsing import parse_pattern_spec
+from repro.graph import power_law
+from repro.service import MiningService, ServiceConfig
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+OUTPUT_PATH = REPO_ROOT / "BENCH_service.json"
+
+CLIENT_LEVELS = (1, 4, 16, 64)
+REQUESTS_PER_CLIENT = 24
+ACCEPTANCE_CLIENTS = 16
+
+# The request mix clients cycle through: small count patterns with
+# plenty of repetition across concurrent clients, so batches both fuse
+# and dedup — the service's intended regime (motif dashboards, shared
+# exploratory queries), not a worst-case of all-distinct heavy queries.
+PATTERN_MIX = (
+    "clique:3",
+    "chain:3",
+    "star:3",
+    "cycle:4",
+    "chain:4",
+    "clique:4",
+)
+
+
+def _workload_graph():
+    return power_law(3_000, gamma=2.3, seed=5, name="service-workload")
+
+
+async def _closed_loop(service, clients: int, requests_per_client: int):
+    """Run the closed loop; returns (elapsed_s, latencies_s, responses)."""
+    latencies: list[float] = []
+    responses: list[dict] = []
+
+    async def client(client_id: int) -> None:
+        for i in range(requests_per_client):
+            spec = PATTERN_MIX[(client_id + i) % len(PATTERN_MIX)]
+            begin = time.perf_counter()
+            response = await service.handle(
+                {"verb": "count", "graph": "g", "pattern": spec}
+            )
+            latencies.append(time.perf_counter() - begin)
+            responses.append(response)
+
+    begin = time.perf_counter()
+    await asyncio.gather(*[client(c) for c in range(clients)])
+    return time.perf_counter() - begin, latencies, responses
+
+
+def _quantile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[index]
+
+
+def _run_level(graph, clients: int, batched: bool) -> dict:
+    """One (concurrency, mode) cell: fresh service, full closed loop."""
+
+    async def go():
+        config = ServiceConfig(workers=2, batching=batched)
+        async with MiningService(config) as service:
+            service.register_graph("g", graph)
+            # One untimed warmup request per pattern: plan caches and
+            # the degree ordering are session state, not service load.
+            for spec in PATTERN_MIX:
+                response = await service.handle(
+                    {"verb": "count", "graph": "g", "pattern": spec}
+                )
+                assert response["ok"], response
+            elapsed, latencies, responses = await _closed_loop(
+                service, clients, REQUESTS_PER_CLIENT
+            )
+            snapshot = service.stats()
+        return elapsed, latencies, responses, snapshot
+
+    elapsed, latencies, responses, snapshot = asyncio.run(go())
+    for response in responses:
+        assert response["ok"], response
+    total = clients * REQUESTS_PER_CLIENT
+    latencies.sort()
+    batching = snapshot["batching"]
+    return {
+        "clients": clients,
+        "requests": total,
+        "seconds": elapsed,
+        "throughput_rps": total / elapsed,
+        "p50_ms": _quantile(latencies, 0.50) * 1e3,
+        "p99_ms": _quantile(latencies, 0.99) * 1e3,
+        "max_ms": latencies[-1] * 1e3,
+        "fusion_batch_rate": batching["fusion_batch_rate"],
+        "deduped_requests": batching["deduped_requests"],
+        "max_batch_size": batching["max_batch_size"],
+    }
+
+
+@pytest.mark.fast
+@pytest.mark.paper_artifact("service")
+def test_service_smoke():
+    """CI smoke: fused answers equal sequential truth, fusion engages."""
+    graph = power_law(400, gamma=2.3, seed=5)
+    truth = MiningSession(graph)
+    expected = {
+        spec: truth.count(parse_pattern_spec(spec)) for spec in PATTERN_MIX
+    }
+
+    async def go():
+        async with MiningService(
+            ServiceConfig(workers=2, max_wait_ms=10.0)
+        ) as service:
+            service.register_graph("g", graph)
+            requests = [
+                {"verb": "count", "graph": "g", "pattern": spec}
+                for spec in PATTERN_MIX * 2
+            ]
+            responses = await asyncio.gather(
+                *[service.handle(r) for r in requests]
+            )
+            return responses, service.stats()
+
+    responses, snapshot = asyncio.run(go())
+    for response in responses:
+        assert response["ok"], response
+        assert (
+            response["result"]["count"]
+            == expected[response["result"]["pattern"]]
+        )
+    assert snapshot["batching"]["fusion_batch_rate"] > 0.0
+    assert snapshot["batching"]["deduped_requests"] >= len(PATTERN_MIX)
+
+
+@pytest.mark.paper_artifact("service")
+def test_service_emits_json(capsys):
+    """Full closed-loop sweep: latency/throughput, batched vs unbatched."""
+    graph = _workload_graph()
+    levels = []
+    for clients in CLIENT_LEVELS:
+        batched = _run_level(graph, clients, batched=True)
+        unbatched = _run_level(graph, clients, batched=False)
+        levels.append(
+            {
+                "clients": clients,
+                "batched": batched,
+                "unbatched": unbatched,
+                "batched_speedup": (
+                    batched["throughput_rps"] / unbatched["throughput_rps"]
+                ),
+            }
+        )
+
+    acceptance_level = next(
+        level for level in levels if level["clients"] == ACCEPTANCE_CLIENTS
+    )
+    payload = {
+        "bench": "service",
+        "n": graph.num_vertices,
+        "edges": graph.num_edges,
+        "requests_per_client": REQUESTS_PER_CLIENT,
+        "patterns": list(PATTERN_MIX),
+        "note": (
+            "Closed-loop load on the in-process MiningService: each "
+            "client awaits its response before issuing the next "
+            "request, all clients share one power-law graph and cycle "
+            "the same count-pattern mix with staggered phases.  Per "
+            "concurrency level the same workload runs against the "
+            "default service (cross-request fused batching) and "
+            "ServiceConfig(batching=False) (every request solo on the "
+            "same 2-thread pool).  Latencies are client-observed "
+            "(sorted-sample p50/p99); throughput is total requests "
+            "over wall time; fusion gauges come from the service's own "
+            "metrics snapshot.  Acceptance (tests/test_bench_schema."
+            "py): batched throughput >= 1.3x unbatched at 16 clients "
+            "and a nonzero fusion_batch_rate."
+        ),
+        "levels": levels,
+        "acceptance": {
+            "clients": ACCEPTANCE_CLIENTS,
+            "batched_speedup": acceptance_level["batched_speedup"],
+            "fusion_batch_rate": (
+                acceptance_level["batched"]["fusion_batch_rate"]
+            ),
+        },
+    }
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    with capsys.disabled():
+        print("\n=== service: closed-loop batched vs unbatched ===")
+        for level in levels:
+            batched, unbatched = level["batched"], level["unbatched"]
+            print(
+                f"{level['clients']:>3} clients | batched "
+                f"{batched['throughput_rps']:8.1f} rps "
+                f"p50 {batched['p50_ms']:7.2f}ms "
+                f"p99 {batched['p99_ms']:7.2f}ms | unbatched "
+                f"{unbatched['throughput_rps']:8.1f} rps "
+                f"p50 {unbatched['p50_ms']:7.2f}ms "
+                f"p99 {unbatched['p99_ms']:7.2f}ms | "
+                f"x{level['batched_speedup']:.2f} "
+                f"(fusion {batched['fusion_batch_rate']:.2f})"
+            )
+        print(f"wrote {OUTPUT_PATH}")

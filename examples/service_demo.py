@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""The async mining service, embedded in-process.
+
+A ``MiningService`` is the whole service tier behind one object: a
+session registry (shared ``MiningSession`` per graph, LRU + TTL
+eviction), a batching queue (concurrent compatible requests coalesce
+into one fused walk), a worker pool, and metrics.  The HTTP front
+(``python -m repro.service`` / ``repro-mine serve``) is just this object
+behind a socket — everything below works identically over HTTP.
+
+The demo registers an in-memory graph, fires a burst of concurrent
+requests (which fuse), shows structured guardrail errors, and reads the
+fusion gauges back from the ``stats`` verb.
+
+Run:  python examples/service_demo.py
+"""
+
+import asyncio
+
+from repro.graph import barabasi_albert
+from repro.service import MiningService, ServiceConfig
+
+
+async def main() -> None:
+    graph = barabasi_albert(800, 4, seed=7, name="demo-service")
+    config = ServiceConfig(workers=2, max_wait_ms=5.0)
+    async with MiningService(config) as service:
+        service.register_graph("demo", graph)
+        print(f"serving {graph!r} as 'demo'\n")
+
+        # --- a concurrent burst: compatible requests fuse ------------
+        burst = [
+            {"verb": "count", "graph": "demo", "pattern": spec}
+            for spec in (
+                "clique:3", "star:3", "chain:3",
+                "clique:3",  # duplicate: rides its sibling's walk
+                "cycle:4",
+            )
+        ]
+        responses = await asyncio.gather(*[service.handle(r) for r in burst])
+        print("concurrent counts (one fused walk):")
+        for response in responses:
+            result = response["result"]
+            print(f"  {result['pattern']:>9}: {result['count']:>8,}")
+
+        # --- other verbs through the same dispatch surface ------------
+        exists = await service.handle(
+            {"verb": "exists", "graph": "demo", "pattern": "clique:5"}
+        )
+        print(f"\n5-clique exists: {exists['result']['exists']}")
+
+        matches = await service.handle(
+            {"verb": "match", "graph": "demo", "pattern": "clique:3",
+             "limit": 3}
+        )
+        result = matches["result"]
+        print(
+            f"triangles: {result['count']:,} total, "
+            f"first {result['returned']} rows: {result['matches']}"
+        )
+
+        # --- guardrail refusals come back as structured errors --------
+        refused = await service.handle(
+            {"verb": "count", "graph": "demo", "pattern": "star:5",
+             "options": {"guard": "refuse"},
+             "timeout_ms": 0.001}  # an absurd deadline: solo + budget
+        )
+        error = refused["error"]
+        print(f"\nbudgeted request -> {error['code']}: "
+              f"partial={error['partial']['matches']}")
+
+        unknown = await service.handle(
+            {"verb": "count", "graph": "not-registered",
+             "pattern": "clique:3"}
+        )
+        print(f"unknown graph   -> {unknown['error']['code']}")
+
+        # --- the stats verb exposes the fusion gauges ----------------
+        stats = (await service.handle({"verb": "stats"}))["result"]
+        batching = stats["batching"]
+        print(
+            f"\nbatching: {batching['batches']} batches, "
+            f"max size {batching['max_batch_size']}, "
+            f"{batching['deduped_requests']} deduped, "
+            f"fusion rate {batching['fusion_batch_rate']:.2f}"
+        )
+        print(f"registry: {stats['registry']}")
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

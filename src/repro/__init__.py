@@ -24,13 +24,19 @@ Packages
 ``repro.core``      exploration plans + the pattern-aware engine
 ``repro.mining``    motif counting, FSM, cliques, existence queries
 ``repro.runtime``   concurrent runtime (threads, processes, aggregation)
+``repro.service``   async query service (sessions, fused batching, HTTP)
 ``repro.baselines`` pattern-unaware systems used in the evaluation
 ``repro.profiling`` counters, memory accounting, stage timers
 ``repro.bitmap``    roaring-like compressed bitmaps (FSM domains, §5.5)
 ``repro.reporting`` ASCII tables / bar charts used by benches and the CLI
 """
 
+# Defined before the subpackage imports: repro.service pulls in the CLI
+# pattern-spec grammar, and repro.cli reads the version back from here.
+__version__ = "1.0.0"
+
 from . import graph, pattern, core, mining, runtime, baselines, profiling, bitmap, reporting
+from . import service
 from .errors import (
     ReproError,
     GraphError,
@@ -49,8 +55,6 @@ from .errors import (
 )
 from .core import Budget
 
-__version__ = "1.0.0"
-
 __all__ = [
     "graph",
     "bitmap",
@@ -59,6 +63,7 @@ __all__ = [
     "core",
     "mining",
     "runtime",
+    "service",
     "baselines",
     "profiling",
     "ReproError",

@@ -55,6 +55,7 @@ __all__ = [
     "cmd_approx",
     "cmd_graph_convert",
     "cmd_graph_info",
+    "cmd_serve",
 ]
 
 
@@ -432,4 +433,23 @@ def cmd_approx(args: argparse.Namespace, out: TextIO = sys.stdout) -> int:
         f"trials: {r.trials}  hit rate: {r.hit_rate:.4f}  elapsed: {elapsed:.3f}s",
         file=out,
     )
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace, out: TextIO = sys.stdout) -> int:
+    """Run the async mining service's HTTP front until interrupted."""
+    # Imported here so plain mining commands never pay for the service
+    # tier (asyncio, http.server) at CLI startup.
+    from ..service.http import serve
+    from ..service.service import ServiceConfig
+
+    config = ServiceConfig(
+        workers=args.workers,
+        max_sessions=args.max_sessions,
+        ttl_seconds=args.ttl,
+        max_wait_ms=args.max_wait_ms,
+        max_batch=args.max_batch,
+        batching=not args.no_batching,
+    )
+    serve(args.host, args.port, config=config)
     return 0

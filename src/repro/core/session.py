@@ -589,6 +589,36 @@ class MiningSession:
         self._starts.clear()
         self._census.clear()
 
+    def close(self, release_store: bool = False) -> None:
+        """Release everything this session derived from its graph.
+
+        The registry hook for the service tier
+        (:class:`repro.service.SessionRegistry`): an evicted session must
+        not keep the graph's derived state — degree-ordered copy, CSR
+        view, plans, start lists, guard estimates — alive through its own
+        references.  With ``release_store=True`` the graph's backing
+        :class:`~repro.graph.binary_io.GraphStore` is closed too (mmap
+        descriptors freed immediately); pass it only when the caller owns
+        the store — i.e. this session (or its registry) opened the path —
+        since a closed store invalidates every other graph/view aliasing
+        the mapped sections.  The session is unusable afterwards.
+        """
+        self.clear_caches()
+        self._guard_cache.clear()
+        self._ordered = None
+        self._old_of_new = None
+        self._translation = None
+        graph = self.graph
+        if graph is not None:
+            # Drop the graph-cached derived objects we may have built, so
+            # the graph itself does not pin the CSR view or this session.
+            graph._accel_view = None
+            graph._ordered_cache = None
+            if graph._session_cache is self:
+                graph._session_cache = None
+            if release_store and graph.backing_store is not None:
+                graph.backing_store.close()
+
     def cache_info(self) -> dict[str, Any]:
         """Cache occupancy/hit counters (tests, benchmarks, dashboards)."""
         return {

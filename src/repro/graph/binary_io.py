@@ -306,6 +306,29 @@ class GraphStore:
             "file_size": self.file_size,
         }
 
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has released the mapped sections."""
+        mm = getattr(self.offsets, "_mmap", None)
+        return bool(mm is not None and mm.closed)
+
+    def close(self) -> None:
+        """Release the mapped sections (and their file descriptors).
+
+        A long-lived process serving many graphs cannot rely on garbage
+        collection to drop mmap handles — an evicted registry entry must
+        free its descriptors *now*, not at the next collection cycle.
+        Closing is idempotent; empty sections (zero-edge graphs) have no
+        backing map and are skipped.  Touching the store's arrays (or any
+        graph/view aliasing them) after close raises ``ValueError`` —
+        callers evicting a store must drop every consumer first.
+        """
+        self._graph = None
+        for arr in (self.offsets, self.neighbors, self.labels):
+            mm = getattr(arr, "_mmap", None)
+            if mm is not None and not mm.closed:
+                mm.close()
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"GraphStore({self.path!r}, |V|={self.num_vertices}, "

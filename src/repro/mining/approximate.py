@@ -23,6 +23,14 @@ guided, but multiplicity-redundant):
 
 Averaging over trials and dividing by the pattern's multiplicity gives an
 unbiased estimate of the unique-match count (tested against exact counts).
+
+.. note:: **Experimental.**  The estimator is correct (unbiased, tested
+   against exact counts) but the surface is still settling: it samples
+   through the baseline AutoMine schedules rather than the session's
+   own plans, so it ignores ``ExecOptions`` and the label index, and
+   its error profile has only been validated on the small synthetic
+   workloads in the test suite.  The service tier deliberately does not
+   expose it as a verb yet.
 """
 
 from __future__ import annotations
@@ -33,7 +41,7 @@ from dataclasses import dataclass
 
 from ..baselines.automine import AutoMineSchedule, compile_schedule
 from ..core.candidates import contains, intersect_many
-from ..core.session import MiningSession
+from ..core.session import MiningSession, as_session
 from ..graph.graph import DataGraph
 from ..pattern.generators import generate_all_vertex_induced, generate_clique
 from ..pattern.pattern import Pattern
@@ -125,13 +133,14 @@ def approximate_count(
     :func:`trials_for_error` to pick it from a target error.  The
     estimate is unbiased for any trial count; the confidence interval
     assumes trials are i.i.d. (they are) and approximately normal
-    (reasonable once a few hundred trials hit).  Accepts a
-    :class:`~repro.core.session.MiningSession` in place of the graph
-    (the sampler reads the pinned graph; exact/approximate comparisons
-    then share one session).
+    (reasonable once a few hundred trials hit).  Graph access routes
+    through :func:`~repro.core.session.as_session`, so anything a
+    session accepts works here — a bare :class:`DataGraph`, a
+    :class:`~repro.core.session.MiningSession` (exact/approximate
+    comparisons then share one session), an open ``GraphStore``, or a
+    filesystem path.
     """
-    if isinstance(graph, MiningSession):
-        graph = graph.graph
+    graph = as_session(graph).graph
     if trials <= 0:
         raise ValueError("trials must be positive")
     if graph.num_vertices == 0:
@@ -163,7 +172,7 @@ def approximate_count(
 
 
 def approximate_motif_counts(
-    graph: DataGraph,
+    graph: DataGraph | MiningSession,
     size: int,
     trials: int = 10_000,
     seed: int | None = None,
@@ -179,14 +188,16 @@ def approximate_motif_counts(
 
 
 def approximate_triangle_count(
-    graph: DataGraph, trials: int = 10_000, seed: int | None = None
+    graph: DataGraph | MiningSession,
+    trials: int = 10_000,
+    seed: int | None = None,
 ) -> ApproxResult:
     """Convenience: approximate triangle count."""
     return approximate_count(graph, generate_clique(3), trials=trials, seed=seed)
 
 
 def trials_for_error(
-    graph: DataGraph,
+    graph: DataGraph | MiningSession,
     pattern: Pattern,
     target_relative_error: float,
     pilot_trials: int = 2_000,

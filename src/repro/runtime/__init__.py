@@ -18,6 +18,7 @@ from .parallel import (
     process_count,
     process_count_many,
 )
+from .pool import DEFAULT_POOL_WORKERS, QueryPool
 from .termination import (
     stop_after_n_matches,
     stop_when_aggregate,
@@ -45,4 +46,6 @@ __all__ = [
     "stop_after_n_matches",
     "stop_when_aggregate",
     "DeadlineControl",
+    "DEFAULT_POOL_WORKERS",
+    "QueryPool",
 ]

@@ -1,0 +1,43 @@
+"""Async mining service: shared sessions, fused batching, one dispatch surface.
+
+The service tier turns the library into a long-lived query server:
+
+* :class:`~repro.service.registry.SessionRegistry` — graph keys (paths,
+  ``.rgx`` stores, registered in-memory graphs) resolve to shared
+  :class:`~repro.core.session.MiningSession` instances under LRU + TTL
+  eviction, so plan caches and mmap handles are reused across requests
+  and released when a graph goes cold.
+* :class:`~repro.service.batching.BatchingQueue` — concurrent
+  compatible requests on the same graph coalesce into one fused
+  multi-pattern walk on the worker pool, with per-request result and
+  error demultiplexing.
+* :mod:`~repro.service.handlers` — the verbs (``count``, ``match``,
+  ``exists``, ``motifs``, ``stats``) behind one dict-in/dict-out
+  dispatch surface with structured guardrail errors.
+* :class:`~repro.service.metrics.ServiceMetrics` — per-verb counters,
+  latency histograms and fusion gauges as one snapshot.
+* :mod:`~repro.service.http` — the stdlib HTTP/JSON front
+  (``python -m repro.service`` / ``repro serve``).
+"""
+
+from .batching import BatchingQueue, JobResult, QueryJob
+from .handlers import InvalidRequestError, dispatch
+from .http import ServiceHTTPServer, serve
+from .metrics import LatencyHistogram, ServiceMetrics
+from .registry import SessionRegistry
+from .service import MiningService, ServiceConfig
+
+__all__ = [
+    "BatchingQueue",
+    "JobResult",
+    "QueryJob",
+    "InvalidRequestError",
+    "dispatch",
+    "ServiceHTTPServer",
+    "serve",
+    "LatencyHistogram",
+    "ServiceMetrics",
+    "SessionRegistry",
+    "MiningService",
+    "ServiceConfig",
+]

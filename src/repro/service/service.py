@@ -1,0 +1,117 @@
+"""The in-process mining service: registry + queue + pool + metrics.
+
+:class:`MiningService` is the whole async tier behind one object.  Embed
+it directly::
+
+    service = MiningService(ServiceConfig(workers=4))
+    service.register_graph("mem", graph)          # or use file paths
+    response = await service.handle(
+        {"verb": "count", "graph": "mem", "pattern": "clique:3"}
+    )
+    await service.close()
+
+or put the stdlib HTTP front (:mod:`repro.service.http`) in front of it.
+Every request flows through the same pipeline: the
+:class:`~repro.service.registry.SessionRegistry` resolves the graph key
+to a shared :class:`~repro.core.session.MiningSession`, the
+:class:`~repro.service.batching.BatchingQueue` coalesces compatible
+concurrent queries into fused walks on the
+:class:`~repro.runtime.pool.QueryPool`, and
+:class:`~repro.service.metrics.ServiceMetrics` observes all of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from ..core.session import MiningSession
+from ..graph.graph import DataGraph
+from ..runtime.pool import DEFAULT_POOL_WORKERS, QueryPool
+from . import handlers
+from .batching import (
+    DEFAULT_MAX_BATCH,
+    DEFAULT_MAX_WAIT_MS,
+    BatchingQueue,
+)
+from .metrics import ServiceMetrics
+from .registry import DEFAULT_MAX_SESSIONS, SessionRegistry
+
+__all__ = ["MiningService", "ServiceConfig"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Every tunable of a service instance in one frozen spec."""
+
+    workers: int = DEFAULT_POOL_WORKERS
+    max_sessions: int = DEFAULT_MAX_SESSIONS
+    ttl_seconds: float | None = None
+    max_wait_ms: float = DEFAULT_MAX_WAIT_MS
+    max_batch: int = DEFAULT_MAX_BATCH
+    batching: bool = True
+
+
+class MiningService:
+    """One mining service instance (embeddable; the HTTP front wraps it)."""
+
+    def __init__(self, config: ServiceConfig | None = None):
+        self.config = config if config is not None else ServiceConfig()
+        self.metrics = ServiceMetrics()
+        self.registry = SessionRegistry(
+            max_sessions=self.config.max_sessions,
+            ttl_seconds=self.config.ttl_seconds,
+        )
+        self.pool = QueryPool(self.config.workers)
+        self.queue = BatchingQueue(
+            self.pool,
+            self.metrics,
+            max_wait_ms=self.config.max_wait_ms,
+            max_batch=self.config.max_batch,
+            enabled=self.config.batching,
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # The dispatch surface
+    # ------------------------------------------------------------------
+
+    async def handle(self, payload) -> dict:
+        """Serve one request dict; always returns a response envelope."""
+        return await handlers.dispatch(self, payload)
+
+    def register_graph(
+        self, name: str, graph: Union[DataGraph, MiningSession]
+    ) -> MiningSession:
+        """Expose an in-memory graph to requests under ``name``."""
+        return self.registry.register(name, graph)
+
+    def stats(self) -> dict:
+        """The metrics snapshot with registry counters folded in."""
+        return self.metrics.snapshot(registry_stats=self.registry.stats())
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def close(self) -> None:
+        """Drain in-flight batches, evict every session, stop the pool."""
+        if self._closed:
+            return
+        self._closed = True
+        await self.queue.close()
+        self.pool.shutdown(wait=True)
+        self.registry.clear()
+
+    async def __aenter__(self) -> "MiningService":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MiningService(workers={self.config.workers}, "
+            f"sessions={len(self.registry)}, "
+            f"batching={self.config.batching})"
+        )

@@ -130,3 +130,31 @@ class TestErrorLatencyProfile:
     def test_invalid_target_rejected(self, sample_graph):
         with pytest.raises(ValueError):
             trials_for_error(sample_graph, generate_clique(3), 0.0)
+
+
+class TestGraphCoercion:
+    """approximate_count routes graph access through as_session."""
+
+    def test_session_and_graph_agree(self, sample_graph):
+        from repro.core import MiningSession
+
+        p = generate_clique(3)
+        via_graph = approximate_count(sample_graph, p, trials=500, seed=3)
+        session = MiningSession(sample_graph)
+        via_session = approximate_count(session, p, trials=500, seed=3)
+        assert via_session.estimate == via_graph.estimate
+
+    def test_path_input_accepted(self, tmp_path):
+        from repro.graph import save_edge_list
+
+        g = erdos_renyi(30, 0.2, seed=4)
+        path = tmp_path / "g.txt"
+        save_edge_list(g, path)
+        p = generate_clique(3)
+        direct = approximate_count(g, p, trials=300, seed=5)
+        loaded = approximate_count(str(path), p, trials=300, seed=5)
+        assert loaded.estimate == direct.estimate
+
+    def test_bad_input_rejected(self):
+        with pytest.raises(TypeError):
+            approximate_count(42, generate_clique(3), trials=10)

@@ -50,6 +50,19 @@ SCHEMAS = {
         {"bench", "n", "note", "overhead", "probe", "recovery"},
         "guards",
     ),
+    "BENCH_service.json": (
+        {
+            "bench",
+            "n",
+            "edges",
+            "requests_per_client",
+            "patterns",
+            "note",
+            "levels",
+            "acceptance",
+        },
+        "service",
+    ),
 }
 
 # Per-workload keys for the workload-shaped artifacts.
@@ -157,6 +170,40 @@ def test_guards_acceptance_recorded():
     } <= recovery.keys()
     assert recovery["num_chunks"] > 0
     assert recovery["overhead_ratio"] >= 1.0
+
+
+def test_service_acceptance_recorded():
+    """Fused batching pays under concurrent load, and actually engaged."""
+    payload = _load("BENCH_service.json")
+    assert payload["levels"], "BENCH_service.json has no concurrency levels"
+    cell_keys = {
+        "clients",
+        "requests",
+        "seconds",
+        "throughput_rps",
+        "p50_ms",
+        "p99_ms",
+        "fusion_batch_rate",
+        "deduped_requests",
+        "max_batch_size",
+    }
+    for level in payload["levels"]:
+        assert {"clients", "batched", "unbatched", "batched_speedup"} <= (
+            level.keys()
+        )
+        for mode in ("batched", "unbatched"):
+            missing = cell_keys - level[mode].keys()
+            assert not missing, (
+                f"service level {level['clients']} {mode} lost "
+                f"key(s) {sorted(missing)}"
+            )
+        assert level["unbatched"]["fusion_batch_rate"] == 0.0
+    acceptance = payload["acceptance"]
+    assert acceptance["clients"] == 16
+    assert acceptance["batched_speedup"] >= 1.3, (
+        "batched throughput fell below 1.3x unbatched at 16 clients"
+    )
+    assert acceptance["fusion_batch_rate"] > 0.0
 
 
 def test_storage_acceptance_recorded():
