@@ -46,6 +46,7 @@ __all__ = [
     "cmd_stats",
     "cmd_generate",
     "cmd_plan",
+    "cmd_explain",
     "cmd_count",
     "cmd_match",
     "cmd_exists",
@@ -128,6 +129,52 @@ def cmd_plan(args: argparse.Namespace, out: TextIO = sys.stdout) -> int:
     return 0
 
 
+def cmd_explain(args: argparse.Namespace, out: TextIO = sys.stdout) -> int:
+    """Probe a query and print its cost estimate and chosen plan.
+
+    Runs nothing but the bounded probe walk — the same walk ``--guard``
+    and ``--plan auto`` share — so the output is exactly what an
+    adaptive run of the same query would decide.
+    """
+    from ..runtime import planner
+
+    session = MiningSession(load_dataset(args))
+    pattern = parse_pattern_spec(args.pattern)
+    query_plan = planner.explain(
+        session,
+        pattern,
+        num_workers=getattr(args, "processes", 1),
+        edge_induced=not args.vertex_induced,
+        symmetry_breaking=not args.no_symmetry_breaking,
+        engine=getattr(args, "engine", "auto"),
+    )
+    est = query_plan.estimate
+    print(f"pattern: {args.pattern}", file=out)
+    if est is not None:
+        print(
+            f"frontier: {est.frontier_size} starts "
+            f"({est.sampled} probed, {est.hub_count} hubs)",
+            file=out,
+        )
+        print(
+            f"level-1 expansion: avg {est.avg_expansion:.2f}, "
+            f"max {est.max_expansion}, skew {est.hub_skew:.2f}",
+            file=out,
+        )
+        print(f"growth trend: {est.growth:.2f}", file=out)
+        print(
+            f"predicted partials: {est.predicted_partials:.3g} "
+            f"(raw {est.predicted_partials_raw:.3g}, "
+            f"threshold {est.threshold:.3g})",
+            file=out,
+        )
+        print("explosive: " + ("yes" if est.explosive else "no"), file=out)
+    print(f"plan: {query_plan.describe()}", file=out)
+    for reason in query_plan.reasons:
+        print(f"  - {reason}", file=out)
+    return 0
+
+
 def cmd_count(args: argparse.Namespace, out: TextIO = sys.stdout) -> int:
     """Count matches of one pattern (optionally across worker processes)."""
     session = MiningSession(load_dataset(args))
@@ -144,6 +191,7 @@ def cmd_count(args: argparse.Namespace, out: TextIO = sys.stdout) -> int:
         raise SystemExit("error: --processes picks engines per worker; "
                          "drop --engine")
     guard = getattr(args, "guard", "off")
+    plan_mode = getattr(args, "plan", None) or "fixed"
     budget = _build_budget(args)
     begin = time.perf_counter()
     if processes > 1:
@@ -174,6 +222,7 @@ def cmd_count(args: argparse.Namespace, out: TextIO = sys.stdout) -> int:
                 chunk_hint=getattr(args, "chunk_hint", None),
                 cancel=cancel,
                 guard=guard,
+                plan=plan_mode,
             )
         except QueryRefusedError as err:
             return _report_refused(err, out)
@@ -190,6 +239,7 @@ def cmd_count(args: argparse.Namespace, out: TextIO = sys.stdout) -> int:
                 budget=budget,
                 on_budget="partial",
                 guard=guard,
+                plan=plan_mode,
             )
         except QueryRefusedError as err:
             return _report_refused(err, out)

@@ -115,6 +115,28 @@ def build_parser() -> argparse.ArgumentParser:
     _add_matching_flags(p)
     p.set_defaults(func=commands.cmd_plan)
 
+    p = sub.add_parser(
+        "explain",
+        help="probe a query and print its cost estimate and adaptive "
+        "plan without running it",
+    )
+    add_dataset_arguments(p)
+    _add_pattern_argument(p)
+    _add_matching_flags(p)
+    p.add_argument(
+        "--processes",
+        type=int,
+        default=1,
+        help="worker budget the plan may cap (never exceed)",
+    )
+    p.add_argument(
+        "--engine",
+        choices=["auto", "fused", "accel", "accel-batch", "reference"],
+        default="auto",
+        help="pin an engine ('auto' lets the planner choose)",
+    )
+    p.set_defaults(func=commands.cmd_explain)
+
     p = sub.add_parser("count", help="count matches of a pattern")
     add_dataset_arguments(p)
     _add_pattern_argument(p)
@@ -130,6 +152,14 @@ def build_parser() -> argparse.ArgumentParser:
         default="auto",
         help="engine selection (auto dispatches by graph density; "
         "--profile forces the reference engine)",
+    )
+    p.add_argument(
+        "--plan",
+        choices=["fixed", "auto"],
+        default="fixed",
+        help="'auto' replaces the fixed engine/schedule thresholds with "
+        "the probe-driven adaptive planner ('fixed' is the ablation "
+        "baseline)",
     )
     _add_parallel_flags(p)
     _add_guard_flags(p)

@@ -74,6 +74,10 @@ _ENGINE_CHOICES = ("auto", "accel", "accel-batch", "reference")
 _ON_BUDGET_CHOICES = ("raise", "partial")
 _GUARD_CHOICES = ("off", "refuse", "downgrade")
 
+# Dispatch-policy knob values (see ExecOptions.planner): "fixed" keeps
+# the global thresholds, "auto" plans per query from the probe walk.
+_PLANNER_CHOICES = ("fixed", "auto")
+
 # What a session accepts as its graph: the graph itself, an opened .rgx
 # GraphStore, or a filesystem path routed through open_graph.
 GraphSource = Union[DataGraph, str, os.PathLike, "GraphStore"]
@@ -331,7 +335,18 @@ class ExecOptions:
         early termination (§5.3) and profiling hooks (Fig 1 / Fig 11).
     ``plan``
         a precomputed :class:`~repro.core.plan.ExplorationPlan`,
-        bypassing the session plan cache; per-call only.
+        bypassing the session plan cache; per-call only.  The strings
+        ``"auto"``/``"fixed"`` are accepted as a spelling of
+        ``planner`` (below) and resolve to it in :meth:`merged`.
+    ``planner``
+        dispatch policy: ``"fixed"`` (default) keeps the historical
+        global thresholds; ``"auto"`` runs the bounded probe walk once
+        per (pattern, flags) and lets
+        :func:`repro.runtime.planner.plan_query` choose engine,
+        schedule, frontier chunk and worker count from the measured
+        per-pattern signals.  The probe is shared with the admission
+        guard, so ``guard != "off"`` plus ``planner="auto"`` still
+        probes exactly once.
     ``schedule`` / ``chunk_hint``
         concurrent-runtime work placement (§5.2, §5.5):
         ``schedule="dynamic"`` (default) has workers pull
@@ -372,6 +387,7 @@ class ExecOptions:
     stats: EngineStats | None = None
     timer: Any = None
     plan: ExplorationPlan | None = None
+    planner: str = "fixed"
     schedule: str = "dynamic"
     chunk_hint: int | None = None
     budget: Budget | None = None
@@ -398,6 +414,11 @@ class ExecOptions:
         resolved = dict(overrides)
         if resolved.get("engine", "") is None:
             del resolved["engine"]
+        # ``plan="auto"``/``plan="fixed"`` select the dispatch policy,
+        # not a precomputed ExplorationPlan — translate the string
+        # spelling to the ``planner`` field.
+        if isinstance(resolved.get("plan"), str):
+            resolved["planner"] = resolved.pop("plan")
         if not resolved:
             return self
         return dataclasses.replace(self, **resolved)
@@ -474,6 +495,7 @@ class MiningSession:
         "_starts",
         "_census",
         "_guard_cache",
+        "last_query_plan",
         "plan_cache_hits",
         "plan_cache_misses",
     )
@@ -501,6 +523,9 @@ class MiningSession:
         self._starts: dict[tuple, list[int] | None] = {}
         self._census: dict[tuple, CensusTransform] = {}
         self._guard_cache: dict[tuple, Any] = {}
+        # The most recent QueryPlan chosen under planner="auto"
+        # (introspection: CLI explain, service echo, tests).
+        self.last_query_plan = None
         self.plan_cache_hits = 0
         self.plan_cache_misses = 0
 
@@ -605,6 +630,7 @@ class MiningSession:
         """
         self.clear_caches()
         self._guard_cache.clear()
+        self.last_query_plan = None
         self._ordered = None
         self._old_of_new = None
         self._translation = None
@@ -782,6 +808,7 @@ class MiningSession:
                 chunk_hint=opts.chunk_hint,
                 frontier_chunk=opts.frontier_chunk,
                 guard=opts.guard,
+                plan=opts.planner,
             )
         totals = self._run_many(patterns, None, None, opts)
         return dict(zip(patterns, totals))
@@ -1049,6 +1076,7 @@ class MiningSession:
                     aggregate_interval=interval,
                     on_update=on_update,
                     engine=opts.engine,
+                    plan=opts.planner,
                     combine=reduce,
                     global_aggregator=total,
                 )
@@ -1095,9 +1123,14 @@ class MiningSession:
             raise ValueError(
                 f"guard must be one of {_GUARD_CHOICES}, got {opts.guard!r}"
             )
+        if opts.planner not in _PLANNER_CHOICES:
+            raise ValueError(
+                f"planner must be one of {_PLANNER_CHOICES}, "
+                f"got {opts.planner!r}"
+            )
 
     def _apply_guard(self, pattern: Pattern, opts: ExecOptions) -> ExecOptions:
-        """Admission control for one pattern (``opts.guard`` != "off").
+        """One probe → admit → plan, for one pattern.
 
         Probes the level-0 frontier via
         :func:`repro.runtime.guards.estimate_cost` (cached per plan key)
@@ -1105,18 +1138,39 @@ class MiningSession:
         (``guard="refuse"``) or returns options with a tightened
         ``frontier_chunk`` (``guard="downgrade"``) when the estimate
         predicts explosive expansion; benign queries pass unchanged.
+        Under ``planner="auto"`` the *same* cached estimate then drives
+        :func:`repro.runtime.planner.plan_query`, so a guarded planned
+        query probes exactly once; the chosen plan is recorded on
+        :attr:`last_query_plan` for introspection.
         """
-        if opts.guard == "off":
+        wants_plan = opts.planner == "auto"
+        if opts.guard == "off" and not wants_plan:
             return opts
         # Deferred import: repro.runtime imports repro.core at module
         # load; by the time a session applies a guard, both exist.
         from ..runtime import guards
 
         estimate = self._guard_estimate(pattern, opts)
-        return guards.admit(estimate, opts)
+        opts = guards.admit(estimate, opts)
+        if wants_plan:
+            from ..runtime import planner as _planner
+
+            query_plan = _planner.plan_query(
+                self, pattern, opts, estimate=estimate
+            )
+            opts = _planner.apply_plan(query_plan, opts)
+            self.last_query_plan = query_plan
+        return opts
 
     def _guard_estimate(self, pattern: Pattern, opts: ExecOptions):
-        """The (cached) probe-walk cost estimate for one pattern."""
+        """The (cached) probe-walk cost estimate for one pattern.
+
+        Only the probe *measurements* are cached; the explosive
+        threshold is a deployment knob documented as resolved at call
+        time, so every hit re-resolves it against the current
+        :data:`repro.runtime.guards.EXPLOSIVE_PARTIALS` — retuning the
+        module threshold flips admission on warm sessions too.
+        """
         from ..runtime import guards
 
         key = (pattern.signature(), opts.edge_induced, opts.symmetry_breaking)
@@ -1131,7 +1185,7 @@ class MiningSession:
             self._guard_cache[key] = estimate
             if len(self._guard_cache) > PLAN_CACHE_LIMIT:
                 self._guard_cache.pop(next(iter(self._guard_cache)))
-        return estimate
+        return guards.resolve_threshold(estimate)
 
     def _run_match(
         self,
@@ -1292,11 +1346,25 @@ class MiningSession:
                 f"engine must be one of {_MULTI_ENGINE_CHOICES}, got {engine!r}"
             )
         self._check_guardrail_opts(opts)
-        if opts.guard != "off":
-            # Guard once per distinct pattern; "downgrade" tightens the
-            # shared frontier_chunk to the smallest any member needs.
+        workload_estimates: list = []
+        if opts.guard != "off" or opts.planner == "auto":
+            # One probe per distinct pattern, shared by admission and
+            # planning; "downgrade" tightens the shared frontier_chunk
+            # to the smallest any member needs.  Per-member engine
+            # planning happens in _run_match (non-fused members); the
+            # workload-level fused decision consumes these estimates
+            # below.
+            from ..runtime import guards as _guards
+
+            seen_signatures: set = set()
             for p in patterns:
-                opts = self._apply_guard(p, opts)
+                signature = p.signature()
+                if signature in seen_signatures:
+                    continue
+                seen_signatures.add(signature)
+                estimate = self._guard_estimate(p, opts)
+                workload_estimates.append(estimate)
+                opts = _guards.admit(estimate, opts)
         meter = opts.budget.meter() if opts.budget is not None else None
         # A control no longer pins per-pattern dispatch: fused_run polls
         # it between frontier slices and threads it into every member
@@ -1323,10 +1391,19 @@ class MiningSession:
                 for p in patterns
             ]
             # batch_preferred depends only on the ordered graph, so one
-            # member answers for the whole workload.
-            if engine == "fused" or (
-                plans and batch_preferred(self.ordered, plans[0])
-            ):
+            # member answers for the whole workload; under
+            # planner="auto" the members' measured frontiers answer
+            # instead (any member clearing the batched crossover makes
+            # the shared gathers worthwhile for its whole group).
+            fuse = engine == "fused"
+            if not fuse and plans:
+                if opts.planner == "auto" and workload_estimates:
+                    from ..runtime import planner as _qplanner
+
+                    fuse = _qplanner.batch_worthwhile(workload_estimates)
+                else:
+                    fuse = batch_preferred(self.ordered, plans[0])
+            if fuse:
                 labels = self.ordered.labels()
                 if any(pl.matched_pattern.is_labeled for pl in plans) and (
                     labels is None

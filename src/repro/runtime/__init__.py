@@ -9,7 +9,14 @@ from .scheduler import (
     weighted_boundaries,
 )
 from .aggregation import AggregatorThread
-from .guards import CostEstimate, admit, cap_workers, estimate_cost
+from .guards import (
+    CostEstimate,
+    admit,
+    cap_workers,
+    estimate_cost,
+    resolve_threshold,
+)
+from .planner import QueryPlan, apply_plan, explain, plan_query, plan_workload
 from .parallel import (
     FAULT_ENV,
     MAX_CHUNK_RETRIES,
@@ -37,6 +44,12 @@ __all__ = [
     "admit",
     "cap_workers",
     "estimate_cost",
+    "resolve_threshold",
+    "QueryPlan",
+    "apply_plan",
+    "explain",
+    "plan_query",
+    "plan_workload",
     "FAULT_ENV",
     "MAX_CHUNK_RETRIES",
     "ParallelResult",

@@ -26,10 +26,13 @@ for ``ExecOptions.guard``:
 
 The estimator is deliberately simple and deterministic — evenly-spaced
 sampling over the hub-first frontier, pure-Python adjacency probes (no
-numpy requirement), geometric extrapolation — because its job is
-triage, not planning.  Cost-model-driven *engine selection* (choosing
-engine/schedule/chunk per query from the same probe) is the remaining
-half of ROADMAP item 2.
+numpy requirement), geometric extrapolation.  Its measurements serve two
+consumers: :func:`admit` (triage, conservative by design) and
+:mod:`repro.runtime.planner` (cost-model-driven engine/schedule/chunk
+selection from the same probe — the second half of ROADMAP item 2).
+The planner consumes the *unclamped* extrapolation
+(``predicted_partials_raw``) while admission keeps the conservative
+growth floor in ``predicted_partials``.
 """
 
 from __future__ import annotations
@@ -43,6 +46,7 @@ from ..pattern.pattern import Pattern
 __all__ = [
     "CostEstimate",
     "estimate_cost",
+    "resolve_threshold",
     "admit",
     "refusal",
     "cap_workers",
@@ -90,7 +94,13 @@ class CostEstimate:
     — the volume of partial matches the batched engine would
     materialize, which is the quantity that actually explodes (§5.1
     exploration is output-sensitive; partials are the work *and* the
-    memory).
+    memory).  For admission the growth factor is floored at 1.0 (a
+    shrinking frontier must not talk the guard out of refusing);
+    ``predicted_partials_raw`` is the same extrapolation without the
+    floor, for planners that need the honest trend.  ``level1_volume``
+    (``frontier_size * avg_expansion``) and ``hub_skew``
+    (``max_expansion / avg_expansion``) are the per-pattern planning
+    signals the probe already measures.
     """
 
     frontier_size: int
@@ -103,6 +113,9 @@ class CostEstimate:
     hub_degree_floor: int
     predicted_partials: float
     threshold: float
+    level1_volume: float = 0.0
+    predicted_partials_raw: float = 0.0
+    hub_skew: float = 0.0
 
     @property
     def explosive(self) -> bool:
@@ -166,6 +179,9 @@ def estimate_cost(
             hub_degree_floor=_hub_degree_floor(n),
             predicted_partials=float(frontier_size),
             threshold=threshold,
+            level1_volume=0.0,
+            predicted_partials_raw=float(frontier_size),
+            hub_skew=0.0,
         )
 
     def fanout(v: int) -> int:
@@ -176,8 +192,12 @@ def estimate_cost(
         return ordered.degree(v)
 
     k = min(max(1, sample), frontier_size)
-    step = max(1, frontier_size // k)
-    probe = [frontier[i] for i in range(0, frontier_size, step)][:k]
+    # Rounded stride: index i*size//k is strictly increasing for k <=
+    # size, so the k probes are distinct and evenly spaced across the
+    # whole frontier.  (An integer step of size//k degrades to 1 when
+    # size < 2k, turning the "even sample" into the first k consecutive
+    # hub-prefix entries and inflating avg_expansion.)
+    probe = [frontier[(i * frontier_size) // k] for i in range(k)]
 
     expansions = [fanout(v) for v in probe]
     avg_expansion = sum(expansions) / len(probe)
@@ -205,8 +225,13 @@ def estimate_cost(
     level1_total = avg_expansion * frontier_size
     deeper_levels = max(0, width - 2)
     predicted = level1_total
+    predicted_raw = level1_total
     for _ in range(deeper_levels):
+        # Admission floors the growth factor at 1.0 (conservative); the
+        # raw extrapolation keeps sub-1.0 growth so planners see
+        # shrinking frontiers as what they are.
         predicted *= max(growth, 1.0) if growth > 0 else 1.0
+        predicted_raw *= growth if growth_count else 1.0
     return CostEstimate(
         frontier_size=frontier_size,
         sampled=len(probe),
@@ -218,7 +243,28 @@ def estimate_cost(
         hub_degree_floor=hub_floor,
         predicted_partials=predicted,
         threshold=threshold,
+        level1_volume=level1_total,
+        predicted_partials_raw=predicted_raw,
+        hub_skew=(max_expansion / avg_expansion) if avg_expansion > 0 else 0.0,
     )
+
+
+def resolve_threshold(
+    estimate: CostEstimate, threshold: float | None = None
+) -> CostEstimate:
+    """Re-resolve a cached estimate against the *current* threshold.
+
+    Probe measurements are stable per (pattern, flags) and safe to
+    cache, but the explosive threshold is a deployment knob documented
+    as "resolved at call time".  Callers holding a cached estimate must
+    pass it through here before any admission decision so retuning
+    :data:`EXPLOSIVE_PARTIALS` takes effect on warm sessions too.
+    """
+    if threshold is None:
+        threshold = EXPLOSIVE_PARTIALS
+    if estimate.threshold == threshold:
+        return estimate
+    return dataclasses.replace(estimate, threshold=threshold)
 
 
 def refusal(estimate: CostEstimate) -> QueryRefusedError:

@@ -98,6 +98,24 @@ FAULT_ENV = "REPRO_FAULT_WORKER_DIE"
 MAX_CHUNK_RETRIES = 2
 
 
+def _resolve_plan_mode(session, plan):
+    """Fill the dispatch-policy knob from session defaults; validate.
+
+    ``None`` inherits the session's ``ExecOptions.planner`` default;
+    ``"fixed"`` keeps the global thresholds, ``"auto"`` plans the run
+    from the probe walk (:mod:`repro.runtime.planner`).
+    """
+    from .planner import PLANNER_CHOICES
+
+    if plan is None:
+        plan = session.defaults.planner
+    if plan not in PLANNER_CHOICES:
+        raise ValueError(
+            f"plan must be one of {PLANNER_CHOICES}, got {plan!r}"
+        )
+    return plan
+
+
 def _resolve_scheduling(session, schedule, chunk_hint):
     """Fill ``schedule``/``chunk_hint`` from session defaults; validate."""
     defaults = session.defaults
@@ -209,6 +227,7 @@ def parallel_match(
     global_aggregator: Aggregator | None = None,
     schedule: str | None = None,
     chunk_hint: int | None = None,
+    plan: str | None = None,
 ) -> ParallelResult:
     """Match a pattern with ``num_threads`` worker threads.
 
@@ -254,6 +273,34 @@ def parallel_match(
     # session's ExecOptions default; only then does auto sizing apply.
     if chunk_hint is None and chunk_size is not None:
         chunk_hint = chunk_size
+    plan_mode = _resolve_plan_mode(session, plan)
+    if plan_mode == "auto":
+        # One probe plans the thread run: engine by measured expansion,
+        # schedule/chunk by skew, thread count by work volume.  Knobs
+        # the caller pinned explicitly stay pinned.
+        from . import planner as _planner
+
+        query_plan = _planner.plan_query(
+            session,
+            pattern,
+            session.options(
+                edge_induced=edge_induced,
+                symmetry_breaking=symmetry_breaking,
+                engine=engine,
+            ),
+            num_workers=num_threads,
+        )
+        num_threads = query_plan.num_workers
+        if schedule is None:
+            schedule = query_plan.schedule
+        if chunk_hint is None:
+            chunk_hint = query_plan.chunk_hint
+        if engine == "auto":
+            engine = (
+                "accel-batch"
+                if query_plan.engine == "accel-batch"
+                else "reference"
+            )
     schedule, chunk_hint = _resolve_scheduling(session, schedule, chunk_hint)
     plan = session.plan_for(
         pattern, edge_induced=edge_induced, symmetry_breaking=symmetry_breaking
@@ -832,13 +879,19 @@ def _apply_guard_mode(
         raise ValueError(
             f"guard must be one of {guards.GUARD_CHOICES}, got {guard!r}"
         )
+    # Probe through the session cache so admission and planning share
+    # one walk per (pattern, flags) — a guarded planned query probes
+    # exactly once.
+    exec_opts = session.options(
+        edge_induced=edge_induced, symmetry_breaking=symmetry_breaking
+    )
+    seen_signatures: set = set()
     for pattern in patterns:
-        estimate = guards.estimate_cost(
-            session,
-            pattern,
-            edge_induced=edge_induced,
-            symmetry_breaking=symmetry_breaking,
-        )
+        signature = pattern.signature()
+        if signature in seen_signatures:
+            continue
+        seen_signatures.add(signature)
+        estimate = session._guard_estimate(pattern, exec_opts)
         if not estimate.explosive:
             continue
         if guard == "refuse":
@@ -1068,6 +1121,7 @@ def process_count(
     chunk_hint: int | None = None,
     cancel: ExplorationControl | None = None,
     guard: str | None = None,
+    plan: str | None = None,
 ) -> int:
     """Count matches with a process pool (true parallel speedup).
 
@@ -1105,13 +1159,37 @@ def process_count(
     predicted-explosive queries or capping the worker count.
     """
     session = as_session(graph)
-    schedule, chunk_hint = _resolve_scheduling(session, schedule, chunk_hint)
-    if cancel is not None and schedule != "dynamic":
-        raise ValueError("cancel requires schedule='dynamic'")
+    plan_mode = _resolve_plan_mode(session, plan)
     num_processes, _ = _apply_guard_mode(
         session, [pattern], guard, num_processes, None, edge_induced,
         symmetry_breaking,
     )
+    query_plan = None
+    if plan_mode == "auto":
+        # Probe → (admit above) → plan, sharing the session-cached
+        # estimate with the guard.  The plan caps the pool at the work
+        # volume and picks schedule/chunk for knobs the caller left
+        # unset; cancellation requires the dynamic schedule, so a
+        # cancel token keeps it.
+        from . import planner as _planner
+
+        query_plan = _planner.plan_query(
+            session,
+            pattern,
+            session.options(
+                edge_induced=edge_induced,
+                symmetry_breaking=symmetry_breaking,
+            ),
+            num_workers=num_processes,
+        )
+        num_processes = query_plan.num_workers
+        if schedule is None and cancel is None:
+            schedule = query_plan.schedule
+        if chunk_hint is None:
+            chunk_hint = query_plan.chunk_hint
+    schedule, chunk_hint = _resolve_scheduling(session, schedule, chunk_hint)
+    if cancel is not None and schedule != "dynamic":
+        raise ValueError("cancel requires schedule='dynamic'")
     ordered = session.ordered
     accel = _accel()
     has_fork = "fork" in multiprocessing.get_all_start_methods()
@@ -1146,6 +1224,11 @@ def process_count(
         and share_mode != "pickle"
         and accel_preferred(ordered, plan)
     )
+    if query_plan is not None and accel is not None and share_mode != "pickle":
+        # The planned engine replaces the fixed global-degree crossover;
+        # the pickle share mode still has no CSR view to hand workers.
+        use_batch = query_plan.engine == "accel-batch"
+        use_accel = query_plan.engine == "accel"
     if num_processes <= 1:
         if use_batch:
             return accel.FrontierBatchedEngine(session.view).run(
@@ -1436,6 +1519,7 @@ def process_count_many(
     frontier_chunk: int | None = None,
     cancel: ExplorationControl | None = None,
     guard: str | None = None,
+    plan: str | None = None,
 ) -> dict[Pattern, int]:
     """Count every pattern with a process pool over fused frontier chunks.
 
@@ -1469,22 +1553,50 @@ def process_count_many(
     guard refuses or downgrades predicted-explosive pattern sets.
     """
     session = as_session(graph)
-    schedule, chunk_hint = _resolve_scheduling(session, schedule, chunk_hint)
-    if cancel is not None and schedule != "dynamic":
-        raise ValueError("cancel requires schedule='dynamic'")
+    plan_mode = _resolve_plan_mode(session, plan)
     patterns = list(patterns)
     num_processes, frontier_chunk = _apply_guard_mode(
         session, patterns, guard, num_processes, frontier_chunk,
         edge_induced, symmetry_breaking,
     )
+    workload_plan = None
+    if plan_mode == "auto" and patterns:
+        # One probe per distinct member (shared with the guard above)
+        # plans the whole drain: pool size from summed level-1 volume,
+        # schedule from skew, frontier chunk from predicted partials.
+        from . import planner as _planner
+
+        workload_plan = _planner.plan_workload(
+            session,
+            patterns,
+            session.options(
+                edge_induced=edge_induced,
+                symmetry_breaking=symmetry_breaking,
+                frontier_chunk=frontier_chunk,
+            ),
+            num_workers=num_processes,
+        )
+        num_processes = workload_plan.num_workers
+        if schedule is None and cancel is None:
+            schedule = workload_plan.schedule
+        if chunk_hint is None:
+            chunk_hint = workload_plan.chunk_hint
+        frontier_chunk = workload_plan.frontier_chunk
+    schedule, chunk_hint = _resolve_scheduling(session, schedule, chunk_hint)
+    if cancel is not None and schedule != "dynamic":
+        raise ValueError("cancel requires schedule='dynamic'")
     accel = _accel()
-    if accel is None or num_processes <= 1 or not patterns:
+    not_worth_forking = (
+        workload_plan is not None and workload_plan.engine == "reference"
+    )
+    if accel is None or num_processes <= 1 or not patterns or not_worth_forking:
         return session.count_many(
             patterns,
             edge_induced=edge_induced,
             symmetry_breaking=symmetry_breaking,
             label_index=label_index,
             frontier_chunk=frontier_chunk,
+            plan=plan_mode,
         )
     has_fork = "fork" in multiprocessing.get_all_start_methods()
     if share_mode is None:

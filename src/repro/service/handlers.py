@@ -76,6 +76,7 @@ ALLOWED_OPTIONS: dict[str, tuple] = {
     "guard": (str,),
     "schedule": (str,),
     "chunk_hint": (int,),
+    "plan": (str,),
 }
 
 _BUDGET_FIELDS = (
@@ -203,6 +204,24 @@ def _edge_spec(pattern: Pattern) -> str:
     return "edges:" + ",".join(f"{u}-{v}" for u, v in pattern.edges())
 
 
+def _plan_echo(service: "MiningService", session, pattern, options) -> dict | None:
+    """The adaptive plan to echo in a response (``plan="auto"`` only).
+
+    Computed *after* the query ran, so the probe is already cached on the
+    session and this costs one dataclass walk, not a second probe.  The
+    chosen engine/schedule are also folded into
+    :class:`~repro.service.metrics.ServiceMetrics` so the ``stats`` verb
+    shows what the planner has been deciding fleet-wide.
+    """
+    if options.get("plan") != "auto":
+        return None
+    from ..runtime import planner
+
+    query_plan = planner.plan_query(session, pattern, session.options(**options))
+    service.metrics.record_plan(query_plan.engine, query_plan.schedule)
+    return query_plan.as_dict()
+
+
 # ----------------------------------------------------------------------
 # Verb handlers
 # ----------------------------------------------------------------------
@@ -217,7 +236,15 @@ async def _handle_count(service: "MiningService", payload: dict) -> dict:
     session = service.registry.get(resolved)
     job = QueryJob("count", pattern, options=options, budget=budget)
     result = await service.queue.submit(resolved, session, job)
-    return {"graph": key, "pattern": payload["pattern"], "count": result.count}
+    response = {
+        "graph": key,
+        "pattern": payload["pattern"],
+        "count": result.count,
+    }
+    plan_echo = _plan_echo(service, session, pattern, options)
+    if plan_echo is not None:
+        response["plan"] = plan_echo
+    return response
 
 
 async def _handle_match(service: "MiningService", payload: dict) -> dict:
@@ -233,7 +260,7 @@ async def _handle_match(service: "MiningService", payload: dict) -> dict:
     )
     result = await service.queue.submit(resolved, session, job)
     rows = result.rows if result.rows is not None else []
-    return {
+    response = {
         "graph": key,
         "pattern": payload["pattern"],
         "count": result.count,
@@ -241,6 +268,10 @@ async def _handle_match(service: "MiningService", payload: dict) -> dict:
         "returned": len(rows),
         "limit": limit,
     }
+    plan_echo = _plan_echo(service, session, pattern, options)
+    if plan_echo is not None:
+        response["plan"] = plan_echo
+    return response
 
 
 async def _handle_exists(service: "MiningService", payload: dict) -> dict:
@@ -280,7 +311,9 @@ async def _handle_motifs(service: "MiningService", payload: dict) -> dict:
         )
     options = _parse_options(payload)
     for name in options:
-        if name not in ("symmetry_breaking", "engine", "schedule", "chunk_hint"):
+        if name not in (
+            "symmetry_breaking", "engine", "schedule", "chunk_hint", "plan"
+        ):
             raise InvalidRequestError(
                 f"option {name!r} is not supported by the motifs verb"
             )

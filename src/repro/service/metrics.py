@@ -13,6 +13,8 @@ directly from one snapshot:
   patterns were deduplicated away (a fused batch of one is just a slow
   solo run, so the *fusion batch rate* is the fraction of batched
   requests that actually shared a walk with a sibling);
+* **planner gauges** — how many requests ran with ``plan="auto"`` and
+  which engines/schedules the adaptive planner chose for them;
 * **registry stats** — folded in at snapshot time from
   :meth:`~repro.service.registry.SessionRegistry.stats`.
 
@@ -110,6 +112,10 @@ class ServiceMetrics:
         self._deduped_requests = 0
         self._batch_sizes: dict[int, int] = {}
         self._max_batch_size = 0
+        # Adaptive-planner gauges (requests that ran with plan="auto").
+        self._planned_queries = 0
+        self._plan_engines: dict[str, int] = {}
+        self._plan_schedules: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Recording
@@ -152,6 +158,15 @@ class ServiceMetrics:
         with self._lock:
             self._solo_requests += 1
 
+    def record_plan(self, engine: str, schedule: str) -> None:
+        """One adaptively-planned request and what the planner chose."""
+        with self._lock:
+            self._planned_queries += 1
+            self._plan_engines[engine] = self._plan_engines.get(engine, 0) + 1
+            self._plan_schedules[schedule] = (
+                self._plan_schedules.get(schedule, 0) + 1
+            )
+
     # ------------------------------------------------------------------
     # Snapshot
     # ------------------------------------------------------------------
@@ -184,6 +199,11 @@ class ServiceMetrics:
                     "fusion_batch_rate": (
                         self._fused_requests / executed if executed else 0.0
                     ),
+                },
+                "planner": {
+                    "planned_queries": self._planned_queries,
+                    "engines": dict(self._plan_engines),
+                    "schedules": dict(self._plan_schedules),
                 },
             }
         if registry_stats is not None:

@@ -50,6 +50,10 @@ SCHEMAS = {
         {"bench", "n", "note", "overhead", "probe", "recovery"},
         "guards",
     ),
+    "BENCH_planner.json": (
+        {"bench", "rounds_per_cell", "note", "cells", "acceptance"},
+        "planner",
+    ),
     "BENCH_service.json": (
         {
             "bench",
@@ -204,6 +208,45 @@ def test_service_acceptance_recorded():
         "batched throughput fell below 1.3x unbatched at 16 clients"
     )
     assert acceptance["fusion_batch_rate"] > 0.0
+
+
+def test_planner_acceptance_recorded():
+    """Adaptive planning never loses a cell and wins the skewed one big."""
+    payload = _load("BENCH_planner.json")
+    cells = payload["cells"]
+    assert cells, "BENCH_planner.json has no sweep cells"
+    cell_keys = {
+        "n",
+        "matches",
+        "rounds",
+        "fixed_engine",
+        "auto_engine",
+        "auto_schedule",
+        "probe",
+        "fixed_seconds",
+        "auto_seconds",
+        "speedup",
+    }
+    for name, cell in cells.items():
+        missing = cell_keys - cell.keys()
+        assert not missing, f"planner cell {name!r} lost key(s) {sorted(missing)}"
+        assert cell["speedup"] >= 0.95, (
+            f"adaptive plan lost cell {name!r} by more than 5%"
+        )
+        # The fixed ablation is schema-pinned: both arms are recorded.
+        assert cell["fixed_engine"] in ("reference", "accel", "accel-batch")
+        assert cell["auto_engine"] in ("reference", "accel", "accel-batch")
+    skewed = cells["skewed-labeled-core"]
+    assert skewed["speedup"] >= 1.3, (
+        "adaptive planning lost its headline win: the labeled-core cell "
+        "fell below 1.3x over the fixed thresholds"
+    )
+    # The win is an engine flip the fixed heuristic cannot see.
+    assert skewed["fixed_engine"] == "reference"
+    assert skewed["auto_engine"] == "accel-batch"
+    acceptance = payload["acceptance"]
+    assert acceptance["min_speedup"] >= 0.95
+    assert acceptance["skewed_speedup"] >= 1.3
 
 
 def test_storage_acceptance_recorded():

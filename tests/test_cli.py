@@ -360,3 +360,53 @@ class TestGuardFlags:
         )
         assert code == 3
         assert "refused:" in out
+
+
+class TestExplainAndPlanFlags:
+    """The explain verb and the --plan knob on count."""
+
+    def test_explain_prints_estimate_and_plan(self):
+        code, out = run_cli(["explain", *MICO, "--pattern", "clique:3"])
+        assert code == 0
+        assert "pattern: clique:3" in out
+        assert "frontier:" in out
+        assert "level-1 expansion:" in out
+        assert "predicted partials:" in out
+        assert "explosive: no" in out
+        assert "plan: engine=" in out
+        assert "schedule=" in out
+        # Every choice carries at least one reason line.
+        assert any(line.startswith("  - ") for line in out.splitlines())
+
+    def test_explain_runs_nothing(self):
+        code, out = run_cli(["explain", *MICO, "--pattern", "clique:3"])
+        assert code == 0
+        assert "matches:" not in out
+        assert "elapsed:" not in out
+
+    def test_explain_respects_pinned_engine(self):
+        code, out = run_cli(
+            ["explain", *MICO, "--pattern", "clique:3",
+             "--engine", "reference"]
+        )
+        assert code == 0
+        assert "plan: engine=reference" in out
+        assert "pinned" in out
+
+    def test_explain_flags_explosive_queries(self, monkeypatch):
+        from repro.runtime import guards
+
+        monkeypatch.setattr(guards, "EXPLOSIVE_PARTIALS", 1.0)
+        code, out = run_cli(["explain", *MICO, "--pattern", "clique:3"])
+        assert code == 0  # explain never refuses; it reports
+        assert "explosive: yes" in out
+
+    def test_count_plan_auto_matches_fixed(self):
+        _, fixed = run_cli(
+            ["count", *MICO, "--pattern", "clique:3", "--plan", "fixed"]
+        )
+        code, auto = run_cli(
+            ["count", *MICO, "--pattern", "clique:3", "--plan", "auto"]
+        )
+        assert code == 0
+        assert fixed.splitlines()[0] == auto.splitlines()[0]

@@ -701,3 +701,77 @@ class TestLabeledService:
         assert clique_response["result"]["count"] == truth.count(
             generate_clique(3)
         )
+
+
+# ----------------------------------------------------------------------
+# Adaptive plan echo
+# ----------------------------------------------------------------------
+
+
+class TestPlanEcho:
+    """plan="auto" requests echo the chosen plan and feed the gauges."""
+
+    @pytest.fixture
+    def service(self, graph):
+        service = MiningService(ServiceConfig(workers=1, max_wait_ms=1.0))
+        service.register_graph("g", graph)
+        yield service
+        run(service.close())
+
+    def test_count_echoes_plan_and_counts_agree(self, service, graph):
+        truth = MiningSession(graph)
+        fixed = run(
+            service.handle(
+                {"verb": "count", "graph": "g", "pattern": "clique:3"}
+            )
+        )
+        auto = run(
+            service.handle(
+                {"verb": "count", "graph": "g", "pattern": "clique:3",
+                 "options": {"plan": "auto"}}
+            )
+        )
+        assert fixed["ok"] and auto["ok"]
+        assert auto["result"]["count"] == fixed["result"]["count"]
+        assert auto["result"]["count"] == truth.count(generate_clique(3))
+        assert "plan" not in fixed["result"]
+        echoed = auto["result"]["plan"]
+        assert echoed["engine"] in ("reference", "accel", "accel-batch")
+        assert echoed["schedule"] in ("static", "dynamic")
+        assert echoed["estimate"]["frontier_size"] > 0
+        assert echoed["reasons"]
+
+    def test_match_echoes_plan(self, service):
+        response = run(
+            service.handle(
+                {"verb": "match", "graph": "g", "pattern": "chain:3",
+                 "limit": 5, "options": {"plan": "auto"}}
+            )
+        )
+        assert response["ok"], response
+        assert response["result"]["plan"]["engine"]
+
+    def test_plan_gauges_in_stats(self, service):
+        run(
+            service.handle(
+                {"verb": "count", "graph": "g", "pattern": "clique:3",
+                 "options": {"plan": "auto"}}
+            )
+        )
+        stats = run(service.handle({"verb": "stats"}))
+        gauges = stats["result"]["planner"]
+        assert gauges["planned_queries"] == 1
+        assert sum(gauges["engines"].values()) == 1
+        assert sum(gauges["schedules"].values()) == 1
+
+    def test_bogus_plan_value_is_invalid_request(self, service):
+        response = run(
+            service.handle(
+                {"verb": "count", "graph": "g", "pattern": "clique:3",
+                 "options": {"plan": "always"}}
+            )
+        )
+        assert not response["ok"]
+        assert response["error"]["code"] in (
+            "invalid_request", "invalid_query", "internal_error"
+        )
