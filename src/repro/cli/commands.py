@@ -30,7 +30,7 @@ from ..core.plan import generate_plan
 from ..graph.binary_io import GraphStore, open_graph, save_mmap, save_npz
 from ..graph.io import load_edge_list, load_labeled, save_edge_list, save_labels
 from ..graph.stats import graph_stats
-from ..mining.approximate import approximate_count, trials_for_error
+from ..mining.sampling import ApproxCount, approx_count
 from ..mining.cliques import (
     clique_count,
     clique_exists,
@@ -192,7 +192,20 @@ def cmd_count(args: argparse.Namespace, out: TextIO = sys.stdout) -> int:
                          "drop --engine")
     guard = getattr(args, "guard", "off")
     plan_mode = getattr(args, "plan", None) or "fixed"
+    approx = getattr(args, "approx", None)
+    latency_budget = getattr(args, "latency_budget", None)
     budget = _build_budget(args)
+    if approx is not None or latency_budget is not None:
+        flag = "--approx" if approx is not None else "--latency-budget"
+        if processes > 1:
+            raise SystemExit(f"error: {flag} runs in-process; "
+                             "drop --processes")
+        if args.profile:
+            raise SystemExit(f"error: {flag} drives the sampling tier; "
+                             "drop --profile")
+        if budget is not None:
+            raise SystemExit(f"error: {flag} has its own stopping rule; "
+                             "drop --deadline/--max-matches")
     begin = time.perf_counter()
     if processes > 1:
         from ..runtime.parallel import process_count
@@ -240,11 +253,18 @@ def cmd_count(args: argparse.Namespace, out: TextIO = sys.stdout) -> int:
                 on_budget="partial",
                 guard=guard,
                 plan=plan_mode,
+                approx=approx,
+                confidence=getattr(args, "confidence", 0.95),
+                max_samples=getattr(args, "max_samples", None),
+                seed=getattr(args, "sample_seed", None),
+                latency_budget=latency_budget,
             )
         except QueryRefusedError as err:
             return _report_refused(err, out)
     elapsed = time.perf_counter() - begin
     print(f"matches: {int(n)}", file=out)
+    if isinstance(n, ApproxCount):
+        _print_approx(n, out)
     if isinstance(n, PartialResult) and n.truncated:
         print(f"truncated: {n.reason}", file=out)
     print(f"elapsed: {elapsed:.3f}s", file=out)
@@ -455,34 +475,42 @@ def cmd_graph_info(args: argparse.Namespace, out: TextIO = sys.stdout) -> int:
     return 0
 
 
+def _print_approx(r: ApproxCount, out: TextIO) -> None:
+    """Shared ApproxCount rendering for ``count --approx`` and ``approx``."""
+    print(
+        f"estimate: {r.estimate:.1f}  "
+        f"({r.confidence:.0%} CI [{r.ci_low:.1f}, {r.ci_high:.1f}])",
+        file=out,
+    )
+    target = "-" if r.requested_rel_err is None else f"{r.requested_rel_err:g}"
+    print(
+        f"rel err: {r.rel_err:.4g} (target {target})  "
+        f"samples: {r.samples}/{r.frontier_size}  stop: {r.early_stop}",
+        file=out,
+    )
+    if r.exact:
+        print("exact: the sample budget covered the whole frontier", file=out)
+
+
 def cmd_approx(args: argparse.Namespace, out: TextIO = sys.stdout) -> int:
-    """Approximate counting with an optional error-targeted trial count."""
-    graph = load_dataset(args)
+    """Approximate counting through the session-integrated sampling tier."""
+    session = MiningSession(load_dataset(args))
     pattern = parse_pattern_spec(args.pattern)
-    trials = args.trials
-    if args.target_error is not None:
-        trials = trials_for_error(
-            graph,
-            pattern,
-            args.target_error,
-            pilot_trials=min(args.trials, 2000),
-            seed=args.sample_seed,
-        )
-        print(f"error profile chose {trials} trials", file=out)
     begin = time.perf_counter()
-    r = approximate_count(
-        graph,
+    r = approx_count(
+        session,
         pattern,
-        trials=trials,
+        rel_err=args.rel_err,
+        confidence=args.confidence,
+        max_samples=args.max_samples,
         seed=args.sample_seed,
+        method=args.method,
+        num_colors=args.colors,
         edge_induced=not args.vertex_induced,
     )
     elapsed = time.perf_counter() - begin
-    print(f"estimate: {r.estimate:.1f} +- {r.ci95:.1f} (95% CI)", file=out)
-    print(
-        f"trials: {r.trials}  hit rate: {r.hit_rate:.4f}  elapsed: {elapsed:.3f}s",
-        file=out,
-    )
+    _print_approx(r, out)
+    print(f"elapsed: {elapsed:.3f}s", file=out)
     return 0
 
 

@@ -161,6 +161,43 @@ def build_parser() -> argparse.ArgumentParser:
         "the probe-driven adaptive planner ('fixed' is the ablation "
         "baseline)",
     )
+    p.add_argument(
+        "--approx",
+        type=float,
+        default=None,
+        metavar="REL_ERR",
+        help="estimate the count instead of enumerating: sample the "
+        "frontier adaptively until the confidence interval is within "
+        "REL_ERR of the estimate (prints the CI)",
+    )
+    p.add_argument(
+        "--confidence",
+        type=float,
+        default=0.95,
+        help="confidence level for the --approx interval (default 0.95)",
+    )
+    p.add_argument(
+        "--max-samples",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap on sampled start vertices for --approx (covering the "
+        "whole frontier degenerates to the exact count)",
+    )
+    p.add_argument(
+        "--sample-seed",
+        type=int,
+        default=None,
+        help="sampling RNG seed for --approx (reproducible estimates)",
+    )
+    p.add_argument(
+        "--latency-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="with --plan auto: auto-route to the approximate tier when "
+        "the probe predicts the exact run would blow this budget",
+    )
     _add_parallel_flags(p)
     _add_guard_flags(p)
     p.set_defaults(func=commands.cmd_count)
@@ -310,20 +347,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=commands.cmd_serve)
 
-    p = sub.add_parser("approx", help="approximate counting (ASAP-style)")
+    p = sub.add_parser(
+        "approx",
+        help="approximate counting with error bounds (sampling tier)",
+    )
     add_dataset_arguments(p)
     _add_pattern_argument(p)
     p.add_argument(
         "--vertex-induced", action="store_true", help="vertex-induced matching"
     )
     p.add_argument(
-        "--trials", type=int, default=10_000, help="number of sample trials"
+        "--rel-err",
+        type=float,
+        default=0.05,
+        help="target relative error the adaptive estimator grows "
+        "samples to meet (default 0.05)",
     )
     p.add_argument(
-        "--target-error",
+        "--confidence",
         type=float,
+        default=0.95,
+        help="confidence level for the reported interval (default 0.95)",
+    )
+    p.add_argument(
+        "--max-samples",
+        type=int,
         default=None,
-        help="pick the trial count for this 95%% relative error",
+        metavar="N",
+        help="cap on sampled start vertices (covering the whole "
+        "frontier degenerates to the exact count)",
+    )
+    p.add_argument(
+        "--method",
+        choices=["ns", "color-coding"],
+        default="ns",
+        help="estimator: 'ns' neighborhood sampling (default) or "
+        "'color-coding' colorful sparsification (connected "
+        "edge-induced patterns)",
+    )
+    p.add_argument(
+        "--colors",
+        type=int,
+        default=2,
+        help="number of colors for --method color-coding (default 2)",
     )
     p.add_argument(
         "--sample-seed", type=int, default=None, help="sampling RNG seed"

@@ -373,7 +373,31 @@ class ExecOptions:
         and raises :class:`~repro.errors.QueryRefusedError` when the
         predicted expansion is explosive; ``"downgrade"`` instead
         tightens ``frontier_chunk`` (and the process runtimes cap
-        workers); ``"off"`` (default) skips the probe entirely.
+        workers); ``"off"`` (default) skips the probe entirely.  Under
+        ``"downgrade"``, count-only queries predicted *far* past the
+        explosive threshold additionally escalate to the approximate
+        tier (see :data:`repro.runtime.guards.DOWNGRADE_APPROX_FACTOR`).
+    ``approx`` / ``confidence`` / ``max_samples``
+        the approximate-counting tier (ROADMAP item 4):
+        ``approx=rel_err`` makes :meth:`~MiningSession.count` /
+        :meth:`~MiningSession.count_many` return
+        :class:`~repro.mining.sampling.ApproxCount` estimates instead of
+        exact counts — sampled level-0 frontiers through the real
+        engines with Horvitz–Thompson reweighting, growing the sample
+        adaptively until the two-sided ``confidence`` interval is within
+        ``rel_err`` of the estimate or ``max_samples`` starts were
+        drawn (``None`` = up to the frontier size, at which point the
+        run degenerates to an exact count).  Count-only: the other verbs
+        reject it.
+    ``latency_budget``
+        seconds of predicted exact work the caller is willing to pay;
+        under ``planner="auto"`` a query whose probe predicts more
+        routes to the approximate tier automatically (``approx`` stays
+        ``None`` → the planner engages
+        :data:`repro.runtime.planner.AUTO_APPROX_REL_ERR`).
+    ``seed``
+        RNG seed for the sampling tier (deterministic estimates for
+        tests and benchmarks); ``None`` seeds from entropy.
     """
 
     edge_induced: bool = True
@@ -393,6 +417,11 @@ class ExecOptions:
     budget: Budget | None = None
     on_budget: str = "raise"
     guard: str = "off"
+    approx: float | None = None
+    confidence: float = 0.95
+    max_samples: int | None = None
+    latency_budget: float | None = None
+    seed: int | None = None
 
     def merged(self, overrides: Mapping[str, Any]) -> "ExecOptions":
         """Resolve per-call ``overrides`` against these defaults.
@@ -749,6 +778,17 @@ class MiningSession:
 
         Equivalent to :meth:`match` without a callback, but lets the
         engine count final-step candidate sets without enumerating them.
+
+        With ``approx=rel_err`` the count is *estimated* instead:
+        sampled level-0 frontiers run through the same engines and the
+        return value is an :class:`~repro.mining.sampling.ApproxCount`
+        (an object with ``estimate``/``stderr``/``ci_low``/``ci_high``;
+        ``int()`` rounds it) whose interval is grown adaptively until it
+        is within ``rel_err`` of the estimate — see
+        :mod:`repro.mining.sampling`.  ``confidence``, ``max_samples``
+        and ``seed`` tune the estimator; a query may also *auto-route*
+        to this tier under ``plan="auto"`` with a ``latency_budget``, or
+        via the ``guard="downgrade"`` escalation step.
         """
         opts = self.defaults.merged(options)
         return self._run_match(pattern, None, opts)
@@ -774,16 +814,33 @@ class MiningSession:
         only (``engine`` must be ``"auto"`` or ``"fused"``; hook options
         raise), and falls back to the sequential path when numpy is
         unavailable.
+
+        With ``approx=rel_err`` every pattern is *estimated* instead
+        (:class:`~repro.mining.sampling.ApproxCount` values): patterns
+        group exactly like the exact fused path and each group's
+        sampled rounds ride one shared
+        :func:`~repro.core.accel.fused_run` walk, so multi-pattern
+        estimation pays one frontier sample per group, not per pattern.
         """
         patterns = list(patterns)
         opts = self.defaults.merged(options)
+        if opts.approx is not None:
+            if num_processes > 1:
+                raise MatchingError(
+                    "count_many(approx=...) runs the sampling estimator "
+                    "in-process; drop approx or use num_processes=1"
+                )
+            self._check_guardrail_opts(opts)
+            from ..mining.sampling import approx_count_many_session
+
+            return approx_count_many_session(self, patterns, opts)
         if num_processes > 1 and _accel is not None:
             from ..runtime.parallel import process_count_many
 
             unsupported = [
                 name
                 for name in ("stats", "timer", "control", "plan",
-                             "start_vertices", "budget")
+                             "start_vertices", "budget", "latency_budget")
                 if getattr(opts, name) is not None
             ]
             if unsupported:
@@ -926,6 +983,11 @@ class MiningSession:
     ) -> int:
         """Single-pattern batch streaming (shared by the *_many paths)."""
         self._check_guardrail_opts(opts)
+        if opts.approx is not None:
+            raise MatchingError(
+                "approx=... is count-only; match_batches streams exact "
+                "match rows"
+            )
         opts = self._apply_guard(pattern, opts)
         if meter is None and opts.budget is not None:
             meter = opts.budget.meter()
@@ -1128,8 +1190,28 @@ class MiningSession:
                 f"planner must be one of {_PLANNER_CHOICES}, "
                 f"got {opts.planner!r}"
             )
+        if opts.approx is not None and not 0.0 < opts.approx < 1.0:
+            raise ValueError(
+                f"approx must be a relative error in (0, 1), "
+                f"got {opts.approx!r}"
+            )
+        if not 0.0 < opts.confidence < 1.0:
+            raise ValueError(
+                f"confidence must be in (0, 1), got {opts.confidence!r}"
+            )
+        if opts.max_samples is not None and opts.max_samples <= 0:
+            raise ValueError(
+                f"max_samples must be positive, got {opts.max_samples!r}"
+            )
+        if opts.latency_budget is not None and opts.latency_budget <= 0:
+            raise ValueError(
+                f"latency_budget must be positive seconds, "
+                f"got {opts.latency_budget!r}"
+            )
 
-    def _apply_guard(self, pattern: Pattern, opts: ExecOptions) -> ExecOptions:
+    def _apply_guard(
+        self, pattern: Pattern, opts: ExecOptions, count_only: bool = False
+    ) -> ExecOptions:
         """One probe → admit → plan, for one pattern.
 
         Probes the level-0 frontier via
@@ -1142,6 +1224,12 @@ class MiningSession:
         :func:`repro.runtime.planner.plan_query`, so a guarded planned
         query probes exactly once; the chosen plan is recorded on
         :attr:`last_query_plan` for introspection.
+
+        ``count_only`` marks runs that could legally return an
+        approximate estimate (no callback, no hooks): only those may be
+        escalated to the sampling tier — by ``guard="downgrade"`` when
+        the prediction is *far* past the explosive threshold, or by the
+        planner when the prediction exceeds ``opts.latency_budget``.
         """
         wants_plan = opts.planner == "auto"
         if opts.guard == "off" and not wants_plan:
@@ -1152,13 +1240,29 @@ class MiningSession:
 
         estimate = self._guard_estimate(pattern, opts)
         opts = guards.admit(estimate, opts)
+        if (
+            count_only
+            and opts.approx is None
+            and opts.guard == "downgrade"
+            and estimate.predicted_partials
+            > estimate.threshold * guards.DOWNGRADE_APPROX_FACTOR
+        ):
+            # The "approximate" escalation step: chunk tightening paces
+            # an explosive query, but far enough past the threshold the
+            # exact run is hopeless at any pacing — answer with a
+            # bounded-error estimate instead of grinding.
+            opts = dataclasses.replace(
+                opts, approx=guards.DOWNGRADE_APPROX_REL_ERR
+            )
         if wants_plan:
             from ..runtime import planner as _planner
 
             query_plan = _planner.plan_query(
                 self, pattern, opts, estimate=estimate
             )
-            opts = _planner.apply_plan(query_plan, opts)
+            opts = _planner.apply_plan(
+                query_plan, opts, allow_approx=count_only
+            )
             self.last_query_plan = query_plan
         return opts
 
@@ -1195,7 +1299,30 @@ class MiningSession:
         meter=None,
     ) -> int:
         self._check_guardrail_opts(opts)
-        opts = self._apply_guard(pattern, opts)
+        # A run is eligible for the approximate tier only when nothing
+        # observes individual matches or partial progress: counting with
+        # no callback, no budget/control, no stats/timer hooks and no
+        # explicit frontier.
+        approx_eligible = (
+            callback is None
+            and meter is None
+            and opts.budget is None
+            and opts.control is None
+            and opts.stats is None
+            and opts.timer is None
+            and opts.start_vertices is None
+        )
+        opts = self._apply_guard(pattern, opts, count_only=approx_eligible)
+        if opts.approx is not None:
+            if not approx_eligible:
+                raise MatchingError(
+                    "approx=... is count-only: it does not support "
+                    "callbacks, budgets, controls, stats/timer hooks or "
+                    "explicit start_vertices"
+                )
+            from ..mining.sampling import approx_count_session
+
+            return approx_count_session(self, pattern, opts)
         if meter is None and opts.budget is not None:
             meter = opts.budget.meter()
         try:
@@ -1346,6 +1473,11 @@ class MiningSession:
                 f"engine must be one of {_MULTI_ENGINE_CHOICES}, got {engine!r}"
             )
         self._check_guardrail_opts(opts)
+        if opts.approx is not None or opts.latency_budget is not None:
+            raise MatchingError(
+                "approx/latency_budget are count-only knobs; use "
+                "count(...) or count_many(...) for approximate estimates"
+            )
         workload_estimates: list = []
         if opts.guard != "off" or opts.planner == "auto":
             # One probe per distinct pattern, shared by admission and

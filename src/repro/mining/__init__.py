@@ -23,6 +23,12 @@ from .approximate import (
     approximate_triangle_count,
     trials_for_error,
 )
+from .sampling import (
+    ApproxCount,
+    approx_count,
+    approx_count_many,
+    color_coding_count,
+)
 from .matching import (
     count_pattern,
     enumerate_matches,
@@ -31,6 +37,10 @@ from .matching import (
 )
 
 __all__ = [
+    "ApproxCount",
+    "approx_count",
+    "approx_count_many",
+    "color_coding_count",
     "ApproxResult",
     "approximate_count",
     "approximate_motif_counts",

@@ -1,46 +1,36 @@
-"""Approximate pattern counting via sampled exploration (ASAP-style).
+"""Legacy approximate-counting surface — deprecation shims (PR 10).
 
-ASAP [Iyer et al., OSDI '18] trades exactness for speed: instead of
-enumerating every match it samples partial embeddings, scales each sample
-by the inverse of its sampling probability (a Horvitz–Thompson estimator),
-and uses a pilot phase to build an *error–latency profile* that converts a
-target error bound into a number of samples.  The paper lists ASAP as the
-programmable approximate-mining alternative to Peregrine (§7); this module
-implements the same estimator on top of our schedule machinery so the
-exact and approximate systems can be compared on identical workloads.
+This module used to carry its own Horvitz–Thompson estimator sampling
+through the baseline AutoMine schedules.  That tier is retired: the
+session verb ``count(approx=rel_err)`` (and ``count_many``) now runs
+:mod:`repro.mining.sampling` — sampled level-0 frontiers through the
+*real* execution core (``FrontierBatchedEngine`` / ``fused_run``) with
+stratified hub-exhaust HT reweighting, adaptive sample growth, and
+Student-t confidence intervals.
 
-The estimator samples one loop-nest path per trial through the pattern's
-compiled schedule (:func:`repro.baselines.automine.compile_schedule` —
-guided, but multiplicity-redundant):
+Every public name here still works but emits :class:`DeprecationWarning`
+and forwards to the new tier:
 
-1. the first pattern vertex is drawn uniformly from V (probability 1/|V|);
-2. each subsequent vertex is drawn uniformly from the candidate set built
-   by intersecting already-matched neighbors' adjacency lists
-   (probability 1/|candidates|);
-3. a dead end (empty candidates, injectivity or induced-check failure)
-   contributes 0; a completed embedding contributes the product of the
-   inverse probabilities.
+- ``approximate_count(graph, p, trials=...)`` →
+  ``session.count(p, approx=..., max_samples=trials)``, with the
+  :class:`~repro.mining.sampling.ApproxCount` result repackaged into the
+  frozen legacy :class:`ApproxResult` shape (``trials`` ← samples used,
+  ``ci95`` ← the normal-approximation half width).
+- ``approximate_motif_counts`` forwards to ``count_many(approx=...)`` so
+  the census shares fused sampled walks.
+- ``trials_for_error`` runs its pilot phase on the new estimator and
+  performs the same ASAP-style extrapolation as before.
 
-Averaging over trials and dividing by the pattern's multiplicity gives an
-unbiased estimate of the unique-match count (tested against exact counts).
-
-.. note:: **Experimental.**  The estimator is correct (unbiased, tested
-   against exact counts) but the surface is still settling: it samples
-   through the baseline AutoMine schedules rather than the session's
-   own plans, so it ignores ``ExecOptions`` and the label index, and
-   its error profile has only been validated on the small synthetic
-   workloads in the test suite.  The service tier deliberately does not
-   expose it as a verb yet.
+New code should call :func:`repro.mining.sampling.approx_count` or the
+session verbs directly.
 """
 
 from __future__ import annotations
 
 import math
-import random
+import warnings
 from dataclasses import dataclass
 
-from ..baselines.automine import AutoMineSchedule, compile_schedule
-from ..core.candidates import contains, intersect_many
 from ..core.session import MiningSession, as_session
 from ..graph.graph import DataGraph
 from ..pattern.generators import generate_all_vertex_induced, generate_clique
@@ -54,10 +44,27 @@ __all__ = [
     "trials_for_error",
 ]
 
+# Normal 95% two-sided quantile, matching the legacy 1.96 intervals.
+_Z95 = 1.959963984540054
+
+# Relative-error target handed to the new tier when the legacy caller
+# only specified a trial budget: generous enough that ``trials`` (as
+# ``max_samples``) stays the binding knob, matching legacy semantics.
+_SHIM_REL_ERR = 0.01
+
+
+def _deprecated(name: str, replacement: str) -> None:
+    warnings.warn(
+        f"repro.mining.approximate.{name} is deprecated; use {replacement} "
+        "(the session-integrated sampling tier, repro.mining.sampling)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
 
 @dataclass(frozen=True)
 class ApproxResult:
-    """Outcome of one approximate counting run.
+    """Outcome of one approximate counting run (legacy result shape).
 
     ``estimate`` is the unbiased count estimate; ``ci95`` the half-width
     of the normal-approximation 95% confidence interval; ``hit_rate`` the
@@ -84,40 +91,39 @@ class ApproxResult:
         return abs(self.estimate - exact) <= max(self.ci95 * slack, 1e-9)
 
 
-def _sample_once(
-    graph: DataGraph, schedule: AutoMineSchedule, rng: random.Random
-) -> float:
-    """One Horvitz–Thompson trial: inverse path probability or 0."""
-    labels = graph.labels()
-    assignment: list[int] = []
-    weight = float(graph.num_vertices)
-    first_label = schedule.labels[0]
-    v0 = rng.randrange(graph.num_vertices)
-    if first_label is not None and labels[v0] != first_label:
-        return 0.0
-    assignment.append(v0)
-    for i in range(1, schedule.depth):
-        nbr_depths = schedule.earlier_neighbors[i]
-        lists = [graph.neighbors(assignment[j]) for j in nbr_depths]
-        cands = intersect_many(lists) if len(lists) > 1 else lists[0]
-        if len(cands) == 0:
-            return 0.0
-        v = int(cands[rng.randrange(len(cands))])
-        # Rejected candidates keep the estimator unbiased: the trial
-        # sampled them with probability 1/|cands| and they contribute 0.
-        if v in assignment:
-            return 0.0
-        want = schedule.labels[i]
-        if want is not None and labels[v] != want:
-            return 0.0
-        if any(
-            contains(graph.neighbors(assignment[j]), v)
-            for j in schedule.earlier_non_neighbors[i]
-        ):
-            return 0.0
-        weight *= len(cands)
-        assignment.append(v)
-    return weight
+def _to_legacy(result) -> ApproxResult:
+    """Repackage an :class:`~repro.mining.sampling.ApproxCount`."""
+    stderr = 0.0 if not math.isfinite(result.stderr) else result.stderr
+    return ApproxResult(
+        estimate=result.estimate,
+        trials=result.samples,
+        stddev=stderr,
+        ci95=_Z95 * stderr,
+        hit_rate=result.hit_rate,
+    )
+
+
+def _shim_count(
+    graph: DataGraph | MiningSession,
+    pattern: Pattern,
+    trials: int,
+    seed: int | None,
+    edge_induced: bool,
+) -> ApproxResult:
+    """Shared forwarding body (public wrappers warn; this one doesn't)."""
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    session = as_session(graph)
+    if session.graph.num_vertices == 0:
+        return ApproxResult(0.0, trials, 0.0, 0.0, 0.0)
+    result = session.count(
+        pattern,
+        approx=_SHIM_REL_ERR,
+        max_samples=trials,
+        seed=seed,
+        edge_induced=edge_induced,
+    )
+    return _to_legacy(result)
 
 
 def approximate_count(
@@ -127,48 +133,16 @@ def approximate_count(
     seed: int | None = None,
     edge_induced: bool = True,
 ) -> ApproxResult:
-    """Estimate the number of unique matches of ``pattern`` in ``graph``.
+    """Deprecated: use ``session.count(pattern, approx=rel_err)``.
 
-    ``trials`` controls the accuracy/latency trade-off; use
-    :func:`trials_for_error` to pick it from a target error.  The
-    estimate is unbiased for any trial count; the confidence interval
-    assumes trials are i.i.d. (they are) and approximately normal
-    (reasonable once a few hundred trials hit).  Graph access routes
-    through :func:`~repro.core.session.as_session`, so anything a
-    session accepts works here — a bare :class:`DataGraph`, a
-    :class:`~repro.core.session.MiningSession` (exact/approximate
-    comparisons then share one session), an open ``GraphStore``, or a
-    filesystem path.
+    Forwards to the sampling tier with ``max_samples=trials``; the
+    result is repackaged into the legacy :class:`ApproxResult` shape
+    (``trials`` reports samples actually spent, which may be fewer than
+    requested when the adaptive estimator meets its target early or the
+    frontier is exhausted exactly).
     """
-    graph = as_session(graph).graph
-    if trials <= 0:
-        raise ValueError("trials must be positive")
-    if graph.num_vertices == 0:
-        return ApproxResult(0.0, trials, 0.0, 0.0, 0.0)
-    schedule = compile_schedule(pattern, vertex_induced=not edge_induced)
-    rng = random.Random(seed)
-    total = 0.0
-    total_sq = 0.0
-    hits = 0
-    for _ in range(trials):
-        w = _sample_once(graph, schedule, rng)
-        total += w
-        total_sq += w * w
-        if w:
-            hits += 1
-    mean = total / trials
-    variance = max(total_sq / trials - mean * mean, 0.0)
-    # Ordered embeddings -> unique matches.
-    m = schedule.multiplicity
-    estimate = mean / m
-    stddev = math.sqrt(variance / trials) / m
-    return ApproxResult(
-        estimate=estimate,
-        trials=trials,
-        stddev=stddev,
-        ci95=1.96 * stddev,
-        hit_rate=hits / trials,
-    )
+    _deprecated("approximate_count", "MiningSession.count(pattern, approx=...)")
+    return _shim_count(graph, pattern, trials, seed, edge_induced)
 
 
 def approximate_motif_counts(
@@ -177,14 +151,30 @@ def approximate_motif_counts(
     trials: int = 10_000,
     seed: int | None = None,
 ) -> dict[Pattern, ApproxResult]:
-    """Approximate vertex-induced motif census (ASAP's headline use case)."""
-    out: dict[Pattern, ApproxResult] = {}
-    for i, motif in enumerate(generate_all_vertex_induced(size)):
-        child_seed = None if seed is None else seed + i
-        out[motif] = approximate_count(
-            graph, motif, trials=trials, seed=child_seed, edge_induced=False
-        )
-    return out
+    """Deprecated: use ``session.count_many(motifs, approx=rel_err)``.
+
+    Forwards the whole census to ``count_many(approx=...)`` so motif
+    groups share fused sampled walks (one frontier sample per group
+    instead of one per motif).
+    """
+    _deprecated(
+        "approximate_motif_counts",
+        "MiningSession.count_many(motifs, approx=...)",
+    )
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    motifs = list(generate_all_vertex_induced(size))
+    session = as_session(graph)
+    if session.graph.num_vertices == 0:
+        return {m: ApproxResult(0.0, trials, 0.0, 0.0, 0.0) for m in motifs}
+    results = session.count_many(
+        motifs,
+        approx=_SHIM_REL_ERR,
+        max_samples=trials,
+        seed=seed,
+        edge_induced=False,
+    )
+    return {m: _to_legacy(results[m]) for m in motifs}
 
 
 def approximate_triangle_count(
@@ -192,8 +182,12 @@ def approximate_triangle_count(
     trials: int = 10_000,
     seed: int | None = None,
 ) -> ApproxResult:
-    """Convenience: approximate triangle count."""
-    return approximate_count(graph, generate_clique(3), trials=trials, seed=seed)
+    """Deprecated convenience: approximate triangle count."""
+    _deprecated(
+        "approximate_triangle_count",
+        "MiningSession.count(generate_clique(3), approx=...)",
+    )
+    return _shim_count(graph, generate_clique(3), trials, seed, True)
 
 
 def trials_for_error(
@@ -204,24 +198,31 @@ def trials_for_error(
     seed: int | None = None,
     edge_induced: bool = True,
 ) -> int:
-    """Error–latency profile: trials needed for a target 95% relative error.
+    """Deprecated: ``count(approx=rel_err)`` grows samples adaptively.
 
-    Runs a pilot phase, measures the sample variance, and solves
-    ``1.96 · sigma / (sqrt(T) · mean) <= target`` for ``T`` — the same
-    extrapolation ASAP's profile performs.  Returns at least the pilot
-    size; raises ``ValueError`` when the pilot saw no matches at all (no
-    profile can be built from zero signal).
+    The new tier makes the error–latency profile obsolete — it *is* the
+    adaptive loop.  For callers still budgeting up front, this shim runs
+    the pilot phase on the new estimator and performs the same
+    extrapolation as before: measure the per-sample deviation, solve
+    ``1.96 · sigma / (sqrt(T) · mean) <= target`` for ``T``.  Returns at
+    least the pilot size; raises ``ValueError`` when the pilot saw no
+    matches at all (no profile can be built from zero signal).
     """
+    _deprecated(
+        "trials_for_error",
+        "MiningSession.count(pattern, approx=target_rel_err)",
+    )
     if not 0 < target_relative_error:
         raise ValueError("target_relative_error must be positive")
-    pilot = approximate_count(
-        graph, pattern, trials=pilot_trials, seed=seed, edge_induced=edge_induced
-    )
+    pilot = _shim_count(graph, pattern, pilot_trials, seed, edge_induced)
     if pilot.estimate == 0:
         raise ValueError(
             "pilot phase found no matches; cannot build an error profile"
         )
-    # pilot.stddev already includes the 1/sqrt(pilot_trials) factor.
-    sigma_single = pilot.stddev * math.sqrt(pilot.trials)
-    needed = (1.96 * sigma_single / (target_relative_error * pilot.estimate)) ** 2
+    if pilot.stddev == 0.0:
+        # The pilot covered the frontier exactly — the answer is already
+        # error-free at pilot size.
+        return pilot_trials
+    sigma_single = pilot.stddev * math.sqrt(max(pilot.trials, 1))
+    needed = (_Z95 * sigma_single / (target_relative_error * pilot.estimate)) ** 2
     return max(pilot_trials, math.ceil(needed))

@@ -54,6 +54,8 @@ __all__ = [
     "EXPLOSIVE_PARTIALS",
     "DOWNGRADE_FRONTIER_CHUNK",
     "DOWNGRADE_MAX_WORKERS",
+    "DOWNGRADE_APPROX_FACTOR",
+    "DOWNGRADE_APPROX_REL_ERR",
     "PROBE_SAMPLE",
 ]
 
@@ -78,6 +80,14 @@ EXPLOSIVE_PARTIALS = 5e7
 # cap their worker count (bounding memory multiplication across forks).
 DOWNGRADE_FRONTIER_CHUNK = 2048
 DOWNGRADE_MAX_WORKERS = 2
+
+# The "approximate" escalation step of guard="downgrade": count-only
+# queries predicted this many times past the explosive threshold are
+# beyond what chunk/worker pacing can save — the session answers them
+# from the sampling tier instead, at DOWNGRADE_APPROX_REL_ERR target
+# relative error (see repro.mining.sampling).
+DOWNGRADE_APPROX_FACTOR = 16.0
+DOWNGRADE_APPROX_REL_ERR = 0.05
 
 
 def _hub_degree_floor(n: int) -> int:

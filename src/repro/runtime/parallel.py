@@ -83,6 +83,8 @@ __all__ = [
     "process_count_many",
     "FAULT_ENV",
     "MAX_CHUNK_RETRIES",
+    "DEFAULT_NUM_THREADS",
+    "DEFAULT_NUM_PROCESSES",
 ]
 
 _SCHEDULE_CHOICES = ("dynamic", "static")
@@ -96,6 +98,29 @@ _SCHEDULE_CHOICES = ("dynamic", "static")
 # immediately after leasing the matching chunk.
 FAULT_ENV = "REPRO_FAULT_WORKER_DIE"
 MAX_CHUNK_RETRIES = 2
+
+# Legacy fixed pool sizes, used when the caller passes ``None`` without
+# auto planning.  Under ``plan="auto"`` a ``None`` pool size instead
+# hands sizing to the planner: the probe's work-volume estimate picks
+# the worker count out of a machine-sized budget (``os.cpu_count()``).
+DEFAULT_NUM_THREADS = 4
+DEFAULT_NUM_PROCESSES = 2
+
+
+def _resolve_pool_size(requested, plan_mode, default):
+    """Planner-sized pools: ``None`` defers to the plan (PR 10).
+
+    An explicit integer always wins.  ``None`` under ``plan="auto"``
+    offers the machine's core count as the budget — the planner then
+    *sizes* the pool from measured work volume instead of merely capping
+    the caller's guess.  ``None`` under ``plan="fixed"`` keeps the
+    legacy default.
+    """
+    if requested is not None:
+        return requested
+    if plan_mode == "auto":
+        return os.cpu_count() or default
+    return default
 
 
 def _resolve_plan_mode(session, plan):
@@ -214,7 +239,7 @@ def _thread_engine_mode(
 def parallel_match(
     graph: DataGraph | MiningSession,
     pattern: Pattern,
-    num_threads: int = 4,
+    num_threads: int | None = 4,
     callback: Callable[[Match, Aggregator], None] | None = None,
     edge_induced: bool = True,
     symmetry_breaking: bool = True,
@@ -230,6 +255,11 @@ def parallel_match(
     plan: str | None = None,
 ) -> ParallelResult:
     """Match a pattern with ``num_threads`` worker threads.
+
+    ``num_threads=None`` defers pool sizing: under ``plan="auto"`` the
+    planner sizes the pool from the probe's measured work volume (with
+    the machine's core count as the budget); under ``plan="fixed"`` the
+    legacy default of :data:`DEFAULT_NUM_THREADS` applies.
 
     ``callback(match, local_aggregator)`` runs on the worker thread that
     found the match; values it maps into the local aggregator surface in
@@ -274,6 +304,7 @@ def parallel_match(
     if chunk_hint is None and chunk_size is not None:
         chunk_hint = chunk_size
     plan_mode = _resolve_plan_mode(session, plan)
+    num_threads = _resolve_pool_size(num_threads, plan_mode, DEFAULT_NUM_THREADS)
     if plan_mode == "auto":
         # One probe plans the thread run: engine by measured expansion,
         # schedule/chunk by skew, thread count by work volume.  Knobs
@@ -1113,7 +1144,7 @@ def _count_frontier(session, plan, mode, accel, need_weights=True):
 def process_count(
     graph: DataGraph | MiningSession,
     pattern: Pattern,
-    num_processes: int = 2,
+    num_processes: int | None = 2,
     edge_induced: bool = True,
     symmetry_breaking: bool = True,
     share_mode: str | None = None,
@@ -1124,6 +1155,11 @@ def process_count(
     plan: str | None = None,
 ) -> int:
     """Count matches with a process pool (true parallel speedup).
+
+    ``num_processes=None`` defers pool sizing: under ``plan="auto"`` the
+    planner sizes the pool from measured work volume (budgeted at the
+    machine's core count); under ``plan="fixed"`` the legacy default of
+    :data:`DEFAULT_NUM_PROCESSES` applies.
 
     Workers consume the level-0 *frontier* (hub-first, label-filtered
     start tasks).  Under ``schedule="dynamic"`` (default) the frontier
@@ -1160,6 +1196,9 @@ def process_count(
     """
     session = as_session(graph)
     plan_mode = _resolve_plan_mode(session, plan)
+    num_processes = _resolve_pool_size(
+        num_processes, plan_mode, DEFAULT_NUM_PROCESSES
+    )
     num_processes, _ = _apply_guard_mode(
         session, [pattern], guard, num_processes, None, edge_induced,
         symmetry_breaking,
@@ -1509,7 +1548,7 @@ def _drain_many(worker_id: int) -> list[int]:
 def process_count_many(
     graph: DataGraph | MiningSession,
     patterns: Sequence[Pattern],
-    num_processes: int = 2,
+    num_processes: int | None = 2,
     edge_induced: bool = True,
     symmetry_breaking: bool = True,
     label_index: bool = True,
@@ -1554,6 +1593,9 @@ def process_count_many(
     """
     session = as_session(graph)
     plan_mode = _resolve_plan_mode(session, plan)
+    num_processes = _resolve_pool_size(
+        num_processes, plan_mode, DEFAULT_NUM_PROCESSES
+    )
     patterns = list(patterns)
     num_processes, frontier_chunk = _apply_guard_mode(
         session, patterns, guard, num_processes, frontier_chunk,

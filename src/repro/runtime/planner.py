@@ -55,6 +55,8 @@ __all__ = [
     "PLANNED_FRONTIER_CHUNK",
     "WORK_PER_WORKER",
     "STEAL_CHUNKS_PER_WORKER",
+    "APPROX_PARTIALS_PER_SECOND",
+    "AUTO_APPROX_REL_ERR",
 ]
 
 PLANNER_CHOICES = ("fixed", "auto")
@@ -92,6 +94,18 @@ WORK_PER_WORKER = 2048.0
 # (CHUNKS_PER_WORKER) so hub chunks steal in smaller units.
 STEAL_CHUNKS_PER_WORKER = CHUNKS_PER_WORKER * 2
 
+# Latency-budget routing (ROADMAP item 4 hooking into item 2's planner):
+# the probe's raw partial prediction divided by this throughput is the
+# planner's seconds-of-exact-work estimate; when it exceeds
+# ``ExecOptions.latency_budget`` the query routes to the approximate
+# tier at AUTO_APPROX_REL_ERR.  The throughput is a calibration
+# constant in batched-engine partials per second — the order of
+# magnitude measured across BENCH_engine/BENCH_planner hosts; it only
+# needs to be right within a small factor, since latency budgets guard
+# against queries predicted *orders* past them.
+APPROX_PARTIALS_PER_SECOND = 2e6
+AUTO_APPROX_REL_ERR = 0.05
+
 
 @dataclass(frozen=True)
 class QueryPlan:
@@ -111,6 +125,11 @@ class QueryPlan:
     num_workers: int
     reasons: tuple[str, ...] = ()
     estimate: guards.CostEstimate | None = None
+    # Latency-budget routing: when True, a count-only run of this query
+    # should answer from the approximate tier at ``approx_rel_err``
+    # instead of running exact (see apply_plan's allow_approx).
+    use_approx: bool = False
+    approx_rel_err: float | None = None
 
     def as_dict(self) -> dict:
         """JSON-friendly form (service envelopes, bench artifacts)."""
@@ -120,6 +139,8 @@ class QueryPlan:
             "frontier_chunk": self.frontier_chunk,
             "chunk_hint": self.chunk_hint,
             "num_workers": self.num_workers,
+            "use_approx": self.use_approx,
+            "approx_rel_err": self.approx_rel_err,
             "reasons": list(self.reasons),
         }
         if self.estimate is not None:
@@ -130,11 +151,14 @@ class QueryPlan:
         """One line for CLI output and logs."""
         chunk = "-" if self.frontier_chunk is None else self.frontier_chunk
         hint = "-" if self.chunk_hint is None else self.chunk_hint
-        return (
+        line = (
             f"engine={self.engine} schedule={self.schedule} "
             f"frontier_chunk={chunk} chunk_hint={hint} "
             f"workers={self.num_workers}"
         )
+        if self.use_approx:
+            line += f" approx={self.approx_rel_err:g}"
+        return line
 
 
 def _accel_module():
@@ -235,6 +259,39 @@ def _choose_schedule(
     return "dynamic", chunk_hint
 
 
+def _choose_approx(estimate, opts, reasons: list) -> tuple[bool, float | None]:
+    """Latency-budget routing: approximate when exact cannot fit.
+
+    The caller already asking for ``approx`` passes through (the tier
+    is engaged regardless of budgets); otherwise the probe's raw
+    partial prediction, at :data:`APPROX_PARTIALS_PER_SECOND`, is the
+    planner's predicted exact latency — past ``opts.latency_budget``
+    the query routes to the sampling estimator at
+    :data:`AUTO_APPROX_REL_ERR`.
+    """
+    if opts.approx is not None:
+        reasons.append(f"approximate: rel_err={opts.approx:g} pinned by caller")
+        return True, opts.approx
+    if opts.latency_budget is None:
+        return False, None
+    predicted_seconds = (
+        estimate.predicted_partials_raw / APPROX_PARTIALS_PER_SECOND
+    )
+    if predicted_seconds > opts.latency_budget:
+        reasons.append(
+            f"approximate: ~{estimate.predicted_partials_raw:.3g} "
+            f"predicted partials (~{predicted_seconds:.3g}s exact) "
+            f"exceed the {opts.latency_budget:g}s latency budget; "
+            f"sampling at rel_err={AUTO_APPROX_REL_ERR:g}"
+        )
+        return True, AUTO_APPROX_REL_ERR
+    reasons.append(
+        f"exact: ~{predicted_seconds:.3g}s predicted fits the "
+        f"{opts.latency_budget:g}s latency budget"
+    )
+    return False, None
+
+
 def _choose_frontier_chunk(estimate, opts, reasons: list) -> int | None:
     chunk = opts.frontier_chunk
     if estimate.predicted_partials_raw > TIGHTEN_PARTIALS:
@@ -285,6 +342,7 @@ def plan_query(
     workers = _choose_workers(estimate, num_workers, reasons)
     schedule, chunk_hint = _choose_schedule(estimate, workers, reasons)
     frontier_chunk = _choose_frontier_chunk(estimate, opts, reasons)
+    use_approx, approx_rel_err = _choose_approx(estimate, opts, reasons)
     if opts.chunk_hint is not None:
         chunk_hint = opts.chunk_hint
     return QueryPlan(
@@ -295,6 +353,8 @@ def plan_query(
         num_workers=workers,
         reasons=tuple(reasons),
         estimate=estimate,
+        use_approx=use_approx,
+        approx_rel_err=approx_rel_err,
     )
 
 
@@ -393,21 +453,33 @@ def plan_workload(
     )
 
 
-def apply_plan(plan: QueryPlan, opts):
+def apply_plan(plan: QueryPlan, opts, allow_approx: bool = True):
     """Fold a plan's choices back into execution options.
 
     ``engine`` is always concrete after planning (``_choose_engine``
     echoes a caller-pinned engine through), and ``schedule``/
     ``frontier_chunk``/``chunk_hint`` carry the planned values — for
     knobs the caller pinned explicitly, the planner already kept them.
+    A latency-budget routing decision (``plan.use_approx``) engages the
+    sampling tier only when the caller's run can honor it
+    (``allow_approx`` — count-only runs without hooks); enumeration
+    verbs keep exact semantics and simply ignore the routing.
     """
-    return dataclasses.replace(
+    opts = dataclasses.replace(
         opts,
         engine=plan.engine,
         schedule=plan.schedule,
         frontier_chunk=plan.frontier_chunk,
         chunk_hint=plan.chunk_hint,
     )
+    if (
+        allow_approx
+        and plan.use_approx
+        and opts.approx is None
+        and plan.approx_rel_err is not None
+    ):
+        opts = dataclasses.replace(opts, approx=plan.approx_rel_err)
+    return opts
 
 
 def explain(

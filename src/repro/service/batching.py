@@ -43,6 +43,7 @@ from typing import Any, Callable
 from ..core.callbacks import Budget
 from ..core.session import MiningSession
 from ..errors import ReproError
+from ..mining.sampling import ApproxCount
 from ..pattern.pattern import Pattern
 from ..runtime import guards
 from ..runtime.pool import QueryPool
@@ -81,10 +82,18 @@ class QueryJob:
 
 @dataclass
 class JobResult:
-    """What a job resolves to: the count, plus rows for match jobs."""
+    """What a job resolves to: the count, plus rows for match jobs.
+
+    ``approx`` carries the :class:`~repro.mining.sampling.ApproxCount`
+    envelope (estimate, stderr, ``ci_low``/``ci_high``,
+    ``rel_err_achieved``) when the count was answered by the sampling
+    tier — whether the caller asked (``approx`` option) or the planner
+    auto-routed under a ``latency_budget``.
+    """
 
     count: int
     rows: list | None = None
+    approx: dict | None = None
 
 
 class _Bucket:
@@ -133,7 +142,16 @@ class BatchingQueue:
         Raises whatever the execution raised for *this* job alone —
         sibling failures never propagate here.
         """
-        if not self.enabled or job.budget is not None:
+        if (
+            not self.enabled
+            or job.budget is not None
+            or job.options.get("approx") is not None
+            or job.options.get("latency_budget") is not None
+        ):
+            # Approximate counts never coalesce: the estimator owns its
+            # own frontier sampling (a fused batch shares one exact
+            # walk), and its stopping rule is a per-request contract
+            # exactly like a budget.
             self.metrics.record_solo()
             return await self.pool.run(_run_job, session, job, job.options)
 
@@ -219,7 +237,10 @@ def _run_job(session: MiningSession, job: QueryJob, run_options: dict):
     if job.budget is not None:
         overrides["budget"] = job.budget
     if job.kind == "count":
-        return JobResult(count=int(session.count(job.pattern, **overrides)))
+        value = session.count(job.pattern, **overrides)
+        if isinstance(value, ApproxCount):
+            return JobResult(count=int(value), approx=value.as_dict())
+        return JobResult(count=int(value))
     rows: list[list[int]] = []
     limit = job.limit
 

@@ -77,6 +77,11 @@ ALLOWED_OPTIONS: dict[str, tuple] = {
     "schedule": (str,),
     "chunk_hint": (int,),
     "plan": (str,),
+    "approx": (int, float),
+    "confidence": (int, float),
+    "max_samples": (int,),
+    "latency_budget": (int, float),
+    "seed": (int,),
 }
 
 _BUDGET_FIELDS = (
@@ -241,6 +246,13 @@ async def _handle_count(service: "MiningService", payload: dict) -> dict:
         "pattern": payload["pattern"],
         "count": result.count,
     }
+    if result.approx is not None:
+        # The sampling tier answered — either the caller passed the
+        # "approx" option, or the planner/guard auto-routed an exact
+        # request under a latency budget (the downgrades-to-approx
+        # gauge).
+        response["approx"] = result.approx
+        service.metrics.record_approx(auto="approx" not in options)
     plan_echo = _plan_echo(service, session, pattern, options)
     if plan_echo is not None:
         response["plan"] = plan_echo
@@ -272,6 +284,74 @@ async def _handle_match(service: "MiningService", payload: dict) -> dict:
     if plan_echo is not None:
         response["plan"] = plan_echo
     return response
+
+
+def _parse_approx_field(payload: dict, name: str, integral: bool = False):
+    value = payload.get(name)
+    if value is None:
+        return None
+    if integral:
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise InvalidRequestError(
+                f"{name!r} must be an integer, got {value!r}"
+            )
+    elif not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise InvalidRequestError(f"{name!r} must be a number, got {value!r}")
+    return value
+
+
+async def _handle_approx_count(service: "MiningService", payload: dict) -> dict:
+    """The first-class approximate verb: estimate with a CI envelope.
+
+    Top-level fields ``rel_err`` (default 0.05), ``confidence`` (default
+    0.95), ``max_samples`` and ``seed`` tune the estimator; the response
+    carries the full :class:`~repro.mining.sampling.ApproxCount`
+    envelope (``estimate``, ``stderr``, ``ci_low``/``ci_high``,
+    ``rel_err_achieved``, ``samples``, ``early_stop``) alongside the
+    rounded ``count``.  Approximate runs never coalesce with fused
+    batches — the estimator owns its own frontier sampling.
+    """
+    from ..mining import sampling
+
+    key = _parse_graph_key(payload)
+    pattern = _parse_pattern(payload)
+    options = _parse_options(payload)
+    for name in ("approx", "latency_budget", "max_samples", "confidence", "seed"):
+        if name in options:
+            raise InvalidRequestError(
+                f"option {name!r} conflicts with the approx_count verb; "
+                "pass the estimator knobs as top-level request fields"
+            )
+    rel_err = _parse_approx_field(payload, "rel_err")
+    if rel_err is None:
+        rel_err = sampling.DEFAULT_REL_ERR
+    confidence = _parse_approx_field(payload, "confidence")
+    if confidence is None:
+        confidence = sampling.DEFAULT_CONFIDENCE
+    max_samples = _parse_approx_field(payload, "max_samples", integral=True)
+    seed = _parse_approx_field(payload, "seed", integral=True)
+    resolved = service.registry.resolve_key(key)
+    session = service.registry.get(resolved)
+
+    def estimate() -> dict:
+        result = session.count(
+            pattern,
+            approx=rel_err,
+            confidence=confidence,
+            max_samples=max_samples,
+            seed=seed,
+            **options,
+        )
+        service.metrics.record_approx(auto=False)
+        response = {
+            "graph": key,
+            "pattern": payload["pattern"],
+            "count": int(result),
+        }
+        response.update(result.as_dict())
+        return response
+
+    return await service.queue.solo(estimate)
 
 
 async def _handle_exists(service: "MiningService", payload: dict) -> dict:
@@ -339,6 +419,7 @@ async def _handle_stats(service: "MiningService", payload: dict) -> dict:
 
 VERBS = {
     "count": _handle_count,
+    "approx_count": _handle_approx_count,
     "match": _handle_match,
     "exists": _handle_exists,
     "motifs": _handle_motifs,

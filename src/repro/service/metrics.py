@@ -116,6 +116,11 @@ class ServiceMetrics:
         self._planned_queries = 0
         self._plan_engines: dict[str, int] = {}
         self._plan_schedules: dict[str, int] = {}
+        # Approximate-tier gauges: every request answered from the
+        # sampling tier, and the subset that got there by planner/guard
+        # downgrade rather than by asking for it.
+        self._approx_engagements = 0
+        self._approx_downgrades = 0
 
     # ------------------------------------------------------------------
     # Recording
@@ -167,6 +172,18 @@ class ServiceMetrics:
                 self._plan_schedules.get(schedule, 0) + 1
             )
 
+    def record_approx(self, auto: bool = False) -> None:
+        """One request answered by the approximate tier.
+
+        ``auto=True`` marks a query the caller submitted as *exact* that
+        the planner (latency budget) or guard (downgrade escalation)
+        routed to sampling — the downgrades-to-approx gauge.
+        """
+        with self._lock:
+            self._approx_engagements += 1
+            if auto:
+                self._approx_downgrades += 1
+
     # ------------------------------------------------------------------
     # Snapshot
     # ------------------------------------------------------------------
@@ -204,6 +221,10 @@ class ServiceMetrics:
                     "planned_queries": self._planned_queries,
                     "engines": dict(self._plan_engines),
                     "schedules": dict(self._plan_schedules),
+                },
+                "approx": {
+                    "engagements": self._approx_engagements,
+                    "planner_downgrades": self._approx_downgrades,
                 },
             }
         if registry_stats is not None:

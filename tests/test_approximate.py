@@ -1,11 +1,29 @@
-"""Tests for ASAP-style approximate pattern counting."""
+"""Legacy approximate-API shims: frozen signatures, forwarding, warnings.
+
+PR 10 retired the schedule-bound estimator in ``mining/approximate.py``
+in favor of the session-integrated sampling tier
+(:mod:`repro.mining.sampling`).  The free functions survive as
+deprecation shims; these tests pin what "shim" means:
+
+* **signature-frozen** — parameter names, order and defaults exactly as
+  the legacy API shipped them (the ``TestLegacyShims`` idiom);
+* **warning** — every public call emits :class:`DeprecationWarning`
+  exactly once;
+* **forwarding** — results come from the new tier (``count(approx=...)``)
+  repackaged into the frozen :class:`ApproxResult` shape, and legacy
+  error contracts (``ValueError`` on bad trials / zero-signal pilots)
+  still hold.
+"""
 
 from __future__ import annotations
 
+import inspect
+import warnings
+
 import pytest
 
-from repro.core import count
-from repro.graph import erdos_renyi, from_edges, with_random_labels
+from repro.core import MiningSession, count
+from repro.graph import erdos_renyi, from_edges
 from repro.mining import (
     ApproxResult,
     approximate_count,
@@ -14,7 +32,8 @@ from repro.mining import (
     motif_counts,
     trials_for_error,
 )
-from repro.pattern import Pattern, generate_chain, generate_clique, generate_star
+from repro.mining import approximate as approximate_module
+from repro.pattern import generate_clique
 
 
 @pytest.fixture(scope="module")
@@ -22,105 +41,150 @@ def sample_graph():
     return erdos_renyi(60, 0.15, seed=5)
 
 
-class TestEstimatorAccuracy:
-    def test_triangles_within_confidence_interval(self, sample_graph):
-        exact = count(sample_graph, generate_clique(3))
-        r = approximate_triangle_count(sample_graph, trials=30_000, seed=1)
-        assert r.within(exact, slack=3.0)
-        assert r.relative_ci < 0.1
+LEGACY_SIGNATURES = {
+    "approximate_count": (
+        ("graph", inspect.Parameter.empty),
+        ("pattern", inspect.Parameter.empty),
+        ("trials", 10_000),
+        ("seed", None),
+        ("edge_induced", True),
+    ),
+    "approximate_motif_counts": (
+        ("graph", inspect.Parameter.empty),
+        ("size", inspect.Parameter.empty),
+        ("trials", 10_000),
+        ("seed", None),
+    ),
+    "approximate_triangle_count": (
+        ("graph", inspect.Parameter.empty),
+        ("trials", 10_000),
+        ("seed", None),
+    ),
+    "trials_for_error": (
+        ("graph", inspect.Parameter.empty),
+        ("pattern", inspect.Parameter.empty),
+        ("target_relative_error", inspect.Parameter.empty),
+        ("pilot_trials", 2_000),
+        ("seed", None),
+        ("edge_induced", True),
+    ),
+}
 
-    @pytest.mark.parametrize(
-        "pattern_fn",
-        [lambda: generate_chain(3), lambda: generate_star(4),
-         lambda: Pattern.from_edges([(0, 1), (1, 2), (2, 0), (2, 3)])],
-    )
-    def test_other_patterns_converge(self, sample_graph, pattern_fn):
-        p = pattern_fn()
-        exact = count(sample_graph, p)
-        r = approximate_count(sample_graph, p, trials=40_000, seed=7)
-        assert exact > 0
-        assert abs(r.estimate - exact) / exact < 0.15
 
-    def test_vertex_induced_mode(self, sample_graph):
-        chain = generate_chain(3)
-        exact = count(sample_graph, chain, edge_induced=False)
-        r = approximate_count(
-            sample_graph, chain, trials=40_000, seed=11, edge_induced=False
+class TestLegacyShims:
+    @pytest.mark.parametrize("name", sorted(LEGACY_SIGNATURES))
+    def test_signatures_frozen(self, name):
+        fn = getattr(approximate_module, name)
+        got = tuple(
+            (p.name, p.default)
+            for p in inspect.signature(fn).parameters.values()
         )
-        assert abs(r.estimate - exact) / exact < 0.15
+        assert got == LEGACY_SIGNATURES[name]
 
-    def test_labeled_pattern(self):
-        g = with_random_labels(erdos_renyi(50, 0.2, seed=2), 2, seed=3)
-        p = Pattern.from_edges([(0, 1)])
-        p.set_label(0, 0)
-        p.set_label(1, 1)
-        exact = count(g, p)
-        r = approximate_count(g, p, trials=60_000, seed=5)
-        assert exact > 0
-        assert abs(r.estimate - exact) / exact < 0.2
+    def test_result_shape_frozen(self):
+        fields = tuple(ApproxResult.__dataclass_fields__)
+        assert fields == ("estimate", "trials", "stddev", "ci95", "hit_rate")
+        r = ApproxResult(
+            estimate=0.0, trials=10, stddev=0.0, ci95=0.0, hit_rate=0.0
+        )
+        assert r.relative_ci == 0.0
+        assert r.within(0.0)
 
-    def test_motif_census_estimates(self, sample_graph):
+    @pytest.mark.parametrize("name", sorted(LEGACY_SIGNATURES))
+    def test_still_exported_from_mining(self, name):
+        import repro.mining as mining
+
+        assert getattr(mining, name) is getattr(approximate_module, name)
+
+
+class TestDeprecationWarnings:
+    def test_approximate_count_warns_once(self, sample_graph):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            approximate_count(
+                sample_graph, generate_clique(3), trials=200, seed=1
+            )
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "approximate_count" in str(deprecations[0].message)
+
+    def test_every_shim_warns(self, sample_graph):
+        with pytest.warns(DeprecationWarning):
+            approximate_triangle_count(sample_graph, trials=200, seed=1)
+        with pytest.warns(DeprecationWarning):
+            approximate_motif_counts(sample_graph, 3, trials=200, seed=1)
+        with pytest.warns(DeprecationWarning):
+            trials_for_error(
+                sample_graph, generate_clique(3), 0.5, pilot_trials=200, seed=1
+            )
+
+
+@pytest.mark.filterwarnings("ignore::DeprecationWarning")
+class TestForwarding:
+    """The shims answer from the sampling tier, in the legacy shape."""
+
+    def test_matches_new_tier(self, sample_graph):
+        session = MiningSession(sample_graph)
+        legacy = approximate_count(
+            session, generate_clique(3), trials=500, seed=3
+        )
+        direct = session.count(
+            generate_clique(3), approx=0.01, max_samples=500, seed=3
+        )
+        assert legacy.estimate == direct.estimate
+        assert legacy.trials == direct.samples
+        assert legacy.hit_rate == direct.hit_rate
+
+    def test_estimate_within_interval(self, sample_graph):
+        exact = count(sample_graph, generate_clique(3))
+        r = approximate_triangle_count(sample_graph, trials=10_000, seed=1)
+        assert r.within(exact, slack=3.0)
+
+    def test_motif_census_forwards(self, sample_graph):
         exact = motif_counts(sample_graph, 3)
-        approx = approximate_motif_counts(sample_graph, 3, trials=30_000, seed=9)
+        approx = approximate_motif_counts(
+            sample_graph, 3, trials=10_000, seed=9
+        )
         assert len(approx) == len(exact) == 2
         exact_by_edges = {p.num_edges: c for p, c in exact.items()}
         for motif, r in approx.items():
+            assert isinstance(r, ApproxResult)
             truth = exact_by_edges[motif.num_edges]
             assert abs(r.estimate - truth) / max(truth, 1) < 0.2
-
-
-class TestEstimatorBehaviour:
-    def test_zero_matches_estimates_zero(self):
-        g = from_edges([(0, 1), (1, 2), (2, 3)])  # a path: no triangles
-        r = approximate_triangle_count(g, trials=2_000, seed=1)
-        assert r.estimate == 0.0
-        assert r.ci95 == 0.0
-        assert r.hit_rate == 0.0
 
     def test_deterministic_with_seed(self, sample_graph):
         a = approximate_triangle_count(sample_graph, trials=1_000, seed=42)
         b = approximate_triangle_count(sample_graph, trials=1_000, seed=42)
         assert a == b
 
-    def test_different_seeds_differ(self, sample_graph):
-        a = approximate_triangle_count(sample_graph, trials=1_000, seed=1)
-        b = approximate_triangle_count(sample_graph, trials=1_000, seed=2)
-        assert a.estimate != b.estimate
+    def test_session_and_graph_agree(self, sample_graph):
+        p = generate_clique(3)
+        via_graph = approximate_count(sample_graph, p, trials=500, seed=3)
+        via_session = approximate_count(
+            MiningSession(sample_graph), p, trials=500, seed=3
+        )
+        assert via_session.estimate == via_graph.estimate
 
-    def test_more_trials_tighter_interval(self, sample_graph):
-        small = approximate_triangle_count(sample_graph, trials=1_000, seed=3)
-        big = approximate_triangle_count(sample_graph, trials=50_000, seed=3)
-        assert big.ci95 < small.ci95
+
+@pytest.mark.filterwarnings("ignore::DeprecationWarning")
+class TestLegacyErrorContracts:
+    def test_invalid_trials_rejected(self, sample_graph):
+        with pytest.raises(ValueError):
+            approximate_count(sample_graph, generate_clique(3), trials=0)
 
     def test_empty_graph(self):
         g = from_edges([], num_vertices=0)
         r = approximate_triangle_count(g, trials=100, seed=0)
         assert r.estimate == 0.0
+        assert r.trials == 100
 
-    def test_invalid_trials_rejected(self, sample_graph):
-        with pytest.raises(ValueError):
-            approximate_count(sample_graph, generate_clique(3), trials=0)
-
-    def test_relative_ci_of_zero_estimate(self):
-        r = ApproxResult(estimate=0.0, trials=10, stddev=0.0, ci95=0.0, hit_rate=0.0)
-        assert r.relative_ci == 0.0
-
-
-class TestErrorLatencyProfile:
-    def test_tighter_error_needs_more_trials(self, sample_graph):
-        p = generate_clique(3)
-        loose = trials_for_error(sample_graph, p, 0.5, pilot_trials=500, seed=1)
-        tight = trials_for_error(sample_graph, p, 0.005, pilot_trials=500, seed=1)
-        assert tight > loose
-
-    def test_profile_prediction_holds(self, sample_graph):
-        """Running the predicted trial count achieves the target error."""
-        p = generate_clique(3)
-        target = 0.05
-        trials = trials_for_error(sample_graph, p, target, pilot_trials=2_000, seed=1)
-        r = approximate_count(sample_graph, p, trials=trials, seed=99)
-        exact = count(sample_graph, p)
-        assert abs(r.estimate - exact) / exact < 3 * target
+    def test_zero_matches_estimates_zero(self):
+        g = from_edges([(0, 1), (1, 2), (2, 3)])  # a path: no triangles
+        r = approximate_triangle_count(g, trials=2_000, seed=1)
+        assert r.estimate == 0.0
+        assert r.hit_rate == 0.0
 
     def test_zero_signal_pilot_rejected(self):
         g = from_edges([(0, 1), (1, 2)])
@@ -131,30 +195,14 @@ class TestErrorLatencyProfile:
         with pytest.raises(ValueError):
             trials_for_error(sample_graph, generate_clique(3), 0.0)
 
-
-class TestGraphCoercion:
-    """approximate_count routes graph access through as_session."""
-
-    def test_session_and_graph_agree(self, sample_graph):
-        from repro.core import MiningSession
-
-        p = generate_clique(3)
-        via_graph = approximate_count(sample_graph, p, trials=500, seed=3)
-        session = MiningSession(sample_graph)
-        via_session = approximate_count(session, p, trials=500, seed=3)
-        assert via_session.estimate == via_graph.estimate
-
-    def test_path_input_accepted(self, tmp_path):
-        from repro.graph import save_edge_list
-
-        g = erdos_renyi(30, 0.2, seed=4)
-        path = tmp_path / "g.txt"
-        save_edge_list(g, path)
-        p = generate_clique(3)
-        direct = approximate_count(g, p, trials=300, seed=5)
-        loaded = approximate_count(str(path), p, trials=300, seed=5)
-        assert loaded.estimate == direct.estimate
-
-    def test_bad_input_rejected(self):
-        with pytest.raises(TypeError):
-            approximate_count(42, generate_clique(3), trials=10)
+    def test_exact_pilot_short_circuits(self, sample_graph):
+        # A pilot covering the whole frontier is already error-free; the
+        # profile returns the pilot size instead of dividing by zero.
+        needed = trials_for_error(
+            sample_graph,
+            generate_clique(3),
+            0.01,
+            pilot_trials=10 * sample_graph.num_vertices,
+            seed=1,
+        )
+        assert needed == 10 * sample_graph.num_vertices

@@ -54,6 +54,21 @@ SCHEMAS = {
         {"bench", "rounds_per_cell", "note", "cells", "acceptance"},
         "planner",
     ),
+    "BENCH_approx.json": (
+        {
+            "bench",
+            "graph",
+            "motifs",
+            "rel_err_target",
+            "confidence",
+            "max_samples",
+            "note",
+            "exact",
+            "reps",
+            "acceptance",
+        },
+        "approx",
+    ),
     "BENCH_service.json": (
         {
             "bench",
@@ -247,6 +262,30 @@ def test_planner_acceptance_recorded():
     acceptance = payload["acceptance"]
     assert acceptance["min_speedup"] >= 0.95
     assert acceptance["skewed_speedup"] >= 1.3
+
+
+def test_approx_acceptance_recorded():
+    """The sampling tier's headline: 5x over exact fusion within 5%."""
+    payload = _load("BENCH_approx.json")
+    assert payload["exact"]["counts"], "no exact census baseline recorded"
+    rep_keys = {"seed", "seconds", "samples", "rel_err", "in_ci"}
+    assert payload["reps"], "BENCH_approx.json has no repetitions"
+    for rep in payload["reps"]:
+        missing = rep_keys - rep.keys()
+        assert not missing, f"approx rep lost key(s) {sorted(missing)}"
+        assert set(rep["rel_err"]) == set(payload["motifs"])
+    acceptance = payload["acceptance"]
+    assert acceptance["speedup"] >= 5.0, (
+        "sampling tier fell below 5x over the exact fused census"
+    )
+    assert acceptance["max_rel_err"] <= payload["rel_err_target"], (
+        "median achieved relative error blew the 5% target"
+    )
+    assert acceptance["ci_coverage"] >= 0.90, (
+        "empirical CI coverage fell below the 90% bar for 95% intervals"
+    )
+    # Worst-case cell is recorded transparently alongside the medians.
+    assert acceptance["worst_rel_err"] >= acceptance["max_rel_err"]
 
 
 def test_storage_acceptance_recorded():

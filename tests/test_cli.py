@@ -174,18 +174,26 @@ class TestSubcommands:
     def test_approx(self):
         code, out = run_cli(
             ["approx", *MICO, "--pattern", "clique:3",
-             "--trials", "3000", "--sample-seed", "7"]
+             "--rel-err", "0.1", "--sample-seed", "7"]
         )
         assert code == 0
-        assert "estimate:" in out and "hit rate" in out
+        assert "estimate:" in out and "CI [" in out and "stop:" in out
 
-    def test_approx_with_target_error(self):
+    def test_approx_with_budget(self):
         code, out = run_cli(
             ["approx", *MICO, "--pattern", "clique:3",
-             "--target-error", "0.2", "--trials", "500", "--sample-seed", "7"]
+             "--max-samples", "200", "--sample-seed", "7"]
         )
         assert code == 0
-        assert "error profile chose" in out
+        assert "estimate:" in out
+
+    def test_count_approx(self):
+        code, out = run_cli(
+            ["count", *MICO, "--pattern", "clique:3",
+             "--approx", "0.1", "--sample-seed", "7"]
+        )
+        assert code == 0
+        assert "estimate:" in out and "CI [" in out
 
     def test_plan_shows_anti_vertex_checks(self):
         code, out = run_cli(["plan", "--pattern", "p7"])

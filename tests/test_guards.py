@@ -157,10 +157,32 @@ class TestAdmissionModes:
         assert err.partial == 0
         assert "refused" in str(err)
 
-    def test_downgrade_still_returns_exact_count(self, session, monkeypatch):
+    def test_downgrade_match_still_returns_exact_count(
+        self, session, monkeypatch
+    ):
+        # Enumeration (a callback) can only be downgraded, never estimated.
         expected = session.count(generate_clique(3))
         monkeypatch.setattr(guards, "EXPLOSIVE_PARTIALS", 1.0)
-        assert session.count(generate_clique(3), guard="downgrade") == expected
+        seen = []
+        got = session.match(
+            generate_clique(3), seen.append, guard="downgrade"
+        )
+        assert got == expected == len(seen)
+
+    def test_downgrade_escalates_deep_explosions_to_approx(
+        self, session, monkeypatch
+    ):
+        # Count-only queries predicted far past the threshold answer from
+        # the sampling tier (PR 10); on this tiny frontier the estimator
+        # degenerates to the exact census, so the value is still exact.
+        from repro.mining.sampling import ApproxCount
+
+        expected = session.count(generate_clique(3))
+        monkeypatch.setattr(guards, "EXPLOSIVE_PARTIALS", 1.0)
+        got = session.count(generate_clique(3), guard="downgrade")
+        assert isinstance(got, ApproxCount)
+        assert got.requested_rel_err == guards.DOWNGRADE_APPROX_REL_ERR
+        assert int(got) == expected
 
     def test_downgrade_tightens_frontier_chunk(self, monkeypatch):
         monkeypatch.setattr(guards, "EXPLOSIVE_PARTIALS", 1.0)
